@@ -1,0 +1,113 @@
+"""Figure 3: Overton vs previous production systems across resource levels.
+
+Paper's result (Fig. 3)::
+
+    Resourcing   Error Reduction    Amount of Weak Supervision
+    High         65% (2.9x)         80%
+    Medium       82% (5.6x)         96%
+    Medium       72% (3.6x)         98%
+    Low          40% (1.7x)         99%
+
+Reproduction: four synthetic products at matching resource levels
+(``repro.workloads.products``).  The previous system is the heuristic
+pipeline baseline with upkeep degradation scaled to resourcing; Overton is
+the full system (schema compile, label-model supervision, slices,
+multitask).  Shape targets: every product shows >1.3x fewer errors, the
+reductions fall in the paper's 1.7-5.6x band, and weak supervision is the
+dominant share everywhere (higher for lower-resource products).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import HeuristicPipeline, evaluate_pipeline
+from repro.core.overton import Overton
+from repro.slicing import SliceSet, SliceSpec
+from repro.workloads import (
+    HARD_DISAMBIGUATION_SLICE,
+    NUTRITION_SLICE,
+    PRODUCTS,
+    build_product,
+)
+
+from benchmarks.conftest import print_table
+
+# Upkeep quality of the hand-maintained previous system scales with team
+# resourcing (High teams patch their heuristics more).
+_DEGRADATION = {"High": 0.03, "Medium": 0.06, "Low": 0.10}
+
+_TASK_METRIC = {
+    "POS": "accuracy",
+    "EntityType": "exact_match",
+    "Intent": "accuracy",
+    "IntentArg": "accuracy",
+}
+
+
+def _overton_error(evals) -> float:
+    scores = [evals[t].metrics[m] for t, m in _TASK_METRIC.items()]
+    return 1.0 - float(np.mean(scores))
+
+
+def _pipeline_error(metrics) -> float:
+    return 1.0 - float(np.mean([metrics[t] for t in _TASK_METRIC]))
+
+
+def run_fig3(seed: int = 0) -> dict[str, list]:
+    rows: dict[str, list] = {
+        "product": [],
+        "resourcing": [],
+        "previous_error": [],
+        "overton_error": [],
+        "error_reduction_pct": [],
+        "reduction_factor": [],
+        "weak_supervision_pct": [],
+    }
+    for spec in PRODUCTS:
+        built = build_product(spec, seed=seed)
+        dataset = built.dataset
+        slices = SliceSet(
+            [SliceSpec(name=HARD_DISAMBIGUATION_SLICE), SliceSpec(name=NUTRITION_SLICE)]
+        )
+        overton = Overton(dataset.schema, slices=slices)
+        trained = overton.train(dataset, spec.model_config())
+        evals = overton.evaluate(trained, dataset, tag="test")
+        overton_error = _overton_error(evals)
+
+        pipeline = HeuristicPipeline(
+            degradation=_DEGRADATION[spec.resourcing], seed=seed
+        )
+        baseline = evaluate_pipeline(pipeline, dataset.split("test").records)
+        baseline_error = _pipeline_error(baseline)
+
+        factor = baseline_error / max(overton_error, 1e-9)
+        rows["product"].append(spec.name)
+        rows["resourcing"].append(spec.resourcing)
+        rows["previous_error"].append(round(baseline_error, 4))
+        rows["overton_error"].append(round(overton_error, 4))
+        rows["error_reduction_pct"].append(
+            round(100 * (1 - overton_error / max(baseline_error, 1e-9)), 1)
+        )
+        rows["reduction_factor"].append(round(factor, 2))
+        rows["weak_supervision_pct"].append(
+            round(100 * built.weak_supervision_fraction(), 1)
+        )
+    return rows
+
+
+def test_fig3_error_reduction(benchmark):
+    rows = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    print_table("Figure 3: error reduction vs previous system", rows)
+
+    factors = rows["reduction_factor"]
+    weak = rows["weak_supervision_pct"]
+    # Shape 1: Overton reduces error on every product.
+    assert all(f > 1.3 for f in factors), factors
+    # Shape 2: reductions land in the paper's reported band (1.7x-5.6x),
+    # allowing simulator headroom above.
+    assert max(factors) >= 1.7
+    # Shape 3: weak supervision dominates everywhere (paper: 80-99%).
+    assert all(w >= 70.0 for w in weak), weak
+    # Shape 4: the lowest-resource product leans hardest on weak supervision.
+    assert weak[-1] >= weak[0]

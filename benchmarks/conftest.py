@@ -1,0 +1,41 @@
+"""Shared benchmark helpers.
+
+Every benchmark in this directory regenerates one table or figure of the
+paper (see DESIGN.md §4).  Experiments run once inside
+``benchmark.pedantic(..., rounds=1)`` — the interesting output is the
+printed paper-style table, not the wall-clock distribution — and each file
+asserts the *shape* of the paper's result (who wins, roughly by how much).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ModelConfig, PayloadConfig, TrainerConfig
+
+
+def small_model_config(size: int = 24, epochs: int = 8, **trainer_kwargs) -> ModelConfig:
+    """The default compiled-model shape used across benchmarks."""
+    return ModelConfig(
+        payloads={
+            "tokens": PayloadConfig(encoder="bow", size=size),
+            "query": PayloadConfig(size=size),
+            "entities": PayloadConfig(size=size),
+        },
+        trainer=TrainerConfig(
+            epochs=epochs, batch_size=32, lr=0.05, **trainer_kwargs
+        ),
+    )
+
+
+def print_table(title: str, columns: dict[str, list]) -> None:
+    """Render one paper-style table to stdout."""
+    from repro.monitoring import format_table
+
+    print(f"\n=== {title} ===")
+    print(format_table(columns))
+
+
+def geometric_mean(values) -> float:
+    values = np.asarray(values, dtype=float)
+    return float(np.exp(np.log(np.maximum(values, 1e-12)).mean()))

@@ -1,0 +1,106 @@
+"""A day in the life of an Overton engineer (§2.3): improving a feature.
+
+The loop the paper describes:
+
+1. the weekly report shows a slice performing badly (here: hard entity
+   disambiguations — the popularity heuristic is systematically wrong);
+2. the engineer diagnoses the supervision, not the model;
+3. they add one targeted labeling function for that slice;
+4. retrain, and gate the deploy on the regression detector.
+
+Run:  python examples/slice_improvement.py
+"""
+
+from __future__ import annotations
+
+from repro import ModelStore, Overton, SliceSet, SliceSpec
+from repro.monitoring import compare_reports, render_quality_report, render_regressions
+from repro.workloads import (
+    FactoidGenerator,
+    HARD_DISAMBIGUATION_SLICE,
+    WorkloadConfig,
+    apply_standard_weak_supervision,
+    compatibility_intent_arg_source,
+)
+
+import tempfile
+from pathlib import Path
+
+SLICE_TAG = f"slice:{HARD_DISAMBIGUATION_SLICE}"
+
+
+def main() -> None:
+    dataset = FactoidGenerator(
+        WorkloadConfig(n=800, seed=7, hard_fraction=0.25)
+    ).generate()
+    apply_standard_weak_supervision(dataset.records, seed=7)
+    # The engineer has NOT yet written the compatibility LF.
+    for record in dataset.records:
+        record.tasks.get("IntentArg", {}).pop("lf_compatible", None)
+
+    slices = SliceSet(
+        [SliceSpec(name=HARD_DISAMBIGUATION_SLICE, description="hard readings")]
+    )
+    overton = Overton(dataset.schema, slices=slices)
+
+    # ------------------------------------------------------------------
+    # Monday: the weekly report shows the slice is broken.
+    # ------------------------------------------------------------------
+    before_model = overton.train(dataset)
+    before_report = overton.report(before_model, dataset, tags=["test", SLICE_TAG])
+    print("report BEFORE the fix:")
+    print(render_quality_report(before_report))
+    before_slice = before_report.metric(SLICE_TAG, "IntentArg", "accuracy")
+    print(f"\n-> IntentArg on {SLICE_TAG}: {before_slice:.3f}  (broken)")
+
+    # ------------------------------------------------------------------
+    # Tuesday: diagnose supervision.  The label model already tells us the
+    # popularity source is the weakest.
+    # ------------------------------------------------------------------
+    print("\nlearned IntentArg source accuracies:")
+    for source, acc in sorted(
+        before_model.supervision["IntentArg"].source_accuracies.items(),
+        key=lambda kv: kv[1],
+    ):
+        print(f"  {source:<16} {acc:.3f}")
+
+    # ------------------------------------------------------------------
+    # Wednesday: add ONE labeling function targeting the failure mode.
+    # No model code, no loss-function edits (§2.3: "Overton engineers
+    # spend no time on these activities").
+    # ------------------------------------------------------------------
+    spec = compatibility_intent_arg_source(dataset.records, rng=None)
+    print(f"\nadded source {spec.source.name!r} (coverage {spec.coverage:.1%})")
+
+    # ------------------------------------------------------------------
+    # Thursday: retrain and compare reports.
+    # ------------------------------------------------------------------
+    after_model = overton.train(dataset)
+    after_report = overton.report(after_model, dataset, tags=["test", SLICE_TAG])
+    print("\nreport AFTER the fix:")
+    print(render_quality_report(after_report))
+    after_slice = after_report.metric(SLICE_TAG, "IntentArg", "accuracy")
+    print(
+        f"\n-> IntentArg on {SLICE_TAG}: {before_slice:.3f} -> {after_slice:.3f} "
+        f"(+{100 * (after_slice - before_slice):.0f} points)"
+    )
+
+    # ------------------------------------------------------------------
+    # Friday: the regression gate decides whether the new model ships.
+    # ------------------------------------------------------------------
+    # Gate on accuracy; F1 on tiny slices is advisory (too noisy to block).
+    regressions = compare_reports(
+        before_report, after_report, threshold=0.02, metrics=("accuracy", "exact_match")
+    )
+    print("\nregression check (before -> after):")
+    print(render_regressions(regressions))
+    if not regressions.blocking:
+        store = ModelStore(Path(tempfile.mkdtemp(prefix="overton-store-")) / "models")
+        version = overton.deploy(after_model, store, "factoid-qa")
+        print(f"\nshipped {version.model_name}@{version.version}")
+    else:
+        print("\ndeploy blocked; investigate regressions first")
+
+
+if __name__ == "__main__":
+    main()

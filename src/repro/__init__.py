@@ -1,0 +1,62 @@
+"""repro: an open-source reproduction of Overton (CIDR 2020).
+
+Overton is a data system for monitoring and improving machine-learned
+products.  This package reimplements the full system described in the paper
+— declarative schemas, weak-supervision combination, slice-based capacity,
+schema-to-model compilation, coarse architecture search, and automatic
+deployment — on a from-scratch numpy deep-learning substrate.
+
+Quickstart::
+
+    from repro import Overton, Schema, Dataset
+
+    schema = Schema.from_file("schema.json")
+    dataset = Dataset.from_file(schema, "data.jsonl")
+    overton = Overton(schema)
+    trained = overton.train(dataset)
+    print(overton.evaluate(trained, dataset))
+"""
+
+from repro.core import (
+    ModelConfig,
+    PayloadConfig,
+    Schema,
+    ServingSignature,
+    TrainerConfig,
+    TuningSpec,
+)
+from repro.core.overton import Overton, TrainedModel
+from repro.data import Dataset, Record
+from repro.deploy import ModelArtifact, ModelStore, Predictor
+from repro.slicing import SliceSet, SliceSpec
+from repro.supervision import (
+    LabelModel,
+    LabelSource,
+    combine_supervision,
+    labeling_function,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ModelConfig",
+    "PayloadConfig",
+    "Schema",
+    "ServingSignature",
+    "TrainerConfig",
+    "TuningSpec",
+    "Overton",
+    "TrainedModel",
+    "Dataset",
+    "Record",
+    "ModelArtifact",
+    "ModelStore",
+    "Predictor",
+    "SliceSet",
+    "SliceSpec",
+    "LabelModel",
+    "LabelSource",
+    "combine_supervision",
+    "labeling_function",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Baselines: the systems Overton is compared against in the evaluation."""
+
+from repro.baselines.pipeline import (
+    HeuristicPipeline,
+    PipelinePrediction,
+    evaluate_pipeline,
+)
+from repro.baselines.single_task import (
+    SingleTaskSystem,
+    single_task_schema,
+    train_single_task_system,
+)
+
+__all__ = [
+    "HeuristicPipeline",
+    "PipelinePrediction",
+    "evaluate_pipeline",
+    "SingleTaskSystem",
+    "single_task_schema",
+    "train_single_task_system",
+]

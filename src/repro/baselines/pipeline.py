@@ -1,0 +1,162 @@
+"""The heuristic pipeline baseline: the "previous system" of Fig. 3.
+
+"Systems that Overton models replace are typically deep models and
+heuristics that are challenging to maintain" (§3); "Traditionally, systems
+are constructed as pipelines, and so determining which task is the culprit
+is challenging" (§1).
+
+The pipeline chains per-task heuristics in the traditional order: POS
+tagging -> entity typing -> intent -> intent argument.  Later stages consume
+earlier stages' *predictions* (not gold), so errors compound — the failure
+mode the paper attributes to pipeline architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.record import Record
+from repro.workloads.gazetteer import INTENT_CATEGORY
+from repro.workloads.weak_sources import _KEYWORDS, by_surface_of
+
+
+@dataclass
+class PipelinePrediction:
+    """Hard predictions from the pipeline for one record."""
+
+    pos: list[str]
+    entity_types: list[list[str]]
+    intent: str
+    intent_arg: int | None
+
+
+_POS_RULES = {
+    "how": "ADV",
+    "what": "PRON",
+    "who": "PRON",
+    "is": "VERB",
+    "the": "DET",
+    "of": "ADP",
+    "in": "ADP",
+    "to": "ADP",
+    "live": "VERB",
+    "married": "VERB",
+    "tall": "ADJ",
+    "old": "ADJ",
+    "many": "ADJ",
+    "healthy": "ADJ",
+}
+
+
+class HeuristicPipeline:
+    """The maintained-by-hand system Overton replaced.
+
+    ``degradation`` injects extra random stage errors, standing in for the
+    accumulated drift of a hand-maintained system (higher for low-resource
+    products whose heuristics get less upkeep).
+    """
+
+    def __init__(self, degradation: float = 0.0, seed: int = 0) -> None:
+        self.degradation = degradation
+        self._rng = np.random.default_rng(seed)
+
+    def predict(self, record: Record) -> PipelinePrediction:
+        tokens = record.payloads.get("tokens") or []
+
+        # Stage 1: POS by lookup; unknown tokens default to NOUN.
+        pos = [_POS_RULES.get(t, "NOUN") for t in tokens]
+        pos = [self._maybe_degrade(p, ["NOUN", "VERB", "ADJ"]) for p in pos]
+
+        # Stage 2: entity types from the most popular gazetteer reading.
+        members = record.payloads.get("entities") or []
+        entity_types: list[list[str]] = [[] for _ in tokens]
+        member_types: list[tuple[int, list[str]]] = []
+        for m_idx, member in enumerate(members):
+            readings = by_surface_of(member)
+            types = list(readings[0].types) if readings else []
+            member_types.append((m_idx, types))
+            span = member.get("range") or [0, 1]
+            for t in range(span[0], min(span[1], len(tokens))):
+                entity_types[t] = sorted(set(entity_types[t]) | set(types))
+
+        # Stage 3: intent from keywords, *gated on stage-1 POS*: the rule
+        # only trusts a keyword tagged ADJ/NOUN, so POS errors propagate.
+        intent = "population"  # pipeline default guess
+        for token, tag in zip(tokens, pos):
+            if token in _KEYWORDS and tag in ("ADJ", "NOUN"):
+                intent = _KEYWORDS[token]
+                break
+        intent = self._maybe_degrade(intent, list(INTENT_CATEGORY))
+
+        # Stage 4: intent argument — first candidate whose *predicted* types
+        # (stage 2) are compatible with the *predicted* intent (stage 3).
+        intent_arg: int | None = None
+        wanted = set(INTENT_CATEGORY.get(intent, ()))
+        type_to_category = {
+            "person": "person",
+            "country": "country",
+            "city": "city",
+            "state": "state",
+            "mountain": "mountain",
+            "food": "food",
+        }
+        for m_idx, types in member_types:
+            categories = {type_to_category[t] for t in types if t in type_to_category}
+            if categories & wanted:
+                intent_arg = m_idx
+                break
+        if intent_arg is None and members:
+            # Fall back to the most popular reading.
+            popularity = []
+            for member in members:
+                readings = by_surface_of(member)
+                popularity.append(readings[0].popularity if readings else 0.0)
+            intent_arg = int(np.argmax(popularity))
+        return PipelinePrediction(
+            pos=pos, entity_types=entity_types, intent=intent, intent_arg=intent_arg
+        )
+
+    def _maybe_degrade(self, value: str, alternatives: list[str]) -> str:
+        if self.degradation > 0 and self._rng.random() < self.degradation:
+            others = [a for a in alternatives if a != value]
+            if others:
+                return others[int(self._rng.integers(len(others)))]
+        return value
+
+
+def evaluate_pipeline(
+    pipeline: HeuristicPipeline,
+    records: Sequence[Record],
+    gold_source: str = "gold",
+) -> dict[str, float]:
+    """Per-task accuracy of the pipeline against gold labels."""
+    totals = {"POS": 0, "EntityType": 0, "Intent": 0, "IntentArg": 0}
+    correct = {k: 0 for k in totals}
+    for record in records:
+        pred = pipeline.predict(record)
+        tokens = record.payloads.get("tokens") or []
+        gold_pos = record.label_from("POS", gold_source)
+        if gold_pos is not None:
+            for p, g in zip(pred.pos, gold_pos):
+                totals["POS"] += 1
+                correct["POS"] += int(p == g)
+        gold_types = record.label_from("EntityType", gold_source)
+        if gold_types is not None:
+            for p, g in zip(pred.entity_types, gold_types):
+                totals["EntityType"] += 1
+                correct["EntityType"] += int(sorted(p) == sorted(g))
+        gold_intent = record.label_from("Intent", gold_source)
+        if gold_intent is not None:
+            totals["Intent"] += 1
+            correct["Intent"] += int(pred.intent == gold_intent)
+        gold_arg = record.label_from("IntentArg", gold_source)
+        if gold_arg is not None:
+            totals["IntentArg"] += 1
+            correct["IntentArg"] += int(pred.intent_arg == gold_arg)
+    return {
+        task: (correct[task] / totals[task]) if totals[task] else 0.0
+        for task in totals
+    }

@@ -1,0 +1,114 @@
+"""Independent single-task models: the non-multitask ablation baseline.
+
+The "previous system" style the paper describes: one separate model per
+task, trained on majority-vote labels, with no shared representation, no
+source-accuracy modeling, and no slices.  Built on the same substrate so
+the comparison isolates Overton's ideas rather than the framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.schema_def import Schema
+from repro.core.tuning_spec import ModelConfig, PayloadConfig, TrainerConfig
+from repro.data.dataset import Dataset
+from repro.data.record import Record
+from repro.data.vocab import Vocab
+from repro.errors import TrainingError
+from repro.model.compiler import compile_model
+from repro.model.multitask import MultitaskModel
+from repro.model.task_heads import TaskTargets
+from repro.supervision.combine import combine_supervision
+from repro.training.evaluation import TaskEvaluation, evaluate
+from repro.training.trainer import Trainer
+
+
+def single_task_schema(schema: Schema, task_name: str) -> Schema:
+    """Reduce a schema to one task (keeping the payloads it needs)."""
+    task = schema.task(task_name)
+    needed: set[str] = set()
+
+    def add_payload(name: str) -> None:
+        if name in needed:
+            return
+        needed.add(name)
+        payload = schema.payload(name)
+        for ref in payload.base:
+            add_payload(ref)
+        if payload.range is not None:
+            add_payload(payload.range)
+
+    add_payload(task.payload)
+    spec = schema.to_dict()
+    return Schema.from_dict(
+        {
+            "payloads": {k: v for k, v in spec["payloads"].items() if k in needed},
+            "tasks": {task_name: spec["tasks"][task_name]},
+        }
+    )
+
+
+@dataclass
+class SingleTaskSystem:
+    """A bundle of independent per-task models sharing nothing."""
+
+    schema: Schema
+    models: dict[str, MultitaskModel] = field(default_factory=dict)
+    vocabs: dict[str, Vocab] = field(default_factory=dict)
+
+    def evaluate(
+        self, records: Sequence[Record], gold_source: str = "gold"
+    ) -> dict[str, TaskEvaluation]:
+        results: dict[str, TaskEvaluation] = {}
+        for task_name, model in self.models.items():
+            evals = evaluate(
+                model, records, model.schema, self.vocabs, gold_source
+            )
+            results[task_name] = evals[task_name]
+        return results
+
+
+def train_single_task_system(
+    dataset: Dataset,
+    config: ModelConfig | None = None,
+    method: str = "majority",
+    gold_source: str = "gold",
+    seed: int = 0,
+) -> SingleTaskSystem:
+    """Train one independent model per task on majority-vote labels."""
+    config = config or ModelConfig(
+        payloads={},
+        trainer=TrainerConfig(epochs=5, batch_size=32, lr=0.05),
+    )
+    train = dataset.split("train")
+    if len(train) == 0:
+        raise TrainingError("dataset has no records tagged 'train'")
+    vocabs = dataset.build_vocabs()
+    system = SingleTaskSystem(schema=dataset.schema, vocabs=vocabs)
+    for task in dataset.schema.tasks:
+        reduced = single_task_schema(dataset.schema, task.name)
+        task_config = ModelConfig(
+            payloads={
+                name: p
+                for name, p in config.payloads.items()
+                if name in reduced.payload_names
+            },
+            trainer=config.trainer,
+        )
+        model = compile_model(reduced, task_config, vocabs, seed=seed)
+        sources = set()
+        for record in train.records:
+            sources.update(record.sources_for(task.name))
+        exclude = [gold_source] if sources - {gold_source} else []
+        combined = combine_supervision(
+            train.records, reduced, task.name, method=method, exclude_sources=exclude
+        )
+        targets = {
+            task.name: TaskTargets(probs=combined.probs, weights=combined.weights)
+        }
+        trainer = Trainer(model, config.trainer)
+        trainer.fit(train.records, vocabs, targets)
+        system.models[task.name] = model
+    return system

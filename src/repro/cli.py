@@ -1,0 +1,187 @@
+"""Command-line interface: the engineer-facing entry points.
+
+Overton's users interact through data files and reports, not notebooks
+(§2.3); the CLI packages the common loop:
+
+    python -m repro validate --schema schema.json --data data.jsonl
+    python -m repro train    --schema schema.json --data data.jsonl --out artifact/
+    python -m repro report   --artifact artifact/ --data data.jsonl
+    python -m repro predict  --artifact artifact/ --request request.json
+    python -m repro query    --schema schema.json --data data.jsonl --tag train --task Intent
+
+Every command is a thin shim over the library API and returns a process
+exit code, so it is scriptable in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core import ModelConfig, PayloadConfig, Schema, TrainerConfig
+from repro.core.overton import Overton
+from repro.data import Dataset, RecordQuery
+from repro.deploy import ModelArtifact, Predictor
+from repro.errors import ReproError
+from repro.monitoring import render_quality_report
+from repro.training import quality_report
+
+
+def _load(schema_path: str, data_path: str) -> Dataset:
+    schema = Schema.from_file(schema_path)
+    return Dataset.from_file(schema, data_path)
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    dataset = _load(args.schema, args.data)
+    stats = dataset.supervision_stats()
+    print(f"OK: {len(dataset)} records conform to the schema")
+    print("supervision per task:")
+    for task, sources in stats.items():
+        total = sum(sources.values())
+        print(f"  {task:<14} {total:>6} labels from {len(sources)} sources")
+    table = dataset.tag_table()
+    for split in ("train", "dev", "test"):
+        print(f"  tag {split:<11} {table.count(split):>6} records")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    dataset = _load(args.schema, args.data)
+    overton = Overton(dataset.schema, gold_source=args.gold_source)
+    size = args.size
+    config = ModelConfig(
+        payloads={
+            p.name: PayloadConfig(
+                encoder=args.encoder if p.type == "sequence" else "bow", size=size
+            )
+            for p in dataset.schema.payloads
+        },
+        trainer=TrainerConfig(
+            epochs=args.epochs, batch_size=args.batch_size, lr=args.lr
+        ),
+    )
+    trained = overton.train(dataset, config)
+    evals = overton.evaluate(trained, dataset, tag="test")
+    metrics = {
+        f"{task}_{name}": value
+        for task, ev in evals.items()
+        for name, value in ev.metrics.items()
+    }
+    artifact = overton.build_artifact(trained, metrics=metrics)
+    artifact.save(args.out)
+    print(f"trained {trained.model.num_parameters():,} parameters")
+    for task, ev in evals.items():
+        print(f"  {task:<14} {ev.metrics}")
+    print(f"artifact written to {args.out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    artifact = ModelArtifact.load(args.artifact)
+    dataset = Dataset.from_file(artifact.schema, args.data)
+    model = artifact.build_model()
+    tags = args.tags.split(",") if args.tags else None
+    report = quality_report(
+        model,
+        dataset.records,
+        artifact.schema,
+        artifact.vocabs,
+        gold_source=args.gold_source,
+        tags=tags,
+    )
+    print(render_quality_report(report))
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    predictor = Predictor.from_directory(args.artifact)
+    request = json.loads(Path(args.request).read_text())
+    payloads = request if isinstance(request, list) else [request]
+    for response in predictor.predict(payloads):
+        print(json.dumps(response))
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    dataset = _load(args.schema, args.data)
+    query = RecordQuery(dataset.records)
+    if args.tag:
+        query = query.with_tag(args.tag)
+    if args.conflicting:
+        query = query.conflicting(args.conflicting)
+    print(f"{query.count()} records match")
+    if args.task and args.source:
+        print(f"label distribution for {args.task} / {args.source}:")
+        for label, count in sorted(
+            query.label_distribution(args.task, args.source).items(),
+            key=lambda kv: -kv[1],
+        ):
+            print(f"  {label!r:<30} {count}")
+    if args.show:
+        for row in list(query.project("payloads", "tasks", "tags"))[: args.show]:
+            print(json.dumps(row))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Overton reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="validate a data file against a schema")
+    p.add_argument("--schema", required=True)
+    p.add_argument("--data", required=True)
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("train", help="train and write a deployable artifact")
+    p.add_argument("--schema", required=True)
+    p.add_argument("--data", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--epochs", type=int, default=8)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--lr", type=float, default=0.05)
+    p.add_argument("--size", type=int, default=24)
+    p.add_argument("--encoder", default="bow")
+    p.add_argument("--gold-source", default="gold")
+    p.set_defaults(fn=cmd_train)
+
+    p = sub.add_parser("report", help="per-tag quality report for an artifact")
+    p.add_argument("--artifact", required=True)
+    p.add_argument("--data", required=True)
+    p.add_argument("--tags", default="")
+    p.add_argument("--gold-source", default="gold")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("predict", help="serve one request file")
+    p.add_argument("--artifact", required=True)
+    p.add_argument("--request", required=True)
+    p.set_defaults(fn=cmd_predict)
+
+    p = sub.add_parser("query", help="jq-style queries over a data file")
+    p.add_argument("--schema", required=True)
+    p.add_argument("--data", required=True)
+    p.add_argument("--tag", default="")
+    p.add_argument("--conflicting", default="")
+    p.add_argument("--task", default="")
+    p.add_argument("--source", default="")
+    p.add_argument("--show", type=int, default=0)
+    p.set_defaults(fn=cmd_query)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""Overton's core abstractions: schema, signature, tuning spec, facade.
+
+The facade (:class:`repro.core.overton.Overton`) is imported lazily to keep
+schema-only uses light; ``from repro.core import Overton`` still works.
+"""
+
+from repro.core.payloads import PAYLOAD_TYPES, PayloadSpec
+from repro.core.tasks import TASK_TYPES, TaskSpec
+from repro.core.schema_def import Schema
+from repro.core.signature import InputSignature, ServingSignature, TaskSignature
+from repro.core.constraints import (
+    Constraint,
+    ConstraintError,
+    ConstraintSet,
+    JointDecodeResult,
+    intent_argument_compatibility,
+)
+from repro.core.tuning_spec import (
+    AGGREGATION_CHOICES,
+    ENCODER_CHOICES,
+    ModelConfig,
+    PayloadConfig,
+    TrainerConfig,
+    TuningSpec,
+)
+
+__all__ = [
+    "PAYLOAD_TYPES",
+    "PayloadSpec",
+    "TASK_TYPES",
+    "TaskSpec",
+    "Schema",
+    "InputSignature",
+    "ServingSignature",
+    "TaskSignature",
+    "AGGREGATION_CHOICES",
+    "ENCODER_CHOICES",
+    "ModelConfig",
+    "PayloadConfig",
+    "TrainerConfig",
+    "TuningSpec",
+    "Overton",
+    "Constraint",
+    "ConstraintError",
+    "ConstraintSet",
+    "JointDecodeResult",
+    "intent_argument_compatibility",
+]
+
+
+def __getattr__(name: str):
+    if name == "Overton":
+        from repro.core.overton import Overton
+
+        return Overton
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

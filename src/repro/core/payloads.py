@@ -1,0 +1,131 @@
+"""Payload specifications.
+
+"Conceptually, Overton embeds raw data into a payload, which is then used as
+input to a task or to another payload" (§2.1).  Three payload types exist:
+
+* **singleton** — one vector per example (e.g. the whole query).  A singleton
+  either aggregates other payloads (``base``) or carries a raw numeric
+  feature vector (``dim``).
+* **sequence** — a vector per position (e.g. tokens), bounded by
+  ``max_length``.
+* **set** — a vector per member of a variable-size set (e.g. candidate
+  entities).  Members may reference spans of a sequence payload (``range``)
+  and may carry their own ids for an embedding table (``vocab``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+PAYLOAD_TYPES = ("singleton", "sequence", "set")
+
+
+@dataclass(frozen=True)
+class PayloadSpec:
+    """Declarative description of one payload.
+
+    Attributes
+    ----------
+    name:
+        Payload identifier, unique within a schema.
+    type:
+        One of ``singleton``, ``sequence``, ``set``.
+    max_length:
+        Required for sequences: the maximum number of positions.
+    base:
+        For singletons: names of payloads this payload aggregates.
+    range:
+        For sets: the sequence payload whose spans members reference.
+    max_members:
+        For sets: maximum number of members (candidates) per example.
+    dim:
+        For raw singletons (no ``base``): width of the numeric feature
+        vector found directly in the data record.
+    vocab:
+        Optional name of an id vocabulary for this payload (tokens for
+        sequences, entity ids for sets).
+    """
+
+    name: str
+    type: str
+    max_length: int | None = None
+    base: tuple[str, ...] = field(default_factory=tuple)
+    range: str | None = None
+    max_members: int | None = None
+    dim: int | None = None
+    vocab: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.type not in PAYLOAD_TYPES:
+            raise SchemaError(
+                f"payload {self.name!r}: unknown type {self.type!r}; "
+                f"expected one of {PAYLOAD_TYPES}"
+            )
+        if self.type == "sequence":
+            if not self.max_length or self.max_length <= 0:
+                raise SchemaError(
+                    f"sequence payload {self.name!r} requires a positive max_length"
+                )
+        if self.type == "singleton":
+            if not self.base and self.dim is None:
+                raise SchemaError(
+                    f"singleton payload {self.name!r} needs either base payloads "
+                    "to aggregate or a raw feature dim"
+                )
+            if self.base and self.dim is not None:
+                raise SchemaError(
+                    f"singleton payload {self.name!r} cannot have both base and dim"
+                )
+        if self.type == "set":
+            if self.range is None:
+                raise SchemaError(
+                    f"set payload {self.name!r} requires a range sequence payload"
+                )
+            if not self.max_members or self.max_members <= 0:
+                raise SchemaError(
+                    f"set payload {self.name!r} requires a positive max_members"
+                )
+
+    @classmethod
+    def from_dict(cls, name: str, spec: dict) -> "PayloadSpec":
+        """Parse one payload from its JSON schema entry."""
+        if not isinstance(spec, dict):
+            raise SchemaError(f"payload {name!r}: spec must be an object")
+        known = {"type", "max_length", "base", "range", "max_members", "dim", "vocab"}
+        unknown = set(spec) - known
+        if unknown:
+            raise SchemaError(f"payload {name!r}: unknown fields {sorted(unknown)}")
+        if "type" not in spec:
+            raise SchemaError(f"payload {name!r}: missing required field 'type'")
+        base = spec.get("base", [])
+        if isinstance(base, str):
+            base = [base]
+        return cls(
+            name=name,
+            type=spec["type"],
+            max_length=spec.get("max_length"),
+            base=tuple(base),
+            range=spec.get("range"),
+            max_members=spec.get("max_members"),
+            dim=spec.get("dim"),
+            vocab=spec.get("vocab"),
+        )
+
+    def to_dict(self) -> dict:
+        """Serialize back to the JSON schema form (round-trip safe)."""
+        out: dict = {"type": self.type}
+        if self.max_length is not None:
+            out["max_length"] = self.max_length
+        if self.base:
+            out["base"] = list(self.base)
+        if self.range is not None:
+            out["range"] = self.range
+        if self.max_members is not None:
+            out["max_members"] = self.max_members
+        if self.dim is not None:
+            out["dim"] = self.dim
+        if self.vocab is not None:
+            out["vocab"] = self.vocab
+        return out

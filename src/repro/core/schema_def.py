@@ -1,0 +1,193 @@
+"""The Overton schema: payloads + tasks.
+
+"Overton takes as input a schema whose design goal is to support rich
+applications from modeling to automatic deployment ... the schema defines
+what the model computes but not how" (§1).  Accordingly this object contains
+**no hyperparameters**: encoders, sizes, and embeddings live in the separate
+tuning specification (:mod:`repro.core.tuning_spec`), giving the paper's
+*model independence*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.payloads import PayloadSpec
+from repro.core.tasks import TaskSpec
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An immutable, validated Overton schema."""
+
+    payloads: tuple[PayloadSpec, ...]
+    tasks: tuple[TaskSpec, ...]
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def payload(self, name: str) -> PayloadSpec:
+        for p in self.payloads:
+            if p.name == name:
+                return p
+        raise SchemaError(f"unknown payload {name!r}")
+
+    def task(self, name: str) -> TaskSpec:
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        raise SchemaError(f"unknown task {name!r}")
+
+    @property
+    def payload_names(self) -> list[str]:
+        return [p.name for p in self.payloads]
+
+    @property
+    def task_names(self) -> list[str]:
+        return [t.name for t in self.tasks]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        names = [p.name for p in self.payloads]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate payload names: {names}")
+        task_names = [t.name for t in self.tasks]
+        if len(set(task_names)) != len(task_names):
+            raise SchemaError(f"duplicate task names: {task_names}")
+        if not self.tasks:
+            raise SchemaError("a schema needs at least one task")
+
+        known = set(names)
+        for p in self.payloads:
+            for ref in p.base:
+                if ref not in known:
+                    raise SchemaError(
+                        f"payload {p.name!r} references unknown payload {ref!r}"
+                    )
+            if p.range is not None:
+                if p.range not in known:
+                    raise SchemaError(
+                        f"payload {p.name!r} range references unknown payload {p.range!r}"
+                    )
+                if self.payload(p.range).type != "sequence":
+                    raise SchemaError(
+                        f"payload {p.name!r} range {p.range!r} must be a sequence"
+                    )
+        self._check_acyclic()
+
+        for t in self.tasks:
+            if t.payload not in known:
+                raise SchemaError(
+                    f"task {t.name!r} references unknown payload {t.payload!r}"
+                )
+            payload = self.payload(t.payload)
+            if t.type == "select" and payload.type != "set":
+                raise SchemaError(
+                    f"select task {t.name!r} requires a set payload, "
+                    f"got {payload.type!r}"
+                )
+
+    def _check_acyclic(self) -> None:
+        """Payload references (base + range) must form a DAG."""
+        edges: dict[str, list[str]] = {p.name: [] for p in self.payloads}
+        for p in self.payloads:
+            edges[p.name].extend(p.base)
+            if p.range is not None:
+                edges[p.name].append(p.range)
+
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(node: str, trail: tuple[str, ...]) -> None:
+            mark = state.get(node)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = " -> ".join(trail + (node,))
+                raise SchemaError(f"payload reference cycle: {cycle}")
+            state[node] = 0
+            for ref in edges[node]:
+                visit(ref, trail + (node,))
+            state[node] = 1
+
+        for name in edges:
+            visit(name, ())
+
+    def topological_payload_order(self) -> list[PayloadSpec]:
+        """Payloads ordered so references come before referrers."""
+        order: list[PayloadSpec] = []
+        done: set[str] = set()
+
+        def visit(p: PayloadSpec) -> None:
+            if p.name in done:
+                return
+            for ref in p.base:
+                visit(self.payload(ref))
+            if p.range is not None:
+                visit(self.payload(p.range))
+            done.add(p.name)
+            order.append(p)
+
+        for p in self.payloads:
+            visit(p)
+        return order
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, spec: dict) -> "Schema":
+        """Parse the JSON schema format shown in Fig. 2a."""
+        if not isinstance(spec, dict):
+            raise SchemaError("schema must be a JSON object")
+        unknown = set(spec) - {"payloads", "tasks"}
+        if unknown:
+            raise SchemaError(f"unknown top-level schema fields {sorted(unknown)}")
+        payloads_spec = spec.get("payloads", {})
+        tasks_spec = spec.get("tasks", {})
+        if not isinstance(payloads_spec, dict) or not isinstance(tasks_spec, dict):
+            raise SchemaError("'payloads' and 'tasks' must be objects")
+        payloads = tuple(
+            PayloadSpec.from_dict(name, p) for name, p in payloads_spec.items()
+        )
+        tasks = tuple(TaskSpec.from_dict(name, t) for name, t in tasks_spec.items())
+        return cls(payloads=payloads, tasks=tasks)
+
+    def to_dict(self) -> dict:
+        return {
+            "payloads": {p.name: p.to_dict() for p in self.payloads},
+            "tasks": {t.name: t.to_dict() for t in self.tasks},
+        }
+
+    @classmethod
+    def from_json(cls, text: str) -> "Schema":
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"schema is not valid JSON: {exc}") from exc
+        return cls.from_dict(spec)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Schema":
+        return cls.from_json(Path(path).read_text())
+
+    def to_json(self, indent: int = 2) -> str:
+        # Preserve declaration order so round-trips compare equal; the
+        # fingerprint uses its own canonical (sorted) form.
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    def fingerprint(self) -> str:
+        """Stable content hash, used for artifact compatibility checks."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]

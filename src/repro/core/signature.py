@@ -1,0 +1,148 @@
+"""Serving signatures.
+
+"This information allows Overton to compile the inference code and the loss
+functions for each task and to build a serving signature, which contains
+detailed information of the types and can be consumed by model serving
+infrastructure" (§2.1).
+
+The signature is the *only* contract between a deployed artifact and serving
+code — serving never needs the schema, tuning spec, or training data, which
+is what lets the model change without serving-code changes (model
+independence, §1).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.core.schema_def import Schema
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class TaskSignature:
+    """Output contract for one task."""
+
+    name: str
+    type: str
+    granularity: str  # singleton | sequence | set
+    classes: tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.type,
+            "granularity": self.granularity,
+            "classes": list(self.classes),
+        }
+
+
+@dataclass(frozen=True)
+class InputSignature:
+    """Input contract for one payload that serving must supply."""
+
+    name: str
+    type: str
+    max_length: int | None
+    max_members: int | None
+    dim: int | None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.type,
+            "max_length": self.max_length,
+            "max_members": self.max_members,
+            "dim": self.dim,
+        }
+
+
+@dataclass(frozen=True)
+class ServingSignature:
+    """Full serving contract: inputs, outputs, and the schema fingerprint."""
+
+    inputs: tuple[InputSignature, ...]
+    outputs: tuple[TaskSignature, ...]
+    schema_fingerprint: str
+
+    @classmethod
+    def from_schema(cls, schema: Schema) -> "ServingSignature":
+        inputs = []
+        for p in schema.payloads:
+            if p.base:
+                # Derived payloads are computed inside the model; serving
+                # does not supply them.
+                continue
+            inputs.append(
+                InputSignature(
+                    name=p.name,
+                    type=p.type,
+                    max_length=p.max_length,
+                    max_members=p.max_members,
+                    dim=p.dim,
+                )
+            )
+        outputs = []
+        for t in schema.tasks:
+            payload = schema.payload(t.payload)
+            outputs.append(
+                TaskSignature(
+                    name=t.name,
+                    type=t.type,
+                    granularity=payload.type,
+                    classes=t.classes,
+                )
+            )
+        return cls(
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            schema_fingerprint=schema.fingerprint(),
+        )
+
+    def output(self, task_name: str) -> TaskSignature:
+        for out in self.outputs:
+            if out.name == task_name:
+                return out
+        raise SchemaError(f"signature has no output for task {task_name!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "inputs": [i.to_dict() for i in self.inputs],
+            "outputs": [o.to_dict() for o in self.outputs],
+            "schema_fingerprint": self.schema_fingerprint,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "ServingSignature":
+        inputs = tuple(
+            InputSignature(
+                name=i["name"],
+                type=i["type"],
+                max_length=i.get("max_length"),
+                max_members=i.get("max_members"),
+                dim=i.get("dim"),
+            )
+            for i in spec["inputs"]
+        )
+        outputs = tuple(
+            TaskSignature(
+                name=o["name"],
+                type=o["type"],
+                granularity=o["granularity"],
+                classes=tuple(o["classes"]),
+            )
+            for o in spec["outputs"]
+        )
+        return cls(
+            inputs=inputs,
+            outputs=outputs,
+            schema_fingerprint=spec["schema_fingerprint"],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServingSignature":
+        return cls.from_dict(json.loads(text))

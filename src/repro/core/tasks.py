@@ -1,0 +1,102 @@
+"""Task specifications.
+
+"For each payload type, Overton defines a multiclass and a bitvector
+classification task.  Overton also supports a task of selecting one out of a
+set" (§2.1).  A task binds a label space to a payload; Overton compiles the
+inference code and loss function from this declaration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+TASK_TYPES = ("multiclass", "bitvector", "select")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Declarative description of one model task.
+
+    Attributes
+    ----------
+    name:
+        Task identifier, unique within a schema.
+    payload:
+        The payload this task classifies (its granularity: one prediction
+        per singleton, per sequence position, or per set).
+    type:
+        ``multiclass`` (exactly one label), ``bitvector`` (any subset of
+        labels), or ``select`` (choose one member of a set payload).
+    classes:
+        Ordered label names.  Required for multiclass and bitvector; must be
+        empty for select (the label space is the candidate set itself).
+    """
+
+    name: str
+    payload: str
+    type: str
+    classes: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.type not in TASK_TYPES:
+            raise SchemaError(
+                f"task {self.name!r}: unknown type {self.type!r}; "
+                f"expected one of {TASK_TYPES}"
+            )
+        if self.type in ("multiclass", "bitvector"):
+            if len(self.classes) < 2 and self.type == "multiclass":
+                raise SchemaError(
+                    f"multiclass task {self.name!r} needs at least 2 classes"
+                )
+            if len(self.classes) < 1 and self.type == "bitvector":
+                raise SchemaError(
+                    f"bitvector task {self.name!r} needs at least 1 class"
+                )
+            if len(set(self.classes)) != len(self.classes):
+                raise SchemaError(f"task {self.name!r}: duplicate class names")
+        if self.type == "select" and self.classes:
+            raise SchemaError(
+                f"select task {self.name!r} must not declare classes; it "
+                "selects among the payload's members"
+            )
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    def class_index(self, label: str) -> int:
+        """Map a class name to its index, with a helpful error."""
+        try:
+            return self.classes.index(label)
+        except ValueError:
+            raise SchemaError(
+                f"task {self.name!r}: unknown class {label!r}; "
+                f"known classes: {list(self.classes)}"
+            ) from None
+
+    @classmethod
+    def from_dict(cls, name: str, spec: dict) -> "TaskSpec":
+        """Parse one task from its JSON schema entry."""
+        if not isinstance(spec, dict):
+            raise SchemaError(f"task {name!r}: spec must be an object")
+        known = {"payload", "type", "classes"}
+        unknown = set(spec) - known
+        if unknown:
+            raise SchemaError(f"task {name!r}: unknown fields {sorted(unknown)}")
+        for required in ("payload", "type"):
+            if required not in spec:
+                raise SchemaError(f"task {name!r}: missing required field {required!r}")
+        return cls(
+            name=name,
+            payload=spec["payload"],
+            type=spec["type"],
+            classes=tuple(spec.get("classes", [])),
+        )
+
+    def to_dict(self) -> dict:
+        out: dict = {"payload": self.payload, "type": self.type}
+        if self.classes:
+            out["classes"] = list(self.classes)
+        return out

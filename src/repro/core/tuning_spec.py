@@ -1,0 +1,237 @@
+"""The model-tuning specification (Fig. 2a, right panel).
+
+The tuning spec is deliberately *separate* from the schema: "A key design
+decision is that the schema does not contain information about
+hyperparameters like hidden state sizes" (§2.1).  It lists, per payload, the
+coarse blocks Overton's search may choose among — embeddings, encoders,
+sizes, aggregations — plus trainer-level options.
+
+A spec *expands* into a list of concrete :class:`ModelConfig` candidates;
+the tuning controller (:mod:`repro.tuning`) evaluates them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import TuningError
+
+ENCODER_CHOICES = ("bow", "cnn", "lstm", "bilstm", "gru", "attention")
+AGGREGATION_CHOICES = ("mean", "max", "attention")
+
+
+@dataclass(frozen=True)
+class PayloadConfig:
+    """Concrete architecture choices for one payload."""
+
+    embedding: str = "learned"  # "learned" or a named pretrained product
+    encoder: str = "bow"
+    size: int = 32
+    aggregation: str = "mean"
+    attention_heads: int = 2
+    dropout: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "embedding": self.embedding,
+            "encoder": self.encoder,
+            "size": self.size,
+            "aggregation": self.aggregation,
+            "attention_heads": self.attention_heads,
+            "dropout": self.dropout,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "PayloadConfig":
+        return cls(**spec)
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Concrete trainer hyperparameters."""
+
+    optimizer: str = "adam"
+    lr: float = 0.01
+    epochs: int = 10
+    batch_size: int = 32
+    weight_decay: float = 0.0
+    clip_norm: float = 5.0
+    seed: int = 0
+    slice_weight: float = 0.5
+    patience: int = 0  # 0 disables early stopping
+
+    def to_dict(self) -> dict:
+        return {
+            "optimizer": self.optimizer,
+            "lr": self.lr,
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "weight_decay": self.weight_decay,
+            "clip_norm": self.clip_norm,
+            "seed": self.seed,
+            "slice_weight": self.slice_weight,
+            "patience": self.patience,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "TrainerConfig":
+        return cls(**spec)
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One fully concrete candidate: per-payload choices + trainer."""
+
+    payloads: dict[str, PayloadConfig] = field(default_factory=dict)
+    trainer: TrainerConfig = field(default_factory=TrainerConfig)
+
+    def for_payload(self, name: str) -> PayloadConfig:
+        return self.payloads.get(name, PayloadConfig())
+
+    def to_dict(self) -> dict:
+        return {
+            "payloads": {k: v.to_dict() for k, v in self.payloads.items()},
+            "trainer": self.trainer.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "ModelConfig":
+        return cls(
+            payloads={
+                k: PayloadConfig.from_dict(v) for k, v in spec.get("payloads", {}).items()
+            },
+            trainer=TrainerConfig.from_dict(spec.get("trainer", {})),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class TuningSpec:
+    """A search space: per-payload lists of options + trainer lists.
+
+    JSON format mirrors Fig. 2a::
+
+        {
+          "payloads": {
+            "tokens": {"embedding": ["learned", "corpus-32"],
+                        "encoder": ["lstm", "cnn"], "size": [32, 64]},
+            "query":  {"aggregation": ["max", "mean"]}
+          },
+          "trainer": {"lr": [0.01, 0.003], "epochs": [10]}
+        }
+    """
+
+    payload_options: dict[str, dict[str, list]] = field(default_factory=dict)
+    trainer_options: dict[str, list] = field(default_factory=dict)
+
+    _PAYLOAD_KEYS = (
+        "embedding",
+        "encoder",
+        "size",
+        "aggregation",
+        "attention_heads",
+        "dropout",
+    )
+    _TRAINER_KEYS = (
+        "optimizer",
+        "lr",
+        "epochs",
+        "batch_size",
+        "weight_decay",
+        "clip_norm",
+        "seed",
+        "slice_weight",
+        "patience",
+    )
+
+    def __post_init__(self) -> None:
+        for payload, options in self.payload_options.items():
+            unknown = set(options) - set(self._PAYLOAD_KEYS)
+            if unknown:
+                raise TuningError(
+                    f"payload {payload!r}: unknown tuning keys {sorted(unknown)}"
+                )
+            for encoder in options.get("encoder", []):
+                if encoder not in ENCODER_CHOICES:
+                    raise TuningError(
+                        f"payload {payload!r}: unknown encoder {encoder!r}; "
+                        f"choices: {ENCODER_CHOICES}"
+                    )
+            for agg in options.get("aggregation", []):
+                if agg not in AGGREGATION_CHOICES:
+                    raise TuningError(
+                        f"payload {payload!r}: unknown aggregation {agg!r}; "
+                        f"choices: {AGGREGATION_CHOICES}"
+                    )
+        unknown = set(self.trainer_options) - set(self._TRAINER_KEYS)
+        if unknown:
+            raise TuningError(f"unknown trainer tuning keys {sorted(unknown)}")
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def expand(self) -> list[ModelConfig]:
+        """Enumerate the full cross product of all options (grid order)."""
+        per_payload_candidates: dict[str, list[PayloadConfig]] = {}
+        for payload, options in self.payload_options.items():
+            keys = sorted(options)
+            value_lists = [options[k] for k in keys]
+            candidates = []
+            for combo in itertools.product(*value_lists):
+                candidates.append(PayloadConfig(**dict(zip(keys, combo))))
+            per_payload_candidates[payload] = candidates or [PayloadConfig()]
+
+        trainer_keys = sorted(self.trainer_options)
+        trainer_lists = [self.trainer_options[k] for k in trainer_keys]
+        trainer_candidates = [
+            TrainerConfig(**dict(zip(trainer_keys, combo)))
+            for combo in itertools.product(*trainer_lists)
+        ] or [TrainerConfig()]
+
+        payload_names = sorted(per_payload_candidates)
+        payload_lists = [per_payload_candidates[name] for name in payload_names]
+        configs = []
+        for payload_combo in itertools.product(*payload_lists):
+            payload_map = dict(zip(payload_names, payload_combo))
+            for trainer in trainer_candidates:
+                configs.append(ModelConfig(payloads=dict(payload_map), trainer=trainer))
+        return configs
+
+    def size(self) -> int:
+        """Number of candidates ``expand()`` would produce."""
+        total = 1
+        for options in self.payload_options.values():
+            for values in options.values():
+                total *= max(len(values), 1)
+        for values in self.trainer_options.values():
+            total *= max(len(values), 1)
+        return total
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, spec: dict) -> "TuningSpec":
+        unknown = set(spec) - {"payloads", "trainer"}
+        if unknown:
+            raise TuningError(f"unknown top-level tuning fields {sorted(unknown)}")
+        return cls(
+            payload_options=spec.get("payloads", {}),
+            trainer_options=spec.get("trainer", {}),
+        )
+
+    def to_dict(self) -> dict:
+        return {"payloads": self.payload_options, "trainer": self.trainer_options}
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "TuningSpec":
+        return cls.from_json(Path(path).read_text())

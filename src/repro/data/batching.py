@@ -1,0 +1,225 @@
+"""Batching: convert records into padded numpy inputs for the compiled model.
+
+The split of responsibilities mirrors the paper: records carry raw payloads
+and per-source supervision; the *label model* (repro.supervision) combines
+sources into probabilistic targets; this module only prepares model inputs
+and gold targets for evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.schema_def import Schema
+from repro.data.record import Record
+from repro.data.vocab import Vocab
+from repro.errors import DataError
+
+
+@dataclass
+class PayloadInputs:
+    """Numpy inputs for one payload across a batch."""
+
+    # Sequence payloads
+    ids: np.ndarray | None = None  # (B, L) int64
+    mask: np.ndarray | None = None  # (B, L) float
+    # Set payloads
+    member_ids: np.ndarray | None = None  # (B, M) int64
+    spans: np.ndarray | None = None  # (B, M, 2) int64
+    member_mask: np.ndarray | None = None  # (B, M) float
+    # Raw singleton payloads
+    features: np.ndarray | None = None  # (B, dim) float
+
+
+@dataclass
+class Batch:
+    """All model inputs for a batch of records."""
+
+    indices: np.ndarray  # positions of these records in the source dataset
+    payloads: dict[str, PayloadInputs] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+
+def encode_inputs(
+    records: Sequence[Record],
+    schema: Schema,
+    vocabs: dict[str, Vocab],
+    indices: np.ndarray | None = None,
+) -> Batch:
+    """Encode ``records`` into a :class:`Batch` of padded arrays.
+
+    Sequences are padded to the payload's ``max_length`` (fixed width keeps
+    shapes stable across batches, which the serving signature relies on).
+    """
+    if indices is None:
+        indices = np.arange(len(records))
+    batch = Batch(indices=np.asarray(indices))
+    n = len(records)
+
+    for payload in schema.payloads:
+        if payload.base:
+            continue  # derived inside the model
+        inputs = PayloadInputs()
+        if payload.type == "sequence":
+            vocab = _require_vocab(vocabs, payload.name)
+            length = payload.max_length or 0
+            ids = np.zeros((n, length), dtype=np.int64)
+            mask = np.zeros((n, length), dtype=np.float64)
+            for i, record in enumerate(records):
+                tokens = record.payloads.get(payload.name) or []
+                tokens = tokens[:length]
+                ids[i, : len(tokens)] = vocab.ids(tokens)
+                mask[i, : len(tokens)] = 1.0
+            inputs.ids = ids
+            inputs.mask = mask
+        elif payload.type == "set":
+            vocab = _require_vocab(vocabs, payload.name)
+            m = payload.max_members or 0
+            member_ids = np.zeros((n, m), dtype=np.int64)
+            spans = np.zeros((n, m, 2), dtype=np.int64)
+            member_mask = np.zeros((n, m), dtype=np.float64)
+            range_payload = schema.payload(payload.range) if payload.range else None
+            max_pos = range_payload.max_length if range_payload else None
+            for i, record in enumerate(records):
+                members = (record.payloads.get(payload.name) or [])[:m]
+                for j, member in enumerate(members):
+                    member_ids[i, j] = vocab.id(member.get("id", ""))
+                    span = member.get("range") or [0, 1]
+                    start, end = span
+                    if max_pos is not None:
+                        start = min(start, max_pos - 1)
+                        end = min(end, max_pos)
+                    spans[i, j] = (start, max(end, start + 1))
+                    member_mask[i, j] = 1.0
+            inputs.member_ids = member_ids
+            inputs.spans = spans
+            inputs.member_mask = member_mask
+        elif payload.type == "singleton" and payload.dim is not None:
+            features = np.zeros((n, payload.dim), dtype=np.float64)
+            for i, record in enumerate(records):
+                value = record.payloads.get(payload.name)
+                if value is not None:
+                    features[i] = np.asarray(value, dtype=np.float64)
+            inputs.features = features
+        batch.payloads[payload.name] = inputs
+    return batch
+
+
+def _require_vocab(vocabs: dict[str, Vocab], name: str) -> Vocab:
+    vocab = vocabs.get(name)
+    if vocab is None:
+        raise DataError(f"no vocabulary built for payload {name!r}")
+    return vocab
+
+
+def iterate_batches(
+    n: int,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in batches.
+
+    Shuffles when ``rng`` is given (training); sequential otherwise (eval).
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    order = np.arange(n)
+    if rng is not None:
+        order = rng.permutation(n)
+    for start in range(0, n, batch_size):
+        yield order[start : start + batch_size]
+
+
+# ----------------------------------------------------------------------
+# Gold-target extraction (for evaluation against a trusted source)
+# ----------------------------------------------------------------------
+def extract_targets(
+    records: Sequence[Record],
+    schema: Schema,
+    task_name: str,
+    source: str,
+) -> dict[str, np.ndarray]:
+    """Extract hard targets from one source (usually the curated gold one).
+
+    Returns arrays shaped per task granularity with a parallel validity
+    mask; positions the source did not label are invalid.
+
+    * multiclass singleton: ``labels (N,)``, ``valid (N,)``
+    * multiclass sequence:  ``labels (N, L)``, ``valid (N, L)``
+    * bitvector singleton:  ``labels (N, K)``, ``valid (N,)``
+    * bitvector sequence:   ``labels (N, L, K)``, ``valid (N, L)``
+    * select:               ``labels (N,)``, ``valid (N,)``
+    """
+    task = schema.task(task_name)
+    payload = schema.payload(task.payload)
+    n = len(records)
+    k = task.num_classes
+
+    if task.type == "multiclass" and payload.type != "sequence":
+        labels = np.full(n, -1, dtype=np.int64)
+        valid = np.zeros(n, dtype=bool)
+        for i, record in enumerate(records):
+            value = record.label_from(task_name, source)
+            if value is not None:
+                labels[i] = task.class_index(value)
+                valid[i] = True
+        return {"labels": labels, "valid": valid}
+
+    if task.type == "multiclass" and payload.type == "sequence":
+        length = payload.max_length or 0
+        labels = np.full((n, length), -1, dtype=np.int64)
+        valid = np.zeros((n, length), dtype=bool)
+        for i, record in enumerate(records):
+            value = record.label_from(task_name, source)
+            if value is None:
+                continue
+            for t, item in enumerate(value[:length]):
+                if item is not None:
+                    labels[i, t] = task.class_index(item)
+                    valid[i, t] = True
+        return {"labels": labels, "valid": valid}
+
+    if task.type == "bitvector":
+        if payload.type == "sequence":
+            length = payload.max_length or 0
+            labels = np.zeros((n, length, k), dtype=np.float64)
+            valid = np.zeros((n, length), dtype=bool)
+            for i, record in enumerate(records):
+                value = record.label_from(task_name, source)
+                if value is None:
+                    continue
+                for t, item in enumerate(value[:length]):
+                    if item is None:
+                        continue
+                    valid[i, t] = True
+                    for cls_name in item:
+                        labels[i, t, task.class_index(cls_name)] = 1.0
+            return {"labels": labels, "valid": valid}
+        labels = np.zeros((n, k), dtype=np.float64)
+        valid = np.zeros(n, dtype=bool)
+        for i, record in enumerate(records):
+            value = record.label_from(task_name, source)
+            if value is None:
+                continue
+            valid[i] = True
+            for cls_name in value:
+                labels[i, task.class_index(cls_name)] = 1.0
+        return {"labels": labels, "valid": valid}
+
+    if task.type == "select":
+        labels = np.full(n, -1, dtype=np.int64)
+        valid = np.zeros(n, dtype=bool)
+        for i, record in enumerate(records):
+            value = record.label_from(task_name, source)
+            if value is not None:
+                labels[i] = int(value)
+                valid[i] = True
+        return {"labels": labels, "valid": valid}
+
+    raise DataError(f"unsupported task type {task.type!r}")

@@ -1,0 +1,42 @@
+"""JSONL data files: the engineer-facing data format.
+
+"The file is meant to be engineer readable and queryable (say using jq), and
+each line is a single JSON record" (§2.2).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.data.record import Record
+from repro.errors import DataError
+
+
+def read_records(path: str | Path) -> Iterator[Record]:
+    """Stream records from a JSONL file, skipping blank lines."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"data file not found: {path}")
+    with path.open() as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield Record.from_json(line)
+            except DataError as exc:
+                raise DataError(f"{path}:{line_no}: {exc}") from exc
+
+
+def write_records(path: str | Path, records: Iterable[Record]) -> int:
+    """Write records as JSONL; returns the number written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w") as f:
+        for record in records:
+            f.write(record.to_json())
+            f.write("\n")
+            count += 1
+    return count

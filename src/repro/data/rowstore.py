@@ -1,0 +1,199 @@
+"""Example storage engines: a memory-mapped row store and a column store.
+
+"The schema file also provides schema information in a traditional database
+sense: it is used to define a memory-mapped row-store for example.  Since all
+elements of an example are needed together, a row store has obvious IO
+benefits over column-store-like solutions" (§2.1, footnote 5).
+
+:class:`RowStore` lays every record out contiguously (length-prefixed JSON
+payloads) with a separate offset index, reading through ``mmap``.
+:class:`ColumnStore` stores each field in its own file — the layout the
+footnote argues against — and exists so the benchmark
+(``benchmarks/bench_rowstore.py``) can measure the claim.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.data.record import Record
+from repro.errors import DataError
+
+_MAGIC = b"OVRS"
+_VERSION = 1
+_HEADER = struct.Struct("<4sII")  # magic, version, record count
+_OFFSET = struct.Struct("<QQ")  # offset, length
+
+
+class RowStore:
+    """Immutable, memory-mapped row storage for records.
+
+    File layout::
+
+        header:  magic | version | n_records
+        index:   n_records * (offset, length)
+        data:    concatenated JSON-encoded records
+
+    Use :meth:`write` to build the file, then instantiate to read.  The whole
+    record materializes from one contiguous region — the IO pattern the
+    paper's footnote prefers for example-at-a-time access.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if not self.path.exists():
+            raise DataError(f"row store not found: {self.path}")
+        self._file = self.path.open("rb")
+        self._mmap = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        magic, version, count = _HEADER.unpack_from(self._mmap, 0)
+        if magic != _MAGIC:
+            raise DataError(f"{self.path} is not a row store (bad magic)")
+        if version != _VERSION:
+            raise DataError(f"unsupported row store version {version}")
+        self._count = count
+        self._index_base = _HEADER.size
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    @classmethod
+    def write(cls, path: str | Path, records: Iterable[Record]) -> "RowStore":
+        """Serialize ``records`` into a new row store at ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blobs = [record.to_json().encode() for record in records]
+        index_size = len(blobs) * _OFFSET.size
+        data_base = _HEADER.size + index_size
+        with path.open("wb") as f:
+            f.write(_HEADER.pack(_MAGIC, _VERSION, len(blobs)))
+            offset = data_base
+            for blob in blobs:
+                f.write(_OFFSET.pack(offset, len(blob)))
+                offset += len(blob)
+            for blob in blobs:
+                f.write(blob)
+        return cls(path)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def _locate(self, i: int) -> tuple[int, int]:
+        if not 0 <= i < self._count:
+            raise IndexError(f"record {i} out of range [0, {self._count})")
+        return _OFFSET.unpack_from(self._mmap, self._index_base + i * _OFFSET.size)
+
+    def read_bytes(self, i: int) -> bytes:
+        """Raw JSON bytes of record ``i`` (one contiguous read)."""
+        offset, length = self._locate(i)
+        return self._mmap[offset : offset + length]
+
+    def __getitem__(self, i: int) -> Record:
+        return Record.from_json(self.read_bytes(i).decode())
+
+    def __iter__(self) -> Iterator[Record]:
+        for i in range(self._count):
+            yield self[i]
+
+    def close(self) -> None:
+        self._mmap.close()
+        self._file.close()
+
+    def __enter__(self) -> "RowStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ColumnStore:
+    """Field-per-file columnar layout, for the footnote-5 comparison.
+
+    Each payload field, each task, and the tag list are stored as separate
+    JSONL files.  Reconstructing a full record requires touching every file —
+    the scattered IO pattern the paper's row store avoids.
+    """
+
+    PAYLOADS_DIR = "payloads"
+    TASKS_DIR = "tasks"
+    TAGS_FILE = "tags.jsonl"
+    META_FILE = "meta.json"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        meta_path = self.root / self.META_FILE
+        if not meta_path.exists():
+            raise DataError(f"column store not found: {self.root}")
+        meta = json.loads(meta_path.read_text())
+        self._count = meta["count"]
+        self._payload_names = meta["payloads"]
+        self._task_names = meta["tasks"]
+        # Lazily loaded columns: each is a list of python values.
+        self._columns: dict[str, list] = {}
+
+    @classmethod
+    def write(cls, root: str | Path, records: Iterable[Record]) -> "ColumnStore":
+        root = Path(root)
+        (root / cls.PAYLOADS_DIR).mkdir(parents=True, exist_ok=True)
+        (root / cls.TASKS_DIR).mkdir(parents=True, exist_ok=True)
+        records = list(records)
+        payload_names = sorted({n for r in records for n in r.payloads})
+        task_names = sorted({n for r in records for n in r.tasks})
+        for name in payload_names:
+            with (root / cls.PAYLOADS_DIR / f"{name}.jsonl").open("w") as f:
+                for r in records:
+                    f.write(json.dumps(r.payloads.get(name)) + "\n")
+        for name in task_names:
+            with (root / cls.TASKS_DIR / f"{name}.jsonl").open("w") as f:
+                for r in records:
+                    f.write(json.dumps(r.tasks.get(name)) + "\n")
+        with (root / cls.TAGS_FILE).open("w") as f:
+            for r in records:
+                f.write(json.dumps(r.tags) + "\n")
+        (root / cls.META_FILE).write_text(
+            json.dumps(
+                {"count": len(records), "payloads": payload_names, "tasks": task_names}
+            )
+        )
+        return cls(root)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _column(self, key: str, path: Path) -> list:
+        cached = self._columns.get(key)
+        if cached is None:
+            with path.open() as f:
+                cached = [json.loads(line) for line in f]
+            self._columns[key] = cached
+        return cached
+
+    def __getitem__(self, i: int) -> Record:
+        if not 0 <= i < self._count:
+            raise IndexError(f"record {i} out of range [0, {self._count})")
+        payloads = {}
+        for name in self._payload_names:
+            col = self._column(
+                f"p:{name}", self.root / self.PAYLOADS_DIR / f"{name}.jsonl"
+            )
+            value = col[i]
+            if value is not None:
+                payloads[name] = value
+        tasks = {}
+        for name in self._task_names:
+            col = self._column(f"t:{name}", self.root / self.TASKS_DIR / f"{name}.jsonl")
+            value = col[i]
+            if value is not None:
+                tasks[name] = value
+        tags = self._column("tags", self.root / self.TAGS_FILE)[i]
+        return Record(payloads=payloads, tasks=tasks, tags=list(tags))
+
+    def drop_cache(self) -> None:
+        """Forget loaded columns (forces IO on next access — for benchmarks)."""
+        self._columns.clear()

@@ -1,0 +1,104 @@
+"""Tags: Overton's fine-grained monitoring handles (§2.2 "Monitoring").
+
+"Overton allows engineers to provide user-defined tags that are associated
+with individual data points.  The system additionally defines default tags
+including train, test, dev ... These tags are stored in a format that is
+compatible with Pandas."
+
+Tags are plain strings on records.  Slice tags use the ``slice:`` prefix by
+convention so slices are ordinary tags that the slicing subsystem also
+understands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_SPLITS = ("train", "dev", "test")
+SLICE_PREFIX = "slice:"
+
+
+def is_slice_tag(tag: str) -> bool:
+    return tag.startswith(SLICE_PREFIX)
+
+
+def slice_name(tag: str) -> str:
+    """Strip the ``slice:`` prefix from a slice tag."""
+    if not is_slice_tag(tag):
+        raise ValueError(f"{tag!r} is not a slice tag")
+    return tag[len(SLICE_PREFIX) :]
+
+
+def slice_tag(name: str) -> str:
+    """Build the tag for a slice name."""
+    return f"{SLICE_PREFIX}{name}"
+
+
+def assign_splits(
+    n: int,
+    rng: np.random.Generator,
+    train: float = 0.8,
+    dev: float = 0.1,
+) -> list[str]:
+    """Randomly assign each of ``n`` records a default split tag.
+
+    Proportions must satisfy ``0 < train``, ``0 <= dev``, ``train + dev < 1``
+    (the remainder is test).
+    """
+    if not 0 < train < 1 or dev < 0 or train + dev >= 1:
+        raise ValueError(
+            f"invalid split proportions train={train}, dev={dev}"
+        )
+    draws = rng.random(n)
+    splits = []
+    for value in draws:
+        if value < train:
+            splits.append("train")
+        elif value < train + dev:
+            splits.append("dev")
+        else:
+            splits.append("test")
+    return splits
+
+
+class TagTable:
+    """A columnar view of tags across a dataset.
+
+    "These tags are stored in a format that is compatible with Pandas" — the
+    table exposes ``to_columns()`` returning a dict of equal-length lists, the
+    exact structure ``pandas.DataFrame(...)`` accepts, without requiring
+    pandas itself to be installed.
+    """
+
+    def __init__(self, tags_per_record: list[list[str]]) -> None:
+        self._tags = [list(t) for t in tags_per_record]
+        self._all_tags = sorted({tag for tags in self._tags for tag in tags})
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    @property
+    def all_tags(self) -> list[str]:
+        return list(self._all_tags)
+
+    def mask(self, tag: str) -> np.ndarray:
+        """Boolean membership vector for ``tag`` over all records."""
+        return np.array([tag in tags for tags in self._tags], dtype=bool)
+
+    def indices(self, tag: str) -> np.ndarray:
+        """Record indices carrying ``tag``."""
+        return np.nonzero(self.mask(tag))[0]
+
+    def count(self, tag: str) -> int:
+        return int(self.mask(tag).sum())
+
+    def slice_tags(self) -> list[str]:
+        return [t for t in self._all_tags if is_slice_tag(t)]
+
+    def to_columns(self) -> dict[str, list]:
+        """Pandas-compatible columnar dict: one bool column per tag."""
+        columns: dict[str, list] = {"record": list(range(len(self._tags)))}
+        for tag in self._all_tags:
+            membership = self.mask(tag)
+            columns[tag] = [bool(x) for x in membership]
+        return columns

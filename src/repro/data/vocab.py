@@ -1,0 +1,98 @@
+"""Token / id vocabularies.
+
+Payloads that carry symbols (token sequences, entity ids) need stable
+integer vocabularies shared between training and serving.  Vocabularies are
+part of the deployable artifact: the serving runtime must tokenize exactly
+the way training did.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+PAD = "<pad>"
+UNK = "<unk>"
+
+
+class Vocab:
+    """An append-only symbol table with reserved pad/unk entries."""
+
+    def __init__(self, symbols: Iterable[str] = ()) -> None:
+        self._index: dict[str, int] = {PAD: 0, UNK: 1}
+        self._symbols: list[str] = [PAD, UNK]
+        for s in symbols:
+            self.add(s)
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._index
+
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        return 1
+
+    def add(self, symbol: str) -> int:
+        """Insert ``symbol`` if new; return its id."""
+        existing = self._index.get(symbol)
+        if existing is not None:
+            return existing
+        idx = len(self._symbols)
+        self._index[symbol] = idx
+        self._symbols.append(symbol)
+        return idx
+
+    def id(self, symbol: str) -> int:
+        """Id for ``symbol``, or the unk id if unseen."""
+        return self._index.get(symbol, self.unk_id)
+
+    def ids(self, symbols: Iterable[str]) -> list[int]:
+        return [self.id(s) for s in symbols]
+
+    def symbol(self, idx: int) -> str:
+        return self._symbols[idx]
+
+    # ------------------------------------------------------------------
+    # Construction from data
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, sequences: Iterable[Iterable[str]], min_count: int = 1) -> "Vocab":
+        """Build from token sequences, dropping symbols rarer than
+        ``min_count``.  Iteration order is frequency-major then first-seen,
+        so ids are deterministic for a given corpus."""
+        counts: dict[str, int] = {}
+        first_seen: dict[str, int] = {}
+        position = 0
+        for seq in sequences:
+            for symbol in seq:
+                counts[symbol] = counts.get(symbol, 0) + 1
+                if symbol not in first_seen:
+                    first_seen[symbol] = position
+                    position += 1
+        kept = [s for s, c in counts.items() if c >= min_count]
+        kept.sort(key=lambda s: (-counts[s], first_seen[s]))
+        return cls(kept)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"symbols": self._symbols[2:]}  # pad/unk reconstructed
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "Vocab":
+        return cls(spec["symbols"])
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Vocab":
+        return cls.from_dict(json.loads(Path(path).read_text()))

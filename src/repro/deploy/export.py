@@ -1,0 +1,247 @@
+"""Backend export: the multi-backend compilation story.
+
+"Overton compiles the schema into (many versions of) TensorFlow, CoreML, or
+PyTorch" (§2.4).  In this reproduction the executable backend is the
+repro.nn substrate; this module emits the *backend-neutral program
+description* that multi-backend compilation needs: a computation graph
+(nodes = payload encoders, aggregations, task heads; edges = the schema's
+dataflow) plus per-backend source skeletons that a code generator would
+fill in.
+
+The graph is what downstream tooling consumes (visualization, backend code
+generation, serving validation); it contains everything *structural* about
+the compiled model and nothing about learned weights.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.schema_def import Schema
+from repro.core.tuning_spec import ModelConfig
+from repro.errors import CompilationError
+
+BACKENDS = ("reference", "tensorflow", "pytorch", "coreml")
+
+
+@dataclass
+class GraphNode:
+    name: str
+    kind: str  # input | encoder | aggregate | head
+    op: str
+    inputs: list[str] = field(default_factory=list)
+    attributes: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "op": self.op,
+            "inputs": self.inputs,
+            "attributes": self.attributes,
+        }
+
+
+@dataclass
+class ProgramGraph:
+    """The compiled model's structure as a DAG."""
+
+    nodes: list[GraphNode] = field(default_factory=list)
+
+    def node(self, name: str) -> GraphNode:
+        for n in self.nodes:
+            if n.name == name:
+                return n
+        raise CompilationError(f"no graph node named {name!r}")
+
+    def topological(self) -> list[GraphNode]:
+        """Nodes in dependency order (validates acyclicity)."""
+        by_name = {n.name: n for n in self.nodes}
+        state: dict[str, int] = {}
+        order: list[GraphNode] = []
+
+        def visit(name: str) -> None:
+            mark = state.get(name)
+            if mark == 1:
+                return
+            if mark == 0:
+                raise CompilationError(f"cycle through {name!r}")
+            state[name] = 0
+            for dep in by_name[name].inputs:
+                visit(dep)
+            state[name] = 1
+            order.append(by_name[name])
+
+        for n in self.nodes:
+            visit(n.name)
+        return order
+
+    def to_json(self) -> str:
+        return json.dumps([n.to_dict() for n in self.nodes], indent=2)
+
+
+def build_program_graph(schema: Schema, config: ModelConfig) -> ProgramGraph:
+    """Lower (schema, tuning config) into the backend-neutral graph."""
+    graph = ProgramGraph()
+    for payload in schema.topological_payload_order():
+        p_config = config.for_payload(payload.name)
+        if payload.type == "sequence":
+            graph.nodes.append(
+                GraphNode(
+                    name=f"input:{payload.name}",
+                    kind="input",
+                    op="token_ids",
+                    attributes={"max_length": payload.max_length},
+                )
+            )
+            graph.nodes.append(
+                GraphNode(
+                    name=f"encode:{payload.name}",
+                    kind="encoder",
+                    op=p_config.encoder,
+                    inputs=[f"input:{payload.name}"],
+                    attributes={
+                        "embedding": p_config.embedding,
+                        "size": p_config.size,
+                        "dropout": p_config.dropout,
+                    },
+                )
+            )
+        elif payload.type == "singleton" and payload.base:
+            graph.nodes.append(
+                GraphNode(
+                    name=f"encode:{payload.name}",
+                    kind="aggregate",
+                    op=p_config.aggregation,
+                    inputs=[f"encode:{b}" for b in payload.base],
+                    attributes={"size": p_config.size},
+                )
+            )
+        elif payload.type == "singleton":
+            graph.nodes.append(
+                GraphNode(
+                    name=f"input:{payload.name}",
+                    kind="input",
+                    op="features",
+                    attributes={"dim": payload.dim},
+                )
+            )
+            graph.nodes.append(
+                GraphNode(
+                    name=f"encode:{payload.name}",
+                    kind="encoder",
+                    op="project",
+                    inputs=[f"input:{payload.name}"],
+                    attributes={"size": p_config.size},
+                )
+            )
+        elif payload.type == "set":
+            graph.nodes.append(
+                GraphNode(
+                    name=f"input:{payload.name}",
+                    kind="input",
+                    op="set_members",
+                    attributes={"max_members": payload.max_members},
+                )
+            )
+            graph.nodes.append(
+                GraphNode(
+                    name=f"encode:{payload.name}",
+                    kind="encoder",
+                    op="span_pool+member_embed",
+                    inputs=[f"input:{payload.name}", f"encode:{payload.range}"],
+                    attributes={
+                        "embedding": p_config.embedding,
+                        "size": p_config.size,
+                    },
+                )
+            )
+    for task in schema.tasks:
+        graph.nodes.append(
+            GraphNode(
+                name=f"head:{task.name}",
+                kind="head",
+                op=task.type,
+                inputs=[f"encode:{task.payload}"],
+                attributes={"classes": list(task.classes)},
+            )
+        )
+    graph.topological()  # validates
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Backend skeleton emission
+# ----------------------------------------------------------------------
+_ENCODER_CALLS = {
+    "reference": {
+        "bow": "repro.nn.Embedding",
+        "cnn": "repro.nn.CNNEncoder",
+        "lstm": "repro.nn.LSTM",
+        "bilstm": "repro.nn.BiLSTM",
+        "gru": "repro.nn.GRU",
+        "attention": "repro.nn.TransformerEncoder",
+    },
+    "tensorflow": {
+        "bow": "tf.keras.layers.Embedding",
+        "cnn": "tf.keras.layers.Conv1D",
+        "lstm": "tf.keras.layers.LSTM",
+        "bilstm": "tf.keras.layers.Bidirectional(LSTM)",
+        "gru": "tf.keras.layers.GRU",
+        "attention": "tf.keras.layers.MultiHeadAttention",
+    },
+    "pytorch": {
+        "bow": "torch.nn.Embedding",
+        "cnn": "torch.nn.Conv1d",
+        "lstm": "torch.nn.LSTM",
+        "bilstm": "torch.nn.LSTM(bidirectional=True)",
+        "gru": "torch.nn.GRU",
+        "attention": "torch.nn.TransformerEncoder",
+    },
+    "coreml": {
+        "bow": "coreml.embedding",
+        "cnn": "coreml.convolution1d",
+        "lstm": "coreml.unilstm",
+        "bilstm": "coreml.bilstm",
+        "gru": "coreml.gru",
+        "attention": "coreml.attention",
+    },
+}
+
+
+def export_backend_skeleton(graph: ProgramGraph, backend: str) -> str:
+    """Emit a human-readable source skeleton for one backend.
+
+    Serving teams read this to see exactly what a backend build would
+    contain; the reference backend's skeleton names real repro.nn classes.
+    """
+    if backend not in BACKENDS:
+        raise CompilationError(
+            f"unknown backend {backend!r}; choices: {BACKENDS}"
+        )
+    calls = _ENCODER_CALLS[backend]
+    lines = [f"# {backend} program skeleton (generated by repro.deploy.export)"]
+    for node in graph.topological():
+        if node.kind == "input":
+            lines.append(f"{_var(node.name)} = placeholder({node.attributes})")
+        elif node.kind == "encoder":
+            op = calls.get(node.op, node.op)
+            args = ", ".join(_var(i) for i in node.inputs)
+            lines.append(
+                f"{_var(node.name)} = {op}(size={node.attributes.get('size')})({args})"
+            )
+        elif node.kind == "aggregate":
+            args = ", ".join(_var(i) for i in node.inputs)
+            lines.append(f"{_var(node.name)} = aggregate_{node.op}({args})")
+        elif node.kind == "head":
+            args = ", ".join(_var(i) for i in node.inputs)
+            classes = len(node.attributes.get("classes") or []) or "members"
+            lines.append(
+                f"{_var(node.name)} = {node.op}_head(classes={classes})({args})"
+            )
+    return "\n".join(lines)
+
+
+def _var(name: str) -> str:
+    return name.replace(":", "_").replace("+", "_")

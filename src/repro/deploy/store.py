@@ -1,0 +1,169 @@
+"""The model store: an S3-like, content-addressed artifact repository.
+
+"The models and metadata are written to an S3-like data store that is
+accessible from the production infrastructure.  This has enabled model
+retraining and deployment to be nearly automatic" (§1).  The local
+implementation keeps the same contract: immutable versions addressed by
+content hash, per-model version listings, and a mutable ``latest`` pointer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.deploy.artifact import ModelArtifact
+from repro.errors import StoreError
+
+
+@dataclass(frozen=True)
+class StoredVersion:
+    """One immutable pushed version."""
+
+    model_name: str
+    version: str  # content hash
+    pushed_at: float
+    metadata: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "model_name": self.model_name,
+            "version": self.version,
+            "pushed_at": self.pushed_at,
+            "metadata": self.metadata,
+        }
+
+
+class ModelStore:
+    """Filesystem-backed, content-addressed model store.
+
+    Layout::
+
+        root/
+          <model_name>/
+            index.json          # ordered version log + latest pointer
+            <version_hash>/     # one artifact directory per version
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Push / fetch
+    # ------------------------------------------------------------------
+    def push(self, name: str, artifact: ModelArtifact) -> StoredVersion:
+        """Store an artifact; returns its immutable version record.
+
+        Pushing byte-identical content is idempotent (same hash).
+        """
+        version = self._content_hash(artifact)
+        target = self.root / name / version
+        if not target.exists():
+            artifact.save(target)
+        record = StoredVersion(
+            model_name=name,
+            version=version,
+            pushed_at=time.time(),
+            metadata=dict(artifact.metadata),
+        )
+        index = self._read_index(name)
+        if version not in [v["version"] for v in index["versions"]]:
+            index["versions"].append(record.to_dict())
+        index["latest"] = version
+        self._write_index(name, index)
+        return record
+
+    def fetch(self, name: str, version: str | None = None) -> ModelArtifact:
+        """Load an artifact; ``version`` defaults to latest."""
+        version = version or self.latest_version(name)
+        target = self.root / name / version
+        if not target.exists():
+            raise StoreError(f"no version {version!r} for model {name!r}")
+        artifact = ModelArtifact.load(target)
+        actual = self._content_hash(artifact)
+        if actual != version:
+            raise StoreError(
+                f"integrity failure for {name}@{version}: content hash {actual}"
+            )
+        return artifact
+
+    # ------------------------------------------------------------------
+    # Listings and pointers
+    # ------------------------------------------------------------------
+    def models(self) -> list[str]:
+        return sorted(
+            p.name for p in self.root.iterdir() if (p / "index.json").exists()
+        )
+
+    def versions(self, name: str) -> list[StoredVersion]:
+        index = self._read_index(name)
+        return [
+            StoredVersion(
+                model_name=v["model_name"],
+                version=v["version"],
+                pushed_at=v["pushed_at"],
+                metadata=v["metadata"],
+            )
+            for v in index["versions"]
+        ]
+
+    def latest_version(self, name: str) -> str:
+        index = self._read_index(name)
+        latest = index.get("latest")
+        if not latest:
+            raise StoreError(f"model {name!r} has no versions")
+        return latest
+
+    def set_latest(self, name: str, version: str) -> None:
+        """Move the latest pointer (rollback / promotion)."""
+        index = self._read_index(name)
+        known = [v["version"] for v in index["versions"]]
+        if version not in known:
+            raise StoreError(
+                f"cannot point latest at unknown version {version!r}; known: {known}"
+            )
+        index["latest"] = version
+        self._write_index(name, index)
+
+    def delete(self, name: str, version: str) -> None:
+        """Remove one version (not allowed for the latest pointer)."""
+        index = self._read_index(name)
+        if index.get("latest") == version:
+            raise StoreError("refusing to delete the latest version; repoint first")
+        index["versions"] = [v for v in index["versions"] if v["version"] != version]
+        self._write_index(name, index)
+        target = self.root / name / version
+        if target.exists():
+            shutil.rmtree(target)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _content_hash(artifact: ModelArtifact) -> str:
+        hasher = hashlib.sha256()
+        hasher.update(artifact.schema.fingerprint().encode())
+        hasher.update(artifact.config.to_json().encode())
+        for key in sorted(artifact.state):
+            hasher.update(key.encode())
+            hasher.update(artifact.state[key].tobytes())
+        for name in sorted(artifact.vocabs):
+            hasher.update(name.encode())
+            hasher.update(json.dumps(artifact.vocabs[name].to_dict()).encode())
+        return hasher.hexdigest()[:16]
+
+    def _read_index(self, name: str) -> dict:
+        path = self.root / name / "index.json"
+        if not path.exists():
+            return {"versions": [], "latest": None}
+        return json.loads(path.read_text())
+
+    def _write_index(self, name: str, index: dict) -> None:
+        path = self.root / name / "index.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(index, indent=2))

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """The schema file is malformed or internally inconsistent."""
+
+
+class DataError(ReproError):
+    """A data record does not conform to the schema, or a data file is bad."""
+
+
+class SupervisionError(ReproError):
+    """Label sources or label matrices are malformed or inconsistent."""
+
+class SliceError(ReproError):
+    """A slice definition is invalid or references unknown data."""
+
+
+class CompilationError(ReproError):
+    """The schema + tuning spec could not be compiled into a model."""
+
+
+class TrainingError(ReproError):
+    """Training failed or was configured inconsistently."""
+
+
+class TuningError(ReproError):
+    """The hyperparameter search space or controller is misconfigured."""
+
+
+class DeploymentError(ReproError):
+    """An artifact could not be serialized, stored, or loaded."""
+
+
+class StoreError(DeploymentError):
+    """The model store rejected an operation (missing key, hash mismatch)."""
+
+
+class GradientError(ReproError):
+    """Autodiff failure: backward on a non-scalar, missing graph, etc."""
+
+
+class ShapeError(GradientError):
+    """Tensor operands have incompatible shapes."""

@@ -1,0 +1,122 @@
+"""Pretrained embedding products.
+
+"Overton tries to make it easy to drop in new pretrained embeddings as they
+arrive: they are simply loaded as payloads" (§2.4).  An
+:class:`EmbeddingProduct` is a named, versioned table of symbol vectors; the
+registry lets a tuning spec refer to products by name (Fig. 2a lists
+``"embedding": ["GLOV-300", "BERT", ...]``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.vocab import Vocab
+from repro.errors import CompilationError
+
+
+@dataclass
+class EmbeddingProduct:
+    """A pretrained embedding table keyed by symbol."""
+
+    name: str
+    dim: int
+    vectors: dict[str, np.ndarray] = field(default_factory=dict)
+    version: str = "1"
+
+    def __post_init__(self) -> None:
+        for symbol, vec in self.vectors.items():
+            if vec.shape != (self.dim,):
+                raise CompilationError(
+                    f"embedding product {self.name!r}: vector for {symbol!r} "
+                    f"has shape {vec.shape}, expected ({self.dim},)"
+                )
+
+    def coverage(self, vocab: Vocab) -> float:
+        """Fraction of vocab symbols (excluding pad/unk) with vectors."""
+        symbols = [vocab.symbol(i) for i in range(2, len(vocab))]
+        if not symbols:
+            return 0.0
+        return sum(1 for s in symbols if s in self.vectors) / len(symbols)
+
+    def table_for(self, vocab: Vocab, rng: np.random.Generator) -> np.ndarray:
+        """Materialize a ``(len(vocab), dim)`` table aligned with ``vocab``.
+
+        Unknown symbols get small random vectors; the pad row is zero.
+        """
+        table = rng.normal(0.0, 0.02, size=(len(vocab), self.dim))
+        table[vocab.pad_id] = 0.0
+        for i in range(len(vocab)):
+            vec = self.vectors.get(vocab.symbol(i))
+            if vec is not None:
+                table[i] = vec
+        return table
+
+    # ------------------------------------------------------------------
+    # Persistence (products can take days to build, §2.4 — they are files)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        symbols = sorted(self.vectors)
+        matrix = np.stack([self.vectors[s] for s in symbols]) if symbols else np.zeros((0, self.dim))
+        np.savez(
+            path,
+            matrix=matrix,
+            meta=json.dumps(
+                {
+                    "name": self.name,
+                    "dim": self.dim,
+                    "version": self.version,
+                    "symbols": symbols,
+                }
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EmbeddingProduct":
+        data = np.load(path, allow_pickle=False)
+        meta = json.loads(str(data["meta"]))
+        matrix = data["matrix"]
+        vectors = {s: matrix[i] for i, s in enumerate(meta["symbols"])}
+        return cls(
+            name=meta["name"],
+            dim=meta["dim"],
+            vectors=vectors,
+            version=meta["version"],
+        )
+
+
+class EmbeddingRegistry:
+    """Named registry the compiler resolves tuning-spec embedding names in."""
+
+    def __init__(self, products: list[EmbeddingProduct] | None = None) -> None:
+        self._products: dict[str, EmbeddingProduct] = {}
+        for p in products or []:
+            self.register(p)
+
+    def register(self, product: EmbeddingProduct) -> None:
+        if product.name in self._products:
+            raise CompilationError(
+                f"embedding product {product.name!r} already registered"
+            )
+        self._products[product.name] = product
+
+    def get(self, name: str) -> EmbeddingProduct:
+        product = self._products.get(name)
+        if product is None:
+            raise CompilationError(
+                f"unknown embedding product {name!r}; registered: "
+                f"{sorted(self._products)} (or use 'learned')"
+            )
+        return product
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._products
+
+    def names(self) -> list[str]:
+        return sorted(self._products)

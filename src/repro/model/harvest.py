@@ -1,0 +1,54 @@
+"""Harvesting trained embeddings as data products.
+
+"Overton is also used to produce back-end data products (e.g., updated word
+or multitask embeddings)" (§2.4).  A trained multitask model's payload
+embeddings have absorbed supervision from every task; harvesting them as an
+:class:`EmbeddingProduct` lets the *next* product drop them in as a
+pretrained payload — the ten-day-refresh data products the paper describes,
+closed into a loop.
+"""
+
+from __future__ import annotations
+
+from repro.data.vocab import Vocab
+from repro.errors import CompilationError
+from repro.model.embeddings_registry import EmbeddingProduct
+from repro.model.multitask import MultitaskModel
+
+
+def harvest_embedding_product(
+    model: MultitaskModel,
+    vocabs: dict[str, Vocab],
+    payload: str,
+    name: str,
+    version: str = "1",
+    include_special: bool = False,
+) -> EmbeddingProduct:
+    """Extract one payload's trained embedding table as a named product.
+
+    Works for sequence payloads (token embeddings) and set payloads
+    (member-id embeddings).  Pad/unk rows are skipped unless
+    ``include_special``.
+    """
+    encoder = model.encoders.get(payload)
+    if encoder is None:
+        raise CompilationError(f"model has no payload {payload!r}")
+    embedding = getattr(encoder, "embedding", None) or getattr(
+        encoder, "member_embedding", None
+    )
+    if embedding is None:
+        raise CompilationError(
+            f"payload {payload!r} has no embedding table to harvest "
+            "(derived singleton payloads have none)"
+        )
+    vocab = vocabs.get(payload)
+    if vocab is None:
+        raise CompilationError(f"no vocab available for payload {payload!r}")
+    table = embedding.weight.data
+    start = 0 if include_special else 2
+    vectors = {
+        vocab.symbol(i): table[i].copy() for i in range(start, len(vocab))
+    }
+    return EmbeddingProduct(
+        name=name, dim=embedding.dim, vectors=vectors, version=version
+    )

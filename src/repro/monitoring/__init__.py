@@ -1,0 +1,23 @@
+"""Monitoring: regression detection and text dashboards."""
+
+from repro.monitoring.regression import Regression, RegressionReport, compare_reports
+from repro.monitoring.drift import DriftReport, detect_drift, js_divergence
+from repro.monitoring.dashboards import (
+    format_table,
+    render_quality_report,
+    render_regressions,
+    render_source_accuracies,
+)
+
+__all__ = [
+    "Regression",
+    "RegressionReport",
+    "compare_reports",
+    "format_table",
+    "render_quality_report",
+    "render_regressions",
+    "render_source_accuracies",
+    "DriftReport",
+    "detect_drift",
+    "js_divergence",
+]

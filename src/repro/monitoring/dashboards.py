@@ -1,0 +1,80 @@
+"""Text dashboards: render reports as aligned tables for terminals/logs.
+
+The paper's engineers consume fine-grained reports through downstream UIs;
+the library equivalent is a plain-text renderer usable in CI logs and the
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.monitoring.regression import RegressionReport
+from repro.training.reports import QualityReport
+
+
+def format_table(columns: dict[str, list], max_rows: int | None = None) -> str:
+    """Render a columnar dict as an aligned text table."""
+    if not columns:
+        return "(empty table)"
+    headers = list(columns)
+    lengths = {len(v) for v in columns.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+    n = lengths.pop()
+    rows = range(n if max_rows is None else min(n, max_rows))
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    cells = [[fmt(columns[h][i]) for h in headers] for i in rows]
+    widths = [
+        max(len(h), *(len(row[j]) for row in cells)) if cells else len(h)
+        for j, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if max_rows is not None and n > max_rows:
+        lines.append(f"... ({n - max_rows} more rows)")
+    return "\n".join(lines)
+
+
+def render_quality_report(report: QualityReport, max_rows: int | None = None) -> str:
+    """Quality report as a text table."""
+    return format_table(report.to_columns(), max_rows=max_rows)
+
+
+def render_regressions(report: RegressionReport) -> str:
+    """Regression report summary."""
+    lines = []
+    if report.regressions:
+        lines.append(f"REGRESSIONS ({len(report.regressions)}):")
+        for r in report.regressions:
+            lines.append(
+                f"  {r.tag} / {r.task} / {r.metric}: "
+                f"{r.before:.4f} -> {r.after:.4f} ({r.delta:+.4f})"
+            )
+    else:
+        lines.append("No regressions detected.")
+    if report.improvements:
+        lines.append(f"improvements: {len(report.improvements)}")
+    return "\n".join(lines)
+
+
+def render_source_accuracies(accuracies: dict[str, float]) -> str:
+    """Learned source accuracies, best first — the weak-supervision view."""
+    if not accuracies:
+        return "(no sources)"
+    items = sorted(accuracies.items(), key=lambda kv: -kv[1])
+    return format_table(
+        {
+            "source": [k for k, _ in items],
+            "learned_accuracy": [v for _, v in items],
+        }
+    )

@@ -1,0 +1,98 @@
+"""Input-distribution drift detection.
+
+The paper's opening problem: "a key task for supporting engineers is to
+improve and maintain the quality in the face of changes to the input
+distribution and new production features" (§1).  This module quantifies the
+change between a reference window (what the deployed model trained on) and
+a live window, over model-relevant views of the input: token distribution,
+query length, and out-of-vocabulary rate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.record import Record
+from repro.data.vocab import Vocab
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Drift between a reference and a live window."""
+
+    token_js_divergence: float  # Jensen-Shannon divergence, in [0, ln 2]
+    oov_rate_reference: float
+    oov_rate_live: float
+    mean_length_reference: float
+    mean_length_live: float
+    novel_token_fraction: float  # live tokens unseen in reference
+
+    def drifted(self, js_threshold: float = 0.1, oov_threshold: float = 0.05) -> bool:
+        """Simple gate: distribution moved or OOV rate jumped."""
+        oov_jump = self.oov_rate_live - self.oov_rate_reference
+        return self.token_js_divergence > js_threshold or oov_jump > oov_threshold
+
+
+def _token_counts(records: Sequence[Record], payload: str) -> Counter:
+    counts: Counter = Counter()
+    for record in records:
+        counts.update(record.payloads.get(payload) or [])
+    return counts
+
+
+def js_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """Jensen-Shannon divergence between two distributions."""
+    p = p / max(p.sum(), 1e-12)
+    q = q / max(q.sum(), 1e-12)
+    m = 0.5 * (p + q)
+
+    def kl(a: np.ndarray, b: np.ndarray) -> float:
+        mask = a > 0
+        return float((a[mask] * np.log(a[mask] / b[mask])).sum())
+
+    return 0.5 * kl(p, m) + 0.5 * kl(q, m)
+
+
+def detect_drift(
+    reference: Sequence[Record],
+    live: Sequence[Record],
+    vocab: Vocab,
+    payload: str = "tokens",
+) -> DriftReport:
+    """Compare a live window against the training-time reference."""
+    ref_counts = _token_counts(reference, payload)
+    live_counts = _token_counts(live, payload)
+    all_tokens = sorted(set(ref_counts) | set(live_counts))
+    p = np.array([ref_counts.get(t, 0) for t in all_tokens], dtype=float)
+    q = np.array([live_counts.get(t, 0) for t in all_tokens], dtype=float)
+    divergence = js_divergence(p, q) if all_tokens else 0.0
+
+    def oov_rate(counts: Counter) -> float:
+        total = sum(counts.values())
+        if total == 0:
+            return 0.0
+        unknown = sum(c for t, c in counts.items() if t not in vocab)
+        return unknown / total
+
+    def mean_length(records: Sequence[Record]) -> float:
+        lengths = [len(r.payloads.get(payload) or []) for r in records]
+        return float(np.mean(lengths)) if lengths else 0.0
+
+    ref_total = sum(live_counts.values())
+    novel = (
+        sum(c for t, c in live_counts.items() if t not in ref_counts) / ref_total
+        if ref_total
+        else 0.0
+    )
+    return DriftReport(
+        token_js_divergence=divergence,
+        oov_rate_reference=oov_rate(ref_counts),
+        oov_rate_live=oov_rate(live_counts),
+        mean_length_reference=mean_length(reference),
+        mean_length_live=mean_length(live),
+        novel_token_fraction=novel,
+    )

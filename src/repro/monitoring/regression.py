@@ -1,0 +1,80 @@
+"""Quality-regression detection between model versions.
+
+"We noticed quality regressions as deployment teams have an incomplete view
+of the potential modeling tradeoffs" (§2.4).  Overton owns deployment, so
+it can compare a candidate's fine-grained report against the incumbent's
+before shipping and flag per-tag/per-task drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.training.reports import QualityReport
+
+
+@dataclass
+class Regression:
+    """One detected quality drop."""
+
+    tag: str
+    task: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+
+@dataclass
+class RegressionReport:
+    regressions: list[Regression] = field(default_factory=list)
+    improvements: list[Regression] = field(default_factory=list)
+
+    @property
+    def blocking(self) -> bool:
+        """True when any regression was found (deploy gate)."""
+        return bool(self.regressions)
+
+
+def compare_reports(
+    before: QualityReport,
+    after: QualityReport,
+    threshold: float = 0.01,
+    min_examples: int = 5,
+    metrics: tuple[str, ...] | None = None,
+) -> RegressionReport:
+    """Flag metric drops greater than ``threshold`` on shared (tag, task)s.
+
+    Tags with fewer than ``min_examples`` evaluated examples are skipped —
+    tiny slices produce noisy metrics that would block every deploy.
+    ``metrics`` optionally restricts the gate to specific metric names
+    (e.g. only accuracy), which teams use to keep noisy metrics advisory.
+    """
+    report = RegressionReport()
+    after_index = {(r.tag, r.task): r for r in after.rows}
+    for row in before.rows:
+        other = after_index.get((row.tag, row.task))
+        if other is None or row.n < min_examples or other.n < min_examples:
+            continue
+        for metric, value in row.metrics.items():
+            if metrics is not None and metric not in metrics:
+                continue
+            new_value = other.metrics.get(metric)
+            if new_value is None:
+                continue
+            change = new_value - value
+            entry = Regression(
+                tag=row.tag,
+                task=row.task,
+                metric=metric,
+                before=value,
+                after=new_value,
+            )
+            if change < -threshold:
+                report.regressions.append(entry)
+            elif change > threshold:
+                report.improvements.append(entry)
+    return report

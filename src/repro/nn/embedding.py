@@ -1,0 +1,82 @@
+"""Embedding tables, including drop-in pretrained payload embeddings.
+
+Overton treats embeddings as payloads that can be learned from scratch,
+loaded pretrained and frozen, or pretrained then fine-tuned (§2.4 "Make it
+easy to manage ancillary data products").  All three modes live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.init import normal
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, gather_rows
+
+
+class Embedding(Module):
+    """A trainable lookup table ``(vocab_size, dim)``.
+
+    Parameters
+    ----------
+    vocab_size, dim:
+        Table dimensions.
+    rng:
+        Generator for reproducible init (ignored when ``pretrained`` given).
+    pretrained:
+        Optional ``(vocab_size, dim)`` array of initial vectors.
+    trainable:
+        When False the table is frozen: lookups detach from the graph, so
+        optimizers never see it (pretrained-and-frozen mode).
+    padding_idx:
+        Optional index whose vector is pinned to zeros (used for padding
+        tokens so they contribute nothing to aggregations).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        rng: np.random.Generator | None = None,
+        pretrained: np.ndarray | None = None,
+        trainable: bool = True,
+        padding_idx: int | None = None,
+    ) -> None:
+        super().__init__()
+        if pretrained is not None:
+            table = np.asarray(pretrained, dtype=np.float64)
+            if table.shape != (vocab_size, dim):
+                raise ShapeError(
+                    f"pretrained table shape {table.shape} != ({vocab_size}, {dim})"
+                )
+            table = table.copy()
+        else:
+            if rng is None:
+                raise ValueError("rng is required when no pretrained table is given")
+            table = normal((vocab_size, dim), rng)
+        if padding_idx is not None:
+            table[padding_idx] = 0.0
+        self.weight = Parameter(table)
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.trainable = trainable
+        self.padding_idx = padding_idx
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        """Look up rows; output shape is ``indices.shape + (dim,)``."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.vocab_size):
+            raise ShapeError(
+                f"index out of range [0, {self.vocab_size}): "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        if not self.trainable:
+            return Tensor(self.weight.data[idx])
+        out = gather_rows(self.weight, idx)
+        return out
+
+    def apply_padding_mask(self) -> None:
+        """Re-zero the padding vector (call after an optimizer step)."""
+        if self.padding_idx is not None:
+            self.weight.data[self.padding_idx] = 0.0

@@ -1,0 +1,56 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so model
+compilation is fully reproducible from a seed — a requirement for the tuning
+controller's trial comparisons to be meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: good default for tanh/sigmoid layers."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He uniform: good default for ReLU layers."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Small-std normal init, used for embeddings."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def orthogonal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal init for recurrent weight matrices (2-D only)."""
+    if len(shape) != 2:
+        raise ValueError(f"orthogonal init requires a 2-D shape, got {shape}")
+    a = rng.normal(size=(max(shape), min(shape)))
+    q, _ = np.linalg.qr(a)
+    q = q[: shape[0], : shape[1]] if q.shape != shape else q
+    if q.shape[0] < shape[0] or q.shape[1] < shape[1]:
+        # QR gave the transposed economy shape; transpose to fit.
+        q = q.T[: shape[0], : shape[1]]
+    return q
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and conv kernels."""
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

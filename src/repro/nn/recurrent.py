@@ -1,0 +1,127 @@
+"""Recurrent sequence encoders: LSTM and GRU.
+
+These are two of the coarse "encoder blocks" Overton's architecture search
+chooses between (Fig. 2a lists ``"encoder": ["LSTM", ...]``).  Inputs are
+``(batch, time, dim)`` tensors plus a ``(batch, time)`` mask; masked steps
+carry the previous hidden state forward so padding never corrupts state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import orthogonal, xavier_uniform, zeros
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, concat, stack, where
+
+
+class LSTM(Module):
+    """Single-layer unidirectional LSTM.
+
+    Gates are computed with one fused input projection and one fused
+    recurrent projection, ordered ``[input, forget, cell, output]``.
+    The forget-gate bias starts at 1.0 (standard trick for gradient flow).
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.w_x = Parameter(xavier_uniform((input_dim, 4 * hidden_dim), rng))
+        self.w_h = Parameter(
+            np.concatenate(
+                [orthogonal((hidden_dim, hidden_dim), rng) for _ in range(4)], axis=1
+            )
+        )
+        bias = zeros((4 * hidden_dim,))
+        bias[hidden_dim : 2 * hidden_dim] = 1.0  # forget gate
+        self.bias = Parameter(bias)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Encode ``x`` of shape ``(batch, time, input_dim)``.
+
+        Returns all hidden states, shape ``(batch, time, hidden_dim)``.
+        """
+        batch, time, _ = x.shape
+        d = self.hidden_dim
+        h = Tensor(np.zeros((batch, d)))
+        c = Tensor(np.zeros((batch, d)))
+        outputs: list[Tensor] = []
+        for t in range(time):
+            x_t = x[:, t, :]
+            gates = x_t @ self.w_x + h @ self.w_h + self.bias
+            i = gates[:, 0:d].sigmoid()
+            f = gates[:, d : 2 * d].sigmoid()
+            g = gates[:, 2 * d : 3 * d].tanh()
+            o = gates[:, 3 * d : 4 * d].sigmoid()
+            c_new = f * c + i * g
+            h_new = o * c_new.tanh()
+            if mask is not None:
+                step_mask = mask[:, t].astype(bool)[:, None]
+                step_mask = np.broadcast_to(step_mask, (batch, d))
+                h = where(step_mask, h_new, h)
+                c = where(step_mask, c_new, c)
+            else:
+                h, c = h_new, c_new
+            outputs.append(h)
+        return stack(outputs, axis=1)
+
+
+class GRU(Module):
+    """Single-layer unidirectional GRU, gates ordered ``[reset, update]``."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.w_x = Parameter(xavier_uniform((input_dim, 3 * hidden_dim), rng))
+        self.w_h = Parameter(
+            np.concatenate(
+                [orthogonal((hidden_dim, hidden_dim), rng) for _ in range(3)], axis=1
+            )
+        )
+        self.bias = Parameter(zeros((3 * hidden_dim,)))
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        batch, time, _ = x.shape
+        d = self.hidden_dim
+        h = Tensor(np.zeros((batch, d)))
+        outputs: list[Tensor] = []
+        for t in range(time):
+            x_t = x[:, t, :]
+            x_proj = x_t @ self.w_x + self.bias
+            h_proj = h @ self.w_h
+            r = (x_proj[:, 0:d] + h_proj[:, 0:d]).sigmoid()
+            z = (x_proj[:, d : 2 * d] + h_proj[:, d : 2 * d]).sigmoid()
+            n = (x_proj[:, 2 * d : 3 * d] + r * h_proj[:, 2 * d : 3 * d]).tanh()
+            h_new = (1.0 - z) * n + z * h
+            if mask is not None:
+                step_mask = mask[:, t].astype(bool)[:, None]
+                step_mask = np.broadcast_to(step_mask, (batch, d))
+                h = where(step_mask, h_new, h)
+            else:
+                h = h_new
+            outputs.append(h)
+        return stack(outputs, axis=1)
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM: concatenation of forward and backward passes."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if hidden_dim % 2 != 0:
+            raise ValueError(f"BiLSTM hidden_dim must be even, got {hidden_dim}")
+        half = hidden_dim // 2
+        self.forward_lstm = LSTM(input_dim, half, rng)
+        self.backward_lstm = LSTM(input_dim, half, rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        fwd = self.forward_lstm(x, mask)
+        rev_idx = np.arange(x.shape[1])[::-1].copy()
+        x_rev = x[:, rev_idx, :]
+        mask_rev = mask[:, rev_idx] if mask is not None else None
+        bwd = self.backward_lstm(x_rev, mask_rev)
+        bwd = bwd[:, rev_idx, :]
+        return concat([fwd, bwd], axis=-1)

@@ -1,0 +1,18 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.optim.optimizer import Optimizer, clip_grad_norm
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam, AdamW
+from repro.optim.schedule import ConstantSchedule, Schedule, StepDecay, WarmupCosine
+
+__all__ = [
+    "Optimizer",
+    "clip_grad_norm",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "Schedule",
+    "ConstantSchedule",
+    "StepDecay",
+    "WarmupCosine",
+]

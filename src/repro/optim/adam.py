@@ -1,0 +1,76 @@
+"""Adam and AdamW optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction.
+
+    With ``decoupled_weight_decay=True`` this is AdamW: decay is applied to
+    the weights directly instead of the gradient.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        decoupled_weight_decay: bool = False,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.decoupled = decoupled_weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay and not self.decoupled:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay and self.decoupled:
+                update = update + self.weight_decay * p.data
+            p.data = p.data - self.lr * update
+
+
+def AdamW(
+    params: list[Parameter],
+    lr: float = 1e-3,
+    betas: tuple[float, float] = (0.9, 0.999),
+    eps: float = 1e-8,
+    weight_decay: float = 0.01,
+) -> Adam:
+    """AdamW constructor: Adam with decoupled weight decay."""
+    return Adam(
+        params,
+        lr=lr,
+        betas=betas,
+        eps=eps,
+        weight_decay=weight_decay,
+        decoupled_weight_decay=True,
+    )

@@ -1,0 +1,29 @@
+"""Slicing: fine-grained subsets with extra model capacity (§2.2)."""
+
+from repro.slicing.slice import SliceSet, SliceSpec, expand_membership_to_items
+from repro.slicing.heads import (
+    SliceAwareHead,
+    SliceForward,
+    predicted_membership,
+    slice_loss,
+)
+from repro.slicing.metrics import (
+    SliceReport,
+    accuracy_and_f1,
+    per_slice_reports,
+    reports_to_columns,
+)
+
+__all__ = [
+    "SliceSet",
+    "SliceSpec",
+    "expand_membership_to_items",
+    "SliceAwareHead",
+    "SliceForward",
+    "predicted_membership",
+    "slice_loss",
+    "SliceReport",
+    "accuracy_and_f1",
+    "per_slice_reports",
+    "reports_to_columns",
+]

@@ -1,0 +1,103 @@
+"""Per-slice quality reporting.
+
+"Overton reports the accuracy conditioned on an example being in the slice"
+(§2.2).  These are the tables an Overton engineer watches week to week.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SliceError
+
+
+@dataclass
+class SliceReport:
+    """Quality of one prediction set conditioned on one slice."""
+
+    slice_name: str
+    size: int
+    accuracy: float
+    f1: float
+
+    def to_row(self) -> dict:
+        return {
+            "slice": self.slice_name,
+            "n": self.size,
+            "accuracy": round(self.accuracy, 4),
+            "f1": round(self.f1, 4),
+        }
+
+
+def accuracy_and_f1(
+    predictions: np.ndarray, gold: np.ndarray, mask: np.ndarray | None = None
+) -> tuple[float, float, int]:
+    """Accuracy and macro-F1 over (optionally masked) items."""
+    predictions = np.asarray(predictions)
+    gold = np.asarray(gold)
+    if predictions.shape != gold.shape:
+        raise SliceError(
+            f"predictions shape {predictions.shape} != gold shape {gold.shape}"
+        )
+    if mask is not None:
+        keep = np.asarray(mask, dtype=bool)
+        predictions = predictions[keep]
+        gold = gold[keep]
+    n = len(gold)
+    if n == 0:
+        return 0.0, 0.0, 0
+    acc = float((predictions == gold).mean())
+    classes = np.unique(np.concatenate([gold, predictions]))
+    f1s = []
+    for c in classes:
+        tp = float(((predictions == c) & (gold == c)).sum())
+        fp = float(((predictions == c) & (gold != c)).sum())
+        fn = float(((predictions != c) & (gold == c)).sum())
+        if tp == 0:
+            f1s.append(0.0)
+            continue
+        precision = tp / (tp + fp)
+        recall = tp / (tp + fn)
+        f1s.append(2 * precision * recall / (precision + recall))
+    return acc, float(np.mean(f1s)), n
+
+
+def per_slice_reports(
+    predictions: np.ndarray,
+    gold: np.ndarray,
+    membership: np.ndarray,
+    slice_names: list[str],
+    valid: np.ndarray | None = None,
+) -> list[SliceReport]:
+    """One report per slice, plus an 'overall' row first.
+
+    ``membership`` is ``(n, s)``; ``valid`` optionally restricts to items
+    with trusted gold labels.
+    """
+    if membership.ndim != 2 or membership.shape[1] != len(slice_names):
+        raise SliceError(
+            f"membership shape {membership.shape} does not match "
+            f"{len(slice_names)} slices"
+        )
+    base_mask = (
+        np.ones(len(gold), dtype=bool) if valid is None else np.asarray(valid, bool)
+    )
+    acc, f1, n = accuracy_and_f1(predictions, gold, base_mask)
+    reports = [SliceReport(slice_name="overall", size=n, accuracy=acc, f1=f1)]
+    for j, name in enumerate(slice_names):
+        mask = base_mask & (membership[:, j] > 0.5)
+        acc, f1, n = accuracy_and_f1(predictions, gold, mask)
+        reports.append(SliceReport(slice_name=name, size=n, accuracy=acc, f1=f1))
+    return reports
+
+
+def reports_to_columns(reports: list[SliceReport]) -> dict[str, list]:
+    """Pandas-compatible columnar dict of slice reports."""
+    return {
+        "slice": [r.slice_name for r in reports],
+        "n": [r.size for r in reports],
+        "accuracy": [r.accuracy for r in reports],
+        "f1": [r.f1 for r in reports],
+    }

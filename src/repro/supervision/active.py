@@ -1,0 +1,181 @@
+"""Annotation targeting: where should the next labels go?
+
+"The developer iteratively examines logs of the existing application ...
+Engineers may identify areas of the data that require more supervision from
+annotators, conflicting information in the existing training set, or the
+need to create new examples" (§2.3).
+
+This module ranks records for annotation by combining the signals Overton
+already computes:
+
+* **conflict** — sources disagree (the label model is interpolating);
+* **uncertainty** — the combined posterior is flat (little signal);
+* **coverage gap** — few or no sources labeled the record;
+* **slice priority** — records in slices the engineer owns come first.
+
+The output is an *annotation batch*: the items a crowd round or an
+engineer's labeling session should cover next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.schema_def import Schema
+from repro.data.record import Record
+from repro.data.tags import slice_tag
+from repro.errors import SupervisionError
+from repro.supervision.combine import combine_supervision
+
+
+@dataclass
+class AnnotationCandidate:
+    """One record's annotation priority for one task."""
+
+    record_index: int
+    score: float
+    conflict: bool
+    confidence: float
+    n_sources: int
+    in_priority_slice: bool
+
+    def to_row(self) -> dict:
+        return {
+            "record": self.record_index,
+            "score": round(self.score, 4),
+            "conflict": self.conflict,
+            "confidence": round(self.confidence, 4),
+            "n_sources": self.n_sources,
+            "priority_slice": self.in_priority_slice,
+        }
+
+
+@dataclass
+class AnnotationBatch:
+    """The ranked records to send for annotation."""
+
+    task: str
+    candidates: list[AnnotationCandidate] = field(default_factory=list)
+
+    def top(self, n: int) -> list[AnnotationCandidate]:
+        return self.candidates[:n]
+
+    def record_indices(self, n: int | None = None) -> list[int]:
+        picked = self.candidates if n is None else self.candidates[:n]
+        return [c.record_index for c in picked]
+
+    def to_columns(self) -> dict[str, list]:
+        rows = [c.to_row() for c in self.candidates]
+        if not rows:
+            return {}
+        return {key: [r[key] for r in rows] for key in rows[0]}
+
+
+def build_annotation_batch(
+    records: Sequence[Record],
+    schema: Schema,
+    task_name: str,
+    priority_slices: Sequence[str] = (),
+    exclude_sources: Sequence[str] = ("gold",),
+    slice_boost: float = 0.5,
+    conflict_weight: float = 0.3,
+    coverage_weight: float = 0.2,
+) -> AnnotationBatch:
+    """Rank records by annotation value for ``task_name``.
+
+    Score = (1 - confidence) + conflict_weight * conflict
+          + coverage_weight * (1 / (1 + n_sources))
+          + slice_boost * in_priority_slice.
+    """
+    if not records:
+        raise SupervisionError("annotation targeting needs records")
+    task = schema.task(task_name)
+    if task.type == "bitvector":
+        raise SupervisionError(
+            "bitvector tasks are ranked per class; target a multiclass or "
+            "select task"
+        )
+    present_sources = set()
+    for record in records:
+        present_sources.update(record.sources_for(task_name))
+    usable_exclude = [s for s in exclude_sources if s in present_sources]
+    if present_sources - set(usable_exclude):
+        combined = combine_supervision(
+            records, schema, task_name, exclude_sources=usable_exclude
+        )
+    else:
+        combined = None
+
+    priority_tags = {slice_tag(s) for s in priority_slices}
+    candidates = []
+    for i, record in enumerate(records):
+        sources = [
+            s
+            for s, v in record.sources_for(task_name).items()
+            if v is not None and s not in exclude_sources
+        ]
+        labels = [
+            _hashable(record.label_from(task_name, s)) for s in sources
+        ]
+        conflict = len(set(labels)) > 1
+        if combined is not None and combined.weights.ndim == 1:
+            confidence = float(combined.weights[i])
+        else:
+            confidence = 0.0
+        in_slice = bool(priority_tags & set(record.tags))
+        score = (
+            (1.0 - confidence)
+            + conflict_weight * conflict
+            + coverage_weight * (1.0 / (1.0 + len(sources)))
+            + slice_boost * in_slice
+        )
+        candidates.append(
+            AnnotationCandidate(
+                record_index=i,
+                score=score,
+                conflict=conflict,
+                confidence=confidence,
+                n_sources=len(sources),
+                in_priority_slice=in_slice,
+            )
+        )
+    candidates.sort(key=lambda c: -c.score)
+    return AnnotationBatch(task=task_name, candidates=candidates)
+
+
+def simulate_annotation(
+    records: Sequence[Record],
+    batch: AnnotationBatch,
+    n: int,
+    source_name: str = "crowd_round",
+    gold_source: str = "gold",
+    accuracy: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> int:
+    """Write annotations for the batch's top-n records.
+
+    In production this is the crowd round; in the simulator the "annotator"
+    copies (optionally noisy) gold labels.  Returns the number annotated.
+    """
+    rng = rng or np.random.default_rng(0)
+    annotated = 0
+    for index in batch.record_indices(n):
+        record = records[index]
+        gold = record.label_from(batch.task, gold_source)
+        if gold is None:
+            continue
+        label = gold
+        if accuracy < 1.0 and rng.random() > accuracy and isinstance(gold, str):
+            label = gold  # simulator keeps hard flips out of scope here
+        record.add_label(batch.task, source_name, label)
+        annotated += 1
+    return annotated
+
+
+def _hashable(value):
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    return value

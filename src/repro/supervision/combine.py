@@ -1,0 +1,176 @@
+"""High-level supervision combination: records -> training targets.
+
+This is the "Combine Supervision" stage of Figure 1.  Given a dataset and a
+task it builds the label matrix, fits the requested combination method, and
+scatters the probabilistic labels back to the task's natural shape so the
+trainer can consume them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.schema_def import Schema
+from repro.data.record import Record
+from repro.errors import SupervisionError
+from repro.supervision.label_matrix import (
+    build_bitvector_matrices,
+    build_label_matrix,
+)
+from repro.supervision.label_model import LabelModel, model_confidence
+from repro.supervision.majority import majority_vote, vote_confidence
+
+METHODS = ("label_model", "majority")
+
+
+@dataclass
+class CombinedSupervision:
+    """Probabilistic training targets for one task.
+
+    Shapes by granularity (N records, L sequence positions, K classes, M
+    max set members):
+
+    * multiclass singleton: ``probs (N, K)``, ``weights (N,)``
+    * multiclass sequence:  ``probs (N, L, K)``, ``weights (N, L)``
+    * bitvector singleton:  ``probs (N, K)``, ``weights (N,)``
+    * bitvector sequence:   ``probs (N, L, K)``, ``weights (N, L)``
+    * select:               ``probs (N, M)``, ``weights (N,)``
+
+    ``weights`` fold label-model confidence into the loss; unlabeled items
+    carry weight 0.  ``source_accuracies`` exposes what the label model
+    learned, for monitoring dashboards.
+    """
+
+    task: str
+    method: str
+    probs: np.ndarray
+    weights: np.ndarray
+    source_accuracies: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def labeled_fraction(self) -> float:
+        if self.weights.size == 0:
+            return 0.0
+        return float((self.weights > 0).mean())
+
+
+def combine_supervision(
+    records: Sequence[Record],
+    schema: Schema,
+    task_name: str,
+    method: str = "label_model",
+    sources: Sequence[str] | None = None,
+    exclude_sources: Sequence[str] = (),
+    label_model: LabelModel | None = None,
+) -> CombinedSupervision:
+    """Combine per-source supervision for ``task_name`` into soft targets."""
+    if method not in METHODS:
+        raise SupervisionError(f"unknown method {method!r}; expected {METHODS}")
+    task = schema.task(task_name)
+    payload = schema.payload(task.payload)
+
+    if task.type == "bitvector":
+        return _combine_bitvector(
+            records, schema, task_name, method, sources, exclude_sources, label_model
+        )
+
+    matrix = build_label_matrix(
+        records, schema, task_name, sources=sources, exclude_sources=exclude_sources
+    )
+    probs, weights, accuracies = _fit(matrix, method, label_model)
+
+    n = len(records)
+    if task.type == "multiclass" and payload.type == "sequence":
+        length = payload.max_length or 0
+        k = task.num_classes
+        full_probs = np.zeros((n, length, k))
+        full_weights = np.zeros((n, length))
+        for row, (rec_idx, pos) in enumerate(matrix.item_index):
+            full_probs[rec_idx, pos] = probs[row]
+            full_weights[rec_idx, pos] = weights[row]
+        return CombinedSupervision(
+            task=task_name,
+            method=method,
+            probs=full_probs,
+            weights=full_weights,
+            source_accuracies=accuracies,
+        )
+
+    # Singleton multiclass and select are already one item per record.
+    return CombinedSupervision(
+        task=task_name,
+        method=method,
+        probs=probs,
+        weights=weights,
+        source_accuracies=accuracies,
+    )
+
+
+def _combine_bitvector(
+    records: Sequence[Record],
+    schema: Schema,
+    task_name: str,
+    method: str,
+    sources: Sequence[str] | None,
+    exclude_sources: Sequence[str],
+    label_model: LabelModel | None,
+) -> CombinedSupervision:
+    task = schema.task(task_name)
+    payload = schema.payload(task.payload)
+    matrices = build_bitvector_matrices(
+        records, schema, task_name, sources=sources, exclude_sources=exclude_sources
+    )
+    n = len(records)
+    k = task.num_classes
+    is_sequence = payload.type == "sequence"
+    length = payload.max_length or 0
+
+    if is_sequence:
+        probs = np.zeros((n, length, k))
+        weights = np.zeros((n, length))
+    else:
+        probs = np.zeros((n, k))
+        weights = np.zeros(n)
+
+    accuracies: dict[str, float] = {}
+    for c_idx, cls_name in enumerate(task.classes):
+        matrix = matrices[cls_name]
+        cls_probs, cls_weights, cls_acc = _fit(matrix, method, label_model)
+        # Column 1 of the binary posterior = P(class present).
+        for row, (rec_idx, pos) in enumerate(matrix.item_index):
+            if is_sequence:
+                probs[rec_idx, pos, c_idx] = cls_probs[row, 1]
+                weights[rec_idx, pos] = max(weights[rec_idx, pos], cls_weights[row])
+            else:
+                probs[rec_idx, c_idx] = cls_probs[row, 1]
+                weights[rec_idx] = max(weights[rec_idx], cls_weights[row])
+        for source, acc in cls_acc.items():
+            key = f"{source}[{cls_name}]"
+            accuracies[key] = acc
+    return CombinedSupervision(
+        task=task_name,
+        method=method,
+        probs=probs,
+        weights=weights,
+        source_accuracies=accuracies,
+    )
+
+
+def _fit(matrix, method: str, label_model: LabelModel | None):
+    """Run one combination method over a label matrix."""
+    if method == "majority":
+        probs = majority_vote(matrix)
+        weights = vote_confidence(matrix)
+        # Items with any vote train at full weight under majority vote.
+        weights = (weights > 0).astype(np.float64)
+        return probs, weights, {}
+    model = label_model or LabelModel()
+    result = model.fit(matrix)
+    confidence = model_confidence(result)
+    voted = (matrix.votes != -1).any(axis=1).astype(np.float64)
+    weights = confidence * voted
+    accuracies = {s: result.accuracy_of(s) for s in result.sources}
+    return result.probs, weights, accuracies

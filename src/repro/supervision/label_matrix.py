@@ -1,0 +1,241 @@
+"""Label matrices: per-task vote tensors extracted from records.
+
+The label model consumes a uniform representation regardless of task
+granularity: a dense integer matrix ``votes`` of shape ``(n_items,
+n_sources)`` where entry ``-1`` means the source abstained.  Items are:
+
+* one per record for singleton and select tasks;
+* one per (record, position) for sequence tasks — sequence supervision is
+  the same statistical problem at token granularity ("Overton can accept
+  supervision at whatever granularity ... is available", §1).
+
+Bitvector tasks expand into one binary matrix per class (label present /
+absent), combined independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.schema_def import Schema
+from repro.data.record import Record
+from repro.errors import SupervisionError
+
+ABSTAIN = -1
+
+
+@dataclass
+class LabelMatrix:
+    """Votes for one task (or one bitvector class) plus item bookkeeping.
+
+    ``item_index`` maps matrix rows back to data: ``(record_idx, position)``
+    pairs, where position is -1 for non-sequence tasks.  ``cardinality`` is
+    the number of classes; for select tasks it is the payload's
+    ``max_members`` and ``item_cardinality`` bounds the valid candidates per
+    item.
+    """
+
+    votes: np.ndarray  # (n_items, n_sources) int, -1 = abstain
+    sources: list[str]
+    cardinality: int
+    item_index: np.ndarray  # (n_items, 2) int: record_idx, position
+    item_cardinality: np.ndarray | None = None  # (n_items,) for select tasks
+
+    @property
+    def n_items(self) -> int:
+        return self.votes.shape[0]
+
+    @property
+    def n_sources(self) -> int:
+        return self.votes.shape[1]
+
+    def coverage(self) -> np.ndarray:
+        """Per-source fraction of items with a (non-abstain) vote."""
+        if self.n_items == 0:
+            return np.zeros(self.n_sources)
+        return (self.votes != ABSTAIN).mean(axis=0)
+
+    def overlap(self) -> float:
+        """Fraction of items labeled by at least two sources."""
+        if self.n_items == 0:
+            return 0.0
+        counts = (self.votes != ABSTAIN).sum(axis=1)
+        return float((counts >= 2).mean())
+
+    def conflict(self) -> float:
+        """Fraction of items where two non-abstain sources disagree."""
+        if self.n_items == 0:
+            return 0.0
+        conflicts = 0
+        for row in self.votes:
+            present = row[row != ABSTAIN]
+            if len(present) >= 2 and len(set(present.tolist())) > 1:
+                conflicts += 1
+        return conflicts / self.n_items
+
+
+def build_label_matrix(
+    records: Sequence[Record],
+    schema: Schema,
+    task_name: str,
+    sources: Sequence[str] | None = None,
+    exclude_sources: Sequence[str] = (),
+) -> LabelMatrix:
+    """Extract the vote matrix for a multiclass or select task."""
+    task = schema.task(task_name)
+    payload = schema.payload(task.payload)
+    if task.type == "bitvector":
+        raise SupervisionError(
+            "bitvector tasks expand per class; use build_bitvector_matrices"
+        )
+    source_list = _resolve_sources(records, task_name, sources, exclude_sources)
+    source_pos = {s: j for j, s in enumerate(source_list)}
+
+    if task.type == "multiclass" and payload.type == "sequence":
+        length = payload.max_length or 0
+        rows: list[np.ndarray] = []
+        index: list[tuple[int, int]] = []
+        for i, record in enumerate(records):
+            seq = record.payloads.get(payload.name) or []
+            n_pos = min(len(seq), length)
+            block = np.full((n_pos, len(source_list)), ABSTAIN, dtype=np.int64)
+            for source, labels in record.sources_for(task_name).items():
+                j = source_pos.get(source)
+                if j is None or labels is None:
+                    continue
+                for t in range(n_pos):
+                    if t < len(labels) and labels[t] is not None:
+                        block[t, j] = task.class_index(labels[t])
+            rows.append(block)
+            index.extend((i, t) for t in range(n_pos))
+        votes = (
+            np.concatenate(rows, axis=0)
+            if rows
+            else np.zeros((0, len(source_list)), dtype=np.int64)
+        )
+        return LabelMatrix(
+            votes=votes,
+            sources=source_list,
+            cardinality=task.num_classes,
+            item_index=np.array(index or np.zeros((0, 2)), dtype=np.int64).reshape(-1, 2),
+        )
+
+    if task.type == "multiclass":
+        votes = np.full((len(records), len(source_list)), ABSTAIN, dtype=np.int64)
+        for i, record in enumerate(records):
+            for source, label in record.sources_for(task_name).items():
+                j = source_pos.get(source)
+                if j is not None and label is not None:
+                    votes[i, j] = task.class_index(label)
+        index = np.stack(
+            [np.arange(len(records)), np.full(len(records), -1)], axis=1
+        ) if records else np.zeros((0, 2), dtype=np.int64)
+        return LabelMatrix(
+            votes=votes,
+            sources=source_list,
+            cardinality=task.num_classes,
+            item_index=np.asarray(index, dtype=np.int64),
+        )
+
+    # select
+    max_members = payload.max_members or 0
+    votes = np.full((len(records), len(source_list)), ABSTAIN, dtype=np.int64)
+    item_card = np.zeros(len(records), dtype=np.int64)
+    for i, record in enumerate(records):
+        members = record.payloads.get(payload.name) or []
+        item_card[i] = min(len(members), max_members)
+        for source, label in record.sources_for(task_name).items():
+            j = source_pos.get(source)
+            if j is not None and label is not None and 0 <= int(label) < max_members:
+                votes[i, j] = int(label)
+    index = np.stack(
+        [np.arange(len(records)), np.full(len(records), -1)], axis=1
+    ) if records else np.zeros((0, 2), dtype=np.int64)
+    return LabelMatrix(
+        votes=votes,
+        sources=source_list,
+        cardinality=max_members,
+        item_index=np.asarray(index, dtype=np.int64),
+        item_cardinality=item_card,
+    )
+
+
+def build_bitvector_matrices(
+    records: Sequence[Record],
+    schema: Schema,
+    task_name: str,
+    sources: Sequence[str] | None = None,
+    exclude_sources: Sequence[str] = (),
+) -> dict[str, LabelMatrix]:
+    """One binary (present=1 / absent=0) matrix per bitvector class."""
+    task = schema.task(task_name)
+    payload = schema.payload(task.payload)
+    if task.type != "bitvector":
+        raise SupervisionError(f"task {task_name!r} is not a bitvector task")
+    source_list = _resolve_sources(records, task_name, sources, exclude_sources)
+    source_pos = {s: j for j, s in enumerate(source_list)}
+    is_sequence = payload.type == "sequence"
+    length = payload.max_length or 0
+
+    index: list[tuple[int, int]] = []
+    per_class_rows: dict[str, list[np.ndarray]] = {c: [] for c in task.classes}
+    for i, record in enumerate(records):
+        if is_sequence:
+            seq = record.payloads.get(payload.name) or []
+            n_pos = min(len(seq), length)
+        else:
+            n_pos = 1
+        blocks = {
+            c: np.full((n_pos, len(source_list)), ABSTAIN, dtype=np.int64)
+            for c in task.classes
+        }
+        for source, labels in record.sources_for(task_name).items():
+            j = source_pos.get(source)
+            if j is None or labels is None:
+                continue
+            positions = labels if is_sequence else [labels]
+            for t in range(n_pos):
+                if t >= len(positions) or positions[t] is None:
+                    continue
+                present = set(positions[t])
+                for c in task.classes:
+                    blocks[c][t, j] = 1 if c in present else 0
+        for c in task.classes:
+            per_class_rows[c].append(blocks[c])
+        index.extend((i, t if is_sequence else -1) for t in range(n_pos))
+
+    item_index = np.array(index or np.zeros((0, 2)), dtype=np.int64).reshape(-1, 2)
+    out = {}
+    for c in task.classes:
+        votes = (
+            np.concatenate(per_class_rows[c], axis=0)
+            if per_class_rows[c]
+            else np.zeros((0, len(source_list)), dtype=np.int64)
+        )
+        out[c] = LabelMatrix(
+            votes=votes, sources=source_list, cardinality=2, item_index=item_index
+        )
+    return out
+
+
+def _resolve_sources(
+    records: Sequence[Record],
+    task_name: str,
+    sources: Sequence[str] | None,
+    exclude_sources: Sequence[str],
+) -> list[str]:
+    if sources is None:
+        seen: set[str] = set()
+        for record in records:
+            seen.update(record.sources_for(task_name))
+        sources = sorted(seen)
+    excluded = set(exclude_sources)
+    result = [s for s in sources if s not in excluded]
+    if not result:
+        raise SupervisionError(
+            f"no supervision sources available for task {task_name!r}"
+        )
+    return result

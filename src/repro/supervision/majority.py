@@ -1,0 +1,65 @@
+"""Majority-vote supervision combination: the baseline the label model beats.
+
+Majority vote treats every source as equally accurate — exactly the
+assumption the Snorkel-style generative model relaxes.  It is kept both as
+an ablation baseline (``benchmarks/bench_label_model_ablation.py``) and as
+the labeling strategy of the "previous system" baseline in Fig. 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.supervision.label_matrix import ABSTAIN, LabelMatrix
+
+
+def majority_vote(matrix: LabelMatrix) -> np.ndarray:
+    """Probabilistic labels by (tied-split) majority vote.
+
+    Returns ``(n_items, cardinality)`` row-stochastic probabilities; items
+    with no votes get a uniform row (they carry no training signal and the
+    caller typically weights them to zero).
+    """
+    n, k = matrix.n_items, matrix.cardinality
+    probs = np.zeros((n, k))
+    for i in range(n):
+        row = matrix.votes[i]
+        present = row[row != ABSTAIN]
+        if len(present) == 0:
+            probs[i] = 1.0 / k
+            continue
+        counts = np.bincount(present, minlength=k).astype(np.float64)
+        winners = counts == counts.max()
+        probs[i, winners] = 1.0 / winners.sum()
+    if matrix.item_cardinality is not None:
+        probs = _restrict_to_valid(probs, matrix.item_cardinality)
+    return probs
+
+
+def _restrict_to_valid(probs: np.ndarray, item_cardinality: np.ndarray) -> np.ndarray:
+    """Zero out invalid candidate slots and renormalize (select tasks)."""
+    out = probs.copy()
+    k = probs.shape[1]
+    for i, card in enumerate(item_cardinality):
+        card = int(card)
+        if card <= 0:
+            out[i] = 0.0
+            continue
+        if card < k:
+            out[i, card:] = 0.0
+        total = out[i].sum()
+        if total > 0:
+            out[i] /= total
+        else:
+            out[i, :card] = 1.0 / card
+    return out
+
+
+def vote_confidence(matrix: LabelMatrix) -> np.ndarray:
+    """Per-item confidence weight: fraction of sources that voted.
+
+    Items nobody labeled get weight 0 so losses ignore them.
+    """
+    if matrix.n_items == 0:
+        return np.zeros(0)
+    return (matrix.votes != ABSTAIN).mean(axis=1)

@@ -1,0 +1,95 @@
+"""Label sources and lineage.
+
+"The labels are tagged by the source that produced them: these labels may be
+incomplete and even contradictory.  Overton models the sources of these
+labels, which may come [from] human annotators, or from engineer-defined
+heuristics such as data augmentation or heuristic labelers" (§2.2).
+
+A :class:`LabelSource` is the metadata record for one lineage name appearing
+in data files.  The registry keeps them queryable so monitoring can report
+per-source statistics (e.g. "the date supervision was introduced, or by what
+method").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SupervisionError
+
+SOURCE_KINDS = ("human", "heuristic", "distant", "augmentation", "synthetic")
+
+# Kinds counted as weak supervision when reporting the paper's
+# "Amount of Weak Supervision" column (Fig. 3): everything but raw human
+# annotation.
+WEAK_KINDS = ("heuristic", "distant", "augmentation", "synthetic")
+
+
+@dataclass(frozen=True)
+class LabelSource:
+    """Metadata for one supervision source."""
+
+    name: str
+    kind: str = "heuristic"
+    description: str = ""
+    introduced: str = ""  # ISO date the source was added, for monitoring
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in SOURCE_KINDS:
+            raise SupervisionError(
+                f"source {self.name!r}: unknown kind {self.kind!r}; "
+                f"expected one of {SOURCE_KINDS}"
+            )
+
+    @property
+    def is_weak(self) -> bool:
+        return self.kind in WEAK_KINDS
+
+
+class SourceRegistry:
+    """A queryable collection of label sources."""
+
+    def __init__(self, sources: list[LabelSource] | None = None) -> None:
+        self._sources: dict[str, LabelSource] = {}
+        for source in sources or []:
+            self.register(source)
+
+    def register(self, source: LabelSource) -> None:
+        if source.name in self._sources:
+            raise SupervisionError(f"source {source.name!r} already registered")
+        self._sources[source.name] = source
+
+    def get(self, name: str) -> LabelSource:
+        source = self._sources.get(name)
+        if source is None:
+            # Unregistered names are legal in data files; default to a
+            # heuristic so statistics still work.
+            return LabelSource(name=name, kind="heuristic", description="(unregistered)")
+        return source
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sources
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def names(self) -> list[str]:
+        return sorted(self._sources)
+
+    def weak_fraction(self, labels_per_source: dict[str, int]) -> float:
+        """Fraction of labels that came from weak sources.
+
+        ``labels_per_source`` maps source name -> label count (e.g. from
+        :meth:`repro.data.Dataset.supervision_stats`).  This computes the
+        paper's "Amount of Weak Supervision" number.
+        """
+        total = sum(labels_per_source.values())
+        if total == 0:
+            return 0.0
+        weak = sum(
+            count
+            for name, count in labels_per_source.items()
+            if self.get(name).is_weak
+        )
+        return weak / total

@@ -1,0 +1,47 @@
+"""From-scratch reverse-mode autodiff substrate (numpy).
+
+The paper's Overton compiles schemas to TensorFlow/PyTorch; this package is
+the equivalent differentiable-programming substrate built from scratch so the
+compiler has something real to target in an offline environment.
+"""
+
+from repro.tensor.tensor import Tensor, tensor, zeros, ones
+from repro.tensor.ops import (
+    concat,
+    stack,
+    where,
+    gather_rows,
+    masked_fill,
+    dropout_mask,
+    pad_sequences,
+)
+from repro.tensor.functional import (
+    log_softmax,
+    softmax,
+    cross_entropy,
+    binary_cross_entropy_with_logits,
+    select_loss,
+    l2_penalty,
+    accuracy,
+)
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "concat",
+    "stack",
+    "where",
+    "gather_rows",
+    "masked_fill",
+    "dropout_mask",
+    "pad_sequences",
+    "log_softmax",
+    "softmax",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "select_loss",
+    "l2_penalty",
+    "accuracy",
+]

@@ -1,0 +1,457 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+This module is the lowest layer of the reproduction's deep-learning
+substrate.  The paper compiles schemas into TensorFlow/PyTorch programs; this
+environment has neither, so we implement the same contract from scratch: a
+:class:`Tensor` records the operations applied to it and can backpropagate
+gradients through the resulting DAG.
+
+The design follows the classic "tape" formulation:
+
+* every ``Tensor`` holds a numpy array ``data``, an optional gradient
+  ``grad``, and — when produced by an op — a list of ``(parent, vjp)`` pairs
+  where ``vjp`` maps the output gradient to the parent's gradient
+  contribution (a vector-Jacobian product);
+* :meth:`Tensor.backward` topologically sorts the DAG and accumulates
+  gradients.
+
+Broadcasting is fully supported: gradient contributions are summed over
+broadcast dimensions by :func:`_unbroadcast`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GradientError, ShapeError
+
+Array = np.ndarray
+_FLOAT = np.float64
+
+
+def _as_array(value: "Tensor | Array | float | int | Sequence") -> Array:
+    """Coerce ``value`` to a float64 numpy array (without copying Tensors)."""
+    if isinstance(value, Tensor):
+        return value.data
+    if isinstance(value, np.ndarray):
+        if value.dtype != _FLOAT:
+            return value.astype(_FLOAT)
+        return value
+    return np.asarray(value, dtype=_FLOAT)
+
+
+def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
+    """Sum ``grad`` over the axes that numpy broadcasting introduced.
+
+    If ``a`` with shape ``shape`` was broadcast up to ``grad.shape`` during
+    the forward pass, the correct gradient for ``a`` sums the incoming
+    gradient over every broadcast axis.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 numpy array.
+    requires_grad:
+        Whether gradients should flow to this tensor.  Leaf tensors created
+        by users (e.g. parameters) set this; intermediate tensors inherit it
+        from their parents.
+    parents:
+        Internal — ``(tensor, vjp)`` pairs recorded by ops.
+    op:
+        Internal — short op name, for debugging and graph dumps.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_op")
+
+    def __init__(
+        self,
+        data: "Array | float | int | Sequence | Tensor",
+        requires_grad: bool = False,
+        parents: "list[tuple[Tensor, Callable[[Array], Array]]] | None" = None,
+        op: str = "leaf",
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Array | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = parents or []
+        self._op = op
+
+    # ------------------------------------------------------------------
+    # Basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self._op!r}{grad_flag})"
+
+    def numpy(self) -> Array:
+        """Return the underlying numpy array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        if self.data.size != 1:
+            raise ShapeError(f"item() requires a 1-element tensor, got shape {self.shape}")
+        return float(self.data.reshape(()))
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Graph construction helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: Array,
+        parents: Iterable[tuple["Tensor", Callable[[Array], Array]]],
+        op: str,
+    ) -> "Tensor":
+        """Create an op output, keeping only parents that need gradients."""
+        kept = [(p, fn) for p, fn in parents if p.requires_grad]
+        return Tensor(data, requires_grad=bool(kept), parents=kept, op=op)
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Array | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to ones for scalar outputs; for non-scalar outputs
+        an explicit output gradient must be supplied.
+        """
+        if not self.requires_grad:
+            raise GradientError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise GradientError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"output; got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=_FLOAT)
+        if grad.shape != self.data.shape:
+            raise ShapeError(
+                f"output gradient shape {grad.shape} does not match tensor shape {self.shape}"
+            )
+
+        order = self._topological_order()
+        grads: dict[int, Array] = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if not node._parents:
+                # Leaf: accumulate into .grad
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            for parent, vjp in node._parents:
+                contribution = vjp(node_grad)
+                existing = grads.get(id(parent))
+                if existing is None:
+                    grads[id(parent)] = contribution
+                else:
+                    grads[id(parent)] = existing + contribution
+
+    def _topological_order(self) -> list["Tensor"]:
+        """Return the graph above ``self`` in reverse-topological order."""
+        visited: set[int] = set()
+        order: list[Tensor] = []
+        # Iterative DFS to avoid recursion limits on deep graphs (e.g. long
+        # LSTM unrolls).
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent, _ in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    def zero_grad(self) -> None:
+        """Clear any accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic ops
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Tensor | Array | float") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out = self.data + other_t.data
+        return Tensor._make(
+            out,
+            [
+                (self, lambda g: _unbroadcast(g, self.shape)),
+                (other_t, lambda g: _unbroadcast(g, other_t.shape)),
+            ],
+            "add",
+        )
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, [(self, lambda g: -g)], "neg")
+
+    def __sub__(self, other: "Tensor | Array | float") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out = self.data - other_t.data
+        return Tensor._make(
+            out,
+            [
+                (self, lambda g: _unbroadcast(g, self.shape)),
+                (other_t, lambda g: _unbroadcast(-g, other_t.shape)),
+            ],
+            "sub",
+        )
+
+    def __rsub__(self, other: "Array | float") -> "Tensor":
+        return Tensor(other) - self
+
+    def __mul__(self, other: "Tensor | Array | float") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out = self.data * other_t.data
+        return Tensor._make(
+            out,
+            [
+                (self, lambda g: _unbroadcast(g * other_t.data, self.shape)),
+                (other_t, lambda g: _unbroadcast(g * self.data, other_t.shape)),
+            ],
+            "mul",
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Tensor | Array | float") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out = self.data / other_t.data
+        return Tensor._make(
+            out,
+            [
+                (self, lambda g: _unbroadcast(g / other_t.data, self.shape)),
+                (
+                    other_t,
+                    lambda g: _unbroadcast(
+                        -g * self.data / (other_t.data**2), other_t.shape
+                    ),
+                ),
+            ],
+            "div",
+        )
+
+    def __rtruediv__(self, other: "Array | float") -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out = self.data**exponent
+        return Tensor._make(
+            out,
+            [(self, lambda g: g * exponent * self.data ** (exponent - 1))],
+            "pow",
+        )
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        if self.ndim == 0 or other_t.ndim == 0:
+            raise ShapeError("matmul requires tensors with ndim >= 1")
+        out = self.data @ other_t.data
+
+        def grad_left(g: Array) -> Array:
+            if other_t.ndim == 1:
+                # (..., n) = (..., n, m) @ (m,): g has shape (..., n)
+                return np.expand_dims(g, -1) * other_t.data
+            grad = g @ np.swapaxes(other_t.data, -1, -2)
+            return _unbroadcast(grad, self.shape) if grad.shape != self.shape else grad
+
+        def grad_right(g: Array) -> Array:
+            if self.ndim == 1:
+                grad = np.outer(self.data, g) if g.ndim == 1 else np.einsum(
+                    "i,...j->...ij", self.data, g
+                )
+            else:
+                grad = np.swapaxes(self.data, -1, -2) @ g
+            return (
+                _unbroadcast(grad, other_t.shape)
+                if grad.shape != other_t.shape
+                else grad
+            )
+
+        return Tensor._make(out, [(self, grad_left), (other_t, grad_right)], "matmul")
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        out = self.data.reshape(shape)
+        return Tensor._make(out, [(self, lambda g: g.reshape(original))], "reshape")
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = tuple(np.argsort(axes))
+        out = self.data.transpose(axes)
+        return Tensor._make(out, [(self, lambda g: g.transpose(inverse))], "transpose")
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        out = np.swapaxes(self.data, a, b)
+        return Tensor._make(out, [(self, lambda g: np.swapaxes(g, a, b))], "swapaxes")
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self.data[index]
+
+        def grad_fn(g: Array) -> Array:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, g)
+            return grad
+
+        return Tensor._make(np.asarray(out, dtype=_FLOAT), [(self, grad_fn)], "index")
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out = np.expand_dims(self.data, axis)
+        return Tensor._make(out, [(self, lambda g: np.squeeze(g, axis))], "expand_dims")
+
+    def squeeze(self, axis: int) -> "Tensor":
+        out = np.squeeze(self.data, axis)
+        return Tensor._make(out, [(self, lambda g: np.expand_dims(g, axis))], "squeeze")
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: "int | tuple[int, ...] | None" = None, keepdims: bool = False) -> "Tensor":
+        out = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def grad_fn(g: Array) -> Array:
+            if axis is None:
+                return np.broadcast_to(g, self.shape).copy()
+            g_expanded = g if keepdims else np.expand_dims(g, axis)
+            return np.broadcast_to(g_expanded, self.shape).copy()
+
+        return Tensor._make(np.asarray(out, dtype=_FLOAT), [(self, grad_fn)], "sum")
+
+    def mean(self, axis: "int | tuple[int, ...] | None" = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        out = self.data.max(axis=axis, keepdims=keepdims)
+        mask = self.data == self.data.max(axis=axis, keepdims=True)
+        # Split gradient among ties, matching the subgradient convention.
+        counts = mask.sum(axis=axis, keepdims=True)
+
+        def grad_fn(g: Array) -> Array:
+            g_expanded = g if keepdims else np.expand_dims(g, axis)
+            return mask * (g_expanded / counts)
+
+        return Tensor._make(np.asarray(out, dtype=_FLOAT), [(self, grad_fn)], "max")
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out = np.exp(self.data)
+        return Tensor._make(out, [(self, lambda g: g * out)], "exp")
+
+    def log(self) -> "Tensor":
+        out = np.log(self.data)
+        return Tensor._make(out, [(self, lambda g: g / self.data)], "log")
+
+    def sqrt(self) -> "Tensor":
+        out = np.sqrt(self.data)
+        return Tensor._make(out, [(self, lambda g: g * 0.5 / out)], "sqrt")
+
+    def tanh(self) -> "Tensor":
+        out = np.tanh(self.data)
+        return Tensor._make(out, [(self, lambda g: g * (1.0 - out**2))], "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic function: clip the exponent so both
+        # np.where branches are safe to evaluate (np.where computes both).
+        clipped = np.clip(self.data, -60.0, 60.0)
+        positive = 1.0 / (1.0 + np.exp(-clipped))
+        exp_x = np.exp(clipped)
+        negative = exp_x / (1.0 + exp_x)
+        out = np.where(self.data >= 0, positive, negative)
+        return Tensor._make(out, [(self, lambda g: g * out * (1.0 - out))], "sigmoid")
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = self.data * mask
+        return Tensor._make(out, [(self, lambda g: g * mask)], "relu")
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+        return Tensor._make(out, [(self, lambda g: g * mask)], "clip")
+
+    def abs(self) -> "Tensor":
+        out = np.abs(self.data)
+        sign = np.sign(self.data)
+        return Tensor._make(out, [(self, lambda g: g * sign)], "abs")
+
+
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(*shape: int, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)

@@ -1,0 +1,45 @@
+"""Training loop, metrics, evaluation, and quality reports."""
+
+from repro.training.metrics import (
+    PRF,
+    accuracy,
+    confusion_matrix,
+    macro_f1,
+    micro_f1_multilabel,
+    per_class_prf,
+)
+from repro.training.evaluation import (
+    TaskEvaluation,
+    evaluate,
+    mean_primary,
+    predict_all,
+)
+from repro.training.trainer import EpochStats, Trainer, TrainHistory
+from repro.training.reports import (
+    QualityReport,
+    ReportRow,
+    confusion_for_tag,
+    quality_report,
+    render_confusion,
+)
+
+__all__ = [
+    "PRF",
+    "accuracy",
+    "confusion_matrix",
+    "macro_f1",
+    "micro_f1_multilabel",
+    "per_class_prf",
+    "TaskEvaluation",
+    "evaluate",
+    "mean_primary",
+    "predict_all",
+    "EpochStats",
+    "Trainer",
+    "TrainHistory",
+    "QualityReport",
+    "ReportRow",
+    "confusion_for_tag",
+    "quality_report",
+    "render_confusion",
+]

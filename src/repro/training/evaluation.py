@@ -1,0 +1,123 @@
+"""Evaluation harness: model quality against a trusted gold source.
+
+"This quality is measured within Overton by evaluation on curated test
+sets" (§2).  The gold source is just another lineage name — typically
+``gold`` — kept out of training and used only here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.schema_def import Schema
+from repro.data.batching import encode_inputs, extract_targets, iterate_batches
+from repro.data.record import Record
+from repro.data.vocab import Vocab
+from repro.model.multitask import MultitaskModel
+from repro.training.metrics import accuracy, macro_f1, micro_f1_multilabel
+
+
+@dataclass
+class TaskEvaluation:
+    """Metrics for one task; ``primary`` is the headline number."""
+
+    task: str
+    metrics: dict[str, float] = field(default_factory=dict)
+    n: int = 0
+
+    @property
+    def primary(self) -> float:
+        if "f1" in self.metrics:
+            return self.metrics["f1"]
+        return self.metrics.get("accuracy", 0.0)
+
+
+def predict_all(
+    model: MultitaskModel,
+    records: Sequence[Record],
+    schema: Schema,
+    vocabs: dict[str, Vocab],
+    batch_size: int = 64,
+) -> dict[str, dict[str, np.ndarray]]:
+    """Run inference over all records; returns per-task stacked outputs."""
+    collected: dict[str, list] = {t.name: [] for t in schema.tasks}
+    probs: dict[str, list] = {t.name: [] for t in schema.tasks}
+    for idx in iterate_batches(len(records), batch_size):
+        batch_records = [records[int(i)] for i in idx]
+        batch = encode_inputs(batch_records, schema, vocabs, indices=idx)
+        outputs = model.predict(batch)
+        for name, out in outputs.items():
+            collected[name].append(out.predictions)
+            probs[name].append(out.probs)
+    return {
+        name: {
+            "predictions": np.concatenate(chunks, axis=0)
+            if chunks
+            else np.zeros(0, dtype=np.int64),
+            "probs": np.concatenate(probs[name], axis=0)
+            if probs[name]
+            else np.zeros((0,)),
+        }
+        for name, chunks in collected.items()
+    }
+
+
+def evaluate(
+    model: MultitaskModel,
+    records: Sequence[Record],
+    schema: Schema,
+    vocabs: dict[str, Vocab],
+    gold_source: str = "gold",
+    batch_size: int = 64,
+) -> dict[str, TaskEvaluation]:
+    """Evaluate every task against ``gold_source`` labels."""
+    if not records:
+        return {t.name: TaskEvaluation(task=t.name) for t in schema.tasks}
+    outputs = predict_all(model, records, schema, vocabs, batch_size)
+    results: dict[str, TaskEvaluation] = {}
+    for task in schema.tasks:
+        gold = extract_targets(records, schema, task.name, gold_source)
+        preds = outputs[task.name]["predictions"]
+        valid = gold["valid"]
+        if task.type == "multiclass":
+            acc = accuracy(preds, gold["labels"], valid)
+            f1 = macro_f1(preds, gold["labels"], task.num_classes, valid)
+            results[task.name] = TaskEvaluation(
+                task=task.name,
+                metrics={"accuracy": acc, "f1": f1},
+                n=int(np.asarray(valid).sum()),
+            )
+        elif task.type == "bitvector":
+            f1 = micro_f1_multilabel(preds, gold["labels"], valid)
+            exact = _exact_match(preds, gold["labels"], valid)
+            results[task.name] = TaskEvaluation(
+                task=task.name,
+                metrics={"f1": f1, "exact_match": exact},
+                n=int(np.asarray(valid).sum()),
+            )
+        else:  # select
+            acc = accuracy(preds, gold["labels"], valid)
+            results[task.name] = TaskEvaluation(
+                task=task.name,
+                metrics={"accuracy": acc},
+                n=int(np.asarray(valid).sum()),
+            )
+    return results
+
+
+def mean_primary(evaluations: dict[str, TaskEvaluation]) -> float:
+    """Mean of per-task primary metrics — the tuning objective."""
+    if not evaluations:
+        return 0.0
+    return float(np.mean([e.primary for e in evaluations.values()]))
+
+
+def _exact_match(pred_bits: np.ndarray, gold_bits: np.ndarray, valid) -> float:
+    keep = np.asarray(valid, dtype=bool)
+    if keep.sum() == 0:
+        return 0.0
+    matches = (np.asarray(pred_bits) == np.asarray(gold_bits)).all(axis=-1)
+    return float(matches[keep].mean())

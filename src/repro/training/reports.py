@@ -1,0 +1,155 @@
+"""Per-tag and per-slice quality reports: Overton's monitoring output.
+
+"Engineers are free to define their own subsets of data via tags ...
+Overton allows report per-tag monitoring" (§2.2).  A report row is (tag,
+task, metric values, n); the table exports to pandas-compatible columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.schema_def import Schema
+from repro.data.record import Record
+from repro.data.tags import TagTable
+from repro.data.vocab import Vocab
+from repro.model.multitask import MultitaskModel
+from repro.training.evaluation import evaluate
+
+
+@dataclass
+class ReportRow:
+    tag: str
+    task: str
+    n: int
+    metrics: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class QualityReport:
+    """A full fine-grained quality report for one model on one dataset."""
+
+    rows: list[ReportRow] = field(default_factory=list)
+
+    def for_tag(self, tag: str) -> list[ReportRow]:
+        return [r for r in self.rows if r.tag == tag]
+
+    def for_task(self, task: str) -> list[ReportRow]:
+        return [r for r in self.rows if r.task == task]
+
+    def metric(self, tag: str, task: str, name: str) -> float:
+        for row in self.rows:
+            if row.tag == tag and row.task == task:
+                return row.metrics.get(name, float("nan"))
+        return float("nan")
+
+    def to_columns(self) -> dict[str, list]:
+        """Pandas-compatible columnar dict."""
+        metric_names = sorted({m for r in self.rows for m in r.metrics})
+        columns: dict[str, list] = {
+            "tag": [r.tag for r in self.rows],
+            "task": [r.task for r in self.rows],
+            "n": [r.n for r in self.rows],
+        }
+        for name in metric_names:
+            columns[name] = [r.metrics.get(name, float("nan")) for r in self.rows]
+        return columns
+
+
+def quality_report(
+    model: MultitaskModel,
+    records: Sequence[Record],
+    schema: Schema,
+    vocabs: dict[str, Vocab],
+    gold_source: str = "gold",
+    tags: Sequence[str] | None = None,
+    include_overall: bool = True,
+) -> QualityReport:
+    """Evaluate per tag (all tags by default, including slices)."""
+    table = TagTable([r.tags for r in records])
+    tag_list = list(tags) if tags is not None else table.all_tags
+    report = QualityReport()
+    if include_overall:
+        _append_rows(report, "overall", model, list(records), schema, vocabs, gold_source)
+    for tag in tag_list:
+        indices = table.indices(tag)
+        subset = [records[int(i)] for i in indices]
+        _append_rows(report, tag, model, subset, schema, vocabs, gold_source)
+    return report
+
+
+def confusion_for_tag(
+    model: MultitaskModel,
+    records: Sequence[Record],
+    schema: Schema,
+    vocabs: dict[str, Vocab],
+    task_name: str,
+    tag: str | None = None,
+    gold_source: str = "gold",
+) -> np.ndarray:
+    """Confusion matrix for one multiclass task, restricted to ``tag``.
+
+    "Overton allows report per-tag monitoring, such as ... confusion
+    matrices, as appropriate" (§2.2).  Rows are gold classes, columns
+    predictions; only positions the gold source labeled are counted.
+    """
+    from repro.data.batching import extract_targets
+    from repro.training.evaluation import predict_all
+    from repro.training.metrics import confusion_matrix
+
+    task = schema.task(task_name)
+    if task.type != "multiclass":
+        raise ValueError(
+            f"confusion matrices apply to multiclass tasks, not {task.type!r}"
+        )
+    subset = list(records)
+    if tag is not None:
+        subset = [r for r in subset if r.has_tag(tag)]
+    if not subset:
+        return np.zeros((task.num_classes, task.num_classes), dtype=np.int64)
+    outputs = predict_all(model, subset, schema, vocabs)
+    gold = extract_targets(subset, schema, task_name, gold_source)
+    return confusion_matrix(
+        outputs[task_name]["predictions"],
+        gold["labels"],
+        task.num_classes,
+        gold["valid"],
+    )
+
+
+def render_confusion(matrix: np.ndarray, classes: Sequence[str]) -> str:
+    """Text table of a confusion matrix (rows gold, columns predicted)."""
+    from repro.monitoring.dashboards import format_table
+
+    columns: dict[str, list] = {"gold \\ pred": list(classes)}
+    for j, name in enumerate(classes):
+        columns[name] = [int(matrix[i, j]) for i in range(len(classes))]
+    return format_table(columns)
+
+
+def _append_rows(
+    report: QualityReport,
+    tag: str,
+    model: MultitaskModel,
+    subset: list[Record],
+    schema: Schema,
+    vocabs: dict[str, Vocab],
+    gold_source: str,
+) -> None:
+    if not subset:
+        for task in schema.tasks:
+            report.rows.append(ReportRow(tag=tag, task=task.name, n=0))
+        return
+    evals = evaluate(model, subset, schema, vocabs, gold_source)
+    for task_name, evaluation in evals.items():
+        report.rows.append(
+            ReportRow(
+                tag=tag,
+                task=task_name,
+                n=evaluation.n,
+                metrics=dict(evaluation.metrics),
+            )
+        )

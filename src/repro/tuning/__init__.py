@@ -1,0 +1,17 @@
+"""Hyperparameter / coarse architecture search."""
+
+from repro.tuning.search import (
+    SearchResult,
+    Trial,
+    grid_search,
+    random_search,
+    successive_halving,
+)
+
+__all__ = [
+    "SearchResult",
+    "Trial",
+    "grid_search",
+    "random_search",
+    "successive_halving",
+]

@@ -1,0 +1,131 @@
+"""Hyperparameter and coarse architecture search.
+
+"Overton searches over relatively limited large blocks, e.g., should we use
+an LSTM or CNN, not at a fine-grained level of connections" (§4).  The
+controller evaluates concrete :class:`ModelConfig` candidates (from
+``TuningSpec.expand()``) via a caller-supplied trial function and keeps a
+full trial log.  Grid, random, and successive-halving strategies are
+provided; the paper notes fancier NAS had diminishing returns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.tuning_spec import ModelConfig, TrainerConfig, TuningSpec
+from repro.errors import TuningError
+
+TrialFn = Callable[[ModelConfig], float]
+
+
+@dataclass
+class Trial:
+    """One evaluated candidate."""
+
+    config: ModelConfig
+    score: float
+    rung: int = 0
+
+
+@dataclass
+class SearchResult:
+    """Best candidate plus the full log."""
+
+    best_config: ModelConfig
+    best_score: float
+    trials: list[Trial] = field(default_factory=list)
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+
+def grid_search(spec: TuningSpec, trial_fn: TrialFn) -> SearchResult:
+    """Evaluate every candidate in the spec's cross product."""
+    candidates = spec.expand()
+    return _evaluate_all(candidates, trial_fn)
+
+
+def random_search(
+    spec: TuningSpec,
+    trial_fn: TrialFn,
+    num_trials: int,
+    seed: int = 0,
+) -> SearchResult:
+    """Evaluate a random subset of the grid (Li & Talwalkar 2019 style)."""
+    if num_trials <= 0:
+        raise TuningError("num_trials must be positive")
+    candidates = spec.expand()
+    rng = np.random.default_rng(seed)
+    if num_trials >= len(candidates):
+        picked = candidates
+    else:
+        idx = rng.choice(len(candidates), size=num_trials, replace=False)
+        picked = [candidates[i] for i in idx]
+    return _evaluate_all(picked, trial_fn)
+
+
+def successive_halving(
+    spec: TuningSpec,
+    trial_fn_with_budget: Callable[[ModelConfig, int], float],
+    min_epochs: int = 2,
+    max_epochs: int = 8,
+    reduction: int = 2,
+    seed: int = 0,
+) -> SearchResult:
+    """Successive halving over training epochs.
+
+    All candidates train for ``min_epochs``; the top ``1/reduction`` advance
+    with doubled budget until ``max_epochs``.  ``trial_fn_with_budget``
+    receives (config, epochs).
+    """
+    if reduction < 2:
+        raise TuningError("reduction factor must be >= 2")
+    candidates = spec.expand()
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(candidates))
+    survivors = [candidates[i] for i in order]
+    trials: list[Trial] = []
+    budget = min_epochs
+    rung = 0
+    scored: list[tuple[ModelConfig, float]] = []
+    while survivors:
+        scored = []
+        for config in survivors:
+            config = _with_epochs(config, budget)
+            score = trial_fn_with_budget(config, budget)
+            trials.append(Trial(config=config, score=score, rung=rung))
+            scored.append((config, score))
+        scored.sort(key=lambda pair: pair[1], reverse=True)
+        if budget >= max_epochs or len(scored) == 1:
+            break
+        keep = max(1, math.ceil(len(scored) / reduction))
+        survivors = [config for config, _ in scored[:keep]]
+        budget = min(budget * reduction, max_epochs)
+        rung += 1
+    best_config, best_score = scored[0]
+    return SearchResult(best_config=best_config, best_score=best_score, trials=trials)
+
+
+def _with_epochs(config: ModelConfig, epochs: int) -> ModelConfig:
+    trainer = TrainerConfig(**{**config.trainer.to_dict(), "epochs": epochs})
+    return ModelConfig(payloads=dict(config.payloads), trainer=trainer)
+
+
+def _evaluate_all(candidates: Sequence[ModelConfig], trial_fn: TrialFn) -> SearchResult:
+    if not candidates:
+        raise TuningError("no candidates to evaluate")
+    trials = []
+    best: Trial | None = None
+    for config in candidates:
+        score = trial_fn(config)
+        trial = Trial(config=config, score=score)
+        trials.append(trial)
+        if best is None or score > best.score:
+            best = trial
+    assert best is not None
+    return SearchResult(best_config=best.config, best_score=best.score, trials=trials)

@@ -1,0 +1,115 @@
+"""The entity gazetteer behind the synthetic factoid workload.
+
+Surfaces are deliberately ambiguous — several entities share a surface form
+(e.g. "washington" the president, the state, and the city) — because the
+paper's hardest production slice is "complex but rare disambiguations"
+(§2.2).  Popularity controls which reading naive heuristics pick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Entity:
+    """One gazetteer entry."""
+
+    id: str
+    surface: str  # single lowercase token
+    category: str  # person | country | city | state | mountain | food | river
+    types: tuple[str, ...]  # EntityType task labels
+    popularity: float  # higher = heuristics prefer it
+
+
+# Categories each intent's argument must belong to.
+INTENT_CATEGORY = {
+    "height": ("person", "mountain"),
+    "age": ("person",),
+    "population": ("country", "city", "state"),
+    "capital": ("country", "state"),
+    "spouse": ("person",),
+    "nutrition": ("food",),
+}
+
+ENTITY_TYPE_CLASSES = (
+    "person",
+    "location",
+    "country",
+    "city",
+    "state",
+    "mountain",
+    "food",
+    "title",
+)
+
+_RAW = [
+    # id, surface, category, types, popularity
+    ("George_Washington", "washington", "person", ("person", "title"), 0.9),
+    ("Washington_(state)", "washington", "state", ("location", "state"), 0.6),
+    ("Washington_D.C.", "washington", "city", ("location", "city"), 0.7),
+    ("Michael_Jordan", "jordan", "person", ("person",), 0.9),
+    ("Jordan_(country)", "jordan", "country", ("location", "country"), 0.5),
+    ("Georgia_(country)", "georgia", "country", ("location", "country"), 0.5),
+    ("Georgia_(state)", "georgia", "state", ("location", "state"), 0.8),
+    ("Paris", "paris", "city", ("location", "city"), 0.9),
+    ("Paris_Hilton", "paris", "person", ("person",), 0.4),
+    ("Apple_(food)", "apple", "food", ("food",), 0.3),
+    ("Apple_Inc", "apple", "city", ("location",), 0.9),  # stand-in non-food reading
+    ("Mount_Everest", "everest", "mountain", ("location", "mountain"), 0.9),
+    ("France", "france", "country", ("location", "country"), 0.9),
+    ("Tokyo", "tokyo", "city", ("location", "city"), 0.9),
+    ("Barack_Obama", "obama", "person", ("person", "title"), 0.9),
+    ("Angela_Merkel", "merkel", "person", ("person", "title"), 0.8),
+    ("Nile", "nile", "river", ("location",), 0.8),
+    ("Pizza", "pizza", "food", ("food",), 0.8),
+    ("Banana", "banana", "food", ("food",), 0.7),
+    ("Rice", "rice", "food", ("food",), 0.6),
+    ("Condoleezza_Rice", "rice", "person", ("person", "title"), 0.5),
+    ("Kilimanjaro", "kilimanjaro", "mountain", ("location", "mountain"), 0.7),
+    ("Denali", "denali", "mountain", ("location", "mountain"), 0.5),
+    ("Brazil", "brazil", "country", ("location", "country"), 0.8),
+    ("Berlin", "berlin", "city", ("location", "city"), 0.8),
+    ("Texas", "texas", "state", ("location", "state"), 0.8),
+    ("Lincoln", "lincoln", "person", ("person", "title"), 0.8),
+    ("Lincoln_(city)", "lincoln", "city", ("location", "city"), 0.4),
+    ("Cairo", "cairo", "city", ("location", "city"), 0.7),
+    ("Egypt", "egypt", "country", ("location", "country"), 0.8),
+    ("Madonna", "madonna", "person", ("person",), 0.8),
+    ("Chile", "chile", "country", ("location", "country"), 0.7),
+    ("Chili_(food)", "chile", "food", ("food",), 0.4),
+    ("Turkey_(country)", "turkey", "country", ("location", "country"), 0.7),
+    ("Turkey_(food)", "turkey", "food", ("food",), 0.6),
+    ("Elon_Musk", "musk", "person", ("person",), 0.8),
+    ("K2", "k2", "mountain", ("location", "mountain"), 0.6),
+    ("India", "india", "country", ("location", "country"), 0.9),
+    ("Mumbai", "mumbai", "city", ("location", "city"), 0.7),
+    ("Bread", "bread", "food", ("food",), 0.6),
+]
+
+GAZETTEER: list[Entity] = [
+    Entity(id=i, surface=s, category=c, types=tuple(t), popularity=p)
+    for i, s, c, t, p in _RAW
+]
+
+
+def by_surface(surface: str) -> list[Entity]:
+    """All readings of a surface, most popular first."""
+    matches = [e for e in GAZETTEER if e.surface == surface]
+    return sorted(matches, key=lambda e: -e.popularity)
+
+
+def surfaces_for_intent(intent: str) -> list[str]:
+    """Surfaces that have at least one reading compatible with ``intent``."""
+    categories = INTENT_CATEGORY[intent]
+    return sorted(
+        {e.surface for e in GAZETTEER if e.category in categories}
+    )
+
+
+def compatible(entity: Entity, intent: str) -> bool:
+    return entity.category in INTENT_CATEGORY[intent]
+
+
+def is_ambiguous(surface: str) -> bool:
+    return len(by_surface(surface)) > 1

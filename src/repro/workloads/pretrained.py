@@ -1,0 +1,84 @@
+"""Synthetic pretrained embeddings: the with-BERT / without-BERT substitute.
+
+Substitution note (Fig. 4b): the paper contrasts a production model with
+standard word embeddings against one fine-tuned from BERT-Large.  Offline,
+we reproduce the *contrast that matters* — pretrained token representations
+carrying distributional knowledge vs representations learned from scratch —
+by pretraining embeddings on a large synthetic corpus drawn from the same
+query grammar with a PPMI + SVD objective (the classic count-based
+equivalent of word2vec; Levy & Goldberg 2014).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.embeddings_registry import EmbeddingProduct
+from repro.workloads.factoid import FactoidGenerator, WorkloadConfig
+
+
+def build_corpus(n_queries: int = 4000, seed: int = 123) -> list[list[str]]:
+    """Sample a raw-text corpus from the query grammar (no labels used)."""
+    generator = FactoidGenerator(WorkloadConfig(n=n_queries, seed=seed))
+    dataset = generator.generate()
+    return [r.payloads["tokens"] for r in dataset.records]
+
+
+def ppmi_svd_embeddings(
+    corpus: list[list[str]],
+    dim: int,
+    window: int = 2,
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Train embeddings: positive PMI co-occurrence matrix + truncated SVD."""
+    vocab: dict[str, int] = {}
+    for sentence in corpus:
+        for token in sentence:
+            vocab.setdefault(token, len(vocab))
+    v = len(vocab)
+    counts = np.zeros((v, v))
+    totals = np.zeros(v)
+    for sentence in corpus:
+        ids = [vocab[t] for t in sentence]
+        for i, a in enumerate(ids):
+            totals[a] += 1
+            lo, hi = max(0, i - window), min(len(ids), i + window + 1)
+            for j in range(lo, hi):
+                if j != i:
+                    counts[a, ids[j]] += 1
+    total = counts.sum()
+    if total == 0:
+        return {}
+    row = counts.sum(axis=1, keepdims=True)
+    col = counts.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pmi = np.log((counts * total) / np.maximum(row * col, 1e-12))
+    ppmi = np.where(np.isfinite(pmi), np.maximum(pmi, 0.0), 0.0)
+    u, s, _ = np.linalg.svd(ppmi, full_matrices=False)
+    k = min(dim, u.shape[1])
+    vectors_matrix = u[:, :k] * np.sqrt(s[:k])
+    if k < dim:  # pad with zeros if the corpus has low rank
+        vectors_matrix = np.concatenate(
+            [vectors_matrix, np.zeros((v, dim - k))], axis=1
+        )
+    # Unit-normalize so downstream layers see consistent scales.
+    norms = np.linalg.norm(vectors_matrix, axis=1, keepdims=True)
+    vectors_matrix = vectors_matrix / np.maximum(norms, 1e-8)
+    return {token: vectors_matrix[i] for token, i in vocab.items()}
+
+
+def build_pretrained_product(
+    dim: int = 16,
+    corpus_queries: int = 4000,
+    name: str | None = None,
+    seed: int = 123,
+) -> EmbeddingProduct:
+    """The drop-in "pretrained language model" payload for this workload."""
+    corpus = build_corpus(n_queries=corpus_queries, seed=seed)
+    vectors = ppmi_svd_embeddings(corpus, dim=dim, seed=seed)
+    return EmbeddingProduct(
+        name=name or f"corpus-{dim}",
+        dim=dim,
+        vectors=vectors,
+        version="1",
+    )

@@ -1,0 +1,331 @@
+"""Synthetic weak supervision sources with known reliability.
+
+Substitution note: the paper's sources are production annotators and
+engineer heuristics.  Here each source is a parameterized corruptor of the
+gold label — with *known* accuracy and coverage — which both drives the
+Fig. 4a scale study and lets tests verify the label model's estimates.
+
+Two families:
+
+* :func:`noisy_source` — flips the gold label with probability ``1-acc``
+  (an idealized annotator of known quality);
+* realistic heuristics (:func:`keyword_intent_source`,
+  :func:`popularity_intent_arg_source`, :func:`gazetteer_type_source`) whose
+  errors are *systematic*, e.g. the popularity heuristic is wrong on exactly
+  the hard-disambiguation slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.record import Record
+from repro.supervision.source import LabelSource
+from repro.workloads.gazetteer import by_surface
+from repro.workloads.factoid import INTENT_CLASSES
+
+
+@dataclass
+class WeakSourceSpec:
+    """A named corruptor applied to a dataset."""
+
+    source: LabelSource
+    task: str
+    accuracy: float
+    coverage: float
+
+
+def apply_noisy_source(
+    records: Sequence[Record],
+    task: str,
+    name: str,
+    accuracy: float,
+    coverage: float,
+    classes: Sequence[str],
+    rng: np.random.Generator,
+    gold_source: str = "gold",
+    kind: str = "heuristic",
+) -> WeakSourceSpec:
+    """Write a noisy copy of the gold label under source ``name``.
+
+    Handles singleton multiclass (string labels), sequence multiclass
+    (lists), and select (int) tasks; wrong labels are drawn uniformly from
+    the alternatives.
+    """
+    for record in records:
+        gold = record.label_from(task, gold_source)
+        if gold is None or rng.random() >= coverage:
+            continue
+        record.add_label(task, name, _corrupt(gold, accuracy, classes, record, task, rng))
+    return WeakSourceSpec(
+        source=LabelSource(name=name, kind=kind, description=f"synthetic acc={accuracy}"),
+        task=task,
+        accuracy=accuracy,
+        coverage=coverage,
+    )
+
+
+def _corrupt(gold, accuracy, classes, record: Record, task: str, rng) -> object:
+    if isinstance(gold, list):  # sequence labels
+        out = []
+        for item in gold:
+            if item is None or rng.random() < accuracy:
+                out.append(item)
+            else:
+                if isinstance(item, list):  # bitvector position
+                    wrong = [c for c in classes if c not in item]
+                    out.append([wrong[int(rng.integers(len(wrong)))]] if wrong else item)
+                else:
+                    wrong = [c for c in classes if c != item]
+                    out.append(wrong[int(rng.integers(len(wrong)))])
+        return out
+    if isinstance(gold, int):  # select: wrong = another valid candidate
+        if rng.random() < accuracy:
+            return gold
+        task_payload = "entities"
+        members = record.payloads.get(task_payload) or []
+        others = [i for i in range(len(members)) if i != gold]
+        return others[int(rng.integers(len(others)))] if others else gold
+    # singleton multiclass
+    if rng.random() < accuracy:
+        return gold
+    wrong = [c for c in classes if c != gold]
+    return wrong[int(rng.integers(len(wrong)))]
+
+
+# ----------------------------------------------------------------------
+# Systematic heuristics (realistic failure modes)
+# ----------------------------------------------------------------------
+_KEYWORDS = {
+    "tall": "height",
+    "height": "height",
+    "old": "age",
+    "age": "age",
+    "population": "population",
+    "people": "population",
+    "capital": "capital",
+    "spouse": "spouse",
+    "married": "spouse",
+    "calories": "nutrition",
+    "healthy": "nutrition",
+}
+
+
+def keyword_intent_source(
+    records: Sequence[Record],
+    name: str = "lf_keywords",
+    miss_rate: float = 0.05,
+    rng: np.random.Generator | None = None,
+) -> WeakSourceSpec:
+    """Keyword lookup for Intent; abstains when no keyword matches."""
+    rng = rng or np.random.default_rng(0)
+    covered = 0
+    for record in records:
+        tokens = record.payloads.get("tokens") or []
+        label = None
+        for token in tokens:
+            if token in _KEYWORDS:
+                label = _KEYWORDS[token]
+                break
+        if label is None or rng.random() < miss_rate:
+            continue
+        record.add_label("Intent", name, label)
+        covered += 1
+    return WeakSourceSpec(
+        source=LabelSource(name=name, kind="heuristic", description="keyword rules"),
+        task="Intent",
+        accuracy=1.0,
+        coverage=covered / max(len(records), 1),
+    )
+
+
+def popularity_intent_arg_source(
+    records: Sequence[Record], name: str = "lf_popularity"
+) -> WeakSourceSpec:
+    """Pick the most popular candidate reading — wrong on the hard slice.
+
+    This is the classic production heuristic whose systematic failure
+    motivates slicing: it has high aggregate accuracy but ~0% accuracy on
+    hard disambiguations.
+    """
+    for record in records:
+        members = record.payloads.get("entities") or []
+        if not members:
+            continue
+        popularity = []
+        for member in members:
+            readings = {e.id: e for e in by_surface_of(member)}
+            entity = readings.get(member.get("id"))
+            popularity.append(entity.popularity if entity else 0.0)
+        record.add_label("IntentArg", name, int(np.argmax(popularity)))
+    return WeakSourceSpec(
+        source=LabelSource(name=name, kind="heuristic", description="most popular reading"),
+        task="IntentArg",
+        accuracy=float("nan"),  # systematic, not uniform
+        coverage=1.0,
+    )
+
+
+def by_surface_of(member: dict):
+    """All gazetteer readings sharing this member's surface."""
+    from repro.workloads.gazetteer import GAZETTEER
+
+    ids = {e.id: e for e in GAZETTEER}
+    entity = ids.get(member.get("id"))
+    if entity is None:
+        return []
+    return by_surface(entity.surface)
+
+
+def compatibility_intent_arg_source(
+    records: Sequence[Record],
+    name: str = "lf_compatible",
+    slip_rate: float = 0.08,
+    rng: np.random.Generator | None = None,
+) -> WeakSourceSpec:
+    """Pick the first candidate compatible with the keyword-guessed intent.
+
+    The engineer-written heuristic that fixes the popularity source's
+    systematic failure: it reasons from type compatibility instead of
+    popularity, so it is right on hard disambiguations, at the cost of
+    occasional slips and abstains when no keyword matches.
+    """
+    from repro.workloads.gazetteer import GAZETTEER, INTENT_CATEGORY
+
+    rng = rng or np.random.default_rng(2)
+    ids = {e.id: e for e in GAZETTEER}
+    covered = 0
+    for record in records:
+        tokens = record.payloads.get("tokens") or []
+        members = record.payloads.get("entities") or []
+        if not members:
+            continue
+        intent = None
+        for token in tokens:
+            if token in _KEYWORDS:
+                intent = _KEYWORDS[token]
+                break
+        if intent is None:
+            continue  # abstain without a keyword signal
+        wanted = INTENT_CATEGORY[intent]
+        choice = None
+        for i, member in enumerate(members):
+            entity = ids.get(member.get("id"))
+            if entity is not None and entity.category in wanted:
+                choice = i
+                break
+        if choice is None:
+            continue
+        if rng.random() < slip_rate:
+            others = [i for i in range(len(members)) if i != choice]
+            if others:
+                choice = others[int(rng.integers(len(others)))]
+        record.add_label("IntentArg", name, choice)
+        covered += 1
+    return WeakSourceSpec(
+        source=LabelSource(
+            name=name, kind="heuristic", description="type-compatibility rule"
+        ),
+        task="IntentArg",
+        accuracy=1.0 - slip_rate,
+        coverage=covered / max(len(records), 1),
+    )
+
+
+def gazetteer_type_source(
+    records: Sequence[Record],
+    name: str = "lf_gazetteer",
+    noise: float = 0.05,
+    rng: np.random.Generator | None = None,
+) -> WeakSourceSpec:
+    """Project entity types from the *most popular* reading of each span.
+
+    Systematically wrong token types on hard disambiguations; random noise
+    elsewhere.
+    """
+    from repro.workloads.gazetteer import ENTITY_TYPE_CLASSES
+
+    rng = rng or np.random.default_rng(1)
+    for record in records:
+        tokens = record.payloads.get("tokens") or []
+        members = record.payloads.get("entities") or []
+        labels: list[list[str]] = [[] for _ in tokens]
+        for member in members:
+            readings = by_surface_of(member)
+            if not readings:
+                continue
+            top = readings[0]  # most popular
+            span = member.get("range") or [0, 1]
+            for t in range(span[0], min(span[1], len(tokens))):
+                labels[t] = sorted(set(labels[t]) | set(top.types))
+        if noise > 0:
+            for t in range(len(labels)):
+                if labels[t] and rng.random() < noise:
+                    labels[t] = [
+                        ENTITY_TYPE_CLASSES[int(rng.integers(len(ENTITY_TYPE_CLASSES)))]
+                    ]
+        record.add_label("EntityType", name, labels)
+    return WeakSourceSpec(
+        source=LabelSource(name=name, kind="distant", description="gazetteer projection"),
+        task="EntityType",
+        accuracy=float("nan"),
+        coverage=1.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Standard supervision bundles
+# ----------------------------------------------------------------------
+def apply_standard_weak_supervision(
+    records: Sequence[Record],
+    seed: int = 0,
+    intent_sources: Sequence[tuple[str, float, float]] = (
+        ("crowd_intent", 0.9, 0.3),
+        ("lf_intent_a", 0.8, 0.9),
+        ("lf_intent_b", 0.7, 0.9),
+    ),
+    pos_accuracy: float = 0.9,
+    arg_crowd_accuracy: float = 0.85,
+    arg_crowd_coverage: float = 0.3,
+) -> list[WeakSourceSpec]:
+    """Attach the default bundle of weak sources used by the benchmarks.
+
+    Intent gets one simulated crowd source (high accuracy / low coverage)
+    plus heuristics; POS gets a noisy tagger; EntityType gets the gazetteer
+    projector; IntentArg gets popularity + a partial crowd source.
+    """
+    from repro.workloads.factoid import POS_CLASSES
+
+    rng = np.random.default_rng(seed)
+    specs = []
+    for i, (name, acc, cov) in enumerate(intent_sources):
+        kind = "human" if name.startswith("crowd") else "heuristic"
+        specs.append(
+            apply_noisy_source(
+                records, "Intent", name, acc, cov, INTENT_CLASSES, rng, kind=kind
+            )
+        )
+    specs.append(
+        apply_noisy_source(
+            records, "POS", "lf_tagger", pos_accuracy, 1.0, POS_CLASSES, rng
+        )
+    )
+    specs.append(gazetteer_type_source(records, rng=rng))
+    specs.append(popularity_intent_arg_source(records))
+    specs.append(compatibility_intent_arg_source(records, rng=rng))
+    specs.append(
+        apply_noisy_source(
+            records,
+            "IntentArg",
+            "crowd_arg",
+            arg_crowd_accuracy,
+            arg_crowd_coverage,
+            [],
+            rng,
+            kind="human",
+        )
+    )
+    return specs

@@ -1,0 +1,220 @@
+"""Tests for payload/task specs, schema validation, and round-trips."""
+
+import pytest
+
+from repro.core import PayloadSpec, Schema, TaskSpec
+from repro.errors import SchemaError
+
+from tests.fixtures import factoid_schema
+
+
+class TestPayloadSpec:
+    def test_sequence_requires_max_length(self):
+        with pytest.raises(SchemaError):
+            PayloadSpec(name="t", type="sequence")
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError):
+            PayloadSpec(name="t", type="tensor")
+
+    def test_singleton_needs_base_or_dim(self):
+        with pytest.raises(SchemaError):
+            PayloadSpec(name="q", type="singleton")
+
+    def test_singleton_base_and_dim_conflict(self):
+        with pytest.raises(SchemaError):
+            PayloadSpec(name="q", type="singleton", base=("tokens",), dim=4)
+
+    def test_set_requires_range_and_members(self):
+        with pytest.raises(SchemaError):
+            PayloadSpec(name="e", type="set", max_members=3)
+        with pytest.raises(SchemaError):
+            PayloadSpec(name="e", type="set", range="tokens")
+
+    def test_from_dict_string_base_promoted(self):
+        spec = PayloadSpec.from_dict("q", {"type": "singleton", "base": "tokens"})
+        assert spec.base == ("tokens",)
+
+    def test_from_dict_unknown_field(self):
+        with pytest.raises(SchemaError):
+            PayloadSpec.from_dict("q", {"type": "singleton", "hidden_size": 64})
+
+    def test_from_dict_missing_type(self):
+        with pytest.raises(SchemaError):
+            PayloadSpec.from_dict("q", {})
+
+    def test_roundtrip(self):
+        spec = PayloadSpec.from_dict(
+            "e", {"type": "set", "range": "tokens", "max_members": 3, "vocab": "ent"}
+        )
+        assert PayloadSpec.from_dict("e", spec.to_dict()) == spec
+
+
+class TestTaskSpec:
+    def test_multiclass_needs_two_classes(self):
+        with pytest.raises(SchemaError):
+            TaskSpec(name="t", payload="q", type="multiclass", classes=("a",))
+
+    def test_bitvector_needs_one_class(self):
+        with pytest.raises(SchemaError):
+            TaskSpec(name="t", payload="q", type="bitvector")
+
+    def test_duplicate_classes(self):
+        with pytest.raises(SchemaError):
+            TaskSpec(name="t", payload="q", type="multiclass", classes=("a", "a"))
+
+    def test_select_rejects_classes(self):
+        with pytest.raises(SchemaError):
+            TaskSpec(name="t", payload="e", type="select", classes=("a", "b"))
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError):
+            TaskSpec(name="t", payload="q", type="regress")
+
+    def test_class_index(self):
+        t = TaskSpec(name="t", payload="q", type="multiclass", classes=("a", "b"))
+        assert t.class_index("b") == 1
+        with pytest.raises(SchemaError):
+            t.class_index("c")
+
+    def test_from_dict_requires_payload_and_type(self):
+        with pytest.raises(SchemaError):
+            TaskSpec.from_dict("t", {"type": "multiclass"})
+        with pytest.raises(SchemaError):
+            TaskSpec.from_dict("t", {"payload": "q"})
+
+    def test_roundtrip(self):
+        t = TaskSpec.from_dict(
+            "t", {"payload": "q", "type": "multiclass", "classes": ["a", "b"]}
+        )
+        assert TaskSpec.from_dict("t", t.to_dict()) == t
+
+
+class TestSchema:
+    def test_factoid_schema_valid(self):
+        schema = factoid_schema()
+        assert schema.payload_names == ["tokens", "query", "entities"]
+        assert schema.task_names == ["POS", "EntityType", "Intent", "IntentArg"]
+
+    def test_unknown_payload_reference(self):
+        with pytest.raises(SchemaError):
+            Schema.from_dict(
+                {
+                    "payloads": {
+                        "query": {"type": "singleton", "base": ["missing"]},
+                    },
+                    "tasks": {
+                        "Intent": {
+                            "payload": "query",
+                            "type": "multiclass",
+                            "classes": ["a", "b"],
+                        }
+                    },
+                }
+            )
+
+    def test_task_unknown_payload(self):
+        with pytest.raises(SchemaError):
+            Schema.from_dict(
+                {
+                    "payloads": {"tokens": {"type": "sequence", "max_length": 4}},
+                    "tasks": {
+                        "T": {
+                            "payload": "ghost",
+                            "type": "multiclass",
+                            "classes": ["a", "b"],
+                        }
+                    },
+                }
+            )
+
+    def test_select_requires_set_payload(self):
+        with pytest.raises(SchemaError):
+            Schema.from_dict(
+                {
+                    "payloads": {"tokens": {"type": "sequence", "max_length": 4}},
+                    "tasks": {"Sel": {"payload": "tokens", "type": "select"}},
+                }
+            )
+
+    def test_range_must_be_sequence(self):
+        with pytest.raises(SchemaError):
+            Schema.from_dict(
+                {
+                    "payloads": {
+                        "feat": {"type": "singleton", "dim": 3},
+                        "ents": {"type": "set", "range": "feat", "max_members": 2},
+                    },
+                    "tasks": {"Sel": {"payload": "ents", "type": "select"}},
+                }
+            )
+
+    def test_cycle_detected(self):
+        with pytest.raises(SchemaError, match="cycle"):
+            Schema.from_dict(
+                {
+                    "payloads": {
+                        "a": {"type": "singleton", "base": ["b"]},
+                        "b": {"type": "singleton", "base": ["a"]},
+                    },
+                    "tasks": {
+                        "T": {"payload": "a", "type": "multiclass", "classes": ["x", "y"]}
+                    },
+                }
+            )
+
+    def test_needs_a_task(self):
+        with pytest.raises(SchemaError):
+            Schema.from_dict(
+                {"payloads": {"t": {"type": "sequence", "max_length": 4}}, "tasks": {}}
+            )
+
+    def test_topological_order_respects_references(self):
+        schema = factoid_schema()
+        order = [p.name for p in schema.topological_payload_order()]
+        assert order.index("tokens") < order.index("query")
+        assert order.index("tokens") < order.index("entities")
+
+    def test_json_roundtrip(self):
+        schema = factoid_schema()
+        again = Schema.from_json(schema.to_json())
+        assert again == schema
+
+    def test_fingerprint_stable_and_sensitive(self):
+        a = factoid_schema()
+        b = factoid_schema()
+        assert a.fingerprint() == b.fingerprint()
+        modified = Schema.from_dict(
+            {
+                "payloads": {"tokens": {"type": "sequence", "max_length": 99}},
+                "tasks": {
+                    "POS": {
+                        "payload": "tokens",
+                        "type": "multiclass",
+                        "classes": ["a", "b"],
+                    }
+                },
+            }
+        )
+        assert modified.fingerprint() != a.fingerprint()
+
+    def test_file_roundtrip(self, tmp_path):
+        schema = factoid_schema()
+        path = tmp_path / "schema.json"
+        schema.save(path)
+        assert Schema.from_file(path) == schema
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.from_json("{not json")
+
+    def test_unknown_top_level_field(self):
+        with pytest.raises(SchemaError):
+            Schema.from_dict({"payloads": {}, "tasks": {}, "hyperparams": {}})
+
+    def test_lookup_errors(self):
+        schema = factoid_schema()
+        with pytest.raises(SchemaError):
+            schema.payload("nope")
+        with pytest.raises(SchemaError):
+            schema.task("nope")

@@ -1,0 +1,151 @@
+"""Tests for Record parsing, lineage, tags, and schema validation."""
+
+import pytest
+
+from repro.data import Record
+from repro.errors import DataError, SchemaError
+
+from tests.fixtures import factoid_schema, sample_record
+
+
+class TestParsing:
+    def test_from_dict(self):
+        record = sample_record()
+        assert record.payloads["tokens"][0] == "how"
+        assert record.tasks["Intent"]["crowd"] == "height"
+        assert record.tags == ["train"]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(DataError):
+            Record.from_dict({"payloads": {}, "labels": {}})
+
+    def test_tasks_require_source_mapping(self):
+        with pytest.raises(DataError):
+            Record.from_dict({"tasks": {"Intent": "height"}})
+
+    def test_bad_json(self):
+        with pytest.raises(DataError):
+            Record.from_json("{")
+
+    def test_json_roundtrip(self):
+        record = sample_record()
+        again = Record.from_json(record.to_json())
+        assert again.to_dict() == record.to_dict()
+
+
+class TestSupervisionAccess:
+    def test_sources_for(self):
+        record = sample_record()
+        assert set(record.sources_for("Intent")) == {"weak1", "weak2", "crowd"}
+        assert record.sources_for("Missing") == {}
+
+    def test_label_from(self):
+        record = sample_record()
+        assert record.label_from("Intent", "weak2") == "age"
+        assert record.label_from("Intent", "nobody") is None
+
+    def test_add_label_keeps_lineage(self):
+        record = sample_record()
+        record.add_label("Intent", "augment_v2", "height")
+        assert record.label_from("Intent", "augment_v2") == "height"
+
+
+class TestTags:
+    def test_add_tag_idempotent(self):
+        record = sample_record()
+        record.add_tag("slice:nutrition")
+        record.add_tag("slice:nutrition")
+        assert record.tags.count("slice:nutrition") == 1
+
+    def test_has_tag(self):
+        record = sample_record()
+        assert record.has_tag("train")
+        assert not record.has_tag("test")
+
+
+class TestValidation:
+    def test_sample_record_valid(self):
+        sample_record().validate(factoid_schema())
+
+    def test_unknown_payload(self):
+        record = sample_record()
+        record.payloads["mystery"] = [1]
+        with pytest.raises(SchemaError):
+            record.validate(factoid_schema())
+
+    def test_sequence_too_long(self):
+        record = sample_record()
+        record.payloads["tokens"] = ["x"] * 13
+        record.tasks = {}
+        with pytest.raises(DataError, match="max_length"):
+            record.validate(factoid_schema())
+
+    def test_null_payload_allowed(self):
+        record = sample_record()
+        record.payloads["entities"] = None
+        record.tasks.pop("IntentArg")
+        record.validate(factoid_schema())
+
+    def test_set_member_bad_range(self):
+        record = sample_record()
+        record.payloads["entities"] = [{"id": "x", "range": [5, 5]}]
+        record.tasks.pop("IntentArg")
+        with pytest.raises(DataError, match="range"):
+            record.validate(factoid_schema())
+
+    def test_too_many_members(self):
+        record = sample_record()
+        record.payloads["entities"] = [{"id": "x", "range": [0, 1]}] * 5
+        record.tasks.pop("IntentArg")
+        with pytest.raises(DataError, match="max_members"):
+            record.validate(factoid_schema())
+
+    def test_unknown_task(self):
+        record = sample_record()
+        record.tasks["Ghost"] = {"s": "x"}
+        with pytest.raises(SchemaError):
+            record.validate(factoid_schema())
+
+    def test_multiclass_unknown_class(self):
+        record = sample_record()
+        record.tasks["Intent"]["weak1"] = "weather"
+        with pytest.raises(DataError, match="unknown class"):
+            record.validate(factoid_schema())
+
+    def test_sequence_label_length_mismatch(self):
+        record = sample_record()
+        record.tasks["POS"]["spacy"] = ["NOUN"]
+        with pytest.raises(DataError, match="align"):
+            record.validate(factoid_schema())
+
+    def test_sequence_label_position_can_abstain(self):
+        record = sample_record()
+        labels = list(record.tasks["POS"]["spacy"])
+        labels[0] = None
+        record.tasks["POS"]["spacy"] = labels
+        record.validate(factoid_schema())
+
+    def test_bitvector_labels_must_be_lists(self):
+        record = sample_record()
+        record.tasks["EntityType"]["eproj"] = ["person"] * 8
+        with pytest.raises(DataError, match="lists"):
+            record.validate(factoid_schema())
+
+    def test_bitvector_unknown_class(self):
+        record = sample_record()
+        bad = [[] for _ in range(8)]
+        bad[0] = ["vehicle"]
+        record.tasks["EntityType"]["eproj"] = bad
+        with pytest.raises(DataError, match="unknown class"):
+            record.validate(factoid_schema())
+
+    def test_select_out_of_range(self):
+        record = sample_record()
+        record.tasks["IntentArg"]["weak1"] = 9
+        with pytest.raises(DataError, match="member index"):
+            record.validate(factoid_schema())
+
+    def test_abstain_label_allowed(self):
+        record = sample_record()
+        record.tasks["Intent"]["weak1"] = None
+        record.validate(factoid_schema())

@@ -1,0 +1,98 @@
+"""Tests for the mmap row store and the comparison column store."""
+
+import pytest
+
+from repro.data import ColumnStore, Record, RowStore
+from repro.errors import DataError
+
+from tests.fixtures import sample_record
+
+
+def records(n: int) -> list[Record]:
+    out = []
+    for i in range(n):
+        r = sample_record()
+        r.add_tag(f"id:{i}")
+        out.append(r)
+    return out
+
+
+class TestRowStore:
+    def test_write_read_roundtrip(self, tmp_path):
+        rs = RowStore.write(tmp_path / "data.ovr", records(5))
+        assert len(rs) == 5
+        assert rs[3].has_tag("id:3")
+        rs.close()
+
+    def test_iteration(self, tmp_path):
+        rs = RowStore.write(tmp_path / "data.ovr", records(4))
+        assert sum(1 for _ in rs) == 4
+        rs.close()
+
+    def test_out_of_range(self, tmp_path):
+        rs = RowStore.write(tmp_path / "data.ovr", records(2))
+        with pytest.raises(IndexError):
+            rs[2]
+        with pytest.raises(IndexError):
+            rs[-1]
+        rs.close()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            RowStore(tmp_path / "missing.ovr")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.ovr"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(DataError, match="magic"):
+            RowStore(path)
+
+    def test_context_manager(self, tmp_path):
+        with RowStore.write(tmp_path / "data.ovr", records(1)) as rs:
+            assert len(rs) == 1
+
+    def test_read_bytes_is_json(self, tmp_path):
+        import json
+
+        rs = RowStore.write(tmp_path / "data.ovr", records(1))
+        payload = json.loads(rs.read_bytes(0))
+        assert "payloads" in payload
+        rs.close()
+
+    def test_empty_store(self, tmp_path):
+        rs = RowStore.write(tmp_path / "data.ovr", [])
+        assert len(rs) == 0
+        rs.close()
+
+
+class TestColumnStore:
+    def test_write_read_roundtrip(self, tmp_path):
+        cs = ColumnStore.write(tmp_path / "cols", records(5))
+        assert len(cs) == 5
+        rec = cs[2]
+        assert rec.has_tag("id:2")
+        assert rec.tasks["Intent"]["crowd"] == "height"
+
+    def test_missing_store(self, tmp_path):
+        with pytest.raises(DataError):
+            ColumnStore(tmp_path / "nope")
+
+    def test_out_of_range(self, tmp_path):
+        cs = ColumnStore.write(tmp_path / "cols", records(2))
+        with pytest.raises(IndexError):
+            cs[5]
+
+    def test_drop_cache_forces_reload(self, tmp_path):
+        cs = ColumnStore.write(tmp_path / "cols", records(2))
+        _ = cs[0]
+        assert cs._columns
+        cs.drop_cache()
+        assert not cs._columns
+
+    def test_stores_agree(self, tmp_path):
+        data = records(6)
+        rs = RowStore.write(tmp_path / "data.ovr", data)
+        cs = ColumnStore.write(tmp_path / "cols", data)
+        for i in range(6):
+            assert rs[i].to_dict() == cs[i].to_dict()
+        rs.close()

@@ -1,0 +1,119 @@
+"""Shared fixtures: the paper's Fig. 2a factoid schema and sample records."""
+
+from __future__ import annotations
+
+from repro.core import Schema
+from repro.data import Record
+
+POS_CLASSES = ["NOUN", "VERB", "ADJ", "ADV", "DET", "ADP", "PRON", "PUNCT"]
+ENTITY_TYPE_CLASSES = ["person", "location", "country", "title", "food"]
+INTENT_CLASSES = ["height", "age", "population", "capital", "nutrition"]
+
+
+def factoid_schema() -> Schema:
+    """The running-example schema from Fig. 2a, with explicit label spaces."""
+    return Schema.from_dict(
+        {
+            "payloads": {
+                "tokens": {"type": "sequence", "max_length": 12},
+                "query": {"type": "singleton", "base": ["tokens"]},
+                "entities": {"type": "set", "range": "tokens", "max_members": 4},
+            },
+            "tasks": {
+                "POS": {
+                    "payload": "tokens",
+                    "type": "multiclass",
+                    "classes": POS_CLASSES,
+                },
+                "EntityType": {
+                    "payload": "tokens",
+                    "type": "bitvector",
+                    "classes": ENTITY_TYPE_CLASSES,
+                },
+                "Intent": {
+                    "payload": "query",
+                    "type": "multiclass",
+                    "classes": INTENT_CLASSES,
+                },
+                "IntentArg": {"payload": "entities", "type": "select"},
+            },
+        }
+    )
+
+
+def mini_dataset(n: int = 60, seed: int = 0, weak_noise: float = 0.2):
+    """A small learnable dataset conforming to the factoid schema.
+
+    Intent is determined by a keyword; entities are single-token spans; gold
+    labels exist on every record (used for dev/test evaluation only), plus
+    two noisy weak sources for training.
+    """
+    import numpy as np
+
+    from repro.data import Dataset
+
+    rng = np.random.default_rng(seed)
+    intents = [
+        ("height", ["how", "tall", "is"]),
+        ("age", ["how", "old", "is"]),
+        ("population", ["population", "of"]),
+    ]
+    names = ["paris", "france", "everest", "obama", "tokyo", "nile"]
+    records = []
+    for i in range(n):
+        intent, prefix = intents[int(rng.integers(len(intents)))]
+        name = names[int(rng.integers(len(names)))]
+        tokens = prefix + [name]
+        pos = ["ADV"] * (len(tokens) - 1) + ["NOUN"]
+        span_start = len(tokens) - 1
+        entities = [{"id": name, "range": [span_start, span_start + 1]}]
+        record = Record.from_dict(
+            {
+                "payloads": {"tokens": tokens, "entities": entities},
+                "tasks": {
+                    "POS": {"gold": pos},
+                    "EntityType": {"gold": [[] for _ in tokens[:-1]] + [["location"]]},
+                    "Intent": {"gold": intent},
+                    "IntentArg": {"gold": 0},
+                },
+                "tags": [],
+            }
+        )
+        # Two weak sources with independent noise.
+        for source, noise in (("weak_a", weak_noise), ("weak_b", weak_noise * 1.5)):
+            if rng.random() < noise:
+                wrong = [x for x, _ in intents if x != intent]
+                record.add_label("Intent", source, wrong[int(rng.integers(len(wrong)))])
+            else:
+                record.add_label("Intent", source, intent)
+        split = "train" if i % 5 < 3 else ("dev" if i % 5 == 3 else "test")
+        record.add_tag(split)
+        records.append(record)
+    return Dataset(factoid_schema(), records)
+
+
+def sample_record() -> Record:
+    """A record shaped like the paper's pretty-printed example."""
+    return Record.from_dict(
+        {
+            "payloads": {
+                "tokens": ["how", "tall", "is", "the", "president", "of", "the", "us"],
+                "query": "how tall is the president of the us",
+                "entities": [
+                    {"id": "President_(title)", "range": [4, 5]},
+                    {"id": "United_States", "range": [7, 8]},
+                ],
+            },
+            "tasks": {
+                "POS": {
+                    "spacy": ["ADV", "ADJ", "VERB", "DET", "NOUN", "ADP", "DET", "NOUN"]
+                },
+                "EntityType": {
+                    "eproj": [[], [], [], [], ["title"], [], [], ["location", "country"]]
+                },
+                "Intent": {"weak1": "height", "weak2": "age", "crowd": "height"},
+                "IntentArg": {"weak1": 0, "weak2": 1, "crowd": 0},
+            },
+            "tags": ["train"],
+        }
+    )

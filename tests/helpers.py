@@ -1,0 +1,43 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numerical_grad(
+    fn: Callable[[Tensor], Tensor], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``fn`` at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(Tensor(x)).item()
+        flat[i] = orig - eps
+        lo = fn(Tensor(x)).item()
+        flat[i] = orig
+        grad_flat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_grad(
+    fn: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert that autodiff and numerical gradients of ``fn`` agree at ``x``."""
+    t = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+    out = fn(t)
+    out.backward()
+    assert t.grad is not None, "no gradient reached the input"
+    num = numerical_grad(fn, x)
+    np.testing.assert_allclose(t.grad, num, atol=atol, rtol=rtol)

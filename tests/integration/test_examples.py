@@ -1,0 +1,53 @@
+"""Smoke tests: the shipped examples must keep running.
+
+Only the two fastest examples run in the unit suite (the full set runs in
+the benchmark/docs pipeline); each executes in a subprocess exactly as a
+user would run it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+@pytest.mark.parametrize("name", ["quickstart.py", "cold_start.py"])
+def test_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout  # examples narrate what they do
+
+
+def test_quickstart_reports_serving_response():
+    result = run_example("quickstart.py")
+    assert "serving response" in result.stdout
+    assert "Intent" in result.stdout
+
+
+def test_all_examples_exist_and_have_docstrings():
+    expected = {
+        "quickstart.py",
+        "factoid_qa.py",
+        "cold_start.py",
+        "slice_improvement.py",
+        "model_sync.py",
+        "constrained_serving.py",
+    }
+    found = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert expected <= found
+    for name in expected:
+        text = (EXAMPLES_DIR / name).read_text()
+        assert text.startswith('"""'), f"{name} needs a module docstring"
+        assert "def main()" in text

@@ -1,0 +1,74 @@
+"""Tests for embedding harvesting (back-end data products, §2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompilationError
+from repro.model import compile_from_dataset, harvest_embedding_product
+
+from tests.fixtures import mini_dataset
+from tests.model.test_compile_forward import small_config
+
+
+class TestHarvest:
+    def test_harvest_token_embeddings(self):
+        ds = mini_dataset(n=20, seed=0)
+        model, vocabs = compile_from_dataset(ds, small_config())
+        product = harvest_embedding_product(model, vocabs, "tokens", "qa-tokens-v1")
+        assert product.dim == 8
+        assert "paris" in product.vectors
+        np.testing.assert_allclose(
+            product.vectors["paris"],
+            model.encoders["tokens"].embedding.weight.data[vocabs["tokens"].id("paris")],
+        )
+
+    def test_harvest_entity_embeddings(self):
+        ds = mini_dataset(n=20, seed=1)
+        model, vocabs = compile_from_dataset(ds, small_config())
+        product = harvest_embedding_product(model, vocabs, "entities", "qa-ents-v1")
+        assert "france" in product.vectors
+
+    def test_special_symbols_skipped_by_default(self):
+        ds = mini_dataset(n=10, seed=2)
+        model, vocabs = compile_from_dataset(ds, small_config())
+        product = harvest_embedding_product(model, vocabs, "tokens", "p")
+        assert "<pad>" not in product.vectors
+        included = harvest_embedding_product(
+            model, vocabs, "tokens", "p2", include_special=True
+        )
+        assert "<pad>" in included.vectors
+
+    def test_derived_payload_rejected(self):
+        ds = mini_dataset(n=10, seed=3)
+        model, vocabs = compile_from_dataset(ds, small_config())
+        with pytest.raises(CompilationError, match="embedding"):
+            harvest_embedding_product(model, vocabs, "query", "p")
+
+    def test_unknown_payload(self):
+        ds = mini_dataset(n=10, seed=4)
+        model, vocabs = compile_from_dataset(ds, small_config())
+        with pytest.raises(CompilationError, match="payload"):
+            harvest_embedding_product(model, vocabs, "ghost", "p")
+
+    def test_harvested_product_is_loadable_pretrained_payload(self):
+        """The full loop: train -> harvest -> new model with the product."""
+        from repro.core import ModelConfig, PayloadConfig, TrainerConfig
+        from repro.model import EmbeddingRegistry, compile_model
+
+        ds = mini_dataset(n=20, seed=5)
+        model, vocabs = compile_from_dataset(ds, small_config())
+        product = harvest_embedding_product(model, vocabs, "tokens", "harvested")
+        registry = EmbeddingRegistry([product])
+        config = ModelConfig(
+            payloads={
+                "tokens": PayloadConfig(embedding="harvested", encoder="bow", size=8),
+                "query": PayloadConfig(size=8),
+                "entities": PayloadConfig(size=8),
+            },
+            trainer=TrainerConfig(epochs=1),
+        )
+        downstream = compile_model(ds.schema, config, vocabs, registry=registry)
+        table = downstream.encoders["tokens"].embedding.weight.data
+        np.testing.assert_allclose(
+            table[vocabs["tokens"].id("paris")], product.vectors["paris"]
+        )

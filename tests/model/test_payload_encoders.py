@@ -1,0 +1,217 @@
+"""Direct unit tests for payload encoders and the embedding registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import PayloadConfig, PayloadSpec
+from repro.data import PayloadInputs, Vocab
+from repro.errors import CompilationError, ShapeError
+from repro.model import EmbeddingProduct, EmbeddingRegistry
+from repro.model.payload_encoders import (
+    SequencePayloadEncoder,
+    SetPayloadEncoder,
+    SingletonPayloadEncoder,
+)
+from repro.tensor import Tensor
+
+
+def rng():
+    return np.random.default_rng(3)
+
+
+def seq_spec(max_length=6):
+    return PayloadSpec(name="tokens", type="sequence", max_length=max_length)
+
+
+def seq_inputs(ids, mask=None):
+    ids = np.asarray(ids, dtype=np.int64)
+    if mask is None:
+        mask = (ids != 0).astype(np.float64)
+    return PayloadInputs(ids=ids, mask=np.asarray(mask, dtype=np.float64))
+
+
+class TestSequenceEncoder:
+    def test_output_shape_and_padding_zeroed(self):
+        enc = SequencePayloadEncoder(
+            seq_spec(), PayloadConfig(encoder="bow", size=8), 10, rng(),
+            EmbeddingRegistry(),
+        )
+        inputs = seq_inputs([[2, 3, 0, 0], [4, 5, 6, 0]])
+        out = enc(inputs)
+        assert out.shape == (2, 4, 8)
+        np.testing.assert_allclose(out.data[0, 2:], np.zeros((2, 8)))
+
+    def test_pretrained_table_used_and_projected(self):
+        vocab = Vocab(["alpha", "beta"])
+        product = EmbeddingProduct(
+            name="p4", dim=4, vectors={"alpha": np.ones(4)}
+        )
+        enc = SequencePayloadEncoder(
+            seq_spec(),
+            PayloadConfig(embedding="p4", encoder="bow", size=6),
+            len(vocab),
+            rng(),
+            EmbeddingRegistry([product]),
+            vocab=vocab,
+        )
+        out = enc(seq_inputs([[vocab.id("alpha")]]))
+        assert out.shape == (1, 1, 6)  # projected 4 -> 6
+
+    def test_pretrained_requires_vocab(self):
+        product = EmbeddingProduct(name="p4", dim=4)
+        with pytest.raises(CompilationError, match="vocab"):
+            SequencePayloadEncoder(
+                seq_spec(),
+                PayloadConfig(embedding="p4", size=4),
+                10,
+                rng(),
+                EmbeddingRegistry([product]),
+            )
+
+    def test_bilstm_odd_size_rejected(self):
+        with pytest.raises(CompilationError, match="even"):
+            SequencePayloadEncoder(
+                seq_spec(), PayloadConfig(encoder="bilstm", size=7), 10, rng(),
+                EmbeddingRegistry(),
+            )
+
+    def test_attention_heads_fallback_for_indivisible(self):
+        enc = SequencePayloadEncoder(
+            seq_spec(),
+            PayloadConfig(encoder="attention", size=7, attention_heads=4),
+            10,
+            rng(),
+            EmbeddingRegistry(),
+        )
+        out = enc(seq_inputs([[1, 2, 3]]))
+        assert out.shape == (1, 3, 7)
+
+
+class TestSingletonEncoder:
+    def test_aggregates_base(self):
+        spec = PayloadSpec(name="query", type="singleton", base=("tokens",))
+        enc = SingletonPayloadEncoder(spec, PayloadConfig(size=5), {"tokens": 8}, rng())
+        base_rep = Tensor(np.random.default_rng(1).normal(size=(3, 4, 8)))
+        mask = np.ones((3, 4))
+        out = enc(None, {"tokens": base_rep}, {"tokens": mask})
+        assert out.shape == (3, 5)
+
+    def test_raw_features_projected(self):
+        spec = PayloadSpec(name="feat", type="singleton", dim=3)
+        enc = SingletonPayloadEncoder(spec, PayloadConfig(size=4), {}, rng())
+        inputs = PayloadInputs(features=np.ones((2, 3)))
+        assert enc(inputs, {}, {}).shape == (2, 4)
+
+    def test_multiple_bases_concatenated(self):
+        spec = PayloadSpec(name="q", type="singleton", base=("a", "b"))
+        enc = SingletonPayloadEncoder(
+            spec, PayloadConfig(size=6), {"a": 4, "b": 3}, rng()
+        )
+        reps = {
+            "a": Tensor(np.ones((2, 3, 4))),
+            "b": Tensor(np.ones((2, 5, 3))),
+        }
+        masks = {"a": np.ones((2, 3)), "b": np.ones((2, 5))}
+        assert enc(None, reps, masks).shape == (2, 6)
+
+
+class TestSetEncoder:
+    def make(self, size=8, range_size=8):
+        spec = PayloadSpec(
+            name="entities", type="set", range="tokens", max_members=3
+        )
+        return SetPayloadEncoder(
+            spec, PayloadConfig(size=size), range_size, 10, rng(), EmbeddingRegistry()
+        )
+
+    def test_shapes_and_mask(self):
+        enc = self.make()
+        inputs = PayloadInputs(
+            member_ids=np.array([[2, 3, 0]]),
+            spans=np.array([[[0, 1], [1, 3], [0, 1]]]),
+            member_mask=np.array([[1.0, 1.0, 0.0]]),
+        )
+        range_rep = Tensor(np.random.default_rng(2).normal(size=(1, 4, 8)))
+        out = enc(inputs, range_rep)
+        assert out.shape == (1, 3, 8)
+        np.testing.assert_allclose(out.data[0, 2], np.zeros(8))  # masked member
+
+    def test_span_mean_reflects_span(self):
+        enc = self.make()
+        # Two members pointing at different spans of a contrasting range rep
+        # must encode differently.
+        range_data = np.zeros((1, 4, 8))
+        range_data[0, 0] = 1.0
+        range_data[0, 3] = -1.0
+        inputs = PayloadInputs(
+            member_ids=np.array([[2, 2, 0]]),  # same id -> difference is the span
+            spans=np.array([[[0, 1], [3, 4], [0, 1]]]),
+            member_mask=np.array([[1.0, 1.0, 0.0]]),
+        )
+        out = enc(inputs, Tensor(range_data))
+        assert np.abs(out.data[0, 0] - out.data[0, 1]).sum() > 1e-6
+
+    def test_span_clipped_to_range_length(self):
+        enc = self.make()
+        inputs = PayloadInputs(
+            member_ids=np.array([[2]]),
+            spans=np.array([[[3, 9]]]),  # beyond range length 4
+            member_mask=np.array([[1.0]]),
+        )
+        out = enc(inputs, Tensor(np.ones((1, 4, 8))))
+        assert np.isfinite(out.data).all()
+
+
+class TestEmbeddingRegistry:
+    def test_register_get(self):
+        product = EmbeddingProduct(name="x", dim=2, vectors={"a": np.zeros(2)})
+        registry = EmbeddingRegistry([product])
+        assert registry.get("x").dim == 2
+        assert "x" in registry
+        assert registry.names() == ["x"]
+
+    def test_duplicate_rejected(self):
+        product = EmbeddingProduct(name="x", dim=2)
+        registry = EmbeddingRegistry([product])
+        with pytest.raises(CompilationError):
+            registry.register(EmbeddingProduct(name="x", dim=3))
+
+    def test_unknown_product(self):
+        with pytest.raises(CompilationError, match="registered"):
+            EmbeddingRegistry().get("ghost")
+
+    def test_vector_shape_validated(self):
+        with pytest.raises(CompilationError):
+            EmbeddingProduct(name="x", dim=2, vectors={"a": np.zeros(3)})
+
+    def test_table_for_alignment(self):
+        vocab = Vocab(["hit", "miss"])
+        product = EmbeddingProduct(name="x", dim=2, vectors={"hit": np.array([1.0, 2.0])})
+        table = product.table_for(vocab, np.random.default_rng(0))
+        np.testing.assert_allclose(table[vocab.id("hit")], [1.0, 2.0])
+        np.testing.assert_allclose(table[vocab.pad_id], [0.0, 0.0])
+        assert np.abs(table[vocab.id("miss")]).max() < 0.2  # random small init
+
+    def test_coverage(self):
+        vocab = Vocab(["a", "b"])
+        product = EmbeddingProduct(name="x", dim=2, vectors={"a": np.zeros(2)})
+        assert product.coverage(vocab) == 0.5
+        assert product.coverage(Vocab()) == 0.0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        product = EmbeddingProduct(
+            name="corpus", dim=3,
+            vectors={"a": np.array([1.0, 2.0, 3.0]), "b": np.zeros(3)},
+            version="7",
+        )
+        path = tmp_path / "product.npz"
+        product.save(path)
+        loaded = EmbeddingProduct.load(path)
+        assert loaded.name == "corpus"
+        assert loaded.version == "7"
+        np.testing.assert_allclose(loaded.vectors["a"], [1.0, 2.0, 3.0])
+
+    def test_save_load_empty(self, tmp_path):
+        product = EmbeddingProduct(name="empty", dim=4)
+        product.save(tmp_path / "e.npz")
+        assert EmbeddingProduct.load(tmp_path / "e.npz").vectors == {}

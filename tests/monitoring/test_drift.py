@@ -1,0 +1,67 @@
+"""Tests for input-drift detection."""
+
+import numpy as np
+import pytest
+
+from repro.data import Vocab
+from repro.monitoring import detect_drift, js_divergence
+
+from tests.fixtures import mini_dataset
+
+
+class TestJSDivergence:
+    def test_identical_is_zero(self):
+        p = np.array([0.5, 0.3, 0.2])
+        assert js_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_is_ln2(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert js_divergence(p, q) == pytest.approx(np.log(2))
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        p, q = rng.random(5), rng.random(5)
+        assert js_divergence(p, q) == pytest.approx(js_divergence(q, p))
+
+    def test_unnormalized_inputs_accepted(self):
+        p = np.array([5.0, 3.0, 2.0])
+        q = np.array([50.0, 30.0, 20.0])
+        assert js_divergence(p, q) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestDetectDrift:
+    def test_same_distribution_no_drift(self):
+        ds = mini_dataset(n=100, seed=0)
+        vocab = ds.build_vocabs()["tokens"]
+        half = len(ds.records) // 2
+        report = detect_drift(ds.records[:half], ds.records[half:], vocab)
+        assert not report.drifted()
+        assert report.token_js_divergence < 0.05
+
+    def test_vocabulary_shift_detected(self):
+        ds = mini_dataset(n=60, seed=1)
+        vocab = ds.build_vocabs()["tokens"]
+        live = mini_dataset(n=60, seed=2)
+        for record in live.records:
+            record.payloads["tokens"] = [
+                f"{t}_new" for t in record.payloads["tokens"]
+            ]
+        report = detect_drift(ds.records, live.records, vocab)
+        assert report.drifted()
+        assert report.oov_rate_live > 0.9
+        assert report.novel_token_fraction > 0.9
+
+    def test_length_stats(self):
+        ds = mini_dataset(n=30, seed=3)
+        vocab = ds.build_vocabs()["tokens"]
+        live = mini_dataset(n=30, seed=4)
+        for record in live.records:
+            record.payloads["tokens"] = record.payloads["tokens"] * 2
+        report = detect_drift(ds.records, live.records, vocab)
+        assert report.mean_length_live > report.mean_length_reference * 1.5
+
+    def test_empty_windows(self):
+        report = detect_drift([], [], Vocab())
+        assert report.token_js_divergence == 0.0
+        assert not report.drifted()

@@ -1,0 +1,99 @@
+"""Tests for regression detection and dashboards."""
+
+import pytest
+
+from repro.monitoring import (
+    compare_reports,
+    format_table,
+    render_quality_report,
+    render_regressions,
+    render_source_accuracies,
+)
+from repro.training.reports import QualityReport, ReportRow
+
+
+def report(rows) -> QualityReport:
+    return QualityReport(
+        rows=[
+            ReportRow(tag=tag, task=task, n=n, metrics=metrics)
+            for tag, task, n, metrics in rows
+        ]
+    )
+
+
+class TestCompareReports:
+    def test_detects_regression(self):
+        before = report([("slice:a", "Intent", 50, {"accuracy": 0.9})])
+        after = report([("slice:a", "Intent", 50, {"accuracy": 0.8})])
+        result = compare_reports(before, after)
+        assert result.blocking
+        assert result.regressions[0].delta == pytest.approx(-0.1)
+
+    def test_detects_improvement(self):
+        before = report([("overall", "Intent", 50, {"accuracy": 0.8})])
+        after = report([("overall", "Intent", 50, {"accuracy": 0.9})])
+        result = compare_reports(before, after)
+        assert not result.blocking
+        assert len(result.improvements) == 1
+
+    def test_threshold_respected(self):
+        before = report([("overall", "Intent", 50, {"accuracy": 0.900})])
+        after = report([("overall", "Intent", 50, {"accuracy": 0.895})])
+        result = compare_reports(before, after, threshold=0.01)
+        assert not result.blocking
+
+    def test_small_slices_skipped(self):
+        before = report([("slice:tiny", "Intent", 2, {"accuracy": 1.0})])
+        after = report([("slice:tiny", "Intent", 2, {"accuracy": 0.0})])
+        result = compare_reports(before, after, min_examples=5)
+        assert not result.blocking
+
+    def test_missing_tag_in_after_skipped(self):
+        before = report([("slice:gone", "Intent", 50, {"accuracy": 0.9})])
+        after = report([])
+        assert not compare_reports(before, after).blocking
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table({"name": ["a", "bb"], "value": [0.5, 1.25]})
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "0.5000" in text
+        assert "1.2500" in text
+
+    def test_empty(self):
+        assert format_table({}) == "(empty table)"
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            format_table({"a": [1], "b": [1, 2]})
+
+    def test_max_rows_truncates(self):
+        text = format_table({"x": list(range(10))}, max_rows=3)
+        assert "7 more rows" in text
+
+
+class TestRenderers:
+    def test_render_quality_report(self):
+        text = render_quality_report(
+            report([("overall", "Intent", 10, {"accuracy": 0.9})])
+        )
+        assert "overall" in text
+        assert "0.9000" in text
+
+    def test_render_regressions(self):
+        before = report([("t", "T", 50, {"accuracy": 0.9})])
+        after = report([("t", "T", 50, {"accuracy": 0.5})])
+        text = render_regressions(compare_reports(before, after))
+        assert "REGRESSIONS" in text
+        assert "-0.4" in text
+
+    def test_render_no_regressions(self):
+        text = render_regressions(compare_reports(report([]), report([])))
+        assert "No regressions" in text
+
+    def test_render_source_accuracies(self):
+        text = render_source_accuracies({"crowd": 0.9, "weak1": 0.6})
+        assert text.index("crowd") < text.index("weak1")
+        assert render_source_accuracies({}) == "(no sources)"

@@ -1,0 +1,175 @@
+"""Property-based tests for schema, vocab, stores, and supervision."""
+
+import json
+import string
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Schema
+from repro.data import Record, RowStore, Vocab
+from repro.supervision import ABSTAIN, LabelMatrix, LabelModel, majority_vote
+
+identifiers = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+
+# ----------------------------------------------------------------------
+# Schema round trips over generated schemas
+# ----------------------------------------------------------------------
+@st.composite
+def schemas(draw):
+    seq_name = draw(identifiers)
+    task_name = draw(identifiers.filter(lambda s: s != seq_name))
+    classes = draw(
+        st.lists(identifiers, min_size=2, max_size=5, unique=True)
+    )
+    max_length = draw(st.integers(min_value=1, max_value=32))
+    return Schema.from_dict(
+        {
+            "payloads": {seq_name: {"type": "sequence", "max_length": max_length}},
+            "tasks": {
+                task_name: {
+                    "payload": seq_name,
+                    "type": "multiclass",
+                    "classes": classes,
+                }
+            },
+        }
+    )
+
+
+class TestSchemaProperties:
+    @given(schemas())
+    @settings(max_examples=50, deadline=None)
+    def test_json_roundtrip_identity(self, schema):
+        assert Schema.from_json(schema.to_json()) == schema
+
+    @given(schemas())
+    @settings(max_examples=50, deadline=None)
+    def test_fingerprint_deterministic(self, schema):
+        again = Schema.from_json(schema.to_json())
+        assert schema.fingerprint() == again.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Vocab
+# ----------------------------------------------------------------------
+class TestVocabProperties:
+    @given(st.lists(identifiers, min_size=0, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_ids_are_bijective_over_known_symbols(self, symbols):
+        vocab = Vocab(symbols)
+        for s in set(symbols):
+            assert vocab.symbol(vocab.id(s)) == s
+
+    @given(st.lists(st.lists(identifiers, max_size=6), max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_build_then_serialize_roundtrip(self, corpus):
+        vocab = Vocab.build(corpus)
+        again = Vocab.from_dict(json.loads(json.dumps(vocab.to_dict())))
+        assert len(again) == len(vocab)
+        for seq in corpus:
+            assert again.ids(seq) == vocab.ids(seq)
+
+
+# ----------------------------------------------------------------------
+# Row store round trips over generated records
+# ----------------------------------------------------------------------
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(-1000, 1000) | identifiers,
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(identifiers, children, max_size=3),
+    max_leaves=8,
+)
+
+
+@st.composite
+def records(draw):
+    payloads = draw(st.dictionaries(identifiers, json_values, max_size=3))
+    tasks = draw(
+        st.dictionaries(
+            identifiers,
+            st.dictionaries(identifiers, json_values, min_size=1, max_size=2),
+            max_size=2,
+        )
+    )
+    tags = draw(st.lists(identifiers, max_size=3, unique=True))
+    return Record(payloads=payloads, tasks=tasks, tags=tags)
+
+
+class TestRowStoreProperties:
+    @given(st.lists(records(), min_size=0, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_write_read_identity(self, recs):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = RowStore.write(Path(tmp) / "data.ovr", recs)
+            try:
+                assert len(store) == len(recs)
+                for i, original in enumerate(recs):
+                    assert store[i].to_dict() == original.to_dict()
+            finally:
+                store.close()
+
+
+# ----------------------------------------------------------------------
+# Label model invariants
+# ----------------------------------------------------------------------
+@st.composite
+def label_matrices(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    m = draw(st.integers(min_value=1, max_value=4))
+    k = draw(st.integers(min_value=2, max_value=4))
+    votes = draw(
+        st.lists(
+            st.lists(st.integers(min_value=-1, max_value=k - 1), min_size=m, max_size=m),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return LabelMatrix(
+        votes=np.array(votes, dtype=np.int64),
+        sources=[f"s{j}" for j in range(m)],
+        cardinality=k,
+        item_index=np.stack([np.arange(n), np.full(n, -1)], axis=1),
+    )
+
+
+class TestLabelModelProperties:
+    @given(label_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_posteriors_are_distributions(self, matrix):
+        result = LabelModel(max_iterations=20).fit(matrix)
+        assert result.probs.shape == (matrix.n_items, matrix.cardinality)
+        np.testing.assert_allclose(
+            result.probs.sum(axis=1), np.ones(matrix.n_items), atol=1e-8
+        )
+        assert (result.probs >= 0).all()
+
+    @given(label_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_accuracies_within_clamps(self, matrix):
+        model = LabelModel(max_iterations=20)
+        result = model.fit(matrix)
+        assert (result.class_accuracies >= model.accuracy_floor - 1e-9).all()
+        assert (result.class_accuracies <= model.accuracy_ceiling + 1e-9).all()
+
+    @given(label_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_majority_vote_rows_stochastic(self, matrix):
+        probs = majority_vote(matrix)
+        np.testing.assert_allclose(
+            probs.sum(axis=1), np.ones(matrix.n_items), atol=1e-9
+        )
+
+    @given(label_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_unanimous_items_follow_votes(self, matrix):
+        probs = majority_vote(matrix)
+        for i in range(matrix.n_items):
+            row = matrix.votes[i]
+            present = row[row != ABSTAIN]
+            if len(present) and len(set(present.tolist())) == 1:
+                assert probs[i].argmax() == present[0]

@@ -1,0 +1,250 @@
+"""Tests for majority vote and the generative label model.
+
+The central correctness property: with conditionally independent synthetic
+sources of *known* accuracy, the EM label model must (a) recover those
+accuracies and (b) produce better labels than majority vote.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SupervisionError
+from repro.supervision import (
+    ABSTAIN,
+    LabelMatrix,
+    LabelModel,
+    majority_vote,
+    model_confidence,
+    vote_confidence,
+)
+
+
+def synthetic_votes(
+    n: int,
+    accuracies: list[float],
+    coverages: list[float],
+    k: int = 3,
+    seed: int = 0,
+) -> tuple[LabelMatrix, np.ndarray]:
+    """Generate votes from sources with known accuracy/coverage."""
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, k, size=n)
+    m = len(accuracies)
+    votes = np.full((n, m), ABSTAIN, dtype=np.int64)
+    for j, (acc, cov) in enumerate(zip(accuracies, coverages)):
+        labeled = rng.random(n) < cov
+        correct = rng.random(n) < acc
+        wrong = (truth + 1 + rng.integers(0, k - 1, size=n)) % k
+        votes[labeled & correct, j] = truth[labeled & correct]
+        votes[labeled & ~correct, j] = wrong[labeled & ~correct]
+    matrix = LabelMatrix(
+        votes=votes,
+        sources=[f"s{j}" for j in range(m)],
+        cardinality=k,
+        item_index=np.stack([np.arange(n), np.full(n, -1)], axis=1),
+    )
+    return matrix, truth
+
+
+class TestMajorityVote:
+    def test_unanimous(self):
+        matrix = LabelMatrix(
+            votes=np.array([[1, 1], [0, 0]]),
+            sources=["a", "b"],
+            cardinality=3,
+            item_index=np.array([[0, -1], [1, -1]]),
+        )
+        probs = majority_vote(matrix)
+        np.testing.assert_allclose(probs[0], [0, 1, 0])
+        np.testing.assert_allclose(probs[1], [1, 0, 0])
+
+    def test_tie_split(self):
+        matrix = LabelMatrix(
+            votes=np.array([[0, 1]]),
+            sources=["a", "b"],
+            cardinality=2,
+            item_index=np.array([[0, -1]]),
+        )
+        np.testing.assert_allclose(majority_vote(matrix)[0], [0.5, 0.5])
+
+    def test_no_votes_uniform(self):
+        matrix = LabelMatrix(
+            votes=np.array([[ABSTAIN, ABSTAIN]]),
+            sources=["a", "b"],
+            cardinality=4,
+            item_index=np.array([[0, -1]]),
+        )
+        np.testing.assert_allclose(majority_vote(matrix)[0], [0.25] * 4)
+
+    def test_select_restricted_to_candidates(self):
+        matrix = LabelMatrix(
+            votes=np.array([[ABSTAIN, ABSTAIN]]),
+            sources=["a", "b"],
+            cardinality=4,
+            item_index=np.array([[0, -1]]),
+            item_cardinality=np.array([2]),
+        )
+        probs = majority_vote(matrix)
+        np.testing.assert_allclose(probs[0], [0.5, 0.5, 0.0, 0.0])
+
+    def test_vote_confidence(self):
+        matrix = LabelMatrix(
+            votes=np.array([[0, 1], [ABSTAIN, ABSTAIN], [0, ABSTAIN]]),
+            sources=["a", "b"],
+            cardinality=2,
+            item_index=np.stack([np.arange(3), np.full(3, -1)], axis=1),
+        )
+        np.testing.assert_allclose(vote_confidence(matrix), [1.0, 0.0, 0.5])
+
+
+class TestLabelModel:
+    def test_recovers_known_accuracies(self):
+        accuracies = [0.9, 0.75, 0.6, 0.55]
+        matrix, _ = synthetic_votes(
+            n=4000, accuracies=accuracies, coverages=[0.9] * 4, seed=1
+        )
+        result = LabelModel().fit(matrix)
+        np.testing.assert_allclose(result.accuracies, accuracies, atol=0.05)
+
+    def test_beats_majority_vote(self):
+        # One excellent source + three mediocre ones: majority vote gets
+        # dragged down; the label model should weight the good source.
+        accuracies = [0.95, 0.6, 0.6, 0.58]
+        matrix, truth = synthetic_votes(
+            n=3000, accuracies=accuracies, coverages=[1.0] * 4, seed=2
+        )
+        mv_acc = (majority_vote(matrix).argmax(axis=1) == truth).mean()
+        lm_acc = (LabelModel().fit(matrix).probs.argmax(axis=1) == truth).mean()
+        assert lm_acc > mv_acc + 0.02
+
+    def test_partial_coverage(self):
+        matrix, truth = synthetic_votes(
+            n=3000,
+            accuracies=[0.9, 0.7, 0.65],
+            coverages=[0.5, 0.8, 0.3],
+            seed=3,
+        )
+        result = LabelModel().fit(matrix)
+        voted = (matrix.votes != ABSTAIN).any(axis=1)
+        acc = (result.probs.argmax(axis=1) == truth)[voted].mean()
+        assert acc > 0.75
+
+    def test_skewed_prior_recovered(self):
+        rng = np.random.default_rng(4)
+        n, k = 4000, 2
+        truth = (rng.random(n) < 0.2).astype(np.int64)  # 20% positive
+        votes = np.full((n, 3), ABSTAIN, dtype=np.int64)
+        for j, acc in enumerate([0.85, 0.8, 0.75]):
+            correct = rng.random(n) < acc
+            votes[:, j] = np.where(correct, truth, 1 - truth)
+        matrix = LabelMatrix(
+            votes=votes,
+            sources=["a", "b", "c"],
+            cardinality=k,
+            item_index=np.stack([np.arange(n), np.full(n, -1)], axis=1),
+        )
+        result = LabelModel().fit(matrix)
+        assert abs(result.prior[1] - 0.2) < 0.05
+
+    def test_empty_matrix(self):
+        matrix = LabelMatrix(
+            votes=np.zeros((0, 2), dtype=np.int64),
+            sources=["a", "b"],
+            cardinality=3,
+            item_index=np.zeros((0, 2), dtype=np.int64),
+        )
+        result = LabelModel().fit(matrix)
+        assert result.probs.shape == (0, 3)
+
+    def test_cardinality_must_be_at_least_two(self):
+        matrix = LabelMatrix(
+            votes=np.zeros((2, 1), dtype=np.int64),
+            sources=["a"],
+            cardinality=1,
+            item_index=np.zeros((2, 2), dtype=np.int64),
+        )
+        with pytest.raises(SupervisionError):
+            LabelModel().fit(matrix)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(SupervisionError):
+            LabelModel(max_iterations=0)
+
+    def test_source_never_voting_gets_default_accuracy(self):
+        votes = np.array([[0, ABSTAIN], [1, ABSTAIN], [0, ABSTAIN]])
+        matrix = LabelMatrix(
+            votes=votes,
+            sources=["a", "silent"],
+            cardinality=2,
+            item_index=np.stack([np.arange(3), np.full(3, -1)], axis=1),
+        )
+        result = LabelModel().fit(matrix)
+        assert result.accuracy_of("silent") == pytest.approx(0.5)
+
+    def test_select_valid_mask_respected(self):
+        votes = np.array([[3, ABSTAIN]])  # votes for candidate 3
+        matrix = LabelMatrix(
+            votes=votes,
+            sources=["a", "b"],
+            cardinality=5,
+            item_index=np.array([[0, -1]]),
+            item_cardinality=np.array([2]),  # only candidates 0,1 valid
+        )
+        result = LabelModel().fit(matrix)
+        assert result.probs[0, 2:].sum() == pytest.approx(0.0)
+        assert result.probs[0, :2].sum() == pytest.approx(1.0)
+
+    def test_accuracy_of_unknown_source(self):
+        matrix, _ = synthetic_votes(10, [0.8], [1.0])
+        result = LabelModel().fit(matrix)
+        with pytest.raises(ValueError):
+            result.accuracy_of("nope")
+
+    def test_log_likelihood_increases(self):
+        matrix, _ = synthetic_votes(
+            n=500, accuracies=[0.9, 0.7], coverages=[1.0, 1.0], seed=5
+        )
+        short = LabelModel(max_iterations=1).fit(matrix)
+        long = LabelModel(max_iterations=50).fit(matrix)
+        assert long.log_likelihood >= short.log_likelihood - 1e-9
+
+
+class TestModelConfidence:
+    def test_uniform_is_zero(self):
+        from repro.supervision.label_model import LabelModelResult
+
+        result = LabelModelResult(
+            probs=np.array([[0.25, 0.25, 0.25, 0.25]]),
+            accuracies=np.zeros(1),
+            prior=np.full(4, 0.25),
+            sources=["a"],
+            iterations=1,
+            log_likelihood=0.0,
+        )
+        np.testing.assert_allclose(model_confidence(result), [0.0])
+
+    def test_certain_is_one(self):
+        from repro.supervision.label_model import LabelModelResult
+
+        result = LabelModelResult(
+            probs=np.array([[1.0, 0.0]]),
+            accuracies=np.zeros(1),
+            prior=np.full(2, 0.5),
+            sources=["a"],
+            iterations=1,
+            log_likelihood=0.0,
+        )
+        np.testing.assert_allclose(model_confidence(result), [1.0])
+
+    def test_empty(self):
+        from repro.supervision.label_model import LabelModelResult
+
+        result = LabelModelResult(
+            probs=np.zeros((0, 2)),
+            accuracies=np.zeros(1),
+            prior=np.full(2, 0.5),
+            sources=["a"],
+            iterations=0,
+            log_likelihood=0.0,
+        )
+        assert model_confidence(result).shape == (0,)

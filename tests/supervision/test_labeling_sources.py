@@ -1,0 +1,134 @@
+"""Tests for label sources, registries, and labeling functions."""
+
+import pytest
+
+from repro.errors import SupervisionError
+from repro.supervision import (
+    LabelSource,
+    LFApplier,
+    SourceRegistry,
+    labeling_function,
+)
+
+from tests.fixtures import factoid_schema, sample_record
+
+
+class TestLabelSource:
+    def test_unknown_kind(self):
+        with pytest.raises(SupervisionError):
+            LabelSource(name="x", kind="oracle")
+
+    def test_is_weak(self):
+        assert LabelSource(name="h", kind="heuristic").is_weak
+        assert LabelSource(name="a", kind="augmentation").is_weak
+        assert not LabelSource(name="c", kind="human").is_weak
+
+
+class TestSourceRegistry:
+    def test_register_and_get(self):
+        reg = SourceRegistry([LabelSource(name="crowd", kind="human")])
+        assert reg.get("crowd").kind == "human"
+        assert "crowd" in reg
+        assert len(reg) == 1
+        assert reg.names() == ["crowd"]
+
+    def test_duplicate_rejected(self):
+        reg = SourceRegistry([LabelSource(name="x")])
+        with pytest.raises(SupervisionError):
+            reg.register(LabelSource(name="x"))
+
+    def test_unregistered_defaults_to_heuristic(self):
+        reg = SourceRegistry()
+        assert reg.get("mystery").is_weak
+
+    def test_weak_fraction(self):
+        reg = SourceRegistry(
+            [
+                LabelSource(name="crowd", kind="human"),
+                LabelSource(name="lf1", kind="heuristic"),
+            ]
+        )
+        # 20 human + 80 weak labels -> 80% weak (the Fig. 3 statistic).
+        assert reg.weak_fraction({"crowd": 20, "lf1": 80}) == pytest.approx(0.8)
+
+    def test_weak_fraction_empty(self):
+        assert SourceRegistry().weak_fraction({}) == 0.0
+
+
+class TestLabelingFunctions:
+    def test_decorator_builds_lf(self):
+        @labeling_function(task="Intent", kind="heuristic")
+        def lf_tall(record):
+            """Height queries mention tall."""
+            return "height" if "tall" in record.payloads["tokens"] else None
+
+        assert lf_tall.name == "lf_tall"
+        assert lf_tall.task == "Intent"
+        assert lf_tall.source.kind == "heuristic"
+        assert "tall" in lf_tall.source.description
+
+    def test_applier_writes_with_lineage(self):
+        @labeling_function(task="Intent")
+        def lf_tall(record):
+            return "height" if "tall" in record.payloads["tokens"] else None
+
+        record = sample_record()
+        report = LFApplier([lf_tall]).apply([record])
+        assert record.label_from("Intent", "lf_tall") == "height"
+        assert report.labels_written["lf_tall"] == 1
+        assert report.coverage("lf_tall") == 1.0
+
+    def test_abstain_writes_nothing(self):
+        @labeling_function(task="Intent")
+        def lf_never(record):
+            return None
+
+        record = sample_record()
+        report = LFApplier([lf_never]).apply([record])
+        assert record.label_from("Intent", "lf_never") is None
+        assert report.coverage("lf_never") == 0.0
+
+    def test_erroring_lf_counts_not_crashes(self):
+        @labeling_function(task="Intent")
+        def lf_broken(record):
+            raise KeyError("missing field")
+
+        report = LFApplier([lf_broken]).apply([sample_record()])
+        assert report.errors["lf_broken"] == 1
+
+    def test_strict_mode_raises(self):
+        @labeling_function(task="Intent")
+        def lf_broken(record):
+            raise KeyError("missing field")
+
+        with pytest.raises(KeyError):
+            LFApplier([lf_broken]).apply([sample_record()], strict=True)
+
+    def test_duplicate_names_rejected(self):
+        @labeling_function(task="Intent", name="same")
+        def lf_a(record):
+            return None
+
+        @labeling_function(task="Intent", name="same")
+        def lf_b(record):
+            return None
+
+        with pytest.raises(SupervisionError):
+            LFApplier([lf_a, lf_b])
+
+    def test_labels_validate_against_schema(self):
+        @labeling_function(task="Intent")
+        def lf_tall(record):
+            return "height" if "tall" in record.payloads["tokens"] else None
+
+        record = sample_record()
+        LFApplier([lf_tall]).apply([record])
+        record.validate(factoid_schema())
+
+    def test_empty_report(self):
+        @labeling_function(task="Intent")
+        def lf(record):
+            return None
+
+        report = LFApplier([lf]).apply([])
+        assert report.coverage("lf") == 0.0

@@ -1,0 +1,133 @@
+"""Tests for the CLI entry points."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+from tests.fixtures import factoid_schema, mini_dataset
+
+
+@pytest.fixture()
+def project(tmp_path):
+    """A schema file + data file on disk, like a real engineer's project."""
+    ds = mini_dataset(n=40, seed=0)
+    schema_path = tmp_path / "schema.json"
+    data_path = tmp_path / "data.jsonl"
+    ds.schema.save(schema_path)
+    ds.save(data_path)
+    return {"schema": str(schema_path), "data": str(data_path), "tmp": tmp_path}
+
+
+class TestValidate:
+    def test_ok(self, project, capsys):
+        code = main(["validate", "--schema", project["schema"], "--data", project["data"]])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK: 40 records" in out
+        assert "Intent" in out
+
+    def test_bad_data_returns_error(self, project, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"payloads": {}, "tasks": {"Ghost": {"s": 1}}}\n')
+        code = main(["validate", "--schema", project["schema"], "--data", str(bad)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTrainReportPredict:
+    def test_full_cli_loop(self, project, capsys):
+        artifact_dir = str(project["tmp"] / "artifact")
+        code = main(
+            [
+                "train",
+                "--schema", project["schema"],
+                "--data", project["data"],
+                "--out", artifact_dir,
+                "--epochs", "2",
+                "--size", "8",
+            ]
+        )
+        assert code == 0
+        assert "artifact written" in capsys.readouterr().out
+
+        code = main(
+            ["report", "--artifact", artifact_dir, "--data", project["data"], "--tags", "test"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+
+        request = project["tmp"] / "request.json"
+        request.write_text(
+            json.dumps(
+                {
+                    "tokens": ["how", "tall", "is", "paris"],
+                    "entities": [{"id": "paris", "range": [3, 4]}],
+                }
+            )
+        )
+        code = main(["predict", "--artifact", artifact_dir, "--request", str(request)])
+        assert code == 0
+        response = json.loads(capsys.readouterr().out.strip())
+        assert "Intent" in response
+
+    def test_predict_batch_request(self, project, capsys):
+        artifact_dir = str(project["tmp"] / "artifact2")
+        main(
+            [
+                "train",
+                "--schema", project["schema"],
+                "--data", project["data"],
+                "--out", artifact_dir,
+                "--epochs", "1",
+                "--size", "8",
+            ]
+        )
+        capsys.readouterr()
+        request = project["tmp"] / "batch.json"
+        request.write_text(
+            json.dumps([{"tokens": ["how", "old", "is", "obama"]}] * 2)
+        )
+        code = main(["predict", "--artifact", artifact_dir, "--request", str(request)])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+
+
+class TestQuery:
+    def test_tag_count(self, project, capsys):
+        code = main(
+            ["query", "--schema", project["schema"], "--data", project["data"], "--tag", "train"]
+        )
+        assert code == 0
+        assert "records match" in capsys.readouterr().out
+
+    def test_label_distribution(self, project, capsys):
+        code = main(
+            [
+                "query",
+                "--schema", project["schema"],
+                "--data", project["data"],
+                "--task", "Intent",
+                "--source", "gold",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "label distribution" in out
+
+    def test_conflicting_and_show(self, project, capsys):
+        code = main(
+            [
+                "query",
+                "--schema", project["schema"],
+                "--data", project["data"],
+                "--conflicting", "Intent",
+                "--show", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "payloads" in out
