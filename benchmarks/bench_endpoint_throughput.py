@@ -1,0 +1,76 @@
+"""Serving throughput: micro-batched Endpoint.predict vs per-request calls.
+
+The Endpoint's micro-batching exists so heavy traffic amortizes request
+encoding and the model forward pass over fixed-size numpy batches instead
+of paying per-request overhead.  This bench serves the same request log
+three ways — one request at a time, micro-batched, and as one giant batch —
+and reports requests/second for each.
+
+Shape target: micro-batched serving clearly beats per-request serving.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import Application, Endpoint
+from repro.workloads import FactoidGenerator, WorkloadConfig, apply_standard_weak_supervision
+
+from benchmarks.conftest import print_table, small_model_config
+
+N_RECORDS = 500
+N_REQUESTS = 300
+MICRO_BATCH = 32
+
+
+def _endpoint_and_requests():
+    dataset = FactoidGenerator(WorkloadConfig(n=N_RECORDS, seed=0)).generate()
+    apply_standard_weak_supervision(dataset.records, seed=0)
+    app = Application(dataset.schema, name="factoid-qa")
+    run = app.fit(dataset, small_model_config(epochs=4))
+    artifact = run.artifact()
+    requests = []
+    records = dataset.records
+    for i in range(N_REQUESTS):
+        r = records[i % len(records)]
+        requests.append(
+            {"tokens": r.payloads["tokens"], "entities": r.payloads["entities"]}
+        )
+    return artifact, requests
+
+
+def _throughput(serve, requests) -> tuple[float, int]:
+    start = time.perf_counter()
+    responses = serve(requests)
+    elapsed = time.perf_counter() - start
+    return len(requests) / elapsed, len(responses)
+
+
+def run_throughput():
+    artifact, requests = _endpoint_and_requests()
+
+    per_request = Endpoint(artifact, micro_batch_size=1)
+    micro = Endpoint(artifact, micro_batch_size=MICRO_BATCH)
+    full = Endpoint(artifact, micro_batch_size=None)
+
+    rps_one, n_one = _throughput(
+        lambda reqs: [per_request.predict(r) for r in reqs], requests
+    )
+    rps_micro, n_micro = _throughput(micro.predict, requests)
+    rps_full, n_full = _throughput(full.predict, requests)
+    assert n_one == n_micro == n_full == N_REQUESTS
+    assert micro.batches_run == -(-N_REQUESTS // MICRO_BATCH)
+
+    return {
+        "mode": ["per-request", f"micro-batch({MICRO_BATCH})", "single batch"],
+        "requests/s": [round(rps_one, 1), round(rps_micro, 1), round(rps_full, 1)],
+        "model batches": [N_REQUESTS, micro.batches_run, 1],
+    }
+
+
+def test_endpoint_throughput(benchmark):
+    columns = benchmark.pedantic(run_throughput, rounds=1, iterations=1)
+    print_table("Endpoint serving throughput", columns)
+    rps = dict(zip(columns["mode"], columns["requests/s"]))
+    # The shape of the result: batching wins, and by a wide margin.
+    assert rps[f"micro-batch({MICRO_BATCH})"] > 2 * rps["per-request"]

@@ -13,7 +13,8 @@ engineer ships it with zero production nutrition data by:
 2. adding a keyword labeling function;
 3. augmenting the synthetic records;
 4. training one multitask model on old traffic + new synthetic data and
-   monitoring the new feature as a slice from day one.
+   monitoring the new feature as a slice from day one — the slice is part
+   of the Application's declaration, so every fit/report sees it.
 
 Run:  python examples/cold_start.py
 """
@@ -22,8 +23,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Dataset, Overton, SliceSet, SliceSpec
+from repro import Dataset
+from repro.api import Application
 from repro.monitoring import render_quality_report
+from repro.slicing import SliceSet, SliceSpec
 from repro.supervision import Augmenter, Template, TemplateGenerator, token_dropout
 from repro.workloads import (
     FactoidGenerator,
@@ -86,10 +89,12 @@ def main() -> None:
         if rng.random() < 0.3:
             record.tags = [t for t in record.tags if t != "train"] + ["test"]
 
-    overton = Overton(
-        dataset.schema, slices=SliceSet([SliceSpec(name=NUTRITION_SLICE)])
+    app = Application(
+        dataset.schema,
+        name="factoid-qa",
+        slices=SliceSet([SliceSpec(name=NUTRITION_SLICE)]),
     )
-    trained = overton.train(dataset)
+    run = app.fit(dataset)
     print("\nsupervision stats for Intent (note the synthetic lineage):")
     for source, count in sorted(dataset.supervision_stats()["Intent"].items()):
         print(f"  {source:<22} {count}")
@@ -97,7 +102,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 4. The new feature is monitored as a slice from day one.
     # ------------------------------------------------------------------
-    report = overton.report(trained, dataset, tags=["test", f"slice:{NUTRITION_SLICE}"])
+    report = run.report(dataset, tags=["test", f"slice:{NUTRITION_SLICE}"])
     print("\nquality report (new feature = slice:nutrition):")
     print(render_quality_report(report))
     nutrition_acc = report.metric(f"slice:{NUTRITION_SLICE}", "Intent", "accuracy")

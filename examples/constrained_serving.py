@@ -4,14 +4,16 @@ The paper closes by naming application-level constraints — in the style of
 statistical relational learning — as future work for Overton.  This example
 shows the implemented extension: a model whose IntentArg head inherited a
 systematic bias is corrected *at serving time* by one declarative
-constraint, with no retraining and no new supervision.
+constraint, with no retraining and no new supervision.  Both serving
+sessions are :class:`repro.api.Endpoint` instances over the *same*
+artifact — only the decoding differs.
 
 Run:  python examples/constrained_serving.py
 """
 
 from __future__ import annotations
 
-from repro import Overton, Predictor
+from repro.api import Application, Endpoint
 from repro.data.tags import slice_tag
 from repro.workloads import (
     FactoidGenerator,
@@ -22,10 +24,10 @@ from repro.workloads import (
 )
 
 
-def accuracy(predictor: Predictor, records) -> float:
+def accuracy(endpoint: Endpoint, records) -> float:
     correct = 0
     for record in records:
-        response = predictor.predict_one(
+        response = endpoint.predict(
             {"tokens": record.payloads["tokens"], "entities": record.payloads["entities"]}
         )
         correct += int(
@@ -44,9 +46,9 @@ def main() -> None:
     for record in dataset.records:
         record.tasks.get("IntentArg", {}).pop("lf_compatible", None)
 
-    overton = Overton(dataset.schema)
-    trained = overton.train(dataset)
-    artifact = overton.build_artifact(trained)
+    app = Application(dataset.schema, name="factoid-qa")
+    run = app.fit(dataset)
+    artifact = run.artifact()
 
     test = dataset.split("test")
     hard = test.with_tag(slice_tag(HARD_DISAMBIGUATION_SLICE))
@@ -54,8 +56,8 @@ def main() -> None:
     # One declarative constraint: the selected entity's category must be
     # compatible with the predicted intent.
     constraints = factoid_constraints(weight=20.0)
-    plain = Predictor(artifact)
-    constrained = Predictor(artifact, constraints=constraints)
+    plain = Endpoint(artifact)
+    constrained = Endpoint(artifact, constraints=constraints)
 
     print("IntentArg accuracy (same artifact, different decoding):")
     print(f"  independent decode  overall={accuracy(plain, test.records):.3f}  "
@@ -70,8 +72,8 @@ def main() -> None:
             "tokens": candidate.payloads["tokens"],
             "entities": candidate.payloads["entities"],
         }
-        b = plain.predict_one(payload)
-        a = constrained.predict_one(payload)
+        b = plain.predict(payload)
+        a = constrained.predict(payload)
         if (
             a["IntentArg"]["index"] != b["IntentArg"]["index"]
             and a["IntentArg"]["index"] == candidate.label_from("IntentArg", "gold")

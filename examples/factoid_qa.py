@@ -1,12 +1,14 @@
 """The paper's running example, end to end: a factoid-QA product.
 
-Exercises every Overton subsystem on the Fig. 2a schema:
+Exercises every Overton subsystem on the Fig. 2a schema, through the
+:mod:`repro.api` lifecycle layer:
 
 * labeling functions written with the @labeling_function decorator;
 * the generative label model combining conflicting sources (and what it
   learned about each source's accuracy);
-* slices for fine-grained monitoring;
-* coarse architecture search over encoder blocks;
+* slices for fine-grained monitoring, declared on the Application;
+* coarse architecture search over encoder blocks via ``app.tune`` — the
+  returned ``Run`` carries the winning model *and* the full search log;
 * per-tag quality reports rendered as dashboards.
 
 Run:  python examples/factoid_qa.py
@@ -14,8 +16,10 @@ Run:  python examples/factoid_qa.py
 
 from __future__ import annotations
 
-from repro import Overton, SliceSet, SliceSpec, TuningSpec, labeling_function
+from repro import TuningSpec, labeling_function
+from repro.api import Application
 from repro.monitoring import render_quality_report, render_source_accuracies
+from repro.slicing import SliceSet, SliceSpec
 from repro.supervision import LFApplier
 from repro.workloads import (
     FactoidGenerator,
@@ -55,15 +59,18 @@ def main() -> None:
         print(f"  {name:<12} {report.coverage(name):.1%}")
 
     # ------------------------------------------------------------------
-    # Slices: the subsets an engineer owns (§2.2).
+    # The application: schema + the slices an engineer owns (§2.2).
     # ------------------------------------------------------------------
-    slices = SliceSet(
-        [
-            SliceSpec(name=HARD_DISAMBIGUATION_SLICE, description="rare hard readings"),
-            SliceSpec(name=NUTRITION_SLICE, description="nutrition product feature"),
-        ]
+    app = Application(
+        dataset.schema,
+        name="factoid-qa",
+        slices=SliceSet(
+            [
+                SliceSpec(name=HARD_DISAMBIGUATION_SLICE, description="rare hard readings"),
+                SliceSpec(name=NUTRITION_SLICE, description="nutrition product feature"),
+            ]
+        ),
     )
-    overton = Overton(dataset.schema, slices=slices)
 
     # ------------------------------------------------------------------
     # Coarse architecture search (§4: blocks, not connections).
@@ -72,7 +79,8 @@ def main() -> None:
         payload_options={"tokens": {"encoder": ["bow", "cnn"], "size": [16, 24]}},
         trainer_options={"epochs": [8], "lr": [0.05]},
     )
-    trained, search = overton.tune(dataset, spec, strategy="grid")
+    run = app.tune(dataset, spec, strategy="grid")
+    search = run.search
     best = search.best_config.for_payload("tokens")
     print(
         f"\nsearch over {search.num_trials} candidates -> "
@@ -83,13 +91,14 @@ def main() -> None:
     # What the label model learned about the Intent sources.
     # ------------------------------------------------------------------
     print("\nlearned source accuracies (Intent):")
-    print(render_source_accuracies(trained.supervision["Intent"].source_accuracies))
+    print(render_source_accuracies(run.supervision_summary["Intent"]))
 
     # ------------------------------------------------------------------
     # Fine-grained monitoring: per-tag and per-slice quality.
     # ------------------------------------------------------------------
-    quality = overton.report(
-        trained, dataset, tags=["test", f"slice:{HARD_DISAMBIGUATION_SLICE}", f"slice:{NUTRITION_SLICE}"]
+    quality = run.report(
+        dataset,
+        tags=["test", f"slice:{HARD_DISAMBIGUATION_SLICE}", f"slice:{NUTRITION_SLICE}"],
     )
     print("\nper-tag quality report:")
     print(render_quality_report(quality))

@@ -1,11 +1,16 @@
-"""Quickstart: schema + data file -> trained, deployed, served model.
+"""Quickstart: one app spec + one data file -> trained, deployed, served.
 
-This is the minimal Overton loop from Figure 1 of the paper:
+This is the minimal Overton loop from Figure 1 of the paper, driven
+entirely through the :mod:`repro.api` lifecycle layer:
 
-1. declare a schema (payloads + tasks) — no model code;
+1. declare the *application* — schema, slices, supervision policy — as one
+   ``app.json``-style spec; no model code anywhere;
 2. provide a data file of records with per-source supervision;
-3. Overton combines supervision, trains, and produces a deployable model;
-4. serving consumes only the artifact.
+3. ``app.fit`` combines supervision and trains; the returned ``Run`` owns
+   the model, history, and quality report, and round-trips through
+   ``run.save``/``Run.load``;
+4. serving consumes only the deployed artifact, through an ``Endpoint``
+   pinned against the model store.
 
 Run:  python examples/quickstart.py
 """
@@ -15,53 +20,50 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import (
-    Dataset,
-    ModelConfig,
-    ModelStore,
-    Overton,
-    PayloadConfig,
-    Predictor,
-    Schema,
-    TrainerConfig,
-)
+from repro import Dataset, ModelConfig, ModelStore, PayloadConfig, TrainerConfig
+from repro.api import Application, Endpoint, Run
 from repro.workloads import FactoidGenerator, WorkloadConfig, apply_standard_weak_supervision
 
 
 def main() -> None:
     # ------------------------------------------------------------------
-    # 1. The schema: *what* the model computes, never *how* (Fig. 2a).
+    # 1. The application spec: *what* the product computes, never *how*
+    #    (Fig. 2a).  In a real project this is the checked-in app.json.
     # ------------------------------------------------------------------
-    schema = Schema.from_dict(
+    app = Application.from_spec(
         {
-            "payloads": {
-                "tokens": {"type": "sequence", "max_length": 10},
-                "query": {"type": "singleton", "base": ["tokens"]},
-                "entities": {"type": "set", "range": "tokens", "max_members": 4},
+            "name": "factoid-qa",
+            "schema": {
+                "payloads": {
+                    "tokens": {"type": "sequence", "max_length": 10},
+                    "query": {"type": "singleton", "base": ["tokens"]},
+                    "entities": {"type": "set", "range": "tokens", "max_members": 4},
+                },
+                "tasks": {
+                    "POS": {
+                        "payload": "tokens",
+                        "type": "multiclass",
+                        "classes": ["NOUN", "VERB", "ADJ", "ADV", "DET", "ADP", "NUM", "PRON"],
+                    },
+                    "EntityType": {
+                        "payload": "tokens",
+                        "type": "bitvector",
+                        "classes": [
+                            "person", "location", "country", "city",
+                            "state", "mountain", "food", "title",
+                        ],
+                    },
+                    "Intent": {
+                        "payload": "query",
+                        "type": "multiclass",
+                        "classes": [
+                            "height", "age", "population", "capital", "spouse", "nutrition",
+                        ],
+                    },
+                    "IntentArg": {"payload": "entities", "type": "select"},
+                },
             },
-            "tasks": {
-                "POS": {
-                    "payload": "tokens",
-                    "type": "multiclass",
-                    "classes": ["NOUN", "VERB", "ADJ", "ADV", "DET", "ADP", "NUM", "PRON"],
-                },
-                "EntityType": {
-                    "payload": "tokens",
-                    "type": "bitvector",
-                    "classes": [
-                        "person", "location", "country", "city",
-                        "state", "mountain", "food", "title",
-                    ],
-                },
-                "Intent": {
-                    "payload": "query",
-                    "type": "multiclass",
-                    "classes": [
-                        "height", "age", "population", "capital", "spouse", "nutrition",
-                    ],
-                },
-                "IntentArg": {"payload": "entities", "type": "select"},
-            },
+            "supervision": {"gold_source": "gold", "method": "label_model"},
         }
     )
 
@@ -77,13 +79,12 @@ def main() -> None:
     print(f"wrote {len(dataset)} records to {data_path}")
 
     # Reload exactly the way an engineer would.
-    dataset = Dataset.from_file(schema, data_path)
+    dataset = Dataset.from_file(app.schema, data_path)
 
     # ------------------------------------------------------------------
     # 3. Train.  The tuning config is separate from the schema (model
     #    independence); engineers usually do not even set it.
     # ------------------------------------------------------------------
-    overton = Overton(schema)
     config = ModelConfig(
         payloads={
             "tokens": PayloadConfig(encoder="bow", size=24),
@@ -92,22 +93,28 @@ def main() -> None:
         },
         trainer=TrainerConfig(epochs=10, batch_size=32, lr=0.05),
     )
-    trained = overton.train(dataset, config)
-    evals = overton.evaluate(trained, dataset, tag="test")
+    run = app.fit(dataset, config)
+    evals = run.evaluate(dataset, tag="test")
     print("\ntest quality:")
     for task, evaluation in evals.items():
         print(f"  {task:<12} {evaluation.metrics}")
 
+    # The run round-trips through disk: artifact + history + report.
+    run_dir = workdir / "run"
+    run.save(run_dir)
+    reloaded = Run.load(run_dir)
+    print(f"\nsaved and reloaded run (fingerprint {reloaded.train_fingerprint[:12]})")
+
     # ------------------------------------------------------------------
     # 4. Deploy and serve from the store — model independence in action:
-    #    the predictor sees only the artifact.
+    #    the endpoint sees only the artifact.
     # ------------------------------------------------------------------
     store = ModelStore(workdir / "store")
-    version = overton.deploy(trained, store, "factoid-qa")
-    print(f"\npushed version {version.version} to {store.root}")
+    version = run.deploy(store)  # pushed under the app's own name
+    print(f"pushed version {version.version} to {store.root}")
 
-    predictor = Predictor(store.fetch("factoid-qa"))
-    response = predictor.predict_one(
+    endpoint = Endpoint.from_store(store, app.name)
+    response = endpoint.predict(
         {
             "tokens": ["how", "tall", "is", "everest"],
             "entities": [{"id": "Mount_Everest", "range": [3, 4]}],

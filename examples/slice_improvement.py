@@ -8,13 +8,18 @@ The loop the paper describes:
 3. they add one targeted labeling function for that slice;
 4. retrain, and gate the deploy on the regression detector.
 
+Every retrain is one ``app.fit`` call; the slice is declared once on the
+Application and every report sees it.
+
 Run:  python examples/slice_improvement.py
 """
 
 from __future__ import annotations
 
-from repro import ModelStore, Overton, SliceSet, SliceSpec
+from repro import ModelStore
+from repro.api import Application
 from repro.monitoring import compare_reports, render_quality_report, render_regressions
+from repro.slicing import SliceSet, SliceSpec
 from repro.workloads import (
     FactoidGenerator,
     HARD_DISAMBIGUATION_SLICE,
@@ -38,16 +43,19 @@ def main() -> None:
     for record in dataset.records:
         record.tasks.get("IntentArg", {}).pop("lf_compatible", None)
 
-    slices = SliceSet(
-        [SliceSpec(name=HARD_DISAMBIGUATION_SLICE, description="hard readings")]
+    app = Application(
+        dataset.schema,
+        name="factoid-qa",
+        slices=SliceSet(
+            [SliceSpec(name=HARD_DISAMBIGUATION_SLICE, description="hard readings")]
+        ),
     )
-    overton = Overton(dataset.schema, slices=slices)
 
     # ------------------------------------------------------------------
     # Monday: the weekly report shows the slice is broken.
     # ------------------------------------------------------------------
-    before_model = overton.train(dataset)
-    before_report = overton.report(before_model, dataset, tags=["test", SLICE_TAG])
+    before = app.fit(dataset)
+    before_report = before.report(dataset, tags=["test", SLICE_TAG])
     print("report BEFORE the fix:")
     print(render_quality_report(before_report))
     before_slice = before_report.metric(SLICE_TAG, "IntentArg", "accuracy")
@@ -59,8 +67,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     print("\nlearned IntentArg source accuracies:")
     for source, acc in sorted(
-        before_model.supervision["IntentArg"].source_accuracies.items(),
-        key=lambda kv: kv[1],
+        before.supervision_summary["IntentArg"].items(), key=lambda kv: kv[1]
     ):
         print(f"  {source:<16} {acc:.3f}")
 
@@ -75,8 +82,8 @@ def main() -> None:
     # ------------------------------------------------------------------
     # Thursday: retrain and compare reports.
     # ------------------------------------------------------------------
-    after_model = overton.train(dataset)
-    after_report = overton.report(after_model, dataset, tags=["test", SLICE_TAG])
+    after = app.fit(dataset)
+    after_report = after.report(dataset, tags=["test", SLICE_TAG])
     print("\nreport AFTER the fix:")
     print(render_quality_report(after_report))
     after_slice = after_report.metric(SLICE_TAG, "IntentArg", "accuracy")
@@ -96,7 +103,7 @@ def main() -> None:
     print(render_regressions(regressions))
     if not regressions.blocking:
         store = ModelStore(Path(tempfile.mkdtemp(prefix="overton-store-")) / "models")
-        version = overton.deploy(after_model, store, "factoid-qa")
+        version = after.deploy(store)
         print(f"\nshipped {version.model_name}@{version.version}")
     else:
         print("\ndeploy blocked; investigate regressions first")

@@ -6,17 +6,42 @@ products.  This package reimplements the full system described in the paper
 schema-to-model compilation, coarse architecture search, and automatic
 deployment — on a from-scratch numpy deep-learning substrate.
 
+The public surface is the application-lifecycle API in :mod:`repro.api`:
+an :class:`Application` declares the product (schema + slices + supervision
+policy), a :class:`Run` owns one training outcome, and an
+:class:`Endpoint` serves it.
+
 Quickstart::
 
-    from repro import Overton, Schema, Dataset
+    from repro import Dataset
+    from repro.api import Application, Endpoint, Run
 
-    schema = Schema.from_file("schema.json")
-    dataset = Dataset.from_file(schema, "data.jsonl")
-    overton = Overton(schema)
-    trained = overton.train(dataset)
-    print(overton.evaluate(trained, dataset))
+    app = Application.from_spec("app.json")     # schema, slices, supervision
+    dataset = Dataset.from_file(app.schema, "data.jsonl")
+
+    run = app.fit(dataset)                      # combine supervision + train
+    print(run.report(dataset, tags=["test"]))   # per-tag quality report
+    run.save("runs/tonight")                    # artifact + history + report
+
+    endpoint = Run.load("runs/tonight").endpoint()
+    endpoint.predict({"tokens": ["how", "tall", "is", "everest"],
+                      "entities": [{"id": "Everest", "range": [3, 4]}]})
+
+Deploying through a :class:`ModelStore` gives versioned serving::
+
+    run.deploy(store)                           # push under the app's name
+    endpoint = Endpoint.from_store(store, app.name)   # follows latest
+    pinned = Endpoint.from_store(store, app.name, version="abc123")
+
+The pre-1.1 facades (``Overton``, ``TrainedModel``, ``Predictor``) remain
+importable from this module but emit :class:`DeprecationWarning`; see
+CHANGES.md for the migration table.
 """
 
+import importlib
+import warnings
+
+from repro.api import Application, Endpoint, Run, SupervisionPolicy
 from repro.core import (
     ModelConfig,
     PayloadConfig,
@@ -25,9 +50,8 @@ from repro.core import (
     TrainerConfig,
     TuningSpec,
 )
-from repro.core.overton import Overton, TrainedModel
 from repro.data import Dataset, Record
-from repro.deploy import ModelArtifact, ModelStore, Predictor
+from repro.deploy import ModelArtifact, ModelStore
 from repro.slicing import SliceSet, SliceSpec
 from repro.supervision import (
     LabelModel,
@@ -36,9 +60,22 @@ from repro.supervision import (
     labeling_function,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# Legacy names kept importable with a deprecation warning: the module path
+# that still owns the real object, plus the repro.api replacement to name
+# in the warning.
+_DEPRECATED_ALIASES = {
+    "Overton": ("repro.core.overton", "repro.api.Application"),
+    "TrainedModel": ("repro.api.run", "repro.api.Run"),
+    "Predictor": ("repro.deploy.predictor", "repro.api.Endpoint"),
+}
 
 __all__ = [
+    "Application",
+    "SupervisionPolicy",
+    "Run",
+    "Endpoint",
     "ModelConfig",
     "PayloadConfig",
     "Schema",
@@ -60,3 +97,20 @@ __all__ = [
     "labeling_function",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_ALIASES:
+        module_path, replacement = _DEPRECATED_ALIASES[name]
+        warnings.warn(
+            f"'repro.{name}' is deprecated; use '{replacement}' instead "
+            f"(see the migration note in CHANGES.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module_path), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(__all__)

@@ -1,0 +1,423 @@
+"""The :class:`Application`: one product feature, declared in one place.
+
+The paper's promise is that engineers drive the whole loop — combine
+supervision, train/tune, deploy, monitor — from a declarative description
+of the application (§1, Figure 1).  An application bundles exactly that
+description: the schema, the slices the team monitors, the supervision
+policy (which source is gold, how sources are combined), and the registry
+of pretrained embedding products.  It is constructible from a single
+``app.json``/dict spec, so the entry layer is validated once instead of
+re-plumbed per workload::
+
+    {
+      "name": "factoid-qa",
+      "schema": {...} | "schema.json",
+      "slices": ["nutrition", {"name": "hard", "description": "..."}],
+      "supervision": {"gold_source": "gold", "method": "label_model"},
+      "seed": 0
+    }
+
+``app.fit(dataset)`` / ``app.tune(dataset, spec)`` return a
+:class:`repro.api.run.Run`; serving goes through
+:class:`repro.api.endpoint.Endpoint`.  The legacy ``Overton`` facade is a
+thin shim over this class.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.api.run import Run, TrainedModel
+from repro.core.schema_def import Schema
+from repro.core.tuning_spec import ModelConfig, TuningSpec
+from repro.data.dataset import Dataset
+from repro.data.record import Record
+from repro.deploy.artifact import ModelArtifact
+from repro.errors import SchemaError, TrainingError
+from repro.model.compiler import compile_model
+from repro.model.embeddings_registry import EmbeddingProduct, EmbeddingRegistry
+from repro.model.task_heads import TaskTargets
+from repro.slicing import SliceSet, SliceSpec
+from repro.supervision import (
+    CombinedSupervision,
+    class_weights_from_probs,
+    combine_supervision,
+)
+from repro.training import (
+    QualityReport,
+    TaskEvaluation,
+    Trainer,
+    evaluate,
+    mean_primary,
+    quality_report,
+)
+from repro.tuning import grid_search, random_search
+
+_SPEC_KEYS = ("name", "schema", "slices", "supervision", "embeddings", "seed")
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How an application turns raw sources into training targets."""
+
+    gold_source: str = "gold"
+    method: str = "label_model"
+    rebalance: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "gold_source": self.gold_source,
+            "method": self.method,
+            "rebalance": self.rebalance,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "SupervisionPolicy":
+        unknown = set(spec) - {"gold_source", "method", "rebalance"}
+        if unknown:
+            raise SchemaError(
+                f"unknown supervision policy keys {sorted(unknown)}; "
+                f"expected gold_source, method, rebalance"
+            )
+        return cls(**spec)
+
+
+class Application:
+    """One application = schema + slices + supervision policy + embeddings."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        *,
+        name: str = "application",
+        slices: SliceSet | None = None,
+        registry: EmbeddingRegistry | None = None,
+        supervision: SupervisionPolicy | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.schema = schema
+        self.name = name
+        self.slices = slices if slices is not None else SliceSet()
+        self.registry = registry if registry is not None else EmbeddingRegistry()
+        self.supervision = supervision if supervision is not None else SupervisionPolicy()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # The declarative spec (app.json)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(
+        cls, spec: dict | str | Path, base_dir: str | Path | None = None
+    ) -> "Application":
+        """Build an application from a dict or an ``app.json`` path.
+
+        ``schema`` may be inline (a dict) or a file path, resolved relative
+        to the spec file's directory.  Slices are names or
+        ``{"name", "description"}`` objects (predicates are code, not spec).
+        ``embeddings`` is an optional list of saved
+        :class:`EmbeddingProduct` file paths.
+        """
+        if isinstance(spec, (str, Path)):
+            path = Path(spec)
+            if base_dir is None:
+                base_dir = path.parent
+            try:
+                spec = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise SchemaError(f"cannot read application spec {path}: {exc}") from exc
+        if not isinstance(spec, dict):
+            raise SchemaError(f"application spec must be an object, got {type(spec).__name__}")
+        unknown = set(spec) - set(_SPEC_KEYS)
+        if unknown:
+            raise SchemaError(
+                f"unknown application spec keys {sorted(unknown)}; "
+                f"expected a subset of {list(_SPEC_KEYS)}"
+            )
+        if "schema" not in spec:
+            raise SchemaError("application spec needs a 'schema' (inline dict or file path)")
+        base = Path(base_dir) if base_dir is not None else Path(".")
+        schema_spec = spec["schema"]
+        if isinstance(schema_spec, dict):
+            schema = Schema.from_dict(schema_spec)
+        elif isinstance(schema_spec, str):
+            schema = Schema.from_file(base / schema_spec)
+        else:
+            raise SchemaError("'schema' must be an inline object or a file path")
+
+        slices = SliceSet([_slice_from_spec(s) for s in spec.get("slices", [])])
+        registry = EmbeddingRegistry(
+            [EmbeddingProduct.load(base / p) for p in spec.get("embeddings", [])]
+        )
+        return cls(
+            schema,
+            name=spec.get("name", "application"),
+            slices=slices,
+            registry=registry,
+            supervision=SupervisionPolicy.from_dict(spec.get("supervision", {})),
+            seed=spec.get("seed", 0),
+        )
+
+    def to_spec(self) -> dict:
+        """The declarative spec, with the schema inlined.
+
+        Slice predicates and in-memory embedding products are code/runtime
+        state and are not serialized; slices keep their names and
+        descriptions, which is what re-materializes them from tagged data.
+        """
+        return {
+            "name": self.name,
+            "schema": self.schema.to_dict(),
+            "slices": [
+                {"name": s.name, "description": s.description} for s in self.slices
+            ],
+            "supervision": self.supervision.to_dict(),
+            "seed": self.seed,
+        }
+
+    # ------------------------------------------------------------------
+    # Supervision combination (Figure 1: "Combine Supervision")
+    # ------------------------------------------------------------------
+    def combine(
+        self,
+        records: Sequence[Record],
+        method: str | None = None,
+        rebalance: bool | None = None,
+    ) -> tuple[dict[str, TaskTargets], dict[str, CombinedSupervision]]:
+        """Build noise-aware training targets for every task.
+
+        The gold source is always excluded from training supervision — it
+        exists for validation only (§3: "validation is still done
+        manually").
+        """
+        method = method if method is not None else self.supervision.method
+        rebalance = rebalance if rebalance is not None else self.supervision.rebalance
+        gold_source = self.supervision.gold_source
+        membership = (
+            self.slices.membership_matrix(records) if len(self.slices) else None
+        )
+        targets: dict[str, TaskTargets] = {}
+        combined_all: dict[str, CombinedSupervision] = {}
+        for task in self.schema.tasks:
+            sources = set()
+            for record in records:
+                sources.update(record.sources_for(task.name))
+            exclude = [gold_source] if gold_source in sources else []
+            if sources == {gold_source}:
+                # Gold is the only supervision (e.g. tiny demo datasets):
+                # train on it rather than failing.
+                exclude = []
+            combined = combine_supervision(
+                records, self.schema, task.name, method=method, exclude_sources=exclude
+            )
+            combined_all[task.name] = combined
+            class_weights = None
+            if rebalance and task.type == "multiclass":
+                flat = combined.probs.reshape(-1, combined.probs.shape[-1])
+                flat_weights = combined.weights.reshape(-1)
+                class_weights = class_weights_from_probs(flat, flat_weights)
+            elif rebalance and task.type == "bitvector":
+                # Per-class positive weight for BCE: rare positive classes
+                # would otherwise collapse to all-negative predictions.
+                flat = combined.probs.reshape(-1, combined.probs.shape[-1])
+                flat_weights = combined.weights.reshape(-1)
+                labeled = flat[flat_weights > 0]
+                if len(labeled):
+                    pos_rate = labeled.mean(axis=0)
+                    class_weights = np.clip(
+                        (1.0 - pos_rate) / np.maximum(pos_rate, 1e-6), 1.0, 10.0
+                    )
+            targets[task.name] = TaskTargets(
+                probs=combined.probs,
+                weights=combined.weights,
+                class_weights=class_weights,
+                membership=membership,
+            )
+        return targets, combined_all
+
+    # ------------------------------------------------------------------
+    # Training (Figure 1: "Train & Tune Models")
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: Dataset,
+        config: ModelConfig | None = None,
+        method: str | None = None,
+    ) -> Run:
+        """Train one model on the dataset's train split; returns a Run."""
+        from repro.deploy.sync import data_fingerprint
+
+        config = config or ModelConfig()
+        train = dataset.split("train")
+        dev = dataset.split("dev")
+        if len(train) == 0:
+            raise TrainingError("dataset has no records tagged 'train'")
+        self.slices.materialize(dataset.records)
+        vocabs = dataset.build_vocabs()
+        model = compile_model(
+            self.schema,
+            config,
+            vocabs,
+            slice_names=self.slices.names,
+            registry=self.registry,
+            seed=config.trainer.seed or self.seed,
+        )
+        targets, combined = self.combine(train.records, method=method)
+        trainer = Trainer(model, config.trainer)
+        history = trainer.fit(
+            train.records,
+            vocabs,
+            targets,
+            dev_records=dev.records if len(dev) else None,
+            gold_source=self.supervision.gold_source,
+        )
+        trained = TrainedModel(
+            model=model,
+            vocabs=vocabs,
+            history=history,
+            supervision=combined,
+            config=config,
+            train_fingerprint=data_fingerprint(train.records),
+        )
+        return Run(application=self, trained=trained)
+
+    def tune(
+        self,
+        dataset: Dataset,
+        spec: TuningSpec,
+        strategy: str = "grid",
+        num_trials: int = 8,
+        method: str | None = None,
+    ) -> Run:
+        """Hyperparameter/architecture search, scored on the dev split.
+
+        The best trial's model is retained as it is trained — trials are
+        tracked by evaluation order, never by object identity, so the
+        winning ``TrainedModel`` is returned robustly even if config
+        objects are recycled by the search strategy.
+        """
+        dev = dataset.split("dev")
+        if len(dev) == 0:
+            raise TrainingError("tuning requires records tagged 'dev'")
+
+        best_trained: TrainedModel | None = None
+        best_score = -np.inf
+
+        def trial(config: ModelConfig) -> float:
+            nonlocal best_trained, best_score
+            trained = self.fit(dataset, config, method=method).trained
+            evals = evaluate(
+                trained.model,
+                dev.records,
+                self.schema,
+                trained.vocabs,
+                self.supervision.gold_source,
+            )
+            score = mean_primary(evals)
+            # First-strictly-greater matches the search strategies' own
+            # best-trial selection, so best_trained tracks best_config.
+            if best_trained is None or score > best_score:
+                best_trained, best_score = trained, score
+            return score
+
+        if strategy == "grid":
+            result = grid_search(spec, trial)
+        elif strategy == "random":
+            result = random_search(spec, trial, num_trials=num_trials, seed=self.seed)
+        else:
+            raise TrainingError(f"unknown tuning strategy {strategy!r}")
+        if best_trained is None:
+            raise TrainingError("tuning produced no trials")
+        return Run(application=self, trained=best_trained, search=result)
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, trained: TrainedModel, dataset: Dataset, tag: str = "test"
+    ) -> dict[str, TaskEvaluation]:
+        subset = dataset.with_tag(tag) if tag else dataset
+        return evaluate(
+            trained.model,
+            subset.records,
+            self.schema,
+            trained.vocabs,
+            self.supervision.gold_source,
+        )
+
+    def report(
+        self,
+        trained: TrainedModel,
+        dataset: Dataset,
+        tags: Sequence[str] | None = None,
+    ) -> QualityReport:
+        return quality_report(
+            trained.model,
+            dataset.records,
+            self.schema,
+            trained.vocabs,
+            self.supervision.gold_source,
+            tags=tags,
+        )
+
+    # ------------------------------------------------------------------
+    # Deployment (Figure 1: "Create Deployable Model")
+    # ------------------------------------------------------------------
+    def build_artifact(
+        self, trained: TrainedModel, metrics: dict | None = None
+    ) -> ModelArtifact:
+        return ModelArtifact.from_model(
+            trained.model,
+            trained.vocabs,
+            metrics=metrics,
+            extra_metadata={"data_fingerprint": trained.train_fingerprint},
+        )
+
+    def deploy(
+        self,
+        trained: TrainedModel,
+        store,
+        name: str | None = None,
+        metrics: dict | None = None,
+    ):
+        """Serialize and push the trained model to the store.
+
+        ``name`` defaults to the application's own name.
+        """
+        return store.push(name or self.name, self.build_artifact(trained, metrics))
+
+    # ------------------------------------------------------------------
+    # Resuming from a stored artifact
+    # ------------------------------------------------------------------
+    def run_from_artifact(self, artifact: ModelArtifact) -> Run:
+        """Wrap a stored artifact as a Run (no history or supervision)."""
+        from repro.training import TrainHistory
+
+        trained = TrainedModel(
+            model=artifact.build_model(),
+            vocabs=dict(artifact.vocabs),
+            history=TrainHistory(),
+            supervision={},
+            config=artifact.config,
+            train_fingerprint=artifact.metadata.get("data_fingerprint", ""),
+        )
+        return Run(application=self, trained=trained)
+
+
+def _slice_from_spec(spec) -> SliceSpec:
+    if isinstance(spec, str):
+        return SliceSpec(name=spec)
+    if isinstance(spec, dict):
+        unknown = set(spec) - {"name", "description"}
+        if unknown:
+            raise SchemaError(
+                f"unknown slice spec keys {sorted(unknown)}; expected name, description"
+            )
+        if "name" not in spec:
+            raise SchemaError("slice spec needs a 'name'")
+        return SliceSpec(name=spec["name"], description=spec.get("description", ""))
+    raise SchemaError(f"slice spec must be a name or an object, got {type(spec).__name__}")

@@ -1,0 +1,279 @@
+"""The :class:`Endpoint`: a serving session over one deployed model.
+
+"Serving code does not change even when inputs, parameters, or resources of
+the model change" (§1, model independence).  An endpoint consumes only an
+artifact: raw payload dicts in, typed task responses out, shaped by the
+serving signature.  Nothing here references tuning configs or supervision.
+
+On top of the bare request/response loop the endpoint owns the serving
+session concerns:
+
+* **up-front payload validation** against the serving signature — missing
+  and unknown fields raise :class:`DeploymentError` naming the fields,
+  before any model work happens;
+* **micro-batching** — arbitrarily large request lists are served in
+  fixed-size model batches, so one caller cannot blow up memory;
+* **version pinning** — an endpoint built via :meth:`from_store` remembers
+  its model name and version; unpinned endpoints can ``refresh()`` to the
+  store's latest version without the caller re-wiring anything.
+
+The legacy ``repro.deploy.Predictor`` is a thin shim over this class.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.data.batching import encode_inputs
+from repro.data.record import Record
+from repro.errors import DeploymentError
+
+if TYPE_CHECKING:
+    from repro.deploy.artifact import ModelArtifact
+    from repro.deploy.store import ModelStore
+
+
+class Endpoint:
+    """Loads an artifact and answers requests.
+
+    ``constraints`` optionally enables joint constrained decoding (the
+    paper's SRL future work, :mod:`repro.core.constraints`): per-example
+    distributions of constrained tasks are rescored jointly, with the
+    record passed as constraint context.
+
+    ``micro_batch_size`` caps the model batch; ``None`` serves each request
+    list as one batch.  ``strict`` controls whether *missing* signature
+    inputs are rejected (unknown fields are always rejected).
+    """
+
+    def __init__(
+        self,
+        artifact: "ModelArtifact",
+        constraints=None,
+        micro_batch_size: int | None = 32,
+        strict: bool = True,
+    ) -> None:
+        if micro_batch_size is not None and micro_batch_size <= 0:
+            raise DeploymentError("micro_batch_size must be positive (or None)")
+        self.micro_batch_size = micro_batch_size
+        self.strict = strict
+        self._constraints = constraints
+        # Store bookkeeping (populated by from_store).
+        self._store: "ModelStore | None" = None
+        self.model_name: str | None = None
+        self.version: str | None = None
+        self.pinned: bool = False
+        # Session counters (what the throughput benchmark reads).
+        self.requests_served = 0
+        self.batches_run = 0
+        self._load_artifact(artifact)
+
+    def _load_artifact(self, artifact: "ModelArtifact") -> None:
+        self.artifact = artifact
+        self.signature = artifact.signature
+        self._model = artifact.build_model()
+        self._schema = artifact.schema
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_directory(cls, directory, constraints=None, **kwargs) -> "Endpoint":
+        from repro.deploy.artifact import ModelArtifact
+
+        return cls(ModelArtifact.load(directory), constraints=constraints, **kwargs)
+
+    @classmethod
+    def from_store(
+        cls,
+        store: "ModelStore",
+        name: str,
+        version: str | None = None,
+        constraints=None,
+        **kwargs,
+    ) -> "Endpoint":
+        """Serve a stored model; passing ``version`` pins the endpoint.
+
+        A pinned endpoint never moves off its version; an unpinned one
+        starts at the store's latest and follows it on :meth:`refresh`.
+        """
+        resolved = version or store.latest_version(name)
+        endpoint = cls(
+            store.fetch(name, resolved), constraints=constraints, **kwargs
+        )
+        endpoint._store = store
+        endpoint.model_name = name
+        endpoint.version = resolved
+        endpoint.pinned = version is not None
+        return endpoint
+
+    def refresh(self) -> bool:
+        """Re-fetch the latest version from the store; True if it changed.
+
+        Pinned endpoints never move.  Raises for endpoints not built via
+        :meth:`from_store`.
+        """
+        if self._store is None or self.model_name is None:
+            raise DeploymentError("endpoint is not backed by a model store")
+        if self.pinned:
+            return False
+        latest = self._store.latest_version(self.model_name)
+        if latest == self.version:
+            return False
+        self._load_artifact(self._store.fetch(self.model_name, latest))
+        self.version = latest
+        return True
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def predict(
+        self, requests: dict[str, Any] | Sequence[dict[str, Any]]
+    ) -> dict[str, Any] | list[dict[str, Any]]:
+        """Answer one request dict or a batch of them.
+
+        Each request is a payload dict matching the signature's inputs, e.g.
+        ``{"tokens": ["how", "tall", ...], "entities": [...]}``.  The
+        response maps each task to a typed result:
+
+        * multiclass singleton: ``{"label": str, "scores": {class: prob}}``
+        * multiclass sequence: ``{"labels": [str per position]}``
+        * bitvector: ``{"labels": [classes]}`` (per position for sequences)
+        * select: ``{"index": int, "scores": [float per candidate]}``
+
+        A single dict in gets a single response dict out; a sequence gets a
+        list, served in micro-batches of ``micro_batch_size``.
+        """
+        if isinstance(requests, dict):
+            return self.predict([requests])[0]
+        payloads = list(requests)
+        if not payloads:
+            return []
+        # Validate the whole batch up front: fail before any model work.
+        for i, payload in enumerate(payloads):
+            self.validate_payload(payload, index=i)
+        chunk = self.micro_batch_size or len(payloads)
+        responses: list[dict[str, Any]] = []
+        for start in range(0, len(payloads), chunk):
+            responses.extend(self._predict_batch(payloads[start : start + chunk]))
+        self.requests_served += len(payloads)
+        return responses
+
+    def predict_one(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return self.predict([payload])[0]
+
+    def validate_payload(self, payload: dict[str, Any], index: int | None = None) -> None:
+        """Check one request against the serving signature.
+
+        Unknown fields are always rejected; missing signature inputs are
+        rejected when the endpoint is strict.  The error names the fields.
+        """
+        if not isinstance(payload, dict):
+            raise DeploymentError(
+                f"{_request_label(index)} must be a payload object, "
+                f"got {type(payload).__name__}"
+            )
+        known = {i.name for i in self.signature.inputs}
+        unknown = set(payload) - known
+        if unknown:
+            raise DeploymentError(
+                f"{_request_label(index)} has unknown payloads {sorted(unknown)}; "
+                f"signature inputs: {sorted(known)}"
+            )
+        if self.strict:
+            missing = known - set(payload)
+            if missing:
+                raise DeploymentError(
+                    f"{_request_label(index)} is missing payloads {sorted(missing)}; "
+                    f"signature inputs: {sorted(known)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _predict_batch(self, payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        records = [self._to_record(p) for p in payloads]
+        batch = encode_inputs(records, self._schema, self.artifact.vocabs)
+        outputs = self._model.predict(batch)
+        if self._constraints is not None and len(self._constraints):
+            self._apply_constraints(outputs, records)
+        self.batches_run += 1
+        responses: list[dict[str, Any]] = [{} for _ in payloads]
+        for out_sig in self.signature.outputs:
+            task_out = outputs[out_sig.name]
+            for i, record in enumerate(records):
+                responses[i][out_sig.name] = self._format(out_sig, task_out, i, record)
+        return responses
+
+    def _apply_constraints(self, outputs, records: list[Record]) -> None:
+        """Rewrite constrained tasks' predictions via joint decoding.
+
+        Only singleton-multiclass and select tasks participate (their
+        outputs are one distribution per example).
+        """
+        eligible = set()
+        for out_sig in self.signature.outputs:
+            singleton_multiclass = (
+                out_sig.type == "multiclass" and out_sig.granularity != "sequence"
+            )
+            if singleton_multiclass or out_sig.type == "select":
+                eligible.add(out_sig.name)
+        constrained = [
+            t for t in self._constraints.constrained_tasks() if t in eligible
+        ]
+        if not constrained:
+            return
+        for i, record in enumerate(records):
+            distributions = {t: outputs[t].probs[i] for t in constrained}
+            result = self._constraints.decode(distributions, context=record)
+            for task, (before, after) in result.changed.items():
+                outputs[task].predictions[i] = after
+
+    def _to_record(self, payload: dict[str, Any]) -> Record:
+        record = Record(payloads=dict(payload))
+        record.validate(self._schema)
+        return record
+
+    def _format(self, out_sig, task_out, i: int, record: Record) -> dict[str, Any]:
+        if out_sig.type == "multiclass" and out_sig.granularity == "sequence":
+            seq_payload = self._schema.task(out_sig.name).payload
+            tokens = record.payloads.get(seq_payload) or []
+            labels = [
+                out_sig.classes[int(c)] for c in task_out.predictions[i][: len(tokens)]
+            ]
+            return {"labels": labels}
+        if out_sig.type == "multiclass":
+            probs = task_out.probs[i]
+            label = out_sig.classes[int(task_out.predictions[i])]
+            return {
+                "label": label,
+                "scores": {c: float(p) for c, p in zip(out_sig.classes, probs)},
+            }
+        if out_sig.type == "bitvector":
+            bits = task_out.predictions[i]
+            if out_sig.granularity == "sequence":
+                seq_payload = self._schema.task(out_sig.name).payload
+                tokens = record.payloads.get(seq_payload) or []
+                return {
+                    "labels": [
+                        [out_sig.classes[k] for k in range(len(out_sig.classes)) if row[k]]
+                        for row in bits[: len(tokens)]
+                    ]
+                }
+            return {
+                "labels": [
+                    out_sig.classes[k] for k in range(len(out_sig.classes)) if bits[k]
+                ]
+            }
+        # select
+        set_payload = self._schema.task(out_sig.name).payload
+        members = record.payloads.get(set_payload) or []
+        scores = task_out.probs[i][: len(members)]
+        return {
+            "index": int(task_out.predictions[i]) if members else None,
+            "scores": [float(s) for s in scores],
+        }
+
+
+def _request_label(index: int | None) -> str:
+    return "request" if index is None else f"request {index}"

@@ -1,13 +1,19 @@
 """Command-line interface: the engineer-facing entry points.
 
 Overton's users interact through data files and reports, not notebooks
-(§2.3); the CLI packages the common loop:
+(§2.3); the CLI packages the common loop, wired through the
+:mod:`repro.api` application-lifecycle layer:
 
     python -m repro validate --schema schema.json --data data.jsonl
-    python -m repro train    --schema schema.json --data data.jsonl --out artifact/
+    python -m repro train    --app app.json --data data.jsonl --out artifact/
     python -m repro report   --artifact artifact/ --data data.jsonl
-    python -m repro predict  --artifact artifact/ --request request.json
+    python -m repro predict  --artifact artifact/ --request requests.json --batch 64
     python -m repro query    --schema schema.json --data data.jsonl --tag train --task Intent
+
+``train`` accepts either a bare ``--schema`` or a full ``--app`` spec
+(schema + slices + supervision policy in one file); ``predict`` serves a
+request file — one payload object or a list — through an
+:class:`repro.api.Endpoint` in micro-batches of ``--batch``.
 
 Every command is a thin shim over the library API and returns a process
 exit code, so it is scriptable in CI.
@@ -20,18 +26,29 @@ import json
 import sys
 from pathlib import Path
 
+from repro.api import Application, Endpoint, SupervisionPolicy
 from repro.core import ModelConfig, PayloadConfig, Schema, TrainerConfig
-from repro.core.overton import Overton
 from repro.data import Dataset, RecordQuery
-from repro.deploy import ModelArtifact, Predictor
+from repro.deploy import ModelArtifact
 from repro.errors import ReproError
 from repro.monitoring import render_quality_report
-from repro.training import quality_report
 
 
 def _load(schema_path: str, data_path: str) -> Dataset:
     schema = Schema.from_file(schema_path)
     return Dataset.from_file(schema, data_path)
+
+
+def _application(args: argparse.Namespace) -> Application:
+    """Build the Application from --app (full spec) or --schema (bare)."""
+    if getattr(args, "app", None):
+        return Application.from_spec(args.app)
+    if not args.schema:
+        raise ReproError("provide --app app.json or --schema schema.json")
+    return Application(
+        Schema.from_file(args.schema),
+        supervision=SupervisionPolicy(gold_source=args.gold_source),
+    )
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -49,58 +66,57 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_train(args: argparse.Namespace) -> int:
-    dataset = _load(args.schema, args.data)
-    overton = Overton(dataset.schema, gold_source=args.gold_source)
+    app = _application(args)
+    dataset = Dataset.from_file(app.schema, args.data)
     size = args.size
     config = ModelConfig(
         payloads={
             p.name: PayloadConfig(
                 encoder=args.encoder if p.type == "sequence" else "bow", size=size
             )
-            for p in dataset.schema.payloads
+            for p in app.schema.payloads
         },
         trainer=TrainerConfig(
             epochs=args.epochs, batch_size=args.batch_size, lr=args.lr
         ),
     )
-    trained = overton.train(dataset, config)
-    evals = overton.evaluate(trained, dataset, tag="test")
+    run = app.fit(dataset, config)
+    evals = run.evaluate(dataset, tag="test")
     metrics = {
         f"{task}_{name}": value
         for task, ev in evals.items()
         for name, value in ev.metrics.items()
     }
-    artifact = overton.build_artifact(trained, metrics=metrics)
-    artifact.save(args.out)
-    print(f"trained {trained.model.num_parameters():,} parameters")
+    run.artifact(metrics=metrics).save(args.out)
+    print(f"trained {run.model.num_parameters():,} parameters")
     for task, ev in evals.items():
         print(f"  {task:<14} {ev.metrics}")
     print(f"artifact written to {args.out}")
+    if args.run_out:
+        run.save(args.run_out)
+        print(f"run written to {args.run_out}")
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     artifact = ModelArtifact.load(args.artifact)
     dataset = Dataset.from_file(artifact.schema, args.data)
-    model = artifact.build_model()
-    tags = args.tags.split(",") if args.tags else None
-    report = quality_report(
-        model,
-        dataset.records,
-        artifact.schema,
-        artifact.vocabs,
-        gold_source=args.gold_source,
-        tags=tags,
+    app = Application(
+        artifact.schema, supervision=SupervisionPolicy(gold_source=args.gold_source)
     )
-    print(render_quality_report(report))
+    run = app.run_from_artifact(artifact)
+    tags = args.tags.split(",") if args.tags else None
+    print(render_quality_report(run.report(dataset, tags=tags)))
     return 0
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
-    predictor = Predictor.from_directory(args.artifact)
+    endpoint = Endpoint.from_directory(
+        args.artifact, micro_batch_size=args.batch, strict=args.strict
+    )
     request = json.loads(Path(args.request).read_text())
     payloads = request if isinstance(request, list) else [request]
-    for response in predictor.predict(payloads):
+    for response in endpoint.predict(payloads):
         print(json.dumps(response))
     return 0
 
@@ -138,9 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser("train", help="train and write a deployable artifact")
-    p.add_argument("--schema", required=True)
+    p.add_argument("--schema", default="", help="schema file (or use --app)")
+    p.add_argument("--app", default="", help="application spec (app.json)")
     p.add_argument("--data", required=True)
     p.add_argument("--out", required=True)
+    p.add_argument("--run-out", default="", help="also save the full Run here")
     p.add_argument("--epochs", type=int, default=8)
     p.add_argument("--batch-size", type=int, default=32)
     p.add_argument("--lr", type=float, default=0.05)
@@ -156,9 +174,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gold-source", default="gold")
     p.set_defaults(fn=cmd_report)
 
-    p = sub.add_parser("predict", help="serve one request file")
+    p = sub.add_parser("predict", help="serve a request file (object or list)")
     p.add_argument("--artifact", required=True)
     p.add_argument("--request", required=True)
+    p.add_argument(
+        "--batch", type=int, default=32, help="micro-batch size for serving"
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="reject requests missing signature inputs",
+    )
     p.set_defaults(fn=cmd_predict)
 
     p = sub.add_parser("query", help="jq-style queries over a data file")

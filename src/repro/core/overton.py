@@ -1,10 +1,12 @@
-"""The Overton facade: the Figure 1 loop as one object.
+"""The legacy Overton facade: a thin shim over :mod:`repro.api`.
 
 "Given a schema and a data file, Overton is responsible to instantiate and
 train a model, combine supervision, select the model's hyperparameters, and
-produce a production-ready binary" (§1).  Engineers using this class write
-no modeling code: they provide the schema, a data file, slices, and
-optionally a tuning spec.
+produce a production-ready binary" (§1).  That loop now lives in
+:class:`repro.api.Application` (which adds the declarative ``app.json``
+spec, :class:`repro.api.Run` results, and :class:`repro.api.Endpoint`
+serving); this class keeps the original object-per-call surface for
+existing code and delegates every method.
 """
 
 from __future__ import annotations
@@ -12,49 +14,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-import numpy as np
-
+from repro.api.application import Application, SupervisionPolicy
+from repro.api.run import TrainedModel  # re-exported for backwards compatibility
 from repro.core.schema_def import Schema
 from repro.core.tuning_spec import ModelConfig, TuningSpec
 from repro.data.dataset import Dataset
 from repro.data.record import Record
-from repro.data.vocab import Vocab
 from repro.deploy.artifact import ModelArtifact
 from repro.deploy.store import ModelStore, StoredVersion
-from repro.deploy.sync import data_fingerprint
-from repro.errors import TrainingError
-from repro.model.compiler import compile_model
 from repro.model.embeddings_registry import EmbeddingRegistry
-from repro.model.multitask import MultitaskModel
 from repro.model.task_heads import TaskTargets
 from repro.slicing import SliceSet
-from repro.supervision import (
-    CombinedSupervision,
-    class_weights_from_probs,
-    combine_supervision,
-)
-from repro.training import (
-    QualityReport,
-    TaskEvaluation,
-    Trainer,
-    TrainHistory,
-    evaluate,
-    mean_primary,
-    quality_report,
-)
-from repro.tuning import SearchResult, grid_search, random_search
+from repro.supervision import CombinedSupervision
+from repro.training import QualityReport, TaskEvaluation
+from repro.tuning import SearchResult
 
-
-@dataclass
-class TrainedModel:
-    """A trained model plus everything needed to evaluate and deploy it."""
-
-    model: MultitaskModel
-    vocabs: dict[str, Vocab]
-    history: TrainHistory
-    supervision: dict[str, CombinedSupervision]
-    config: ModelConfig
-    train_fingerprint: str
+__all__ = ["Overton", "TrainedModel"]
 
 
 @dataclass
@@ -67,6 +42,15 @@ class Overton:
     gold_source: str = "gold"
     seed: int = 0
 
+    def _application(self) -> Application:
+        return Application(
+            self.schema,
+            slices=self.slices,
+            registry=self.registry,
+            supervision=SupervisionPolicy(gold_source=self.gold_source),
+            seed=self.seed,
+        )
+
     # ------------------------------------------------------------------
     # Supervision combination (Figure 1: "Combine Supervision")
     # ------------------------------------------------------------------
@@ -76,53 +60,7 @@ class Overton:
         method: str = "label_model",
         rebalance: bool = True,
     ) -> tuple[dict[str, TaskTargets], dict[str, CombinedSupervision]]:
-        """Build noise-aware training targets for every task.
-
-        The gold source is always excluded from training supervision — it
-        exists for validation only (§3: "validation is still done
-        manually").
-        """
-        membership = (
-            self.slices.membership_matrix(records) if len(self.slices) else None
-        )
-        targets: dict[str, TaskTargets] = {}
-        combined_all: dict[str, CombinedSupervision] = {}
-        for task in self.schema.tasks:
-            sources = set()
-            for record in records:
-                sources.update(record.sources_for(task.name))
-            exclude = [self.gold_source] if self.gold_source in sources else []
-            if sources == {self.gold_source}:
-                # Gold is the only supervision (e.g. tiny demo datasets):
-                # train on it rather than failing.
-                exclude = []
-            combined = combine_supervision(
-                records, self.schema, task.name, method=method, exclude_sources=exclude
-            )
-            combined_all[task.name] = combined
-            class_weights = None
-            if rebalance and task.type == "multiclass":
-                flat = combined.probs.reshape(-1, combined.probs.shape[-1])
-                flat_weights = combined.weights.reshape(-1)
-                class_weights = class_weights_from_probs(flat, flat_weights)
-            elif rebalance and task.type == "bitvector":
-                # Per-class positive weight for BCE: rare positive classes
-                # would otherwise collapse to all-negative predictions.
-                flat = combined.probs.reshape(-1, combined.probs.shape[-1])
-                flat_weights = combined.weights.reshape(-1)
-                labeled = flat[flat_weights > 0]
-                if len(labeled):
-                    pos_rate = labeled.mean(axis=0)
-                    class_weights = np.clip(
-                        (1.0 - pos_rate) / np.maximum(pos_rate, 1e-6), 1.0, 10.0
-                    )
-            targets[task.name] = TaskTargets(
-                probs=combined.probs,
-                weights=combined.weights,
-                class_weights=class_weights,
-                membership=membership,
-            )
-        return targets, combined_all
+        return self._application().combine(records, method=method, rebalance=rebalance)
 
     # ------------------------------------------------------------------
     # Training (Figure 1: "Train & Tune Models")
@@ -134,38 +72,7 @@ class Overton:
         method: str = "label_model",
     ) -> TrainedModel:
         """Train one model on the dataset's train split."""
-        config = config or ModelConfig()
-        train = dataset.split("train")
-        dev = dataset.split("dev")
-        if len(train) == 0:
-            raise TrainingError("dataset has no records tagged 'train'")
-        self.slices.materialize(dataset.records)
-        vocabs = dataset.build_vocabs()
-        model = compile_model(
-            self.schema,
-            config,
-            vocabs,
-            slice_names=self.slices.names,
-            registry=self.registry,
-            seed=config.trainer.seed or self.seed,
-        )
-        targets, combined = self.combine(train.records, method=method)
-        trainer = Trainer(model, config.trainer)
-        history = trainer.fit(
-            train.records,
-            vocabs,
-            targets,
-            dev_records=dev.records if len(dev) else None,
-            gold_source=self.gold_source,
-        )
-        return TrainedModel(
-            model=model,
-            vocabs=vocabs,
-            history=history,
-            supervision=combined,
-            config=config,
-            train_fingerprint=data_fingerprint(train.records),
-        )
+        return self._application().fit(dataset, config, method=method).trained
 
     def tune(
         self,
@@ -176,29 +83,11 @@ class Overton:
         method: str = "label_model",
     ) -> tuple[TrainedModel, SearchResult]:
         """Hyperparameter/architecture search, scored on the dev split."""
-        dev = dataset.split("dev")
-        if len(dev) == 0:
-            raise TrainingError("tuning requires records tagged 'dev'")
-
-        trained_cache: dict[int, TrainedModel] = {}
-
-        def trial(config: ModelConfig) -> float:
-            trained = self.train(dataset, config, method=method)
-            evals = evaluate(
-                trained.model, dev.records, self.schema, trained.vocabs, self.gold_source
-            )
-            score = mean_primary(evals)
-            trained_cache[id(config)] = trained
-            return score
-
-        if strategy == "grid":
-            result = grid_search(spec, trial)
-        elif strategy == "random":
-            result = random_search(spec, trial, num_trials=num_trials, seed=self.seed)
-        else:
-            raise TrainingError(f"unknown tuning strategy {strategy!r}")
-        best = trained_cache[id(result.best_config)]
-        return best, result
+        run = self._application().tune(
+            dataset, spec, strategy=strategy, num_trials=num_trials, method=method
+        )
+        assert run.search is not None
+        return run.trained, run.search
 
     # ------------------------------------------------------------------
     # Monitoring
@@ -206,22 +95,12 @@ class Overton:
     def evaluate(
         self, trained: TrainedModel, dataset: Dataset, tag: str = "test"
     ) -> dict[str, TaskEvaluation]:
-        subset = dataset.with_tag(tag) if tag else dataset
-        return evaluate(
-            trained.model, subset.records, self.schema, trained.vocabs, self.gold_source
-        )
+        return self._application().evaluate(trained, dataset, tag=tag)
 
     def report(
         self, trained: TrainedModel, dataset: Dataset, tags: Sequence[str] | None = None
     ) -> QualityReport:
-        return quality_report(
-            trained.model,
-            dataset.records,
-            self.schema,
-            trained.vocabs,
-            self.gold_source,
-            tags=tags,
-        )
+        return self._application().report(trained, dataset, tags=tags)
 
     # ------------------------------------------------------------------
     # Deployment (Figure 1: "Create Deployable Model")
@@ -229,12 +108,7 @@ class Overton:
     def build_artifact(
         self, trained: TrainedModel, metrics: dict | None = None
     ) -> ModelArtifact:
-        return ModelArtifact.from_model(
-            trained.model,
-            trained.vocabs,
-            metrics=metrics,
-            extra_metadata={"data_fingerprint": trained.train_fingerprint},
-        )
+        return self._application().build_artifact(trained, metrics=metrics)
 
     def deploy(
         self,
@@ -244,4 +118,4 @@ class Overton:
         metrics: dict | None = None,
     ) -> StoredVersion:
         """Serialize and push the trained model to the store."""
-        return store.push(name, self.build_artifact(trained, metrics))
+        return self._application().deploy(trained, store, name=name, metrics=metrics)

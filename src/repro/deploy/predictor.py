@@ -1,155 +1,41 @@
-"""The serving runtime.
+"""The legacy serving facade: a thin shim over :class:`repro.api.Endpoint`.
 
-"Serving code does not change even when inputs, parameters, or resources of
-the model change" (§1, model independence).  The predictor consumes only an
-artifact: raw payload dicts in, typed task responses out, shaped by the
-serving signature.  Nothing here references tuning configs or supervision.
+The serving engine — payload validation, request encoding, constrained
+decoding, typed response formatting — lives in
+:mod:`repro.api.endpoint`.  ``Predictor`` keeps the original permissive
+contract for existing callers: unknown payload fields are rejected, but
+missing signature inputs are allowed (the model sees them as empty), and
+each ``predict()`` call runs as a single model batch.  New code should use
+:class:`repro.api.Endpoint`, which validates missing fields too and serves
+in micro-batches.
 """
 
 from __future__ import annotations
 
 from typing import Any, Sequence
 
-import numpy as np
-
-from repro.data.batching import encode_inputs
-from repro.data.record import Record
+from repro.api.endpoint import Endpoint
 from repro.deploy.artifact import ModelArtifact
 from repro.errors import DeploymentError
 
+__all__ = ["Predictor", "predictions_match"]
 
-class Predictor:
-    """Loads an artifact and answers requests.
 
-    ``constraints`` optionally enables joint constrained decoding (the
-    paper's SRL future work, :mod:`repro.core.constraints`): per-example
-    distributions of constrained tasks are rescored jointly, with the
-    record passed as constraint context.
+class Predictor(Endpoint):
+    """Loads an artifact and answers requests (legacy surface).
+
+    ``constraints`` optionally enables joint constrained decoding exactly
+    as on :class:`repro.api.Endpoint`.
     """
 
     def __init__(self, artifact: ModelArtifact, constraints=None) -> None:
-        self.artifact = artifact
-        self.signature = artifact.signature
-        self._model = artifact.build_model()
-        self._schema = artifact.schema
-        self._constraints = constraints
+        super().__init__(
+            artifact, constraints=constraints, micro_batch_size=None, strict=False
+        )
 
     @classmethod
     def from_directory(cls, directory, constraints=None) -> "Predictor":
         return cls(ModelArtifact.load(directory), constraints=constraints)
-
-    # ------------------------------------------------------------------
-    # Serving
-    # ------------------------------------------------------------------
-    def predict(self, payloads: Sequence[dict[str, Any]]) -> list[dict[str, Any]]:
-        """Answer a batch of requests.
-
-        Each request is a payload dict matching the signature's inputs, e.g.
-        ``{"tokens": ["how", "tall", ...], "entities": [...]}``.  The
-        response maps each task to a typed result:
-
-        * multiclass singleton: ``{"label": str, "scores": {class: prob}}``
-        * multiclass sequence: ``{"labels": [str per position]}``
-        * bitvector: ``{"labels": [classes]}`` (per position for sequences)
-        * select: ``{"index": int, "scores": [float per candidate]}``
-        """
-        if not payloads:
-            return []
-        records = [self._to_record(p) for p in payloads]
-        batch = encode_inputs(records, self._schema, self.artifact.vocabs)
-        outputs = self._model.predict(batch)
-        if self._constraints is not None and len(self._constraints):
-            self._apply_constraints(outputs, records)
-        responses: list[dict[str, Any]] = [{} for _ in payloads]
-        for out_sig in self.signature.outputs:
-            task_out = outputs[out_sig.name]
-            for i, record in enumerate(records):
-                responses[i][out_sig.name] = self._format(
-                    out_sig, task_out, i, record
-                )
-        return responses
-
-    def _apply_constraints(self, outputs, records: list[Record]) -> None:
-        """Rewrite constrained tasks' predictions via joint decoding.
-
-        Only singleton-multiclass and select tasks participate (their
-        outputs are one distribution per example).
-        """
-        eligible = set()
-        for out_sig in self.signature.outputs:
-            singleton_multiclass = (
-                out_sig.type == "multiclass" and out_sig.granularity != "sequence"
-            )
-            if singleton_multiclass or out_sig.type == "select":
-                eligible.add(out_sig.name)
-        constrained = [
-            t for t in self._constraints.constrained_tasks() if t in eligible
-        ]
-        if not constrained:
-            return
-        for i, record in enumerate(records):
-            distributions = {t: outputs[t].probs[i] for t in constrained}
-            result = self._constraints.decode(distributions, context=record)
-            for task, (before, after) in result.changed.items():
-                outputs[task].predictions[i] = after
-
-    def predict_one(self, payload: dict[str, Any]) -> dict[str, Any]:
-        return self.predict([payload])[0]
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _to_record(self, payload: dict[str, Any]) -> Record:
-        known = {i.name for i in self.signature.inputs}
-        unknown = set(payload) - known
-        if unknown:
-            raise DeploymentError(
-                f"request has unknown payloads {sorted(unknown)}; "
-                f"signature inputs: {sorted(known)}"
-            )
-        record = Record(payloads=dict(payload))
-        record.validate(self._schema)
-        return record
-
-    def _format(self, out_sig, task_out, i: int, record: Record) -> dict[str, Any]:
-        if out_sig.type == "multiclass" and out_sig.granularity == "sequence":
-            seq_payload = self._schema.task(out_sig.name).payload
-            tokens = record.payloads.get(seq_payload) or []
-            labels = [
-                out_sig.classes[int(c)] for c in task_out.predictions[i][: len(tokens)]
-            ]
-            return {"labels": labels}
-        if out_sig.type == "multiclass":
-            probs = task_out.probs[i]
-            label = out_sig.classes[int(task_out.predictions[i])]
-            return {
-                "label": label,
-                "scores": {c: float(p) for c, p in zip(out_sig.classes, probs)},
-            }
-        if out_sig.type == "bitvector":
-            bits = task_out.predictions[i]
-            if out_sig.granularity == "sequence":
-                seq_payload = self._schema.task(out_sig.name).payload
-                tokens = record.payloads.get(seq_payload) or []
-                return {
-                    "labels": [
-                        [out_sig.classes[k] for k in range(len(out_sig.classes)) if row[k]]
-                        for row in bits[: len(tokens)]
-                    ]
-                }
-            return {
-                "labels": [
-                    out_sig.classes[k] for k in range(len(out_sig.classes)) if bits[k]
-                ]
-            }
-        # select
-        set_payload = self._schema.task(out_sig.name).payload
-        members = record.payloads.get(set_payload) or []
-        scores = task_out.probs[i][: len(members)]
-        return {
-            "index": int(task_out.predictions[i]) if members else None,
-            "scores": [float(s) for s in scores],
-        }
 
 
 def predictions_match(

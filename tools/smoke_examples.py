@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Smoke check: run every examples/*.py to completion under PYTHONPATH=src.
+
+Intended for CI (and pre-release sanity): each example runs in its own
+subprocess from a clean checkout, exactly as a user would run it, and the
+script exits non-zero if any example fails.
+
+Usage:  python tools/smoke_examples.py [--timeout SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES_DIR = ROOT / "examples"
+
+
+def run_subprocess(path: Path, timeout: float) -> subprocess.CompletedProcess:
+    """Run one example exactly as a user would, with PYTHONPATH=src.
+
+    Also imported by tests/integration/test_examples.py so the launch
+    recipe has a single home.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+
+
+def run_example(path: Path, timeout: float) -> tuple[bool, float, str]:
+    start = time.perf_counter()
+    try:
+        result = run_subprocess(path, timeout)
+    except subprocess.TimeoutExpired:
+        return False, time.perf_counter() - start, f"timed out after {timeout:.0f}s"
+    elapsed = time.perf_counter() - start
+    if result.returncode != 0:
+        return False, elapsed, result.stderr.strip()[-2000:]
+    if not result.stdout.strip():
+        return False, elapsed, "produced no output (examples narrate what they do)"
+    return True, elapsed, ""
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args(argv)
+
+    examples = sorted(EXAMPLES_DIR.glob("*.py"))
+    if not examples:
+        print(f"no examples found in {EXAMPLES_DIR}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for path in examples:
+        ok, elapsed, detail = run_example(path, args.timeout)
+        status = "ok" if ok else "FAIL"
+        print(f"  {path.name:<28} {status:<5} {elapsed:6.1f}s")
+        if not ok:
+            failures += 1
+            for line in detail.splitlines()[-12:]:
+                print(f"      {line}")
+    print(f"\n{len(examples) - failures}/{len(examples)} examples passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
