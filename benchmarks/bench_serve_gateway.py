@@ -1,0 +1,143 @@
+"""Gateway throughput: dynamic cross-request batching vs per-request serving.
+
+The serving gateway exists so that heavy traffic — many independent
+callers, one request each — still gets the amortization wins of model
+batching.  This bench serves one request log two ways:
+
+* **per-request baseline**: a bare ``Endpoint.predict`` call per request,
+  the way PR 1's serving session answers a single caller;
+* **gateway (batch 32)**: concurrent clients submit the same requests
+  through a :class:`repro.serve.ServingGateway` whose lanes form batches
+  by size-or-deadline.
+
+Shape target (the PR's acceptance bar): the gateway achieves **≥ 3×** the
+per-request throughput on the same workload.  When ``BENCH_SERVE_JSON``
+is set (as ``tools/run_benchmarks.py`` does), the gateway's latency
+percentiles, throughput, and batch-fill rate are written there so the
+perf trajectory is tracked between PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.api import Application, Endpoint
+from repro.serve import GatewayConfig, ReplicaPool, ServingGateway
+from repro.workloads import (
+    FactoidGenerator,
+    WorkloadConfig,
+    apply_standard_weak_supervision,
+)
+
+from benchmarks.conftest import print_table, small_model_config
+
+N_RECORDS = 500
+N_REQUESTS = 512
+MAX_BATCH = 32
+MAX_WAIT_S = 0.005
+N_CLIENTS = 4
+
+
+def _artifact_and_requests():
+    dataset = FactoidGenerator(WorkloadConfig(n=N_RECORDS, seed=0)).generate()
+    apply_standard_weak_supervision(dataset.records, seed=0)
+    app = Application(dataset.schema, name="factoid-qa")
+    run = app.fit(dataset, small_model_config(epochs=4))
+    artifact = run.artifact()
+    records = dataset.records
+    requests = [
+        {
+            "tokens": records[i % len(records)].payloads["tokens"],
+            "entities": records[i % len(records)].payloads["entities"],
+        }
+        for i in range(N_REQUESTS)
+    ]
+    return artifact, requests
+
+
+def _per_request_rps(artifact, requests) -> float:
+    endpoint = Endpoint(artifact)
+    start = time.perf_counter()
+    responses = [endpoint.predict(r) for r in requests]
+    elapsed = time.perf_counter() - start
+    assert len(responses) == N_REQUESTS
+    return N_REQUESTS / elapsed
+
+
+def _gateway_run(artifact, requests):
+    """Concurrent clients draining the same log through one gateway."""
+    pool = ReplicaPool.from_endpoint(Endpoint(artifact))
+    config = GatewayConfig(
+        max_batch_size=MAX_BATCH,
+        max_wait_s=MAX_WAIT_S,
+        telemetry_capacity=2 * N_REQUESTS,
+        payload_sample_every=16,
+    )
+    chunks = [requests[i::N_CLIENTS] for i in range(N_CLIENTS)]
+    results: list[int] = []
+    with ServingGateway(pool, config) as gateway:
+
+        def client(chunk: list[dict]) -> None:
+            futures = [gateway.submit_async(r) for r in chunk]
+            results.append(sum(1 for f in futures if f.result(timeout=60)))
+
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=client, args=(chunk,)) for chunk in chunks
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        assert sum(results) == N_REQUESTS
+        snapshot = gateway.telemetry.snapshot(max_batch_size=MAX_BATCH)
+    rps = N_REQUESTS / elapsed
+    tier = snapshot.tiers["default"]
+    return rps, {
+        "requests": N_REQUESTS,
+        "max_batch_size": MAX_BATCH,
+        "max_wait_s": MAX_WAIT_S,
+        "clients": N_CLIENTS,
+        "requests_per_s": round(rps, 1),
+        "p50_latency_s": tier.p50_s,
+        "p95_latency_s": tier.p95_s,
+        "p99_latency_s": tier.p99_s,
+        "mean_batch": tier.mean_batch,
+        "batch_fill_rate": snapshot.batch_fill_rate,
+    }
+
+
+def run_gateway_throughput():
+    artifact, requests = _artifact_and_requests()
+    rps_single = _per_request_rps(artifact, requests)
+    rps_gateway, metrics = _gateway_run(artifact, requests)
+    metrics["per_request_rps"] = round(rps_single, 1)
+    metrics["speedup"] = round(rps_gateway / rps_single, 2)
+
+    out_path = os.environ.get("BENCH_SERVE_JSON")
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(metrics, fh, indent=2)
+
+    return {
+        "mode": ["per-request Endpoint.predict", f"gateway (batch {MAX_BATCH})"],
+        "requests/s": [round(rps_single, 1), round(rps_gateway, 1)],
+        "p95 ms": ["-", round(metrics["p95_latency_s"] * 1000, 2)],
+        "batch fill": ["-", round(metrics["batch_fill_rate"], 2)],
+    }
+
+
+def test_serve_gateway_throughput(benchmark):
+    columns = benchmark.pedantic(run_gateway_throughput, rounds=1, iterations=1)
+    print_table("Serving gateway throughput", columns)
+    rps = dict(zip(columns["mode"], columns["requests/s"]))
+    gateway_rps = rps[f"gateway (batch {MAX_BATCH})"]
+    single_rps = rps["per-request Endpoint.predict"]
+    # The acceptance bar: dynamic batching wins by at least 3x.
+    assert gateway_rps >= 3 * single_rps, (
+        f"gateway {gateway_rps:.0f} rps < 3x per-request {single_rps:.0f} rps"
+    )

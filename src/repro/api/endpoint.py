@@ -74,6 +74,11 @@ class Endpoint:
         self._model = artifact.build_model()
         self._schema = artifact.schema
 
+    @property
+    def store(self) -> "ModelStore | None":
+        """The backing model store, if built via :meth:`from_store`."""
+        return self._store
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
@@ -162,6 +167,26 @@ class Endpoint:
     def predict_one(self, payload: dict[str, Any]) -> dict[str, Any]:
         return self.predict([payload])[0]
 
+    def serve_batch(
+        self, payloads: Sequence[dict[str, Any]], validate: bool = False
+    ) -> list[dict[str, Any]]:
+        """Answer one *already formed* batch in a single model pass.
+
+        This is the encode-then-forward hook the serving gateway's dynamic
+        batcher drives: the caller owns batch formation (size/deadline
+        policy), so no micro-batch chunking happens here, and validation
+        is opt-in because the gateway validates at enqueue time.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if validate:
+            for i, payload in enumerate(payloads):
+                self.validate_payload(payload, index=i)
+        responses = self.forward_encoded(*self.encode_requests(payloads))
+        self.requests_served += len(payloads)
+        return responses
+
     def validate_payload(self, payload: dict[str, Any], index: int | None = None) -> None:
         """Check one request against the serving signature.
 
@@ -189,21 +214,36 @@ class Endpoint:
                 )
 
     # ------------------------------------------------------------------
-    # Internals
+    # The encode-then-forward path (shared with repro.serve's batcher)
     # ------------------------------------------------------------------
-    def _predict_batch(self, payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    def encode_requests(
+        self, payloads: Sequence[dict[str, Any]]
+    ) -> tuple[list[Record], dict]:
+        """Turn validated payloads into records + one encoded model batch."""
         records = [self._to_record(p) for p in payloads]
         batch = encode_inputs(records, self._schema, self.artifact.vocabs)
+        return records, batch
+
+    def forward_encoded(
+        self, records: list[Record], batch: dict
+    ) -> list[dict[str, Any]]:
+        """One model forward over an encoded batch, formatted per record."""
         outputs = self._model.predict(batch)
         if self._constraints is not None and len(self._constraints):
             self._apply_constraints(outputs, records)
         self.batches_run += 1
-        responses: list[dict[str, Any]] = [{} for _ in payloads]
+        responses: list[dict[str, Any]] = [{} for _ in records]
         for out_sig in self.signature.outputs:
             task_out = outputs[out_sig.name]
             for i, record in enumerate(records):
                 responses[i][out_sig.name] = self._format(out_sig, task_out, i, record)
         return responses
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _predict_batch(self, payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        return self.forward_encoded(*self.encode_requests(payloads))
 
     def _apply_constraints(self, outputs, records: list[Record]) -> None:
         """Rewrite constrained tasks' predictions via joint decoding.

@@ -8,12 +8,15 @@ Overton's users interact through data files and reports, not notebooks
     python -m repro train    --app app.json --data data.jsonl --out artifact/
     python -m repro report   --artifact artifact/ --data data.jsonl
     python -m repro predict  --artifact artifact/ --request requests.json --batch 64
+    python -m repro serve    --store store/ --model factoid-qa --port 8080
     python -m repro query    --schema schema.json --data data.jsonl --tag train --task Intent
 
 ``train`` accepts either a bare ``--schema`` or a full ``--app`` spec
 (schema + slices + supervision policy in one file); ``predict`` serves a
 request file — one payload object or a list — through an
-:class:`repro.api.Endpoint` in micro-batches of ``--batch``.
+:class:`repro.api.Endpoint` in micro-batches of ``--batch``; ``serve``
+runs the :mod:`repro.serve` gateway (dynamic batching, replica tiers,
+canary/shadow rollout, live telemetry) behind a stdlib HTTP server.
 
 Every command is a thin shim over the library API and returns a process
 exit code, so it is scriptable in CI.
@@ -29,7 +32,7 @@ from pathlib import Path
 from repro.api import Application, Endpoint, SupervisionPolicy
 from repro.core import ModelConfig, PayloadConfig, Schema, TrainerConfig
 from repro.data import Dataset, RecordQuery
-from repro.deploy import ModelArtifact
+from repro.deploy import ModelArtifact, ModelStore
 from repro.errors import ReproError
 from repro.monitoring import render_quality_report
 
@@ -121,6 +124,63 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.api import Endpoint as _Endpoint
+    from repro.serve import (
+        GatewayConfig,
+        GatewayHTTPServer,
+        ReplicaPool,
+        ServingGateway,
+    )
+
+    if args.artifact:
+        pool = ReplicaPool.from_endpoint(_Endpoint.from_directory(args.artifact))
+    elif args.store and args.model:
+        pool = ReplicaPool.from_store(ModelStore(args.store), args.model)
+    else:
+        raise ReproError("provide --artifact DIR, or --store DIR with --model NAME")
+
+    config = GatewayConfig(
+        max_batch_size=args.batch,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        default_latency_budget=(
+            args.budget_ms / 1000.0 if args.budget_ms else None
+        ),
+    )
+    gateway = ServingGateway(pool, config)
+    if args.canary:
+        gateway.set_canary(args.canary, args.canary_fraction, shadow=args.shadow_canary)
+    elif args.shadow:
+        gateway.set_shadow(args.shadow)
+
+    with gateway, GatewayHTTPServer(gateway, host=args.host, port=args.port) as server:
+        versions = ", ".join(
+            f"{tier}@{roles.get('stable')}"
+            for tier, roles in pool.versions().items()
+        )
+        print(f"serving {versions} on {server.url}")
+        print("routes: POST /predict   GET /healthz /telemetry /dashboard")
+        deadline = (
+            time.monotonic() + args.max_seconds if args.max_seconds else None
+        )
+        next_poll = time.monotonic() + args.poll_seconds
+        try:
+            while deadline is None or time.monotonic() < deadline:
+                time.sleep(0.2)
+                if args.poll_seconds and time.monotonic() >= next_poll:
+                    next_poll = time.monotonic() + args.poll_seconds
+                    for tier, changed in gateway.poll_store().items():
+                        if changed:
+                            version = pool.versions()[tier].get("stable")
+                            print(f"tier {tier} refreshed -> {version}")
+        except KeyboardInterrupt:
+            pass
+        print(gateway.dashboard())
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     dataset = _load(args.schema, args.data)
     query = RecordQuery(dataset.records)
@@ -186,6 +246,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="reject requests missing signature inputs",
     )
     p.set_defaults(fn=cmd_predict)
+
+    p = sub.add_parser(
+        "serve", help="run the serving gateway behind an HTTP server"
+    )
+    p.add_argument("--store", default="", help="model store root directory")
+    p.add_argument("--model", default="", help="model name in the store")
+    p.add_argument("--artifact", default="", help="serve one artifact directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    p.add_argument(
+        "--batch", type=int, default=32, help="max dynamic batch size"
+    )
+    p.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        help="max time a request waits for its batch to fill",
+    )
+    p.add_argument(
+        "--budget-ms",
+        type=float,
+        default=0.0,
+        help="default per-request latency budget for tier routing",
+    )
+    p.add_argument("--canary", default="", help="candidate version to canary")
+    p.add_argument(
+        "--canary-fraction",
+        type=float,
+        default=0.1,
+        help="fraction of traffic the canary answers",
+    )
+    p.add_argument(
+        "--shadow-canary",
+        action="store_true",
+        help="also mirror stable traffic to the canary candidate",
+    )
+    p.add_argument(
+        "--shadow", default="", help="candidate version to shadow (mirror only)"
+    )
+    p.add_argument(
+        "--poll-seconds",
+        type=float,
+        default=10.0,
+        help="store poll interval for latest-version refresh (0 disables)",
+    )
+    p.add_argument(
+        "--max-seconds",
+        type=float,
+        default=0.0,
+        help="stop after this many seconds (0 = serve until interrupted)",
+    )
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("query", help="jq-style queries over a data file")
     p.add_argument("--schema", required=True)

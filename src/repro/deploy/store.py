@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import shutil
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -52,14 +54,23 @@ class ModelStore:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Serializes index read-modify-write cycles within this process
+        # (e.g. a gateway promoting a canary while a trainer pushes).
+        # Readers never need it: index writes are atomic replaces.
+        self._write_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Push / fetch
     # ------------------------------------------------------------------
-    def push(self, name: str, artifact: ModelArtifact) -> StoredVersion:
+    def push(
+        self, name: str, artifact: ModelArtifact, set_latest: bool = True
+    ) -> StoredVersion:
         """Store an artifact; returns its immutable version record.
 
         Pushing byte-identical content is idempotent (same hash).
+        ``set_latest=False`` stores the version without moving the latest
+        pointer — the staging step a canary rollout uses, so followers of
+        ``latest`` don't jump to a candidate that hasn't been promoted.
         """
         version = self._content_hash(artifact)
         target = self.root / name / version
@@ -71,11 +82,13 @@ class ModelStore:
             pushed_at=time.time(),
             metadata=dict(artifact.metadata),
         )
-        index = self._read_index(name)
-        if version not in [v["version"] for v in index["versions"]]:
-            index["versions"].append(record.to_dict())
-        index["latest"] = version
-        self._write_index(name, index)
+        with self._write_lock:
+            index = self._read_index(name)
+            if version not in [v["version"] for v in index["versions"]]:
+                index["versions"].append(record.to_dict())
+            if set_latest or not index.get("latest"):
+                index["latest"] = version
+            self._write_index(name, index)
         return record
 
     def fetch(self, name: str, version: str | None = None) -> ModelArtifact:
@@ -121,22 +134,28 @@ class ModelStore:
 
     def set_latest(self, name: str, version: str) -> None:
         """Move the latest pointer (rollback / promotion)."""
-        index = self._read_index(name)
-        known = [v["version"] for v in index["versions"]]
-        if version not in known:
-            raise StoreError(
-                f"cannot point latest at unknown version {version!r}; known: {known}"
-            )
-        index["latest"] = version
-        self._write_index(name, index)
+        with self._write_lock:
+            index = self._read_index(name)
+            known = [v["version"] for v in index["versions"]]
+            if version not in known:
+                raise StoreError(
+                    f"cannot point latest at unknown version {version!r}; known: {known}"
+                )
+            index["latest"] = version
+            self._write_index(name, index)
 
     def delete(self, name: str, version: str) -> None:
         """Remove one version (not allowed for the latest pointer)."""
-        index = self._read_index(name)
-        if index.get("latest") == version:
-            raise StoreError("refusing to delete the latest version; repoint first")
-        index["versions"] = [v for v in index["versions"] if v["version"] != version]
-        self._write_index(name, index)
+        with self._write_lock:
+            index = self._read_index(name)
+            if index.get("latest") == version:
+                raise StoreError(
+                    "refusing to delete the latest version; repoint first"
+                )
+            index["versions"] = [
+                v for v in index["versions"] if v["version"] != version
+            ]
+            self._write_index(name, index)
         target = self.root / name / version
         if target.exists():
             shutil.rmtree(target)
@@ -164,6 +183,26 @@ class ModelStore:
         return json.loads(path.read_text())
 
     def _write_index(self, name: str, index: dict) -> None:
+        """Atomically replace the index so readers never see a torn file.
+
+        A serving gateway polls ``latest_version`` while pushes and
+        promotions rewrite the index; writing in place would let a reader
+        observe a partially written JSON document.  Writing to a sibling
+        temp file and ``os.replace``-ing it keeps every read all-or-nothing
+        (POSIX rename atomicity).  Write-write consistency is the caller's
+        concern: in-process mutators serialize on ``_write_lock``;
+        concurrent writers in *separate* processes can still lose a
+        read-modify-write race (a real S3-like store would use
+        conditional puts).
+        """
         path = self.root / name / "index.json"
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(index, indent=2))
+        tmp = path.with_name(
+            f".index.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            tmp.write_text(json.dumps(index, indent=2))
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()

@@ -48,6 +48,10 @@ class StoreError(DeploymentError):
     """The model store rejected an operation (missing key, hash mismatch)."""
 
 
+class ServeError(ReproError):
+    """The serving runtime (gateway, replica pool, rollout) is misused."""
+
+
 class GradientError(ReproError):
     """Autodiff failure: backward on a non-scalar, missing graph, etc."""
 

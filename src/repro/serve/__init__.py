@@ -1,0 +1,52 @@
+"""repro.serve: the production serving runtime.
+
+The layer between "a request arrives" and "an :class:`repro.api.Endpoint`
+answers it" — the paper's promise that serving code never changes as
+models evolve (§1), operationalized:
+
+* :class:`ServingGateway` — request queue, dynamic cross-request
+  micro-batching (size-or-deadline), lane workers, live telemetry;
+* :class:`ReplicaPool` — large/small model tiers routed by per-request
+  latency budget, wired to the store's synchronized pairs (§2.4);
+* :class:`RolloutController` — pin/latest plus canary fractions and
+  shadow mirroring with disagreement recording;
+* :class:`TelemetryRing` — latency percentiles, per-tier throughput, and
+  sampled payloads that feed ``repro.monitoring``;
+* :class:`GatewayHTTPServer` — a stdlib HTTP front (``repro serve``).
+"""
+
+from repro.serve.batcher import PendingResponse, QueuedRequest, RequestQueue
+from repro.serve.gateway import GatewayConfig, ServingGateway
+from repro.serve.http import GatewayHTTPServer
+from repro.serve.replica import Replica, ReplicaPool
+from repro.serve.rollout import (
+    Disagreement,
+    RolloutController,
+    RolloutStatus,
+    responses_agree,
+)
+from repro.serve.telemetry import (
+    RequestEvent,
+    TelemetryRing,
+    TelemetrySnapshot,
+    TierStats,
+)
+
+__all__ = [
+    "ServingGateway",
+    "GatewayConfig",
+    "GatewayHTTPServer",
+    "ReplicaPool",
+    "Replica",
+    "RolloutController",
+    "RolloutStatus",
+    "Disagreement",
+    "responses_agree",
+    "TelemetryRing",
+    "TelemetrySnapshot",
+    "TierStats",
+    "RequestEvent",
+    "RequestQueue",
+    "QueuedRequest",
+    "PendingResponse",
+]

@@ -1,0 +1,132 @@
+"""Dynamic micro-batching primitives: the request queue and its futures.
+
+The gateway's central perf trick is *cross-request* batch formation: many
+independent callers enqueue single requests, and a worker drains them into
+model-sized batches.  A batch closes when it reaches ``max_size`` **or**
+when the oldest queued request has waited ``max_wait_s`` — so a lone
+caller is answered within the wait deadline while a busy gateway fills
+every batch, amortizing encode+forward cost across callers.
+
+These pieces are deliberately tiny and lock-disciplined: a
+:class:`PendingResponse` (a settable one-shot future), a
+:class:`QueuedRequest` (payload + future + arrival time), and the
+:class:`RequestQueue` whose :meth:`~RequestQueue.pop_batch` implements the
+size-or-deadline policy.  The gateway owns the worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+from repro.errors import ServeError
+
+
+class PendingResponse:
+    """A one-shot, thread-safe future for a single request's response."""
+
+    __slots__ = ("_event", "_result", "_exception")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Any = None
+        self._exception: BaseException | None = None
+
+    def set_result(self, result: Any) -> None:
+        self._result = result
+        self._event.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Block until the response arrives; re-raises serving failures."""
+        if not self._event.wait(timeout):
+            raise ServeError(f"request not answered within {timeout}s")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+
+class QueuedRequest:
+    """One enqueued request: payload, identity, arrival time, and future.
+
+    ``context`` carries lane-specific extras (e.g. the primary response a
+    shadow comparison needs) without widening the queue contract.
+    """
+
+    __slots__ = ("payload", "request_id", "enqueued_at", "future", "context")
+
+    def __init__(
+        self,
+        payload: dict,
+        request_id: str,
+        context: Any = None,
+    ) -> None:
+        self.payload = payload
+        self.request_id = request_id
+        self.enqueued_at = time.monotonic()
+        self.future = PendingResponse()
+        self.context = context
+
+
+class RequestQueue:
+    """A FIFO of :class:`QueuedRequest` with size-or-deadline batch pops."""
+
+    def __init__(self) -> None:
+        self._items: deque[QueuedRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item: QueuedRequest) -> None:
+        with self._cond:
+            if self._closed:
+                raise ServeError("request queue is closed")
+            self._items.append(item)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Stop accepting work; blocked ``pop_batch`` calls drain then end."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def pop_batch(
+        self, max_size: int, max_wait_s: float
+    ) -> list[QueuedRequest] | None:
+        """Block for the next batch; ``None`` once closed and drained.
+
+        Waits for the first request, then keeps collecting until the batch
+        is full or the *first* request has waited ``max_wait_s`` since it
+        was enqueued (so queueing time already counts against the
+        deadline).  Requests come back in arrival order.
+        """
+        if max_size <= 0:
+            raise ServeError("max_size must be positive")
+        with self._cond:
+            while not self._items and not self._closed:
+                self._cond.wait()
+            if not self._items:
+                return None  # closed and drained
+            deadline = self._items[0].enqueued_at + max_wait_s
+            while len(self._items) < max_size and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            n = min(max_size, len(self._items))
+            return [self._items.popleft() for _ in range(n)]

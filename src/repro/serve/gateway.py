@@ -1,0 +1,376 @@
+"""The serving gateway: everything between "a request arrives" and an
+:class:`~repro.api.Endpoint` answering it.
+
+One object owns the production serving loop:
+
+* requests enter through :meth:`ServingGateway.submit` /
+  :meth:`~ServingGateway.submit_async` and are validated *in the caller's
+  thread* (bad payloads never occupy queue space);
+* each request is routed to a **tier** (by latency budget, via the
+  :class:`~repro.serve.replica.ReplicaPool`) and a **role** (stable or
+  canary, via the :class:`~repro.serve.rollout.RolloutController`), which
+  selects a *lane* — an independent queue + worker thread + replica;
+* lane workers drain their queues with the size-or-deadline policy of
+  :class:`~repro.serve.batcher.RequestQueue`, so concurrent callers share
+  model batches (the dynamic micro-batching win);
+* when shadowing is on, stable lanes mirror each answered request to a
+  shadow lane where the candidate's response is compared and recorded,
+  never returned;
+* every answered request lands in the :class:`~repro.serve.telemetry.TelemetryRing`,
+  which feeds ``repro.monitoring`` (drift, dashboards).
+
+The gateway never changes when models change — replicas refresh from the
+store in place (§1's model independence, now at the fleet level).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ServeError
+from repro.serve.batcher import PendingResponse, QueuedRequest, RequestQueue
+from repro.serve.replica import CANDIDATE, STABLE, ReplicaPool
+from repro.serve.rollout import RolloutController
+from repro.serve.telemetry import RequestEvent, TelemetryRing
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Batching and telemetry knobs for one gateway."""
+
+    max_batch_size: int = 32
+    max_wait_s: float = 0.005
+    telemetry_capacity: int = 4096
+    payload_sample_every: int = 8
+    payload_capacity: int = 512
+    default_latency_budget: float | None = None
+    request_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ServeError("max_batch_size must be positive")
+        if self.max_wait_s < 0:
+            raise ServeError("max_wait_s must be non-negative")
+
+
+class _Lane:
+    """One (tier, role) serving lane: queue, worker, replica."""
+
+    def __init__(self, tier: str, role: str, replica):
+        self.tier = tier
+        self.role = role  # "stable" | "canary" | "shadow"
+        self.replica = replica
+        self.queue = RequestQueue()
+        self.worker: threading.Thread | None = None
+
+
+class ServingGateway:
+    """Queue, batch, route, answer, and account for every request."""
+
+    def __init__(
+        self,
+        pool: ReplicaPool,
+        config: GatewayConfig | None = None,
+        rollout: RolloutController | None = None,
+    ) -> None:
+        self.pool = pool
+        self.config = config or GatewayConfig()
+        self.rollout = rollout or RolloutController()
+        self.telemetry = TelemetryRing(
+            capacity=self.config.telemetry_capacity,
+            payload_sample_every=self.config.payload_sample_every,
+            payload_capacity=self.config.payload_capacity,
+        )
+        self._lanes: dict[tuple[str, str], _Lane] = {}
+        self._lock = threading.Lock()
+        self._stopped = False
+        self._ids = itertools.count()
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self.started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServingGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        """Drain every lane and stop the workers; queued work is answered."""
+        with self._lock:
+            self._stopped = True
+            lanes = list(self._lanes.values())
+            self._lanes.clear()
+        for lane in lanes:
+            lane.queue.close()
+        for lane in lanes:
+            lane.worker.join(timeout=30)
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Block until every accepted request (and mirror) is answered."""
+        deadline = time.monotonic() + timeout
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServeError(
+                        f"gateway did not drain within {timeout}s "
+                        f"({self._inflight} in flight)"
+                    )
+                self._inflight_cond.wait(remaining)
+
+    # ------------------------------------------------------------------
+    # Request entry
+    # ------------------------------------------------------------------
+    def submit_async(
+        self,
+        payload: dict,
+        latency_budget: float | None = None,
+        request_id: str | None = None,
+    ) -> PendingResponse:
+        """Enqueue one request; returns its future immediately.
+
+        Validation happens here, synchronously, against the replica that
+        will answer — malformed requests raise before queueing.
+        """
+        if self._stopped:
+            raise ServeError("gateway is stopped")
+        if request_id is None:
+            request_id = f"auto-{next(self._ids)}"
+        if latency_budget is None:
+            latency_budget = self.config.default_latency_budget
+        tier = self.pool.tier_for(latency_budget)
+        role = self.rollout.route(request_id)
+        if role == "canary" and not self.pool.has_candidate(tier):
+            role = "stable"
+        replica_role = CANDIDATE if role == "canary" else STABLE
+        replica = self.pool.replica(tier, replica_role)
+        replica.endpoint.validate_payload(payload)
+        item = QueuedRequest(payload, request_id)
+        lane = self._lane(tier, role)
+        self._track(+1)
+        try:
+            lane.queue.put(item)
+        except ServeError:
+            self._track(-1)
+            raise
+        return item.future
+
+    def submit(
+        self,
+        payload: dict,
+        latency_budget: float | None = None,
+        request_id: str | None = None,
+    ) -> dict:
+        """Submit one request and block for its response."""
+        future = self.submit_async(
+            payload, latency_budget=latency_budget, request_id=request_id
+        )
+        return future.result(timeout=self.config.request_timeout_s)
+
+    def submit_many(
+        self,
+        payloads: list[dict],
+        latency_budget: float | None = None,
+    ) -> list[dict]:
+        """Submit a list concurrently and gather responses in order."""
+        futures = [
+            self.submit_async(p, latency_budget=latency_budget) for p in payloads
+        ]
+        return [f.result(timeout=self.config.request_timeout_s) for f in futures]
+
+    # ------------------------------------------------------------------
+    # Rollout control
+    # ------------------------------------------------------------------
+    def set_canary(
+        self,
+        versions: str | Mapping[str, str],
+        fraction: float,
+        shadow: bool = False,
+    ) -> None:
+        """Route ``fraction`` of traffic to candidate ``versions``.
+
+        ``shadow=True`` additionally mirrors the stable-served remainder
+        to the candidate for disagreement recording.
+        """
+        self.pool.add_candidate(versions)
+        self.rollout.start_canary(fraction, shadow=shadow)
+
+    def set_shadow(self, versions: str | Mapping[str, str]) -> None:
+        """Mirror all traffic to candidate ``versions``; stable answers."""
+        self.pool.add_candidate(versions)
+        self.rollout.start_shadow()
+
+    def promote_canary(self, set_latest: bool = True) -> dict[str, str]:
+        """The candidate becomes stable (and, by default, store-latest)."""
+        self.rollout.stop()
+        self._close_candidate_lanes()
+        return self.pool.promote_candidate(set_latest=set_latest)
+
+    def cancel_canary(self) -> None:
+        """Abort the rollout; candidate replicas are dropped."""
+        self.rollout.stop()
+        self._close_candidate_lanes()
+        self.pool.clear_candidate()
+
+    def poll_store(self) -> dict[str, bool]:
+        """Refresh stable replicas from the store; per-tier changed flags."""
+        return self.pool.refresh()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """One JSON-able view: telemetry + rollout + versions + batching."""
+        snapshot = self.telemetry.snapshot(
+            max_batch_size=self.config.max_batch_size
+        )
+        return {
+            "uptime_s": time.monotonic() - self.started_at,
+            "telemetry": snapshot.to_dict(),
+            "rollout": self.rollout.status().to_dict(),
+            "versions": self.pool.versions(),
+            "tier_order": self.pool.tier_order,
+            "latency_estimates_s": {
+                tier: self.pool.latency_estimate(tier)
+                for tier in self.pool.tier_order
+            },
+        }
+
+    def dashboard(self) -> str:
+        """The live text dashboard (telemetry + rollout summary)."""
+        lines = [self.telemetry.render(max_batch_size=self.config.max_batch_size)]
+        status = self.rollout.status()
+        if status.shadow or status.canary_fraction > 0 or status.shadow_served:
+            rate = status.disagreement_rate
+            lines.append(
+                f"rollout: canary_fraction={status.canary_fraction:.2f} "
+                f"shadow={status.shadow} "
+                f"disagreement_rate="
+                + (f"{rate:.3f}" if rate is not None else "n/a")
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Lanes and workers
+    # ------------------------------------------------------------------
+    def _lane(self, tier: str, role: str) -> _Lane:
+        key = (tier, role)
+        with self._lock:
+            if self._stopped:
+                raise ServeError("gateway is stopped")
+            lane = self._lanes.get(key)
+            if lane is None:
+                replica_role = STABLE if role == "stable" else CANDIDATE
+                replica = self.pool.replica(tier, replica_role)
+                lane = _Lane(tier, role, replica)
+                lane.worker = threading.Thread(
+                    target=self._worker,
+                    args=(lane,),
+                    name=f"serve-{tier}-{role}",
+                    daemon=True,
+                )
+                self._lanes[key] = lane
+                lane.worker.start()
+            return lane
+
+    def _close_candidate_lanes(self) -> None:
+        with self._lock:
+            lanes = [
+                self._lanes.pop(key)
+                for key in list(self._lanes)
+                if key[1] in ("canary", "shadow")
+            ]
+        for lane in lanes:
+            lane.queue.close()
+        for lane in lanes:
+            lane.worker.join(timeout=30)
+
+    def _track(self, delta: int) -> None:
+        with self._inflight_cond:
+            self._inflight += delta
+            if self._inflight <= 0:
+                self._inflight_cond.notify_all()
+
+    def _worker(self, lane: _Lane) -> None:
+        while True:
+            batch = lane.queue.pop_batch(
+                self.config.max_batch_size, self.config.max_wait_s
+            )
+            if batch is None:
+                return
+            payloads = [item.payload for item in batch]
+            try:
+                responses, _ = lane.replica.serve(payloads)
+            except Exception as exc:  # noqa: BLE001 - propagate to callers
+                now = time.monotonic()
+                for item in batch:
+                    self.telemetry.record(
+                        RequestEvent(
+                            at=now,
+                            tier=lane.tier,
+                            role=lane.role,
+                            latency_s=now - item.enqueued_at,
+                            batch_size=len(batch),
+                            ok=False,
+                        )
+                    )
+                    item.future.set_exception(exc)
+                    self._track(-1)
+                continue
+            now = time.monotonic()
+            if lane.role == "stable":
+                self._mirror_to_shadow(lane.tier, batch, responses)
+            for item, response in zip(batch, responses):
+                self.telemetry.record(
+                    RequestEvent(
+                        at=now,
+                        tier=lane.tier,
+                        role=lane.role,
+                        latency_s=now - item.enqueued_at,
+                        batch_size=len(batch),
+                    ),
+                    payload=item.payload if lane.role != "shadow" else None,
+                )
+                if lane.role == "shadow":
+                    self.rollout.record_shadow(
+                        item.request_id, item.payload, item.context, response
+                    )
+                else:
+                    self.rollout.note_served(lane.role)
+                item.future.set_result(response)
+                self._track(-1)
+
+    def _mirror_to_shadow(
+        self, tier: str, batch: list[QueuedRequest], responses: list[dict]
+    ) -> None:
+        """Copy answered stable requests into the shadow lane (best effort).
+
+        Runs *before* the primary futures resolve so ``drain()`` cannot
+        observe an empty gateway while mirrors are still pending.
+        """
+        if not self.rollout.shadow or not self.pool.has_candidate(tier):
+            return
+        try:
+            shadow_lane = self._lane(tier, "shadow")
+            for item, response in zip(batch, responses):
+                mirror = QueuedRequest(
+                    item.payload, item.request_id, context=response
+                )
+                self._track(+1)
+                try:
+                    shadow_lane.queue.put(mirror)
+                except ServeError:
+                    self._track(-1)
+                    raise
+        except ServeError:
+            # Shadowing must never affect primary serving: if the gateway
+            # is stopping or the lane is closing, mirrors are dropped.
+            pass

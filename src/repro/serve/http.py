@@ -1,0 +1,178 @@
+"""A stdlib-only HTTP front for the serving gateway.
+
+Production Overton sits behind the product's RPC fabric; the library
+equivalent is ``http.server`` — threaded, dependency-free, good enough to
+demonstrate and load-test the gateway over real sockets.
+
+Routes::
+
+    POST /predict    one payload object, a list of them, or an envelope
+                     {"payload": ..., "latency_budget": 0.01,
+                      "request_id": "q-123"}
+    GET  /healthz    status, uptime, served versions per tier
+    GET  /telemetry  the gateway's stats() JSON
+    GET  /dashboard  the live text dashboard (text/plain)
+
+Client errors (malformed JSON, bad envelopes, unknown/missing payload
+fields) are 400 with ``{"error": ...}``; a stopped or timed-out gateway is
+503 (retryable, the server's fault); anything else is 500.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ReproError, ServeError
+from repro.serve.gateway import ServingGateway
+
+_ENVELOPE_KEYS = {"payload", "latency_budget", "request_id"}
+
+
+class _BadRequest(Exception):
+    """A malformed request body/envelope — always the client's fault."""
+
+
+class GatewayHTTPServer:
+    """Owns a ``ThreadingHTTPServer`` bound to a gateway.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``).
+    The server runs on a background thread between :meth:`start` and
+    :meth:`stop`; the gateway's lifecycle stays the caller's.
+    """
+
+    def __init__(
+        self,
+        gateway: ServingGateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.gateway = gateway
+        handler = _make_handler(gateway)
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "GatewayHTTPServer":
+        if self._thread is not None:
+            raise ServeError("HTTP server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"serve-http-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "GatewayHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def _make_handler(gateway: ServingGateway) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        # Silence the default per-request stderr logging.
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            pass
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path == "/healthz":
+                # The highest-frequency route: answer from cheap state only,
+                # never the full telemetry aggregation.
+                self._json(
+                    200,
+                    {
+                        "status": "ok",
+                        "uptime_s": time.monotonic() - gateway.started_at,
+                        "versions": gateway.pool.versions(),
+                        "tier_order": gateway.pool.tier_order,
+                    },
+                )
+            elif self.path == "/telemetry":
+                self._json(200, gateway.stats())
+            elif self.path == "/dashboard":
+                self._text(200, gateway.dashboard() + "\n")
+            else:
+                self._json(404, {"error": f"unknown path {self.path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            if self.path != "/predict":
+                self._json(404, {"error": f"unknown path {self.path!r}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                body = json.loads(self.rfile.read(length) or b"null")
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._json(400, {"error": f"bad request body: {exc}"})
+                return
+            try:
+                self._json(200, self._serve(body))
+            except _BadRequest as exc:
+                self._json(400, {"error": str(exc)})
+            except ServeError as exc:
+                # The gateway, not the request: stopped or timed out.
+                self._json(503, {"error": str(exc)})
+            except ReproError as exc:  # payload validation and friends
+                self._json(400, {"error": str(exc)})
+            except Exception as exc:  # noqa: BLE001 - a 500, not a crash
+                self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+        def _serve(self, body):
+            if isinstance(body, list):
+                return gateway.submit_many(body)
+            if not isinstance(body, dict):
+                raise _BadRequest(
+                    "request body must be a payload object, an envelope, "
+                    "or a list of payload objects"
+                )
+            if "payload" in body:
+                unknown = set(body) - _ENVELOPE_KEYS
+                if unknown:
+                    raise _BadRequest(
+                        f"unknown envelope keys {sorted(unknown)}; "
+                        f"expected a subset of {sorted(_ENVELOPE_KEYS)}"
+                    )
+                return gateway.submit(
+                    body["payload"],
+                    latency_budget=body.get("latency_budget"),
+                    request_id=body.get("request_id"),
+                )
+            return gateway.submit(body)
+
+        def _json(self, code: int, obj) -> None:
+            data = json.dumps(obj).encode("utf-8")
+            self._respond(code, "application/json", data)
+
+        def _text(self, code: int, text: str) -> None:
+            self._respond(code, "text/plain; charset=utf-8", text.encode("utf-8"))
+
+        def _respond(self, code: int, content_type: str, data: bytes) -> None:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+    return Handler

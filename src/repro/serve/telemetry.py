@@ -1,0 +1,220 @@
+"""Live serving telemetry: a lock-guarded ring buffer of request events.
+
+The paper's monitoring story (§2.4) assumes the serving layer *produces*
+the data that drift and regression analysis consume.  This module is that
+producer: every answered request drops a :class:`RequestEvent` (tier,
+rollout role, queue-to-answer latency, batch size) into a bounded ring,
+and every Nth request's payload is sampled so the live input distribution
+can be replayed into :func:`repro.monitoring.drift.detect_drift`.
+
+Nothing here allocates per-request beyond the event itself; snapshots and
+renders are computed on demand from the ring's current contents.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.record import Record
+from repro.data.vocab import Vocab
+from repro.monitoring.dashboards import format_table
+from repro.monitoring.drift import DriftReport, detect_drift
+
+
+@dataclass(frozen=True)
+class RequestEvent:
+    """One answered request, as seen by the gateway."""
+
+    at: float  # time.monotonic() when the response was set
+    tier: str
+    role: str  # "stable" | "canary" | "shadow"
+    latency_s: float  # enqueue -> response, includes queueing time
+    batch_size: int
+    ok: bool = True
+
+
+@dataclass(frozen=True)
+class TierStats:
+    """Latency distribution for one replica tier over the ring window."""
+
+    tier: str
+    count: int
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    mean_batch: float
+
+    def to_dict(self) -> dict:
+        return {
+            "tier": self.tier,
+            "count": self.count,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "mean_batch": self.mean_batch,
+        }
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Aggregate view of the ring at one instant."""
+
+    total_requests: int
+    window_s: float
+    requests_per_s: float
+    tiers: dict[str, TierStats] = field(default_factory=dict)
+    roles: dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+    batch_fill_rate: float | None = None  # mean batch size / max batch size
+
+    def to_dict(self) -> dict:
+        return {
+            "total_requests": self.total_requests,
+            "window_s": self.window_s,
+            "requests_per_s": self.requests_per_s,
+            "tiers": {t: s.to_dict() for t, s in self.tiers.items()},
+            "roles": dict(self.roles),
+            "errors": self.errors,
+            "batch_fill_rate": self.batch_fill_rate,
+        }
+
+
+class TelemetryRing:
+    """Bounded request-event history plus a sampled payload window.
+
+    ``capacity`` bounds the event ring; ``payload_sample_every`` keeps one
+    payload per N recorded events (in a separate, smaller ring) so the
+    drift detector sees a representative live window without the telemetry
+    layer retaining every request body.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        payload_sample_every: int = 8,
+        payload_capacity: int = 512,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._events: deque[RequestEvent] = deque(maxlen=capacity)
+        self._payloads: deque[dict] = deque(maxlen=payload_capacity)
+        self._sample_every = max(1, payload_sample_every)
+        self._recorded = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, event: RequestEvent, payload: dict | None = None) -> None:
+        with self._lock:
+            self._events.append(event)
+            self._recorded += 1
+            if payload is not None and self._recorded % self._sample_every == 0:
+                self._payloads.append(payload)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def recorded_total(self) -> int:
+        """Lifetime event count (the ring itself only keeps the newest)."""
+        with self._lock:
+            return self._recorded
+
+    def events(self) -> list[RequestEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def payload_samples(self) -> list[dict]:
+        with self._lock:
+            return list(self._payloads)
+
+    def live_records(self) -> list[Record]:
+        """The sampled payload window as records, for the drift detector."""
+        return [Record(payloads=dict(p)) for p in self.payload_samples()]
+
+    def snapshot(self, max_batch_size: int | None = None) -> TelemetrySnapshot:
+        """Percentiles, throughput, and role mix over the ring's window."""
+        events = self.events()
+        if not events:
+            return TelemetrySnapshot(
+                total_requests=0, window_s=0.0, requests_per_s=0.0
+            )
+        first = min(e.at for e in events)
+        last = max(e.at for e in events)
+        window = max(last - first, 1e-9)
+        tiers: dict[str, TierStats] = {}
+        for tier in sorted({e.tier for e in events}):
+            tier_events = [e for e in events if e.tier == tier]
+            latencies = np.asarray([e.latency_s for e in tier_events])
+            tiers[tier] = TierStats(
+                tier=tier,
+                count=len(tier_events),
+                p50_s=float(np.percentile(latencies, 50)),
+                p95_s=float(np.percentile(latencies, 95)),
+                p99_s=float(np.percentile(latencies, 99)),
+                mean_batch=float(np.mean([e.batch_size for e in tier_events])),
+            )
+        roles = Counter(e.role for e in events)
+        fill = None
+        if max_batch_size:
+            fill = float(np.mean([e.batch_size for e in events])) / max_batch_size
+        return TelemetrySnapshot(
+            total_requests=len(events),
+            window_s=window,
+            requests_per_s=len(events) / window,
+            tiers=tiers,
+            roles=dict(roles),
+            errors=sum(1 for e in events if not e.ok),
+            batch_fill_rate=fill,
+        )
+
+    # ------------------------------------------------------------------
+    # Feeding the monitoring stack
+    # ------------------------------------------------------------------
+    def drift_report(
+        self,
+        reference: Sequence[Record],
+        vocab: Vocab,
+        payload: str = "tokens",
+    ) -> DriftReport:
+        """Compare the sampled live window against a training reference."""
+        return detect_drift(reference, self.live_records(), vocab, payload=payload)
+
+    def render(self, max_batch_size: int | None = None) -> str:
+        """The live dashboard: one aligned per-tier table plus headlines."""
+        snap = self.snapshot(max_batch_size=max_batch_size)
+        lines = [
+            f"requests: {snap.total_requests}  "
+            f"({snap.requests_per_s:.1f}/s over {snap.window_s:.2f}s window)",
+            "roles: "
+            + (
+                "  ".join(f"{r}={n}" for r, n in sorted(snap.roles.items()))
+                or "(none)"
+            ),
+        ]
+        if snap.batch_fill_rate is not None:
+            lines.append(f"batch fill rate: {snap.batch_fill_rate:.2f}")
+        if snap.tiers:
+            lines.append(
+                format_table(
+                    {
+                        "tier": [s.tier for s in snap.tiers.values()],
+                        "requests": [s.count for s in snap.tiers.values()],
+                        "p50_ms": [s.p50_s * 1000 for s in snap.tiers.values()],
+                        "p95_ms": [s.p95_s * 1000 for s in snap.tiers.values()],
+                        "p99_ms": [s.p99_s * 1000 for s in snap.tiers.values()],
+                        "mean_batch": [s.mean_batch for s in snap.tiers.values()],
+                    }
+                )
+            )
+        return "\n".join(lines)

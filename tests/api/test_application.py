@@ -229,6 +229,20 @@ class TestEndpoint:
         assert pinned.refresh() is False
         assert pinned.version == v1.version
 
+    def test_refresh_skips_fetch_when_unchanged(self, fitted, tmp_path):
+        """The gateway polls refresh(); an unchanged latest must be cheap —
+        a version-hash comparison, never a re-deserialization."""
+        app, ds, run = fitted
+        store = ModelStore(tmp_path / "store")
+        run.deploy(store)
+        follower = Endpoint.from_store(store, app.name)
+        fetches = []
+        original_fetch = store.fetch
+        store.fetch = lambda *a, **kw: (fetches.append(a), original_fetch(*a, **kw))[1]
+        assert follower.refresh() is False
+        assert follower.refresh() is False
+        assert fetches == []  # unchanged latest: no artifact work at all
+
     def test_store_free_endpoint_cannot_refresh(self, fitted):
         app, ds, run = fitted
         with pytest.raises(DeploymentError, match="not backed by a model store"):

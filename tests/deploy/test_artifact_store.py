@@ -149,6 +149,111 @@ class TestModelStore:
             store.fetch("qa", version.version)
 
 
+class TestAtomicIndex:
+    def test_no_staging_files_left_behind(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        version = store.push("qa", make_artifact()[0])
+        store.set_latest("qa", version.version)
+        leftovers = {p.name for p in (tmp_path / "store" / "qa").iterdir()}
+        assert leftovers == {"index.json", version.version}
+
+    def test_failed_replace_preserves_old_index(self, tmp_path, monkeypatch):
+        import os
+
+        store = ModelStore(tmp_path / "store")
+        v1 = store.push("qa", make_artifact(seed=1)[0])
+        store.push("qa", make_artifact(seed=2)[0])
+
+        def exploding_replace(src, dst):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            store.set_latest("qa", v1.version)
+        monkeypatch.undo()
+        # The index is still the intact pre-crash document, not a torn file.
+        assert store.latest_version("qa") != v1.version
+        assert len(store.versions("qa")) == 2
+        assert not list((tmp_path / "store" / "qa").glob("*.tmp"))
+
+    def test_concurrent_reader_never_sees_torn_index(self, tmp_path):
+        """The canary-gateway race: latest_version polled during writes."""
+        import threading
+
+        store = ModelStore(tmp_path / "store")
+        v1 = store.push("qa", make_artifact(seed=1)[0])
+        v2 = store.push("qa", make_artifact(seed=2)[0])
+        valid = {v1.version, v2.version}
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            for i in range(150):
+                store.set_latest("qa", v1.version if i % 2 else v2.version)
+            stop.set()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    assert store.latest_version("qa") in valid
+                except Exception as exc:  # torn read -> JSONDecodeError etc.
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+
+    def test_concurrent_writers_lose_no_versions(self, tmp_path):
+        """push racing set_latest (trainer vs gateway promotion) must not
+        drop version records from the index."""
+        import threading
+
+        store = ModelStore(tmp_path / "store")
+        v1 = store.push("qa", make_artifact(seed=1)[0])
+        artifacts = [make_artifact(seed=s)[0] for s in range(2, 6)]
+
+        def pusher():
+            for artifact in artifacts:
+                store.push("qa", artifact, set_latest=False)
+
+        def promoter():
+            for _ in range(40):
+                store.set_latest("qa", v1.version)
+
+        threads = [threading.Thread(target=pusher), threading.Thread(target=promoter)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert len(store.versions("qa")) == 1 + len(artifacts)
+        assert store.latest_version("qa") == v1.version
+
+    def test_push_without_set_latest_stages_version(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        v1 = store.push("qa", make_artifact(seed=1)[0])
+        staged = store.push("qa", make_artifact(seed=2)[0], set_latest=False)
+        assert store.latest_version("qa") == v1.version
+        assert {v.version for v in store.versions("qa")} == {
+            v1.version,
+            staged.version,
+        }
+        # The staged version is fetchable and promotable.
+        store.fetch("qa", staged.version)
+        store.set_latest("qa", staged.version)
+        assert store.latest_version("qa") == staged.version
+
+    def test_first_push_sets_latest_even_when_staging(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        v1 = store.push("qa", make_artifact()[0], set_latest=False)
+        assert store.latest_version("qa") == v1.version
+
+
 class TestPredictor:
     def test_serves_typed_responses(self):
         artifact, ds, *_ = make_artifact()

@@ -31,6 +31,7 @@ EXPECTED_EXAMPLES = {
     "slice_improvement.py",
     "model_sync.py",
     "constrained_serving.py",
+    "serving_gateway.py",
 }
 
 

@@ -65,3 +65,84 @@ class TestDetectDrift:
         report = detect_drift([], [], Vocab())
         assert report.token_js_divergence == 0.0
         assert not report.drifted()
+
+
+class TestLiveWindows:
+    """Serving-shaped windows: a gateway's live sample can be tiny."""
+
+    def test_empty_live_window_against_real_reference(self):
+        ds = mini_dataset(n=40, seed=0)
+        vocab = ds.build_vocabs()["tokens"]
+        report = detect_drift(ds.records, [], vocab)
+        assert np.isfinite(report.token_js_divergence)
+        assert report.oov_rate_live == 0.0
+        assert report.mean_length_live == 0.0
+        assert report.novel_token_fraction == 0.0
+
+    def test_single_record_live_window(self):
+        ds = mini_dataset(n=40, seed=0)
+        vocab = ds.build_vocabs()["tokens"]
+        report = detect_drift(ds.records, ds.records[:1], vocab)
+        assert np.isfinite(report.token_js_divergence)
+        assert report.mean_length_live == len(ds.records[0].payloads["tokens"])
+        assert not report.drifted(js_threshold=np.log(2))
+
+    def test_single_novel_record_flags_oov(self):
+        ds = mini_dataset(n=40, seed=0)
+        vocab = ds.build_vocabs()["tokens"]
+        from repro.data import Record
+
+        live = [Record(payloads={"tokens": ["zyx", "wvu"]})]
+        report = detect_drift(ds.records, live, vocab)
+        assert report.oov_rate_live == 1.0
+        assert report.novel_token_fraction == 1.0
+        assert report.drifted()
+
+
+class TestServeTelemetryRoundTrip:
+    """The gateway's payload samples must feed straight into a DriftReport."""
+
+    def test_telemetry_ring_to_drift_report(self):
+        from repro.monitoring import DriftReport
+        from repro.serve import RequestEvent, TelemetryRing
+
+        ds = mini_dataset(n=60, seed=0)
+        vocab = ds.build_vocabs()["tokens"]
+        ring = TelemetryRing(payload_sample_every=1)
+        for i, record in enumerate(ds.records[:30]):
+            ring.record(
+                RequestEvent(
+                    at=float(i),
+                    tier="default",
+                    role="stable",
+                    latency_s=0.001,
+                    batch_size=4,
+                ),
+                payload={"tokens": record.payloads["tokens"]},
+            )
+        report = ring.drift_report(ds.records, vocab)
+        assert isinstance(report, DriftReport)
+        # Live traffic drawn from the training distribution: no drift.
+        assert not report.drifted()
+        assert report.oov_rate_live == 0.0
+
+    def test_drifted_live_traffic_detected_from_telemetry(self):
+        from repro.serve import RequestEvent, TelemetryRing
+
+        ds = mini_dataset(n=60, seed=0)
+        vocab = ds.build_vocabs()["tokens"]
+        ring = TelemetryRing(payload_sample_every=1)
+        for i in range(30):
+            ring.record(
+                RequestEvent(
+                    at=float(i),
+                    tier="default",
+                    role="stable",
+                    latency_s=0.001,
+                    batch_size=4,
+                ),
+                payload={"tokens": [f"novel_{i}", f"token_{i}"]},
+            )
+        report = ring.drift_report(ds.records, vocab)
+        assert report.drifted()
+        assert report.novel_token_fraction == 1.0

@@ -1,0 +1,136 @@
+"""Tests for the dynamic batching primitives (no model involved)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import PendingResponse, QueuedRequest, RequestQueue
+
+
+def item(i: int) -> QueuedRequest:
+    return QueuedRequest({"n": i}, request_id=f"r{i}")
+
+
+class TestPendingResponse:
+    def test_result_roundtrip(self):
+        future = PendingResponse()
+        assert not future.done()
+        future.set_result({"ok": 1})
+        assert future.done()
+        assert future.result(timeout=0) == {"ok": 1}
+
+    def test_exception_propagates(self):
+        future = PendingResponse()
+        future.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            future.result(timeout=0)
+
+    def test_timeout_raises_serve_error(self):
+        with pytest.raises(ServeError, match="not answered"):
+            PendingResponse().result(timeout=0.01)
+
+
+class TestPopBatch:
+    def test_full_batch_returns_without_waiting_deadline(self):
+        queue = RequestQueue()
+        for i in range(4):
+            queue.put(item(i))
+        start = time.monotonic()
+        batch = queue.pop_batch(max_size=4, max_wait_s=10.0)
+        assert time.monotonic() - start < 1.0  # did not sit out the deadline
+        assert [b.payload["n"] for b in batch] == [0, 1, 2, 3]
+
+    def test_deadline_closes_partial_batch(self):
+        queue = RequestQueue()
+        queue.put(item(0))
+        start = time.monotonic()
+        batch = queue.pop_batch(max_size=8, max_wait_s=0.05)
+        elapsed = time.monotonic() - start
+        assert [b.payload["n"] for b in batch] == [0]
+        assert elapsed < 2.0  # waited roughly the deadline, not forever
+
+    def test_deadline_counts_from_first_enqueue(self):
+        # A request that already waited in the queue should not wait the
+        # full max_wait again once a worker picks the queue up.
+        queue = RequestQueue()
+        queue.put(item(0))
+        time.sleep(0.08)
+        start = time.monotonic()
+        batch = queue.pop_batch(max_size=8, max_wait_s=0.05)
+        assert time.monotonic() - start < 0.05
+        assert len(batch) == 1
+
+    def test_oversized_queue_pops_in_fifo_chunks(self):
+        queue = RequestQueue()
+        for i in range(10):
+            queue.put(item(i))
+        first = queue.pop_batch(max_size=4, max_wait_s=0.0)
+        second = queue.pop_batch(max_size=4, max_wait_s=0.0)
+        assert [b.payload["n"] for b in first] == [0, 1, 2, 3]
+        assert [b.payload["n"] for b in second] == [4, 5, 6, 7]
+
+    def test_blocks_until_first_item_arrives(self):
+        queue = RequestQueue()
+        results = []
+
+        def worker():
+            results.append(queue.pop_batch(max_size=2, max_wait_s=0.01))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        time.sleep(0.05)
+        queue.put(item(7))
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert [b.payload["n"] for b in results[0]] == [7]
+
+    def test_batch_fills_from_concurrent_producers(self):
+        queue = RequestQueue()
+        queue.put(item(0))
+
+        def late_producer():
+            time.sleep(0.02)
+            queue.put(item(1))
+
+        thread = threading.Thread(target=late_producer)
+        thread.start()
+        batch = queue.pop_batch(max_size=2, max_wait_s=5.0)
+        thread.join()
+        # The late arrival completed the batch well before the deadline.
+        assert [b.payload["n"] for b in batch] == [0, 1]
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ServeError, match="max_size"):
+            RequestQueue().pop_batch(max_size=0, max_wait_s=0.0)
+
+
+class TestClose:
+    def test_close_drains_then_returns_none(self):
+        queue = RequestQueue()
+        queue.put(item(0))
+        queue.close()
+        assert [b.payload["n"] for b in queue.pop_batch(4, 0.0)] == [0]
+        assert queue.pop_batch(4, 0.0) is None
+
+    def test_closed_queue_rejects_put(self):
+        queue = RequestQueue()
+        queue.close()
+        with pytest.raises(ServeError, match="closed"):
+            queue.put(item(0))
+
+    def test_close_wakes_blocked_pop(self):
+        queue = RequestQueue()
+        results = []
+
+        def worker():
+            results.append(queue.pop_batch(max_size=2, max_wait_s=10.0))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        time.sleep(0.02)
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert results == [None]

@@ -1,0 +1,276 @@
+"""Integration tests for the serving gateway: batching, tiers, rollout."""
+
+import pytest
+
+from repro.api import Endpoint
+from repro.errors import DeploymentError, ServeError
+from repro.serve import GatewayConfig, ReplicaPool, ServingGateway
+
+
+def hard_outputs(response: dict) -> dict:
+    return {
+        task: {k: v for k, v in result.items() if k in ("label", "labels", "index")}
+        for task, result in response.items()
+    }
+
+
+def make_gateway(store, name="factoid-qa", **config_kwargs) -> ServingGateway:
+    defaults = dict(max_batch_size=4, max_wait_s=0.05, payload_sample_every=1)
+    defaults.update(config_kwargs)
+    pool = ReplicaPool.from_store(store, name)
+    return ServingGateway(pool, GatewayConfig(**defaults))
+
+
+class TestServing:
+    def test_single_request_matches_endpoint(self, served, single_store):
+        app, ds, run, payloads = served
+        store, stable, _ = single_store
+        endpoint = Endpoint.from_store(store, app.name, version=stable.version)
+        with make_gateway(store) as gateway:
+            for payload in payloads[:5]:
+                assert hard_outputs(gateway.submit(payload)) == hard_outputs(
+                    endpoint.predict(payload)
+                )
+
+    def test_concurrent_requests_share_model_batches(self, served, single_store):
+        app, ds, run, payloads = served
+        store, *_ = single_store
+        with make_gateway(store, max_batch_size=4, max_wait_s=0.2) as gateway:
+            futures = [gateway.submit_async(p) for p in payloads[:12]]
+            responses = [f.result(timeout=30) for f in futures]
+            assert len(responses) == 12
+            replica = gateway.pool.replica("default")
+            # 12 requests from one burst filled 3 batches of 4 — the
+            # cross-request amortization the gateway exists for.
+            assert replica.requests_served == 12
+            assert replica.batches_served == 3
+            sizes = {e.batch_size for e in gateway.telemetry.events()}
+            assert sizes == {4}
+
+    def test_lone_request_released_by_deadline(self, served, single_store):
+        app, ds, run, payloads = served
+        store, *_ = single_store
+        with make_gateway(store, max_batch_size=64, max_wait_s=0.02) as gateway:
+            response = gateway.submit(payloads[0])
+            assert "Intent" in response
+            [event] = gateway.telemetry.events()
+            assert event.batch_size == 1
+
+    def test_validation_fails_fast_in_caller(self, served, single_store):
+        app, ds, run, payloads = served
+        store, *_ = single_store
+        with make_gateway(store) as gateway:
+            with pytest.raises(DeploymentError, match="unknown payloads"):
+                gateway.submit({"bogus": [1]})
+            # Nothing was queued or served.
+            assert gateway.stats()["telemetry"]["total_requests"] == 0
+
+    def test_stopped_gateway_rejects_requests(self, served, single_store):
+        app, ds, run, payloads = served
+        store, *_ = single_store
+        gateway = make_gateway(store)
+        gateway.submit(payloads[0])
+        gateway.stop()
+        with pytest.raises(ServeError, match="stopped"):
+            gateway.submit(payloads[0])
+
+
+class TestTierRouting:
+    def test_budget_selects_tier(self, served, pair_store):
+        app, ds, run, payloads = served
+        store, pushed = pair_store
+        pool = ReplicaPool.from_store(store, app.name)
+        assert pool.tier_order == ["large", "small"]  # by parameter count
+        pool.set_latency_hint("large", 0.050)
+        pool.set_latency_hint("small", 0.001)
+        with ServingGateway(
+            pool, GatewayConfig(max_batch_size=4, max_wait_s=0.01)
+        ) as gateway:
+            gateway.submit(payloads[0], latency_budget=0.005)  # only small fits
+            gateway.submit(payloads[1], latency_budget=10.0)  # large fits
+            gateway.submit(payloads[2])  # no budget -> most capable
+            tiers = [e.tier for e in gateway.telemetry.events()]
+            assert tiers == ["small", "large", "large"]
+
+    def test_impossible_budget_degrades_to_cheapest(self, served, pair_store):
+        app, ds, run, payloads = served
+        store, _ = pair_store
+        pool = ReplicaPool.from_store(store, app.name)
+        pool.set_latency_hint("large", 0.050)
+        pool.set_latency_hint("small", 0.010)
+        assert pool.tier_for(1e-9) == "small"
+
+    def test_measured_latency_overrides_hints(self, served, pair_store):
+        app, ds, run, payloads = served
+        store, _ = pair_store
+        pool = ReplicaPool.from_store(store, app.name)
+        pool.set_latency_hint("large", 1000.0)
+        estimates = pool.warmup(payloads[:4])
+        assert set(estimates) == {"large", "small"}
+        # The warmup measurement replaced the absurd hint.
+        assert pool.latency_estimate("large") < 10.0
+
+    def test_pair_versions_visible(self, served, pair_store):
+        app, ds, run, payloads = served
+        store, pushed = pair_store
+        pool = ReplicaPool.from_store(store, app.name)
+        versions = pool.versions()
+        assert versions["large"]["stable"] == pushed.large.version
+        assert versions["small"]["stable"] == pushed.small.version
+
+
+class TestCanary:
+    def test_fraction_routes_candidate_traffic(self, served, single_store):
+        app, ds, run, payloads = served
+        store, stable, candidate = single_store
+        with make_gateway(store) as gateway:
+            gateway.set_canary(candidate.version, fraction=0.5)
+            for i in range(60):
+                gateway.submit(payloads[i % len(payloads)], request_id=f"q{i}")
+            roles = gateway.telemetry.snapshot().roles
+            assert 15 <= roles.get("canary", 0) <= 45
+            assert roles.get("canary", 0) + roles.get("stable", 0) == 60
+            status = gateway.rollout.status()
+            assert status.canary_served == roles["canary"]
+            # The canary lane really served the candidate version.
+            candidate_replica = gateway.pool.replica("default", "candidate")
+            assert candidate_replica.version == candidate.version
+            assert candidate_replica.requests_served == roles["canary"]
+
+    def test_canary_without_candidate_falls_back_to_stable(
+        self, served, single_store
+    ):
+        app, ds, run, payloads = served
+        store, *_ = single_store
+        with make_gateway(store) as gateway:
+            gateway.rollout.start_canary(1.0)  # no candidate loaded
+            gateway.submit(payloads[0])
+            assert gateway.telemetry.snapshot().roles == {"stable": 1}
+
+    def test_promote_moves_stable_and_store_latest(self, served, single_store):
+        app, ds, run, payloads = served
+        store, stable, candidate = single_store
+        with make_gateway(store) as gateway:
+            gateway.set_canary(candidate.version, fraction=0.25)
+            gateway.submit(payloads[0])
+            promoted = gateway.promote_canary(set_latest=True)
+            assert promoted == {"default": candidate.version}
+            assert store.latest_version(app.name) == candidate.version
+            assert gateway.pool.versions()["default"] == {
+                "stable": candidate.version
+            }
+            assert not gateway.rollout.active
+            # Serving continues on the promoted version.
+            assert "Intent" in gateway.submit(payloads[1])
+        # Leave the shared store as the fixture promised it.
+        store.set_latest(app.name, stable.version)
+
+    def test_cancel_canary_drops_candidate(self, served, single_store):
+        app, ds, run, payloads = served
+        store, stable, candidate = single_store
+        with make_gateway(store) as gateway:
+            gateway.set_canary(candidate.version, fraction=1.0)
+            gateway.submit(payloads[0], request_id="canary-bound")
+            gateway.cancel_canary()
+            assert not gateway.pool.has_candidate()
+            gateway.submit(payloads[1], request_id="canary-bound-2")
+            assert gateway.telemetry.snapshot().roles["stable"] == 1
+
+    def test_promote_without_candidate_raises(self, served, single_store):
+        app, ds, run, payloads = served
+        store, *_ = single_store
+        with make_gateway(store) as gateway:
+            with pytest.raises(ServeError, match="no candidate"):
+                gateway.promote_canary()
+
+
+class TestShadow:
+    def test_shadow_mirrors_all_stable_traffic(self, served, single_store):
+        app, ds, run, payloads = served
+        store, stable, candidate = single_store
+        with make_gateway(store) as gateway:
+            gateway.set_shadow(candidate.version)
+            for i, payload in enumerate(payloads[:10]):
+                gateway.submit(payload, request_id=f"s{i}")
+            gateway.drain()
+            status = gateway.rollout.status()
+            assert status.shadow_served == 10
+            roles = gateway.telemetry.snapshot().roles
+            assert roles["stable"] == 10
+            assert roles["shadow"] == 10
+
+    def test_shadow_disagreements_recorded_with_examples(
+        self, served, single_store
+    ):
+        app, ds, run, payloads = served
+        store, stable, candidate = single_store
+        with make_gateway(store) as gateway:
+            gateway.set_shadow(candidate.version)
+            # Force disagreement on every request: wrap the candidate so its
+            # hard Intent label is always off-vocabulary.
+            replica = gateway.pool.replica("default", "candidate")
+            inner = replica.endpoint
+
+            class Disagreeable:
+                def __getattr__(self, name):
+                    return getattr(inner, name)
+
+                def serve_batch(self, batch_payloads, validate=False):
+                    responses = inner.serve_batch(batch_payloads, validate)
+                    return [
+                        {**r, "Intent": {**r["Intent"], "label": "__flipped__"}}
+                        for r in responses
+                    ]
+
+            replica.endpoint = Disagreeable()
+            for i, payload in enumerate(payloads[:6]):
+                gateway.submit(payload, request_id=f"d{i}")
+            gateway.drain()
+            status = gateway.rollout.status()
+            assert status.shadow_served == 6
+            assert status.shadow_disagreements == 6
+            assert status.disagreement_rate == pytest.approx(1.0)
+            example = gateway.rollout.disagreement_examples()[0]
+            assert example.candidate["Intent"]["label"] == "__flipped__"
+            assert example.stable["Intent"]["label"] != "__flipped__"
+
+    def test_shadow_never_affects_responses(self, served, single_store):
+        app, ds, run, payloads = served
+        store, stable, candidate = single_store
+        endpoint = Endpoint.from_store(store, app.name, version=stable.version)
+        with make_gateway(store) as gateway:
+            gateway.set_shadow(candidate.version)
+            for payload in payloads[:5]:
+                assert hard_outputs(gateway.submit(payload)) == hard_outputs(
+                    endpoint.predict(payload)
+                )
+            gateway.drain()
+
+
+class TestStorePolling:
+    def test_poll_store_follows_promotions(self, served, single_store):
+        app, ds, run, payloads = served
+        store, stable, candidate = single_store
+        with make_gateway(store) as gateway:
+            assert gateway.poll_store() == {"default": False}
+            store.set_latest(app.name, candidate.version)
+            try:
+                assert gateway.poll_store() == {"default": True}
+                assert gateway.pool.versions()["default"]["stable"] == (
+                    candidate.version
+                )
+                assert "Intent" in gateway.submit(payloads[0])
+            finally:
+                store.set_latest(app.name, stable.version)
+
+    def test_stats_shape(self, served, single_store):
+        app, ds, run, payloads = served
+        store, *_ = single_store
+        with make_gateway(store) as gateway:
+            gateway.submit(payloads[0])
+            stats = gateway.stats()
+            assert stats["telemetry"]["total_requests"] == 1
+            assert stats["versions"]["default"]["stable"]
+            assert stats["tier_order"] == ["default"]
+            assert "rollout" in stats and "latency_estimates_s" in stats
+            assert "default" in gateway.dashboard()

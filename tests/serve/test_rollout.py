@@ -1,0 +1,86 @@
+"""Tests for rollout control: canary routing and shadow accounting."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import RolloutController, responses_agree
+
+
+RESPONSE_A = {"Intent": {"label": "height", "scores": {"height": 0.9}}}
+RESPONSE_B = {"Intent": {"label": "age", "scores": {"age": 0.8}}}
+
+
+class TestResponsesAgree:
+    def test_same_hard_outputs_agree_despite_scores(self):
+        other_scores = {"Intent": {"label": "height", "scores": {"height": 0.4}}}
+        assert responses_agree(RESPONSE_A, other_scores)
+
+    def test_label_mismatch_disagrees(self):
+        assert not responses_agree(RESPONSE_A, RESPONSE_B)
+
+    def test_sequence_and_select_fields_compared(self):
+        a = {"POS": {"labels": ["NOUN", "VERB"]}, "IntentArg": {"index": 0}}
+        b = {"POS": {"labels": ["NOUN", "VERB"]}, "IntentArg": {"index": 1}}
+        assert responses_agree(a, dict(a))
+        assert not responses_agree(a, b)
+
+    def test_task_set_mismatch_disagrees(self):
+        assert not responses_agree(RESPONSE_A, {})
+
+
+class TestCanaryRouting:
+    def test_inactive_controller_routes_stable(self):
+        controller = RolloutController()
+        assert all(controller.route(f"q{i}") == "stable" for i in range(50))
+
+    def test_fraction_extremes(self):
+        controller = RolloutController()
+        controller.start_canary(0.0)
+        assert controller.route("anything") == "stable"
+        controller.start_canary(1.0)
+        assert controller.route("anything") == "canary"
+
+    def test_fraction_is_respected_and_deterministic(self):
+        controller = RolloutController()
+        controller.start_canary(0.3)
+        routes = [controller.route(f"req-{i}") for i in range(1000)]
+        share = routes.count("canary") / len(routes)
+        assert 0.25 < share < 0.35
+        # Same id, same side — retries do not flap across versions.
+        assert [controller.route(f"req-{i}") for i in range(1000)] == routes
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ServeError, match="fraction"):
+            RolloutController().start_canary(1.5)
+
+
+class TestShadowAccounting:
+    def test_agreements_and_disagreements_counted(self):
+        controller = RolloutController()
+        controller.start_shadow()
+        assert controller.record_shadow("q0", {"p": 1}, RESPONSE_A, RESPONSE_A)
+        assert not controller.record_shadow("q1", {"p": 2}, RESPONSE_A, RESPONSE_B)
+        status = controller.status()
+        assert status.shadow_served == 2
+        assert status.shadow_disagreements == 1
+        assert status.disagreement_rate == pytest.approx(0.5)
+
+    def test_disagreement_examples_bounded(self):
+        controller = RolloutController(max_disagreement_examples=3)
+        for i in range(10):
+            controller.record_shadow(f"q{i}", {"n": i}, RESPONSE_A, RESPONSE_B)
+        examples = controller.disagreement_examples()
+        assert len(examples) == 3
+        assert examples[-1].request_id == "q9"
+        assert examples[0].stable == RESPONSE_A
+
+    def test_rate_none_before_any_shadow(self):
+        assert RolloutController().status().disagreement_rate is None
+
+    def test_stop_clears_modes_not_counters(self):
+        controller = RolloutController()
+        controller.start_canary(0.5, shadow=True)
+        controller.note_served("canary")
+        controller.stop()
+        assert not controller.active
+        assert controller.status().canary_served == 1

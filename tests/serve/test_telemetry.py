@@ -1,0 +1,103 @@
+"""Tests for the telemetry ring buffer and its snapshots."""
+
+import pytest
+
+from repro.serve import RequestEvent, TelemetryRing
+
+
+def event(i: int, tier: str = "default", role: str = "stable", **kwargs) -> RequestEvent:
+    defaults = dict(
+        at=float(i),
+        tier=tier,
+        role=role,
+        latency_s=0.010 * (i % 5 + 1),
+        batch_size=4,
+    )
+    defaults.update(kwargs)
+    return RequestEvent(**defaults)
+
+
+class TestRing:
+    def test_capacity_evicts_oldest(self):
+        ring = TelemetryRing(capacity=8)
+        for i in range(20):
+            ring.record(event(i))
+        assert len(ring) == 8
+        assert ring.recorded_total == 20
+        assert min(e.at for e in ring.events()) == 12.0
+
+    def test_payload_sampling_every_nth(self):
+        ring = TelemetryRing(capacity=64, payload_sample_every=4)
+        for i in range(16):
+            ring.record(event(i), payload={"tokens": [f"t{i}"]})
+        samples = ring.payload_samples()
+        assert len(samples) == 4
+        assert samples[0] == {"tokens": ["t3"]}
+
+    def test_live_records_wrap_payloads(self):
+        ring = TelemetryRing(payload_sample_every=1)
+        ring.record(event(0), payload={"tokens": ["how", "tall"]})
+        records = ring.live_records()
+        assert len(records) == 1
+        assert records[0].payloads["tokens"] == ["how", "tall"]
+
+
+class TestSnapshot:
+    def test_empty_snapshot(self):
+        snap = TelemetryRing().snapshot()
+        assert snap.total_requests == 0
+        assert snap.requests_per_s == 0.0
+        assert snap.tiers == {}
+
+    def test_per_tier_percentiles(self):
+        ring = TelemetryRing()
+        for i in range(100):
+            ring.record(event(i, tier="small", latency_s=0.001))
+        for i in range(50):
+            ring.record(event(i, tier="large", latency_s=0.1))
+        snap = ring.snapshot()
+        assert set(snap.tiers) == {"small", "large"}
+        assert snap.tiers["small"].count == 100
+        assert snap.tiers["small"].p95_s == pytest.approx(0.001)
+        assert snap.tiers["large"].p50_s == pytest.approx(0.1)
+
+    def test_throughput_over_window(self):
+        ring = TelemetryRing()
+        for i in range(11):
+            ring.record(event(0, at=float(i)))  # 11 events over 10 seconds
+        snap = ring.snapshot()
+        assert snap.window_s == pytest.approx(10.0)
+        assert snap.requests_per_s == pytest.approx(1.1)
+
+    def test_roles_errors_and_fill_rate(self):
+        ring = TelemetryRing()
+        for i in range(6):
+            ring.record(event(i, role="stable", batch_size=8))
+        for i in range(2):
+            ring.record(event(i, role="canary", batch_size=8))
+        ring.record(event(0, role="shadow", batch_size=8, ok=False))
+        snap = ring.snapshot(max_batch_size=16)
+        assert snap.roles == {"stable": 6, "canary": 2, "shadow": 1}
+        assert snap.errors == 1
+        assert snap.batch_fill_rate == pytest.approx(0.5)
+
+    def test_snapshot_to_dict_is_jsonable(self):
+        import json
+
+        ring = TelemetryRing()
+        ring.record(event(0))
+        assert json.loads(json.dumps(ring.snapshot(8).to_dict()))
+
+
+class TestRender:
+    def test_render_contains_tier_table(self):
+        ring = TelemetryRing()
+        for i in range(5):
+            ring.record(event(i, tier="small"))
+        text = ring.render(max_batch_size=8)
+        assert "small" in text
+        assert "p95_ms" in text
+        assert "batch fill rate" in text
+
+    def test_render_empty_ring(self):
+        assert "requests: 0" in TelemetryRing().render()

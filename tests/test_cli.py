@@ -96,6 +96,73 @@ class TestTrainReportPredict:
         assert len(lines) == 2
 
 
+class TestServe:
+    def test_serve_artifact_until_deadline(self, project, capsys):
+        artifact_dir = str(project["tmp"] / "serve-artifact")
+        main(
+            [
+                "train",
+                "--schema", project["schema"],
+                "--data", project["data"],
+                "--out", artifact_dir,
+                "--epochs", "1",
+                "--size", "8",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                "--artifact", artifact_dir,
+                "--port", "0",
+                "--poll-seconds", "0",
+                "--max-seconds", "0.4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving" in out and "http://" in out
+        assert "POST /predict" in out
+        assert "requests: 0" in out  # the final dashboard rendered
+
+    def test_serve_from_store(self, project, capsys):
+        """The --store/--model path (what production rollout uses)."""
+        artifact_dir = str(project["tmp"] / "store-artifact")
+        main(
+            [
+                "train",
+                "--schema", project["schema"],
+                "--data", project["data"],
+                "--out", artifact_dir,
+                "--epochs", "1",
+                "--size", "8",
+            ]
+        )
+        from repro.deploy import ModelArtifact, ModelStore
+
+        store = ModelStore(project["tmp"] / "store")
+        store.push("factoid-qa", ModelArtifact.load(artifact_dir))
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                "--store", str(project["tmp"] / "store"),
+                "--model", "factoid-qa",
+                "--port", "0",
+                "--poll-seconds", "0.1",
+                "--max-seconds", "0.4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving default@" in out
+
+    def test_serve_requires_a_model_source(self, capsys):
+        code = main(["serve", "--port", "0"])
+        assert code == 1
+        assert "--artifact" in capsys.readouterr().err
+
+
 class TestQuery:
     def test_tag_count(self, project, capsys):
         code = main(

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Run the benchmarks/bench_*.py suite and track perf between PRs.
+
+Each benchmark file runs in its own pytest subprocess (one bad experiment
+cannot take down the suite), with ``PYTHONPATH`` set exactly as the repo's
+tier-1 command uses it.  The serving benchmark additionally writes its
+metrics (p50/p95 latency, requests/sec, batch-fill rate) to the path in
+``BENCH_SERVE_JSON`` — this tool points that at ``BENCH_serve.json`` in
+the repo root so successive PRs leave a comparable perf record.
+
+Usage:
+    python tools/run_benchmarks.py                 # full suite
+    python tools/run_benchmarks.py --only serve    # just bench_serve_*
+    python tools/run_benchmarks.py --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+BENCH_DIR = ROOT / "benchmarks"
+DEFAULT_OUT = ROOT / "BENCH_serve.json"
+
+
+def bench_files(only: str = "") -> list[Path]:
+    files = sorted(BENCH_DIR.glob("bench_*.py"))
+    if only:
+        files = [p for p in files if only in p.name]
+    return files
+
+
+def run_benchmark(path: Path, out_path: Path, timeout: float) -> tuple[bool, float, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(ROOT / "src"), str(ROOT)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    env["BENCH_SERVE_JSON"] = str(out_path)
+    start = time.perf_counter()
+    try:
+        result = subprocess.run(
+            [sys.executable, "-m", "pytest", str(path), "-q", "-s"],
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+            env=env,
+            cwd=ROOT,
+        )
+    except subprocess.TimeoutExpired:
+        return False, time.perf_counter() - start, f"timed out after {timeout:.0f}s"
+    elapsed = time.perf_counter() - start
+    if result.returncode != 0:
+        tail = (result.stdout + result.stderr).strip()[-2000:]
+        return False, elapsed, tail
+    return True, elapsed, ""
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only", default="", help="substring filter on benchmark file names"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(DEFAULT_OUT),
+        help="where the serving benchmark writes BENCH_serve.json",
+    )
+    parser.add_argument("--timeout", type=float, default=900.0)
+    parser.add_argument(
+        "--list", action="store_true", help="list benchmark files and exit"
+    )
+    args = parser.parse_args(argv)
+
+    files = bench_files(args.only)
+    if args.list:
+        for path in files:
+            print(path.name)
+        return 0
+    if not files:
+        print(f"no benchmarks match {args.only!r} in {BENCH_DIR}", file=sys.stderr)
+        return 2
+
+    out_path = Path(args.out).resolve()
+    # Never report a previous run's serving metrics as this run's.
+    out_path.unlink(missing_ok=True)
+    failures = 0
+    for path in files:
+        ok, elapsed, detail = run_benchmark(path, out_path, args.timeout)
+        status = "ok" if ok else "FAIL"
+        print(f"  {path.name:<34} {status:<5} {elapsed:6.1f}s", flush=True)
+        if not ok:
+            failures += 1
+            for line in detail.splitlines()[-12:]:
+                print(f"      {line}")
+
+    print(f"\n{len(files) - failures}/{len(files)} benchmarks passed")
+    if out_path.exists():
+        metrics = json.loads(out_path.read_text())
+        print(f"\nserving metrics -> {out_path}")
+        print(
+            f"  {metrics['requests_per_s']:.0f} req/s "
+            f"(per-request baseline {metrics['per_request_rps']:.0f}, "
+            f"speedup {metrics['speedup']:.2f}x)  "
+            f"p50 {metrics['p50_latency_s'] * 1000:.1f}ms  "
+            f"p95 {metrics['p95_latency_s'] * 1000:.1f}ms  "
+            f"batch fill {metrics['batch_fill_rate']:.2f}"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
