@@ -1,4 +1,4 @@
-"""§2.4 / §4: coarse block-level architecture search.
+"""§2.4 / §4: coarse block-level architecture search, serial and parallel.
 
 "Overton searches over relatively limited large blocks, e.g., should we use
 an LSTM or CNN, not at a fine-grained level of connections ... In
@@ -6,18 +6,36 @@ preliminary experiments, NAS methods seemed to have diminishing returns."
 And: "first versions of all Overton systems are tuned using standard
 approaches" (grid / random).
 
-This bench runs the real search path (Overton.tune) over a coarse grid of
-encoder blocks x hidden sizes, and compares grid search against random
-search at half the budget.  Shape targets: search beats the worst candidate
-by a clear margin (the choice matters), and half-budget random search lands
-within a small gap of the full grid (coarse search is cheap to approximate
-— the paper's argument against expensive NAS).
+Three experiments:
+
+1. *Coarse search shape* — the real search path over encoder blocks x
+   hidden sizes: the block choice matters, and half-budget random search
+   lands near the full grid (the paper's argument against expensive NAS).
+2. *Parallel executor speedup* — the same grid driven through
+   ``repro.exec.TrialExecutor`` at 1 vs 4 workers over a latency-bound
+   trial (a fixed simulated I/O wait per trial, the regime the executor
+   targets: real Overton trials spend much of their wall-clock waiting on
+   data/embedding fetches, and bench machines may expose a single core).
+   Asserts >= 2x wall-clock at 4 workers, plus a warm re-run against the
+   trial cache that must skip every trial.
+3. *Serial-path fidelity* — ``app.tune`` through the executor path at
+   ``workers=1`` must reproduce the legacy serial ``SearchResult``
+   exactly: same trials, same scores, same best.
+
+When ``BENCH_TUNE_JSON`` is set (``tools/run_benchmarks.py`` does), the
+executor metrics land there as the between-PR perf trajectory.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 from repro.core.overton import Overton
 from repro.core.tuning_spec import TuningSpec
+from repro.exec import TrialCache, TrialExecutor
 from repro.workloads import (
     FactoidGenerator,
     WorkloadConfig,
@@ -26,9 +44,12 @@ from repro.workloads import (
 
 from benchmarks.conftest import print_table
 
+SIMULATED_TRIAL_IO_S = 0.25
+PARALLEL_WORKERS = 4
 
-def _dataset(seed: int = 0):
-    dataset = FactoidGenerator(WorkloadConfig(n=300, seed=seed)).generate()
+
+def _dataset(seed: int = 0, n: int = 300):
+    dataset = FactoidGenerator(WorkloadConfig(n=n, seed=seed)).generate()
     apply_standard_weak_supervision(dataset.records, seed=seed)
     return dataset
 
@@ -40,6 +61,23 @@ def _spec() -> TuningSpec:
         },
         trainer_options={"epochs": [4], "lr": [0.05]},
     )
+
+
+def _wide_spec() -> TuningSpec:
+    return TuningSpec(
+        payload_options={
+            "tokens": {"encoder": ["bow", "cnn", "gru", "lstm"], "size": [8, 24]},
+        },
+        trainer_options={"epochs": [2], "lr": [0.05]},
+    )
+
+
+def _latency_bound_trial(context, config, seed, budget) -> float:
+    """One latency-bound trial: fixed I/O wait + a deterministic score."""
+    time.sleep(SIMULATED_TRIAL_IO_S)
+    p = config.for_payload("tokens")
+    bonus = {"bow": 0.0, "cnn": 0.2, "gru": 0.4, "lstm": 0.6}[p.encoder]
+    return bonus + p.size / 100.0
 
 
 def run_search(seed: int = 0) -> dict[str, list]:
@@ -76,6 +114,81 @@ def run_search(seed: int = 0) -> dict[str, list]:
     return {"trials": rows, "summary": summary}
 
 
+def run_parallel_speedup(tmp_dir: Path) -> dict:
+    spec = _wide_spec()
+    candidates = spec.expand()
+
+    serial = TrialExecutor(_latency_bound_trial, workers=1)
+    start = time.perf_counter()
+    serial_outcomes = serial.evaluate(candidates)
+    serial_s = time.perf_counter() - start
+    serial.close()
+
+    # Each executor is closed before the next phase is timed, so leaked
+    # worker pools never compete with the measurement that follows.
+    with TrialExecutor(
+        _latency_bound_trial, workers=PARALLEL_WORKERS
+    ) as parallel:
+        start = time.perf_counter()
+        parallel_outcomes = parallel.evaluate(candidates)
+        parallel_s = time.perf_counter() - start
+
+    cache = TrialCache(tmp_dir / "trial-cache")
+    with TrialExecutor(
+        _latency_bound_trial, workers=PARALLEL_WORKERS, cache=cache, namespace="bench"
+    ) as cold:
+        cold.evaluate(candidates)
+    warm = TrialExecutor(
+        _latency_bound_trial, workers=PARALLEL_WORKERS, cache=cache, namespace="bench"
+    )
+    start = time.perf_counter()
+    warm.evaluate(candidates)
+    warm_s = time.perf_counter() - start
+    warm.close()
+
+    return {
+        "trials": len(candidates),
+        "workers": PARALLEL_WORKERS,
+        "trial_io_s": SIMULATED_TRIAL_IO_S,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "warm_cache_s": warm_s,
+        "warm_cache_hits": warm.stats.cache_hits,
+        "scores_match": [o.score for o in serial_outcomes]
+        == [o.score for o in parallel_outcomes],
+    }
+
+
+def run_serial_fidelity() -> dict:
+    from repro.api import Application
+    import tempfile
+
+    dataset = _dataset(seed=1, n=160)
+    spec = TuningSpec(
+        payload_options={"tokens": {"encoder": ["bow", "cnn"]}},
+        trainer_options={"epochs": [2], "lr": [0.05]},
+    )
+    legacy_app = Application(dataset.schema, name="bench-tune")
+    legacy = legacy_app.tune(dataset, spec)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        routed_app = Application(dataset.schema, name="bench-tune")
+        executor = routed_app.tuning_executor(dataset, workers=1, cache_dir=tmp)
+        routed = routed_app.tune(dataset, spec, executor=executor)
+
+    return {
+        "legacy_scores": [t.score for t in legacy.search.trials],
+        "routed_scores": [t.score for t in routed.search.trials],
+        "legacy_configs": [t.config.to_json() for t in legacy.search.trials],
+        "routed_configs": [t.config.to_json() for t in routed.search.trials],
+        "legacy_best": legacy.search.best_config.to_json(),
+        "routed_best": routed.search.best_config.to_json(),
+        "legacy_best_score": legacy.search.best_score,
+        "routed_best_score": routed.search.best_score,
+    }
+
+
 def test_coarse_architecture_search(benchmark):
     out = benchmark.pedantic(run_search, rounds=1, iterations=1)
     print_table("Coarse search: per-candidate dev scores", out["trials"])
@@ -91,3 +204,55 @@ def test_coarse_architecture_search(benchmark):
     # spaces need no expensive NAS).
     grid_best, random_best = out["summary"]["best_dev_score"]
     assert random_best >= grid_best - 0.05, out["summary"]
+
+
+def test_parallel_executor_speedup(benchmark, tmp_path):
+    out = benchmark.pedantic(
+        run_parallel_speedup, args=(tmp_path,), rounds=1, iterations=1
+    )
+    print_table(
+        "Parallel executor: 8 latency-bound trials",
+        {
+            "path": [
+                "serial (1 worker)",
+                f"parallel ({out['workers']} workers)",
+                "warm cache",
+            ],
+            "wall_s": [
+                round(out["serial_s"], 2),
+                round(out["parallel_s"], 2),
+                round(out["warm_cache_s"], 2),
+            ],
+            "speedup": [
+                1.0,
+                round(out["speedup"], 2),
+                round(out["serial_s"] / max(out["warm_cache_s"], 1e-9), 1),
+            ],
+        },
+    )
+
+    # Same trials, same scores, same order — parallelism changes nothing.
+    assert out["scores_match"]
+    # The tentpole target: >= 2x wall-clock at 4 workers.
+    assert out["speedup"] >= 2.0, out
+    # A resumed search must re-run nothing.
+    assert out["warm_cache_hits"] == out["trials"]
+    assert out["warm_cache_s"] < out["serial_s"] / 2
+
+    bench_json = os.environ.get("BENCH_TUNE_JSON")
+    if bench_json:
+        payload = {k: v for k, v in out.items()}
+        Path(bench_json).write_text(json.dumps(payload, indent=2))
+
+
+def test_tune_workers_1_reproduces_legacy_serial(benchmark):
+    out = benchmark.pedantic(run_serial_fidelity, rounds=1, iterations=1)
+    assert out["routed_scores"] == out["legacy_scores"]
+    assert out["routed_configs"] == out["legacy_configs"]
+    assert out["routed_best"] == out["legacy_best"]
+    assert out["routed_best_score"] == out["legacy_best_score"]
+    print(
+        f"\nworkers=1 executor path == legacy serial: "
+        f"{len(out['routed_scores'])} trials, best "
+        f"{out['routed_best_score']:.4f}"
+    )

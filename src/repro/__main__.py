@@ -1,3 +1,5 @@
+"""``python -m repro``: run the engineer-facing CLI (see :mod:`repro.cli`)."""
+
 from repro.cli import main
 
 raise SystemExit(main())

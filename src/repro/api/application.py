@@ -56,7 +56,7 @@ from repro.training import (
     mean_primary,
     quality_report,
 )
-from repro.tuning import grid_search, random_search
+from repro.tuning import grid_search, random_search, successive_halving
 
 _SPEC_KEYS = ("name", "schema", "slices", "supervision", "embeddings", "seed")
 
@@ -292,18 +292,107 @@ class Application:
         strategy: str = "grid",
         num_trials: int = 8,
         method: str | None = None,
+        workers: int = 1,
+        cache_dir: str | Path | None = None,
+        executor=None,
     ) -> Run:
         """Hyperparameter/architecture search, scored on the dev split.
 
-        The best trial's model is retained as it is trained — trials are
-        tracked by evaluation order, never by object identity, so the
-        winning ``TrainedModel`` is returned robustly even if config
-        objects are recycled by the search strategy.
+        ``workers=1`` (the default, with no cache) runs the exact legacy
+        serial loop: trials evaluate inline, in candidate order, and the
+        best trial's already-trained model is retained.  With
+        ``workers > 1``, ``cache_dir``, or an explicit ``executor``,
+        candidates fan out through :mod:`repro.exec`: scores come back in
+        the same order (training is deterministic, so they are the same
+        scores), completed trials are skipped on resume when a cache
+        directory is given, and the winning config is re-trained locally
+        — also deterministic — to materialize the returned model.
         """
         dev = dataset.split("dev")
         if len(dev) == 0:
             raise TrainingError("tuning requires records tagged 'dev'")
+        if workers < 1:
+            raise TrainingError(f"workers must be >= 1, got {workers}")
 
+        if executor is None and workers == 1 and cache_dir is None:
+            return self._tune_serial(dataset, spec, strategy, num_trials, method)
+
+        owns_executor = executor is None
+        if executor is None:
+            executor = self.tuning_executor(
+                dataset, workers=workers, cache_dir=cache_dir, method=method
+            )
+        else:
+            from repro.exec import TuneContext
+
+            if workers != 1 or cache_dir is not None:
+                raise TrainingError(
+                    "pass workers/cache_dir to tune(), or a pre-built executor "
+                    "(from tuning_executor(...)), not both"
+                )
+            # The executor's workers score trials against the context it
+            # was built with; the final refit must describe the same
+            # (data, supervision) or run.trained would not be the model
+            # the scores describe.
+            context = getattr(executor, "_context", None)
+            if isinstance(context, TuneContext):
+                if context.dataset is not dataset:
+                    raise TrainingError(
+                        "this executor was built for a different dataset; "
+                        "rebuild it with tuning_executor(dataset, ...)"
+                    )
+                if context.application.schema.fingerprint() != self.schema.fingerprint():
+                    raise TrainingError(
+                        "this executor was built for an application with a "
+                        "different schema; rebuild it with tuning_executor(...)"
+                    )
+                if (
+                    context.application.supervision != self.supervision
+                    or context.application.seed != self.seed
+                    or context.application.registry.names() != self.registry.names()
+                ):
+                    raise TrainingError(
+                        "this executor was built for an application with a "
+                        "different supervision policy, seed, or embedding "
+                        "registry; rebuild it with tuning_executor(...)"
+                    )
+                if method is not None and method != context.method:
+                    raise TrainingError(
+                        f"method={method!r} conflicts with the executor's "
+                        f"context (method={context.method!r}); pass method to "
+                        f"tuning_executor(...) instead"
+                    )
+                method = context.method
+        try:
+            if strategy == "grid":
+                result = grid_search(spec, executor=executor)
+            elif strategy == "random":
+                result = random_search(
+                    spec, num_trials=num_trials, seed=self.seed, executor=executor
+                )
+            elif strategy == "halving":
+                result = successive_halving(spec, seed=self.seed, executor=executor)
+            else:
+                raise TrainingError(f"unknown tuning strategy {strategy!r}")
+        finally:
+            if owns_executor:
+                executor.close()
+        # Re-train the winner in this process: training is deterministic
+        # given (config, data), so this reproduces the worker's model
+        # without shipping weights across process boundaries.
+        trained = self.fit(dataset, result.best_config, method=method).trained
+        return Run(application=self, trained=trained, search=result)
+
+    def _tune_serial(
+        self,
+        dataset: Dataset,
+        spec: TuningSpec,
+        strategy: str,
+        num_trials: int,
+        method: str | None,
+    ) -> Run:
+        """The legacy in-process search loop, byte-for-byte reproducible."""
+        dev = dataset.split("dev")
         best_trained: TrainedModel | None = None
         best_score = -np.inf
 
@@ -328,11 +417,101 @@ class Application:
             result = grid_search(spec, trial)
         elif strategy == "random":
             result = random_search(spec, trial, num_trials=num_trials, seed=self.seed)
+        elif strategy == "halving":
+            result = successive_halving(
+                spec, lambda config, epochs: trial(config), seed=self.seed
+            )
+            # Halving's winner is the final rung's best, which is not
+            # necessarily the globally best-scoring trial best_trained
+            # tracked; re-train the recorded winner (deterministic) so
+            # run.trained always matches run.search.best_config.
+            trained = self.fit(dataset, result.best_config, method=method).trained
+            return Run(application=self, trained=trained, search=result)
         else:
             raise TrainingError(f"unknown tuning strategy {strategy!r}")
         if best_trained is None:
             raise TrainingError("tuning produced no trials")
         return Run(application=self, trained=best_trained, search=result)
+
+    def tuning_executor(
+        self,
+        dataset: Dataset,
+        workers: int = 1,
+        cache_dir: str | Path | None = None,
+        method: str | None = None,
+    ):
+        """Build the :class:`repro.exec.TrialExecutor` ``tune`` would use.
+
+        Exposed so callers can inspect executor stats (cache hits, work
+        done) or reuse one executor across several searches; pass it back
+        via ``tune(..., executor=...)``.
+        """
+        from repro.deploy.sync import data_fingerprint
+        from repro.exec import (
+            TrialCache,
+            TrialExecutor,
+            TuneContext,
+            run_tuning_trial,
+            tuning_namespace,
+        )
+
+        # Predicates run here, once: membership is written onto the records
+        # as tags, so predicate-less worker clones see the same slices.
+        self.slices.materialize(dataset.records)
+        clone = self._picklable_clone()
+        context = TuneContext(application=clone, dataset=dataset, method=method)
+        namespace = tuning_namespace(
+            clone.to_spec(),
+            data_fingerprint(dataset.records),
+            method=method,
+            embeddings=[
+                (name, self.registry.get(name).dim, self.registry.get(name).version)
+                for name in self.registry.names()
+            ],
+        )
+        cache = TrialCache(cache_dir) if cache_dir is not None else None
+        return TrialExecutor(
+            run_tuning_trial,
+            context=context,
+            workers=workers,
+            cache=cache,
+            namespace=namespace,
+            base_seed=self.seed,
+        )
+
+    def _picklable_clone(self) -> "Application":
+        """This application, shippable to worker processes.
+
+        Slice predicates are the one legitimately unpicklable part of an
+        application (they are often lambdas); membership tags are already
+        materialized before dispatch, so workers get tag-only slices with
+        identical membership.
+        """
+        import pickle
+
+        try:
+            pickle.dumps(self)
+            return self
+        except Exception:
+            pass
+        stripped = Application(
+            self.schema,
+            name=self.name,
+            slices=SliceSet(
+                [SliceSpec(name=s.name, description=s.description) for s in self.slices]
+            ),
+            registry=self.registry,
+            supervision=self.supervision,
+            seed=self.seed,
+        )
+        try:
+            pickle.dumps(stripped)
+        except Exception as exc:
+            raise TrainingError(
+                f"application cannot be shipped to tuning workers even with "
+                f"slice predicates stripped: {exc}"
+            ) from exc
+        return stripped
 
     # ------------------------------------------------------------------
     # Monitoring
@@ -354,7 +533,25 @@ class Application:
         trained: TrainedModel,
         dataset: Dataset,
         tags: Sequence[str] | None = None,
+        workers: int = 1,
     ) -> QualityReport:
+        """Per-tag quality report; ``workers > 1`` fans tags out.
+
+        The parallel path produces the same rows in the same order — each
+        tag's evaluation is an independent inference pass.
+        """
+        if workers > 1:
+            from repro.exec import parallel_quality_report
+
+            return parallel_quality_report(
+                trained.model,
+                dataset.records,
+                self.schema,
+                trained.vocabs,
+                self.supervision.gold_source,
+                tags=tags,
+                workers=workers,
+            )
         return quality_report(
             trained.model,
             dataset.records,

@@ -99,10 +99,20 @@ class Run:
         return self.application.evaluate(self.trained, dataset, tag=tag)
 
     def report(
-        self, dataset: Dataset, tags: Sequence[str] | None = None
+        self,
+        dataset: Dataset,
+        tags: Sequence[str] | None = None,
+        workers: int = 1,
     ) -> QualityReport:
-        """Compute (and remember) the per-tag quality report."""
-        self.quality = self.application.report(self.trained, dataset, tags=tags)
+        """Compute (and remember) the per-tag quality report.
+
+        ``workers > 1`` evaluates tags in parallel worker processes via
+        :func:`repro.exec.parallel_quality_report`; rows are identical to
+        the serial path.
+        """
+        self.quality = self.application.report(
+            self.trained, dataset, tags=tags, workers=workers
+        )
         return self.quality
 
     # ------------------------------------------------------------------

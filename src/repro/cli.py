@@ -6,6 +6,7 @@ Overton's users interact through data files and reports, not notebooks
 
     python -m repro validate --schema schema.json --data data.jsonl
     python -m repro train    --app app.json --data data.jsonl --out artifact/
+    python -m repro tune     --app app.json --data data.jsonl --spec tuning.json --workers 4
     python -m repro report   --artifact artifact/ --data data.jsonl
     python -m repro predict  --artifact artifact/ --request requests.json --batch 64
     python -m repro serve    --store store/ --model factoid-qa --port 8080
@@ -30,7 +31,7 @@ import sys
 from pathlib import Path
 
 from repro.api import Application, Endpoint, SupervisionPolicy
-from repro.core import ModelConfig, PayloadConfig, Schema, TrainerConfig
+from repro.core import ModelConfig, PayloadConfig, Schema, TrainerConfig, TuningSpec
 from repro.data import Dataset, RecordQuery
 from repro.deploy import ModelArtifact, ModelStore
 from repro.errors import ReproError
@@ -95,6 +96,56 @@ def cmd_train(args: argparse.Namespace) -> int:
     for task, ev in evals.items():
         print(f"  {task:<14} {ev.metrics}")
     print(f"artifact written to {args.out}")
+    if args.run_out:
+        run.save(args.run_out)
+        print(f"run written to {args.run_out}")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    app = _application(args)
+    dataset = Dataset.from_file(app.schema, args.data)
+    try:
+        spec = TuningSpec.from_file(args.spec)
+    except (OSError, ValueError) as exc:  # missing file or malformed JSON
+        raise ReproError(f"cannot read tuning spec {args.spec}: {exc}") from exc
+    if args.workers > 1 or args.cache_dir:
+        executor = app.tuning_executor(
+            dataset, workers=args.workers, cache_dir=args.cache_dir or None
+        )
+        try:
+            run = app.tune(
+                dataset,
+                spec,
+                strategy=args.strategy,
+                num_trials=args.num_trials,
+                executor=executor,
+            )
+        finally:
+            executor.close()
+        stats = executor.stats
+        print(
+            f"evaluated {run.search.num_trials} trials with {args.workers} "
+            f"worker(s): {stats.executed} trained, {stats.cache_hits} from cache"
+        )
+    else:
+        # Plain serial tuning: the legacy in-process path, which keeps the
+        # winning trial's already-trained model (no extra refit).
+        run = app.tune(
+            dataset, spec, strategy=args.strategy, num_trials=args.num_trials
+        )
+        print(f"evaluated {run.search.num_trials} trials serially")
+    search = run.search
+    print(f"best dev score {search.best_score:.4f} with config:")
+    print(search.best_config.to_json())
+    if args.coverage:
+        from repro.exec import coverage_report
+
+        print()
+        print(coverage_report(spec, search.trials).render())
+    if args.out:
+        run.artifact().save(args.out)
+        print(f"best artifact written to {args.out}")
     if args.run_out:
         run.save(args.run_out)
         print(f"run written to {args.run_out}")
@@ -226,6 +277,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--encoder", default="bow")
     p.add_argument("--gold-source", default="gold")
     p.set_defaults(fn=cmd_train)
+
+    p = sub.add_parser(
+        "tune", help="parallel hyperparameter/architecture search"
+    )
+    p.add_argument("--schema", default="", help="schema file (or use --app)")
+    p.add_argument("--app", default="", help="application spec (app.json)")
+    p.add_argument("--data", required=True)
+    p.add_argument("--spec", required=True, help="tuning spec (tuning.json)")
+    p.add_argument(
+        "--strategy", default="grid", choices=["grid", "random", "halving"]
+    )
+    p.add_argument("--num-trials", type=int, default=8, help="random-search budget")
+    p.add_argument(
+        "--workers", type=int, default=1, help="trial worker processes"
+    )
+    p.add_argument(
+        "--cache-dir",
+        default="",
+        help="trial cache directory: resumed searches skip finished trials",
+    )
+    p.add_argument("--out", default="", help="write the best artifact here")
+    p.add_argument("--run-out", default="", help="also save the full Run here")
+    p.add_argument(
+        "--no-coverage",
+        dest="coverage",
+        action="store_false",
+        help="skip the search-space coverage report",
+    )
+    p.add_argument("--gold-source", default="gold")
+    p.set_defaults(fn=cmd_tune, coverage=True)
 
     p = sub.add_parser("report", help="per-tag quality report for an artifact")
     p.add_argument("--artifact", required=True)

@@ -228,6 +228,20 @@ class TuningSpec:
     def to_dict(self) -> dict:
         return {"payloads": self.payload_options, "trainer": self.trainer_options}
 
+    def fingerprint(self) -> str:
+        """Stable short hash identifying this search space.
+
+        Stamped on coverage reports so a report is traceable to the exact
+        space it describes.  Deliberately *not* part of the trial-cache
+        key: trial outcomes depend on (application, data, config), not on
+        which space proposed the config, and widening a space must keep
+        its old candidates' cache entries valid.
+        """
+        import hashlib
+
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
     @classmethod
     def from_json(cls, text: str) -> "TuningSpec":
         return cls.from_dict(json.loads(text))

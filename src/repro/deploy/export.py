@@ -27,6 +27,8 @@ BACKENDS = ("reference", "tensorflow", "pytorch", "coreml")
 
 @dataclass
 class GraphNode:
+    """One operation in the exported backend-neutral compute graph."""
+
     name: str
     kind: str  # input | encoder | aggregate | head
     op: str

@@ -69,6 +69,8 @@ def fetch_pair(store: ModelStore, name: str) -> tuple[ModelArtifact, ModelArtifa
 
 @dataclass
 class SyncCheck:
+    """Result of verifying a large/small pair's sync invariants."""
+
     in_sync: bool
     agreement: float | None
     problems: list[str]

@@ -40,6 +40,19 @@ class TuningError(ReproError):
     """The hyperparameter search space or controller is misconfigured."""
 
 
+class ExecutionError(ReproError):
+    """A parallel task fan-out failed in one or more worker processes.
+
+    ``failures`` holds ``(index, message)`` pairs, one per failed task, in
+    dispatch order; callers that know what the payloads were (e.g. the
+    tuning controller) re-raise with the payload named.
+    """
+
+    def __init__(self, message: str, failures: list[tuple[int, str]] | None = None):
+        super().__init__(message)
+        self.failures = list(failures or [])
+
+
 class DeploymentError(ReproError):
     """An artifact could not be serialized, stored, or loaded."""
 

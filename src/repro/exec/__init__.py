@@ -1,0 +1,51 @@
+"""repro.exec: the parallel experiment executor.
+
+Tuning trials and evaluation fan-outs are independent experiments; this
+package runs them across a process pool instead of one at a time:
+
+- :class:`TrialExecutor` — dispatches picklable payloads to workers with
+  deterministic per-trial seeds and gathers results in dispatch order
+  (``workers=1`` runs inline, no pool).
+- :class:`TrialCache` — a disk-backed record of finished trials keyed by
+  a stable hash of (application spec, dataset fingerprint, config), so
+  re-runs and resumed searches skip completed work.
+- :func:`coverage_report` — which blocks/values of a
+  :class:`~repro.core.tuning_spec.TuningSpec` a search actually tried,
+  and the best score per block.
+- :func:`parallel_quality_report` — the per-tag quality report with tag
+  evaluations fanned out across workers.
+
+The search strategies in :mod:`repro.tuning` accept an executor in place
+of a trial function; ``Application.tune(..., workers=N)`` and the
+``repro tune --workers N`` CLI build one automatically.
+"""
+
+from repro.exec.cache import CacheEntry, TrialCache, trial_key, tuning_namespace
+from repro.exec.coverage import CoverageReport, OptionCoverage, coverage_report
+from repro.exec.executor import (
+    ExecutorStats,
+    TrialExecutor,
+    TrialOutcome,
+    TrialTask,
+    trial_seed,
+)
+from repro.exec.report import parallel_quality_report
+from repro.exec.trial import TuneContext, run_tuning_trial
+
+__all__ = [
+    "CacheEntry",
+    "CoverageReport",
+    "ExecutorStats",
+    "OptionCoverage",
+    "TrialCache",
+    "TrialExecutor",
+    "TrialOutcome",
+    "TrialTask",
+    "TuneContext",
+    "coverage_report",
+    "parallel_quality_report",
+    "run_tuning_trial",
+    "trial_key",
+    "trial_seed",
+    "tuning_namespace",
+]

@@ -1,0 +1,173 @@
+"""Disk-backed trial cache: finished trials are never re-run.
+
+A tuning search is a pure function of (application spec, dataset
+fingerprint, candidate config, epoch budget) — re-running a search after a
+crash, or widening a search space and re-submitting, should only pay for
+the candidates that were never evaluated.  The cache stores one small JSON
+file per completed trial under a directory the caller owns, keyed by a
+stable content hash, so resumed and repeated searches short-circuit
+straight to the recorded score.
+
+Writes are atomic (temp file + ``os.replace``) so a crash mid-``put`` can
+never leave a torn entry; unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.tuning_spec import ModelConfig
+
+
+def trial_key(
+    namespace: str,
+    config: ModelConfig,
+    budget: int | None = None,
+    seed: int | None = None,
+) -> str:
+    """Stable hash naming one trial.
+
+    ``namespace`` binds the key to everything outside the candidate itself
+    — typically the application spec plus the dataset fingerprint (see
+    :func:`tuning_namespace`) — so the same config against different data
+    or a different application never collides.  ``seed`` is the trial's
+    own seed: executors with different base seeds hand out different
+    trial seeds, and a seed-sensitive trial function's score must never
+    be served to a caller who asked for a different seed.
+    """
+    canonical = json.dumps(
+        {
+            "namespace": namespace,
+            "config": config.to_dict(),
+            "budget": budget,
+            "seed": seed,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def tuning_namespace(
+    app_spec: dict,
+    data_fingerprint: str,
+    method: str | None = None,
+    embeddings: list | tuple = (),
+) -> str:
+    """The cache namespace for one (application, dataset) tuning session.
+
+    Everything outside the candidate config that changes a trial's outcome
+    belongs here: the application spec, the dataset fingerprint, the
+    per-call supervision ``method`` override, and the identities of any
+    in-memory embedding products (which ``app_spec`` cannot carry).
+    """
+    canonical = json.dumps(
+        {
+            "application": app_spec,
+            "data": data_fingerprint,
+            "method": method,
+            "embeddings": [list(item) for item in embeddings],
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+@dataclass
+class CacheEntry:
+    """One recorded trial outcome."""
+
+    key: str
+    score: float
+    seed: int = 0
+    duration_s: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "score": self.score,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "CacheEntry":
+        return cls(
+            key=spec["key"],
+            score=float(spec["score"]),
+            seed=int(spec.get("seed", 0)),
+            duration_s=float(spec.get("duration_s", 0.0)),
+            meta=dict(spec.get("meta", {})),
+        )
+
+
+class TrialCache:
+    """A directory of completed-trial records, one JSON file per key."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> CacheEntry | None:
+        """The recorded entry for ``key``, or None (corrupt files miss)."""
+        path = self._path(key)
+        try:
+            entry = CacheEntry.from_dict(json.loads(path.read_text()))
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        if entry.key != key:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        key: str,
+        score: float,
+        seed: int = 0,
+        duration_s: float = 0.0,
+        meta: dict | None = None,
+    ) -> CacheEntry:
+        """Atomically record one finished trial."""
+        entry = CacheEntry(
+            key=key, score=float(score), seed=seed, duration_s=duration_s,
+            meta=dict(meta or {}),
+        )
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry.to_dict(), handle)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        return entry
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

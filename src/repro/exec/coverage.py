@@ -1,0 +1,171 @@
+"""Search-space coverage: which blocks a search actually exercised.
+
+Like configuration-coverage testing for networks, a tuning run is only
+trustworthy if you know what it tried: a random search that never
+evaluated ``encoder=lstm`` says nothing about LSTMs.  The coverage report
+cross-tabulates a :class:`repro.core.tuning_spec.TuningSpec` against the
+trial log: per block value (``tokens.encoder=cnn``, ``trainer.lr=0.01``)
+it reports how many trials touched it and the best score seen, plus the
+values the search never reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tuning_spec import ModelConfig, TuningSpec
+from repro.tuning.search import Trial
+
+
+@dataclass
+class OptionCoverage:
+    """Coverage of one (block, value) cell of the search space."""
+
+    block: str  # "tokens.encoder" or "trainer.lr"
+    value: object
+    trials: int = 0
+    best_score: float | None = None
+
+
+@dataclass
+class CoverageReport:
+    """Cross-tabulation of a tuning spec against an executed trial log."""
+
+    options: list[OptionCoverage] = field(default_factory=list)
+    total_candidates: int = 0
+    evaluated_configs: int = 0
+    total_trials: int = 0
+    spec_fingerprint: str = ""
+
+    def untried(self) -> list[tuple[str, object]]:
+        """(block, value) cells no trial ever touched."""
+        return [(o.block, o.value) for o in self.options if o.trials == 0]
+
+    def fraction_tried(self) -> float:
+        """Share of (block, value) cells with at least one trial."""
+        if not self.options:
+            return 1.0
+        tried = sum(1 for o in self.options if o.trials > 0)
+        return tried / len(self.options)
+
+    def best_per_block(self) -> dict[str, object]:
+        """For each block, the tried value with the highest best score."""
+        best: dict[str, OptionCoverage] = {}
+        for option in self.options:
+            if option.best_score is None:
+                continue
+            current = best.get(option.block)
+            if current is None or option.best_score > current.best_score:
+                best[option.block] = option
+        return {block: o.value for block, o in best.items()}
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_fingerprint": self.spec_fingerprint,
+            "total_candidates": self.total_candidates,
+            "evaluated_configs": self.evaluated_configs,
+            "total_trials": self.total_trials,
+            "fraction_tried": self.fraction_tried(),
+            "options": [
+                {
+                    "block": o.block,
+                    "value": o.value,
+                    "trials": o.trials,
+                    "best_score": o.best_score,
+                }
+                for o in self.options
+            ],
+            "untried": [
+                {"block": block, "value": value} for block, value in self.untried()
+            ],
+        }
+
+    def to_columns(self) -> dict[str, list]:
+        """Pandas/format_table-compatible columnar view."""
+        return {
+            "block": [o.block for o in self.options],
+            "value": [str(o.value) for o in self.options],
+            "trials": [o.trials for o in self.options],
+            "best_score": [
+                round(o.best_score, 4) if o.best_score is not None else "-"
+                for o in self.options
+            ],
+        }
+
+    def render(self) -> str:
+        """Text report: the coverage table plus a summary line."""
+        from repro.monitoring.dashboards import format_table
+
+        lines = [format_table(self.to_columns())]
+        lines.append(
+            f"coverage: {self.fraction_tried():.0%} of block values tried "
+            f"({self.evaluated_configs}/{self.total_candidates} candidate "
+            f"configs, {self.total_trials} trials)"
+            + (f"  [space {self.spec_fingerprint}]" if self.spec_fingerprint else "")
+        )
+        untried = self.untried()
+        if untried:
+            cells = ", ".join(f"{block}={value}" for block, value in untried)
+            lines.append(f"never tried: {cells}")
+        return "\n".join(lines)
+
+
+def _block_value(config: ModelConfig, block: str) -> object:
+    scope, key = block.split(".", 1)
+    if scope == "trainer":
+        return getattr(config.trainer, key)
+    return getattr(config.for_payload(scope), key)
+
+
+def coverage_report(spec: TuningSpec, trials: list[Trial]) -> CoverageReport:
+    """Cross-tabulate ``spec``'s blocks against an executed trial log.
+
+    A successive-halving log (any trial with ``rung > 0``) drops the
+    ``trainer.epochs`` block from the table: halving rewrites every
+    candidate's epochs to its rung budget, so the spec's declared epoch
+    values would read as "never tried" when in fact the rung schedule
+    owns that axis.
+    """
+    declared_epochs = spec.trainer_options.get("epochs", [])
+    # rung > 0 is the usual halving signature; a search that ends inside
+    # rung 0 (single candidate, min >= max epochs) still rewrote every
+    # config's epochs, visible as no trial matching any declared value.
+    halving = any(trial.rung for trial in trials) or (
+        bool(declared_epochs)
+        and bool(trials)
+        and all(
+            trial.config.trainer.epochs not in declared_epochs for trial in trials
+        )
+    )
+    blocks: list[tuple[str, list]] = []
+    for payload in sorted(spec.payload_options):
+        for key in sorted(spec.payload_options[payload]):
+            blocks.append((f"{payload}.{key}", spec.payload_options[payload][key]))
+    for key in sorted(spec.trainer_options):
+        if halving and key == "epochs":
+            continue
+        blocks.append((f"trainer.{key}", spec.trainer_options[key]))
+
+    options: list[OptionCoverage] = []
+    for block, values in blocks:
+        for value in values:
+            cell = OptionCoverage(block=block, value=value)
+            for trial in trials:
+                if _block_value(trial.config, block) == value:
+                    cell.trials += 1
+                    if cell.best_score is None or trial.score > cell.best_score:
+                        cell.best_score = trial.score
+            options.append(cell)
+
+    evaluated = len({trial.config.to_json() for trial in trials})
+    total = spec.size()
+    if halving and declared_epochs:
+        # The search's real candidate space had the epochs axis stripped.
+        total //= max(len(declared_epochs), 1)
+    return CoverageReport(
+        options=options,
+        total_candidates=total,
+        evaluated_configs=evaluated,
+        total_trials=len(trials),
+        spec_fingerprint=spec.fingerprint(),
+    )

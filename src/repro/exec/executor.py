@@ -1,0 +1,343 @@
+"""The parallel experiment executor: trial fan-out across a process pool.
+
+The paper's tuning loop ("Overton searches over relatively limited large
+blocks", §4) is embarrassingly parallel — every candidate trains
+independently — yet a serial controller evaluates them one at a time.
+:class:`TrialExecutor` owns the fan-out: candidates are dispatched to
+worker processes as picklable payloads, each trial gets a deterministic
+seed derived from (base seed, candidate config, budget), results are
+gathered back *in dispatch order* so ``SearchResult.trials`` is reproducible
+regardless of which worker finished first, and a
+:class:`repro.exec.cache.TrialCache` short-circuits candidates that a
+previous run already scored.
+
+``workers=1`` never creates a pool: trials run inline in the calling
+process, in the same order, with the same seeds — the serial path is the
+parallel path with the pool removed, not a separate code path to drift.
+
+The worker function and its context object are shipped once per worker via
+the pool initializer (free under the ``fork`` start method); only the
+per-trial payloads travel through the task queue, so the dataset is not
+re-pickled for every candidate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.tuning_spec import ModelConfig
+from repro.errors import ExecutionError, TuningError
+from repro.exec.cache import TrialCache, trial_key
+
+# A trial function: (context, config, seed, budget) -> score.  Must be a
+# module-level callable when workers > 1 (it is shipped to the pool).
+TrialFn = Callable[[Any, ModelConfig, int, "int | None"], float]
+
+# Worker-process state, installed once per worker by the pool initializer.
+_WORKER_FN: Callable | None = None
+_WORKER_CTX: Any = None
+
+
+def _init_worker(fn: Callable, context: Any) -> None:
+    global _WORKER_FN, _WORKER_CTX
+    _WORKER_FN = fn
+    _WORKER_CTX = context
+
+
+def _invoke(task: tuple[int, Any]) -> tuple[int, Any, float, str | None]:
+    """Run one payload in a worker; never raises (errors travel as data)."""
+    index, payload = task
+    start = time.perf_counter()
+    try:
+        value = _WORKER_FN(_WORKER_CTX, payload)
+        return index, value, time.perf_counter() - start, None
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        message = f"{type(exc).__name__}: {exc}"
+        return index, None, time.perf_counter() - start, message
+
+
+def trial_seed(
+    base_seed: int, config: ModelConfig, budget: int | None = None
+) -> int:
+    """Deterministic per-trial seed: stable hash of (base seed, trial content).
+
+    Derived from the same content the trial cache keys on — never from
+    dispatch position — so re-evaluating a config (resume, a widened
+    search, a later rung with the same budget) always hands the trial the
+    seed its cached score was computed under.
+    """
+    canonical = json.dumps(
+        {"config": config.to_dict(), "budget": budget}, sort_keys=True
+    )
+    digest = hashlib.sha256(f"{base_seed}:{canonical}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One dispatched candidate: picklable, self-describing."""
+
+    index: int
+    config: ModelConfig
+    seed: int
+    budget: int | None = None
+
+
+@dataclass
+class TrialOutcome:
+    """One gathered result, in dispatch order."""
+
+    index: int
+    config: ModelConfig
+    score: float
+    seed: int
+    cached: bool = False
+    duration_s: float = 0.0
+
+
+@dataclass
+class ExecutorStats:
+    """Counters for one executor's lifetime (cache behaviour, work done)."""
+
+    dispatched: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    total_duration_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "dispatched": self.dispatched,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+            "total_duration_s": self.total_duration_s,
+        }
+
+
+def _trial_adapter(context: tuple, task: TrialTask) -> float:
+    """Module-level bridge so ``evaluate`` payloads stay picklable.
+
+    The cache write happens *here*, in the worker, the moment the trial
+    finishes (``TrialCache.put`` is an atomic file write, safe from any
+    process): an interrupted or partially failing search keeps every
+    trial that completed, so resume really does skip finished work.
+    """
+    fn, user_context, cache, namespace = context
+    start = time.perf_counter()
+    score = fn(user_context, task.config, task.seed, task.budget)
+    if cache is not None:
+        cache.put(
+            trial_key(namespace, task.config, task.budget, task.seed),
+            float(score),
+            seed=task.seed,
+            duration_s=time.perf_counter() - start,
+        )
+    return score
+
+
+class TrialExecutor:
+    """Runs experiment payloads across a process pool, results in order."""
+
+    def __init__(
+        self,
+        trial_fn: TrialFn | None = None,
+        *,
+        context: Any = None,
+        workers: int = 1,
+        cache: TrialCache | None = None,
+        namespace: str = "",
+        base_seed: int = 0,
+        mp_start_method: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise TuningError(f"workers must be >= 1, got {workers}")
+        self._trial_fn = trial_fn
+        self._context = context
+        self.workers = workers
+        self.cache = cache
+        self.namespace = namespace
+        self.base_seed = base_seed
+        self.stats = ExecutorStats()
+        if mp_start_method is None:
+            # fork inherits the worker context for free and keeps closures
+            # usable in tests; fall back to the platform default elsewhere.
+            methods = multiprocessing.get_all_start_methods()
+            mp_start_method = "fork" if "fork" in methods else methods[0]
+        self._mp_context = multiprocessing.get_context(mp_start_method)
+        # One stable dispatch payload per executor, so repeated evaluate()
+        # calls (successive-halving rungs) reuse one pool and really do
+        # ship the context once per worker, not once per rung.
+        self._dispatch_context = (trial_fn, context, cache, namespace)
+        self._pool = None
+        # The (fn, context) the live pool was initialized with.  Kept as
+        # strong references and compared by identity: the reference keeps
+        # the context alive, so its id can never be recycled by a new one.
+        self._pool_init: tuple | None = None
+        self._pool_size = 0
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, fn: Callable, context: Any, size: int):
+        if (
+            self._pool is not None
+            and self._pool_init is not None
+            and self._pool_init[0] is fn
+            and self._pool_init[1] is context
+            and self._pool_size >= size
+        ):
+            return self._pool
+        self.close()
+        self._pool = self._mp_context.Pool(
+            processes=size, initializer=_init_worker, initargs=(fn, context)
+        )
+        self._pool_init = (fn, context)
+        self._pool_size = size
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; a new one spawns on use)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_init = None
+            self._pool_size = 0
+
+    def __enter__(self) -> "TrialExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Generic fan-out
+    # ------------------------------------------------------------------
+    def run_tasks(
+        self, fn: Callable[[Any, Any], Any], payloads: Sequence[Any], *,
+        context: Any = None,
+    ) -> list:
+        """Apply ``fn(context, payload)`` to every payload, results ordered.
+
+        Failures in any task raise :class:`ExecutionError` carrying
+        ``(index, message)`` pairs; with ``workers == 1`` everything runs
+        inline (closures welcome), otherwise ``fn`` and ``context`` ship to
+        the pool once and payloads stream through the task queue.
+        """
+        detailed = self._run_detailed(fn, payloads, context)
+        failures = [(i, err) for i, _, _, err in detailed if err is not None]
+        if failures:
+            self.stats.errors += len(failures)
+            index, message = failures[0]
+            raise ExecutionError(
+                f"{len(failures)}/{len(payloads)} tasks failed; "
+                f"first failure (task {index}): {message}",
+                failures=failures,
+            )
+        return [value for _, value, _, _ in detailed]
+
+    def _run_detailed(
+        self, fn: Callable, payloads: Sequence[Any], context: Any
+    ) -> list[tuple[int, Any, float, str | None]]:
+        if not payloads:
+            return []
+        tasks = list(enumerate(payloads))
+        if self.workers == 1:
+            _init_worker(fn, context)
+            try:
+                results = [_invoke(task) for task in tasks]
+            finally:
+                _init_worker(None, None)
+        else:
+            pool = self._ensure_pool(fn, context, min(self.workers, len(tasks)))
+            results = pool.map(_invoke, tasks, chunksize=1)
+        results.sort(key=lambda item: item[0])
+        self.stats.executed += len(results)
+        self.stats.total_duration_s += sum(r[2] for r in results)
+        return results
+
+    # ------------------------------------------------------------------
+    # Trial evaluation (cache-aware)
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, configs: Sequence[ModelConfig], budget: int | None = None
+    ) -> list[TrialOutcome]:
+        """Score every candidate, skipping ones the cache already holds.
+
+        Results come back in candidate order.  A failing trial raises
+        :class:`repro.errors.TuningError` naming the failing config.
+        """
+        if self._trial_fn is None:
+            raise TuningError("this executor was built without a trial function")
+        tasks = [
+            TrialTask(
+                index=index,
+                config=config,
+                seed=trial_seed(self.base_seed, config, budget),
+                budget=budget,
+            )
+            for index, config in enumerate(configs)
+        ]
+        self.stats.dispatched += len(tasks)
+
+        outcomes: list[TrialOutcome | None] = [None] * len(tasks)
+        misses: list[TrialTask] = []
+        for task in tasks:
+            entry = (
+                self.cache.get(
+                    trial_key(self.namespace, task.config, task.budget, task.seed)
+                )
+                if self.cache is not None
+                else None
+            )
+            if entry is not None:
+                self.stats.cache_hits += 1
+                outcomes[task.index] = TrialOutcome(
+                    index=task.index,
+                    config=task.config,
+                    score=entry.score,
+                    seed=task.seed,
+                    cached=True,
+                    duration_s=entry.duration_s,
+                )
+            else:
+                misses.append(task)
+
+        if misses:
+            # The cache write happens in _trial_adapter, in the worker,
+            # which recomputes the key from the same content.
+            detailed = self._run_detailed(
+                _trial_adapter, misses, self._dispatch_context
+            )
+            failures = [(i, err) for i, _, _, err in detailed if err is not None]
+            if failures:
+                self.stats.errors += len(failures)
+                local_index, message = failures[0]
+                task = misses[local_index]
+                raise TuningError(
+                    f"trial {task.index} failed ({message}) for config: "
+                    f"{task.config.to_json()}"
+                )
+            for task, (_, score, duration, _) in zip(misses, detailed):
+                outcomes[task.index] = TrialOutcome(
+                    index=task.index,
+                    config=task.config,
+                    score=float(score),
+                    seed=task.seed,
+                    cached=False,
+                    duration_s=duration,
+                )
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]

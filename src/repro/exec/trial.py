@@ -1,0 +1,64 @@
+"""The tuning trial payload: train one candidate in a worker process.
+
+One trial = fit the application on the train split with a concrete
+:class:`ModelConfig`, score the dev split with the gold source — exactly
+the closure :meth:`repro.api.Application.tune` used to run serially, made
+picklable.  The heavyweight state (application + dataset) travels once per
+worker as a :class:`TuneContext` via the pool initializer; the per-trial
+payload is just the candidate config.
+
+Training is fully deterministic given (config, data, seed), so a worker's
+score is bit-identical to the score the parent process would have
+computed, and the parent can re-train the winning config locally to
+materialize the best model without shipping model weights between
+processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.tuning_spec import ModelConfig
+from repro.data.dataset import Dataset
+from repro.training.evaluation import evaluate, mean_primary
+
+if TYPE_CHECKING:  # circular: application.py imports this module's builder
+    from repro.api.application import Application
+
+
+@dataclass
+class TuneContext:
+    """Everything a worker needs to run trials; shipped once per worker."""
+
+    application: "Application"
+    dataset: Dataset
+    method: str | None = None
+
+
+def run_tuning_trial(
+    context: TuneContext, config: ModelConfig, seed: int, budget: int | None
+) -> float:
+    """Fit one candidate and return its mean dev score.
+
+    Mirrors the serial tuning closure exactly: fit on the train split,
+    evaluate every task on dev against the gold source, average the
+    primary metrics.  Model training seeds itself from the config, so the
+    per-trial ``seed`` is recorded but unused here — deliberately: the
+    inline ``workers=1`` path runs in the caller's process, and touching
+    the global numpy RNG there would clobber ambient state the legacy
+    serial path never touched.  ``budget`` is already baked into
+    ``config.trainer.epochs`` by the search strategy.
+    """
+    app = context.application
+    dataset = context.dataset
+    trained = app.fit(dataset, config, method=context.method).trained
+    dev = dataset.split("dev")
+    evals = evaluate(
+        trained.model,
+        dev.records,
+        app.schema,
+        trained.vocabs,
+        app.supervision.gold_source,
+    )
+    return mean_primary(evals)

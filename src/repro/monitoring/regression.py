@@ -30,6 +30,8 @@ class Regression:
 
 @dataclass
 class RegressionReport:
+    """Per-(tag, task, metric) deltas between two quality reports."""
+
     regressions: list[Regression] = field(default_factory=list)
     improvements: list[Regression] = field(default_factory=list)
 

@@ -30,6 +30,8 @@ class PolicyTrial:
 
 @dataclass
 class PolicySearchResult:
+    """Augmentation-policy search outcome: trials plus the selected mix."""
+
     baseline_score: float
     trials: list[PolicyTrial] = field(default_factory=list)
     selected: list[tuple[AugmentationPolicy, int]] = field(default_factory=list)

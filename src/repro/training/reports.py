@@ -22,6 +22,8 @@ from repro.training.evaluation import evaluate
 
 @dataclass
 class ReportRow:
+    """One (tag, task) line of a quality report."""
+
     tag: str
     task: str
     n: int

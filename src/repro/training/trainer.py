@@ -28,6 +28,8 @@ from repro.training.evaluation import evaluate, mean_primary
 
 @dataclass
 class EpochStats:
+    """Loss and dev score for one training epoch."""
+
     epoch: int
     train_loss: float
     dev_score: float | None = None
@@ -35,6 +37,8 @@ class EpochStats:
 
 @dataclass
 class TrainHistory:
+    """The full per-epoch training record, plus early-stopping outcome."""
+
     epochs: list[EpochStats] = field(default_factory=list)
     best_epoch: int = -1
     best_dev_score: float = -np.inf

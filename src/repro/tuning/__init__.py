@@ -1,4 +1,9 @@
-"""Hyperparameter / coarse architecture search."""
+"""Hyperparameter / coarse architecture search.
+
+Strategies accept a serial ``trial_fn`` or a
+:class:`repro.exec.TrialExecutor` (``executor=...``) to fan trials out
+across worker processes; see :mod:`repro.exec` and ``docs/tuning.md``.
+"""
 
 from repro.tuning.search import (
     SearchResult,

@@ -6,18 +6,30 @@ controller evaluates concrete :class:`ModelConfig` candidates (from
 ``TuningSpec.expand()``) via a caller-supplied trial function and keeps a
 full trial log.  Grid, random, and successive-halving strategies are
 provided; the paper notes fancier NAS had diminishing returns.
+
+Every strategy accepts either a plain ``trial_fn`` (the legacy serial
+path, evaluated inline in candidate order) or an ``executor`` — a
+:class:`repro.exec.TrialExecutor` that fans candidates out across worker
+processes and gathers scores back in the same order, so the trial log,
+tie-breaking, and the chosen best are identical between the two paths.
+Successive halving parallelizes *within* each rung: a rung is a barrier
+(survivors are chosen from complete rung scores), so the recorded rung
+ordering is preserved no matter how many workers race inside it.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from repro.core.tuning_spec import ModelConfig, TrainerConfig, TuningSpec
 from repro.errors import TuningError
+
+if TYPE_CHECKING:  # repro.exec depends on this module; keep imports lazy
+    from repro.exec.executor import TrialExecutor
 
 TrialFn = Callable[[ModelConfig], float]
 
@@ -44,17 +56,24 @@ class SearchResult:
         return len(self.trials)
 
 
-def grid_search(spec: TuningSpec, trial_fn: TrialFn) -> SearchResult:
+def grid_search(
+    spec: TuningSpec,
+    trial_fn: TrialFn | None = None,
+    *,
+    executor: "TrialExecutor | None" = None,
+) -> SearchResult:
     """Evaluate every candidate in the spec's cross product."""
     candidates = spec.expand()
-    return _evaluate_all(candidates, trial_fn)
+    return _evaluate_all(candidates, trial_fn, executor)
 
 
 def random_search(
     spec: TuningSpec,
-    trial_fn: TrialFn,
-    num_trials: int,
+    trial_fn: TrialFn | None = None,
+    num_trials: int = 8,
     seed: int = 0,
+    *,
+    executor: "TrialExecutor | None" = None,
 ) -> SearchResult:
     """Evaluate a random subset of the grid (Li & Talwalkar 2019 style)."""
     if num_trials <= 0:
@@ -66,25 +85,41 @@ def random_search(
     else:
         idx = rng.choice(len(candidates), size=num_trials, replace=False)
         picked = [candidates[i] for i in idx]
-    return _evaluate_all(picked, trial_fn)
+    return _evaluate_all(picked, trial_fn, executor)
 
 
 def successive_halving(
     spec: TuningSpec,
-    trial_fn_with_budget: Callable[[ModelConfig, int], float],
+    trial_fn_with_budget: Callable[[ModelConfig, int], float] | None = None,
     min_epochs: int = 2,
     max_epochs: int = 8,
     reduction: int = 2,
     seed: int = 0,
+    *,
+    executor: "TrialExecutor | None" = None,
 ) -> SearchResult:
     """Successive halving over training epochs.
 
     All candidates train for ``min_epochs``; the top ``1/reduction`` advance
     with doubled budget until ``max_epochs``.  ``trial_fn_with_budget``
-    receives (config, epochs).
+    receives (config, epochs).  With an ``executor``, each rung's survivors
+    are scored in parallel; rungs themselves stay strictly ordered because
+    survivor selection needs the whole rung.
     """
     if reduction < 2:
         raise TuningError("reduction factor must be >= 2")
+    if trial_fn_with_budget is None and executor is None:
+        raise TuningError("provide trial_fn_with_budget or an executor")
+    if "epochs" in spec.trainer_options:
+        # Halving owns the epochs axis (every candidate's epochs is
+        # rewritten to its rung budget); expanding it would only produce
+        # duplicate candidates that waste trials and survivor slots.
+        spec = TuningSpec(
+            payload_options=spec.payload_options,
+            trainer_options={
+                k: v for k, v in spec.trainer_options.items() if k != "epochs"
+            },
+        )
     candidates = spec.expand()
     rng = np.random.default_rng(seed)
     order = rng.permutation(len(candidates))
@@ -94,10 +129,16 @@ def successive_halving(
     rung = 0
     scored: list[tuple[ModelConfig, float]] = []
     while survivors:
+        rung_configs = [_with_epochs(config, budget) for config in survivors]
+        if executor is not None:
+            outcomes = executor.evaluate(rung_configs, budget=budget)
+            scores = [outcome.score for outcome in outcomes]
+        else:
+            scores = [
+                trial_fn_with_budget(config, budget) for config in rung_configs
+            ]
         scored = []
-        for config in survivors:
-            config = _with_epochs(config, budget)
-            score = trial_fn_with_budget(config, budget)
+        for config, score in zip(rung_configs, scores):
             trials.append(Trial(config=config, score=score, rung=rung))
             scored.append((config, score))
         scored.sort(key=lambda pair: pair[1], reverse=True)
@@ -116,9 +157,25 @@ def _with_epochs(config: ModelConfig, epochs: int) -> ModelConfig:
     return ModelConfig(payloads=dict(config.payloads), trainer=trainer)
 
 
-def _evaluate_all(candidates: Sequence[ModelConfig], trial_fn: TrialFn) -> SearchResult:
+def _evaluate_all(
+    candidates: Sequence[ModelConfig],
+    trial_fn: TrialFn | None,
+    executor: "TrialExecutor | None" = None,
+) -> SearchResult:
     if not candidates:
         raise TuningError("no candidates to evaluate")
+    if executor is not None:
+        outcomes = executor.evaluate(candidates)
+        trials = [Trial(config=o.config, score=o.score) for o in outcomes]
+        best = trials[0]
+        for trial in trials[1:]:
+            if trial.score > best.score:
+                best = trial
+        return SearchResult(
+            best_config=best.config, best_score=best.score, trials=trials
+        )
+    if trial_fn is None:
+        raise TuningError("provide a trial function or an executor")
     trials = []
     best: Trial | None = None
     for config in candidates:

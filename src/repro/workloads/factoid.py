@@ -137,6 +137,8 @@ class WorkloadConfig:
 
 @dataclass
 class GeneratedRecord:
+    """One synthesized factoid record plus its generation ground truth."""
+
     record: Record
     intent: str
     hard: bool  # gold candidate is not the most popular reading

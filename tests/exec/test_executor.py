@@ -1,0 +1,179 @@
+"""Tests for the parallel trial executor: ordering, seeds, failures."""
+
+import time
+
+import pytest
+
+from repro.core import ModelConfig, PayloadConfig, TuningSpec
+from repro.errors import ExecutionError, TuningError
+from repro.exec import TrialExecutor, trial_seed
+from repro.tuning import grid_search
+
+
+def spec_4() -> TuningSpec:
+    return TuningSpec(
+        payload_options={"tokens": {"encoder": ["bow", "lstm"], "size": [8, 16]}}
+    )
+
+
+# Module-level so the pool can import them in worker processes.
+def score_trial(context, config, seed, budget):
+    """Deterministic: prefers lstm and larger size."""
+    p = config.for_payload("tokens")
+    return (1.0 if p.encoder == "lstm" else 0.0) + p.size / 100.0
+
+
+def slow_first_trial(context, config, seed, budget):
+    """First candidates sleep longest: finish order inverts dispatch order."""
+    p = config.for_payload("tokens")
+    time.sleep(0.05 if p.encoder == "bow" else 0.0)
+    return score_trial(context, config, seed, budget)
+
+
+def failing_trial(context, config, seed, budget):
+    if config.for_payload("tokens").encoder == "lstm":
+        raise ValueError("lstm exploded")
+    return 0.5
+
+
+def echo_seed(context, config, seed, budget):
+    return float(seed)
+
+
+def echo_task(context, payload):
+    return payload * 2
+
+
+def fail_on_odd(context, payload):
+    if payload % 2:
+        raise RuntimeError(f"odd payload {payload}")
+    return payload
+
+
+class TestOrdering:
+    def test_results_in_dispatch_order_despite_finish_order(self):
+        executor = TrialExecutor(slow_first_trial, workers=2)
+        configs = spec_4().expand()
+        outcomes = executor.evaluate(configs)
+        assert [o.index for o in outcomes] == [0, 1, 2, 3]
+        assert [o.config for o in outcomes] == configs
+        expected = [score_trial(None, c, 0, None) for c in configs]
+        assert [o.score for o in outcomes] == expected
+
+    def test_serial_and_parallel_agree(self):
+        configs = spec_4().expand()
+        serial = TrialExecutor(score_trial, workers=1).evaluate(configs)
+        parallel = TrialExecutor(score_trial, workers=3).evaluate(configs)
+        assert [o.score for o in serial] == [o.score for o in parallel]
+
+    def test_grid_search_via_executor_matches_trial_fn(self):
+        direct = grid_search(spec_4(), lambda c: score_trial(None, c, 0, None))
+        pooled = grid_search(spec_4(), executor=TrialExecutor(score_trial, workers=2))
+        assert [t.score for t in direct.trials] == [t.score for t in pooled.trials]
+        assert direct.best_config == pooled.best_config
+
+
+class TestSeeds:
+    def test_trial_seed_is_stable_content_hash(self):
+        configs = spec_4().expand()
+        assert trial_seed(0, configs[0]) == trial_seed(0, configs[0])
+        assert trial_seed(0, configs[0]) != trial_seed(0, configs[1])
+        assert trial_seed(0, configs[0]) != trial_seed(1, configs[0])
+        assert trial_seed(0, configs[0], budget=2) != trial_seed(
+            0, configs[0], budget=4
+        )
+
+    def test_outcomes_carry_deterministic_seeds(self):
+        configs = spec_4().expand()
+        first = TrialExecutor(echo_seed, workers=1, base_seed=7).evaluate(configs)
+        second = TrialExecutor(echo_seed, workers=2, base_seed=7).evaluate(configs)
+        assert [o.seed for o in first] == [o.seed for o in second]
+        # The worker really received the seed the outcome reports.
+        assert [o.score for o in first] == [float(o.seed) for o in first]
+
+    def test_same_config_always_gets_the_same_seed(self):
+        """Seeds are content-derived, so cached scores match their seeds."""
+        executor = TrialExecutor(echo_seed, workers=1)
+        configs = spec_4().expand()[:2]
+        first = executor.evaluate(configs)
+        second = executor.evaluate(configs)
+        assert [o.seed for o in first] == [o.seed for o in second]
+        # Re-dispatching at a different position changes nothing either.
+        shuffled = executor.evaluate(list(reversed(configs)))
+        assert [o.seed for o in shuffled] == [o.seed for o in reversed(second)]
+
+
+class TestFailures:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_failing_trial_surfaces_tuning_error_with_config(self, workers):
+        executor = TrialExecutor(failing_trial, workers=workers)
+        with pytest.raises(TuningError) as excinfo:
+            grid_search(spec_4(), executor=executor)
+        message = str(excinfo.value)
+        assert "lstm exploded" in message
+        assert '"lstm"' in message  # the failing config is named
+
+    def test_run_tasks_reports_every_failure(self):
+        executor = TrialExecutor(workers=2)
+        with pytest.raises(ExecutionError) as excinfo:
+            executor.run_tasks(fail_on_odd, [0, 1, 2, 3])
+        assert [i for i, _ in excinfo.value.failures] == [1, 3]
+        assert "odd payload 1" in excinfo.value.failures[0][1]
+
+
+class TestExecutorBasics:
+    def test_invalid_workers(self):
+        with pytest.raises(TuningError):
+            TrialExecutor(score_trial, workers=0)
+
+    def test_evaluate_without_trial_fn(self):
+        with pytest.raises(TuningError):
+            TrialExecutor(workers=1).evaluate(spec_4().expand())
+
+    def test_workers_1_supports_closures(self):
+        calls = []
+
+        def closure_trial(context, config, seed, budget):
+            calls.append(config)
+            return 1.0
+
+        executor = TrialExecutor(closure_trial, workers=1)
+        outcomes = executor.evaluate(spec_4().expand())
+        assert len(calls) == 4
+        assert all(o.score == 1.0 for o in outcomes)
+
+    def test_run_tasks_generic_ordered(self):
+        executor = TrialExecutor(workers=2)
+        assert executor.run_tasks(echo_task, [3, 1, 4, 1, 5]) == [6, 2, 8, 2, 10]
+        assert executor.run_tasks(echo_task, []) == []
+
+    def test_stats_track_work(self):
+        executor = TrialExecutor(score_trial, workers=1)
+        executor.evaluate(spec_4().expand())
+        assert executor.stats.dispatched == 4
+        assert executor.stats.executed == 4
+        assert executor.stats.cache_hits == 0
+
+    def test_pool_is_reused_across_evaluate_calls(self):
+        executor = TrialExecutor(score_trial, workers=2)
+        configs = spec_4().expand()
+        executor.evaluate(configs)
+        first_pool = executor._pool
+        assert first_pool is not None
+        executor.evaluate(configs, budget=2)  # e.g. the next halving rung
+        assert executor._pool is first_pool
+        executor.close()
+        assert executor._pool is None
+
+    def test_close_is_idempotent_and_context_manager_closes(self):
+        with TrialExecutor(score_trial, workers=2) as executor:
+            executor.evaluate(spec_4().expand())
+            assert executor._pool is not None
+        assert executor._pool is None
+        executor.close()  # no-op
+
+    def test_empty_candidates_raise(self):
+        from repro.tuning.search import _evaluate_all
+
+        with pytest.raises(TuningError):
+            _evaluate_all([], None, TrialExecutor(score_trial, workers=1))

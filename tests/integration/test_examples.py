@@ -32,6 +32,7 @@ EXPECTED_EXAMPLES = {
     "model_sync.py",
     "constrained_serving.py",
     "serving_gateway.py",
+    "parallel_tuning.py",
 }
 
 

@@ -96,6 +96,88 @@ class TestTrainReportPredict:
         assert len(lines) == 2
 
 
+class TestTune:
+    @pytest.fixture()
+    def tuning_spec(self, project):
+        spec_path = project["tmp"] / "tuning.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "payloads": {"tokens": {"encoder": ["bow", "cnn"]}},
+                    "trainer": {"epochs": [2]},
+                }
+            )
+        )
+        return str(spec_path)
+
+    def test_tune_prints_best_and_coverage(self, project, tuning_spec, capsys):
+        artifact_dir = str(project["tmp"] / "tuned")
+        code = main(
+            [
+                "tune",
+                "--schema", project["schema"],
+                "--data", project["data"],
+                "--spec", tuning_spec,
+                "--out", artifact_dir,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "evaluated 2 trials" in out
+        assert "best dev score" in out
+        assert "tokens.encoder" in out  # coverage report
+        assert "coverage: 100%" in out
+        assert (project["tmp"] / "tuned" / "model.json").exists() or any(
+            (project["tmp"] / "tuned").iterdir()
+        )
+
+    def test_tune_workers_and_cache_resume(self, project, tuning_spec, capsys):
+        cache_dir = str(project["tmp"] / "trial-cache")
+        argv = [
+            "tune",
+            "--schema", project["schema"],
+            "--data", project["data"],
+            "--spec", tuning_spec,
+            "--workers", "2",
+            "--cache-dir", cache_dir,
+            "--no-coverage",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 trained, 0 from cache" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 trained, 2 from cache" in second
+        # Same search, same winner, trials skipped the second time.
+        assert first.splitlines()[1] == second.splitlines()[1]
+
+    def test_tune_requires_spec_file(self, project, capsys):
+        code = main(
+            [
+                "tune",
+                "--schema", project["schema"],
+                "--data", project["data"],
+                "--spec", str(project["tmp"] / "missing.json"),
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_tune_rejects_malformed_spec_json(self, project, capsys):
+        bad = project["tmp"] / "broken.json"
+        bad.write_text("{not json")
+        code = main(
+            [
+                "tune",
+                "--schema", project["schema"],
+                "--data", project["data"],
+                "--spec", str(bad),
+            ]
+        )
+        assert code == 1
+        assert "cannot read tuning spec" in capsys.readouterr().err
+
+
 class TestServe:
     def test_serve_artifact_until_deadline(self, project, capsys):
         artifact_dir = str(project["tmp"] / "serve-artifact")

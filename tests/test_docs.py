@@ -1,0 +1,79 @@
+"""Tier-1 wiring for the documentation suite.
+
+Two guarantees: the docstring lint (``tools/check_docs.py``) stays green
+on ``src/repro``, and the user-facing documents the README links to
+actually exist and cover what they claim.
+"""
+
+import importlib.util
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", ROOT / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+class TestDocstringLint:
+    def test_public_api_is_documented(self, capsys):
+        assert check_docs.main([]) == 0, capsys.readouterr().out
+
+    def test_lint_catches_missing_module_docstring(self, tmp_path):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        problems = check_docs.check_tree(tmp_path)
+        assert len(problems) == 1
+        assert "missing module docstring" in problems[0]
+
+    def test_lint_catches_missing_class_docstring(self, tmp_path):
+        (tmp_path / "mod.py").write_text('"""Doc."""\n\nclass Thing:\n    pass\n')
+        problems = check_docs.check_tree(tmp_path)
+        assert len(problems) == 1
+        assert "class Thing" in problems[0]
+
+    def test_private_names_are_exempt(self, tmp_path):
+        (tmp_path / "_internal.py").write_text("x = 1\n")
+        (tmp_path / "mod.py").write_text('"""Doc."""\n\nclass _Helper:\n    pass\n')
+        assert check_docs.check_tree(tmp_path) == []
+
+    def test_unparseable_file_is_reported(self, tmp_path):
+        (tmp_path / "mod.py").write_text("def broken(:\n")
+        problems = check_docs.check_tree(tmp_path)
+        assert len(problems) == 1
+        assert "cannot parse" in problems[0]
+
+
+class TestDocumentationSuite:
+    def test_readme_exists_and_links_the_guides(self):
+        readme = (ROOT / "README.md").read_text()
+        for guide in ("docs/lifecycle.md", "docs/serving.md", "docs/tuning.md"):
+            assert guide in readme, f"README must link {guide}"
+
+    def test_readme_maps_every_package(self):
+        readme = (ROOT / "README.md").read_text()
+        packages = sorted(
+            p.name
+            for p in (ROOT / "src" / "repro").iterdir()
+            if p.is_dir() and not p.name.startswith("_")
+        )
+        for package in packages:
+            assert f"repro/{package}" in readme, (
+                f"README architecture map must mention src/repro/{package}"
+            )
+
+    def test_guides_exist_and_cover_their_claims(self):
+        lifecycle = (ROOT / "docs" / "lifecycle.md").read_text()
+        assert "app.json" in lifecycle
+        assert "Application" in lifecycle and "Endpoint" in lifecycle
+
+        serving = (ROOT / "docs" / "serving.md").read_text()
+        assert "set_latest=False" in serving  # staging a version, documented
+        assert "refresh()" in serving
+        assert "CHANGES.md" in serving  # cross-links, not duplicated tables
+
+        tuning = (ROOT / "docs" / "tuning.md").read_text()
+        assert "workers" in tuning
+        assert "coverage" in tuning
+        assert "cache" in tuning

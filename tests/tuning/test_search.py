@@ -93,3 +93,17 @@ class TestSuccessiveHalving:
         )
         rungs = {t.rung for t in result.trials}
         assert rungs == {0, 1, 2}
+
+    def test_spec_epochs_axis_does_not_duplicate_candidates(self):
+        """Halving owns the epochs axis; declared epoch values must not
+        multiply the candidate pool with configs that only differ there."""
+        spec = TuningSpec(
+            payload_options={"tokens": {"encoder": ["bow", "lstm"]}},
+            trainer_options={"epochs": [2, 4, 8]},
+        )
+        result = successive_halving(
+            spec, lambda c, e: score_fn(c), min_epochs=1, max_epochs=4
+        )
+        rung0 = [t for t in result.trials if t.rung == 0]
+        assert len(rung0) == 2  # one per encoder, not 6
+        assert len({t.config.to_json() for t in rung0}) == 2

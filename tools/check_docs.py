@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Docstring lint: the public API documents itself, enforced in CI.
+
+Walks ``src/repro`` and fails (exit 1) when a public module is missing a
+module-level docstring, or a public class in a public module is missing a
+class docstring.  "Public" means no path component or class name starts
+with an underscore (``__init__.py``/``__main__.py`` count as public —
+they are the package front doors).
+
+Runs standalone or via the tier-1 suite (``tests/test_docs.py``):
+
+    python tools/check_docs.py              # lint src/repro
+    python tools/check_docs.py --root PATH  # lint another tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_TARGET = ROOT / "src" / "repro"
+
+
+def is_public_module(path: Path, root: Path) -> bool:
+    """Dunder entry points are public; ``_private`` components are not."""
+    for part in path.relative_to(root).parts:
+        name = part[: -len(".py")] if part.endswith(".py") else part
+        if name.startswith("_") and not name.startswith("__"):
+            return False
+    return True
+
+
+def missing_docstrings(path: Path) -> list[str]:
+    """Human-readable violations for one module file."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}: cannot parse: {exc}"]
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{path}: missing module docstring")
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            if ast.get_docstring(node) is None:
+                problems.append(
+                    f"{path}:{node.lineno}: class {node.name} missing docstring"
+                )
+    return problems
+
+
+def check_tree(root: Path) -> list[str]:
+    """All violations under ``root``, in deterministic path order."""
+    problems: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        if not is_public_module(path, root):
+            continue
+        problems.extend(missing_docstrings(path))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=str(DEFAULT_TARGET),
+        help="package directory to lint (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    problems = check_tree(root)
+    if problems:
+        print(f"{len(problems)} docstring problem(s) under {root}:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    modules = sum(1 for p in root.rglob("*.py") if is_public_module(p, root))
+    print(f"OK: {modules} public modules documented under {root}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,10 +3,14 @@
 
 Each benchmark file runs in its own pytest subprocess (one bad experiment
 cannot take down the suite), with ``PYTHONPATH`` set exactly as the repo's
-tier-1 command uses it.  The serving benchmark additionally writes its
-metrics (p50/p95 latency, requests/sec, batch-fill rate) to the path in
-``BENCH_SERVE_JSON`` — this tool points that at ``BENCH_serve.json`` in
-the repo root so successive PRs leave a comparable perf record.
+tier-1 command uses it.  Two benchmarks additionally write their metrics
+to trajectory files in the repo root so successive PRs leave a comparable
+perf record:
+
+- the serving benchmark (p50/p95 latency, requests/sec, batch-fill rate)
+  writes the path in ``BENCH_SERVE_JSON`` -> ``BENCH_serve.json``;
+- the tuning benchmark (serial vs 4-worker wall-clock, speedup, warm-cache
+  re-run) writes the path in ``BENCH_TUNE_JSON`` -> ``BENCH_tune.json``.
 
 Usage:
     python tools/run_benchmarks.py                 # full suite
@@ -27,6 +31,7 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parents[1]
 BENCH_DIR = ROOT / "benchmarks"
 DEFAULT_OUT = ROOT / "BENCH_serve.json"
+DEFAULT_TUNE_OUT = ROOT / "BENCH_tune.json"
 
 
 def bench_files(only: str = "") -> list[Path]:
@@ -36,13 +41,16 @@ def bench_files(only: str = "") -> list[Path]:
     return files
 
 
-def run_benchmark(path: Path, out_path: Path, timeout: float) -> tuple[bool, float, str]:
+def run_benchmark(
+    path: Path, out_path: Path, tune_out_path: Path, timeout: float
+) -> tuple[bool, float, str]:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         [str(ROOT / "src"), str(ROOT)]
         + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
     )
     env["BENCH_SERVE_JSON"] = str(out_path)
+    env["BENCH_TUNE_JSON"] = str(tune_out_path)
     start = time.perf_counter()
     try:
         result = subprocess.run(
@@ -72,6 +80,11 @@ def main(argv: list[str] | None = None) -> int:
         default=str(DEFAULT_OUT),
         help="where the serving benchmark writes BENCH_serve.json",
     )
+    parser.add_argument(
+        "--tune-out",
+        default=str(DEFAULT_TUNE_OUT),
+        help="where the tuning benchmark writes BENCH_tune.json",
+    )
     parser.add_argument("--timeout", type=float, default=900.0)
     parser.add_argument(
         "--list", action="store_true", help="list benchmark files and exit"
@@ -88,11 +101,13 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     out_path = Path(args.out).resolve()
-    # Never report a previous run's serving metrics as this run's.
+    tune_out_path = Path(args.tune_out).resolve()
+    # Never report a previous run's metrics as this run's.
     out_path.unlink(missing_ok=True)
+    tune_out_path.unlink(missing_ok=True)
     failures = 0
     for path in files:
-        ok, elapsed, detail = run_benchmark(path, out_path, args.timeout)
+        ok, elapsed, detail = run_benchmark(path, out_path, tune_out_path, args.timeout)
         status = "ok" if ok else "FAIL"
         print(f"  {path.name:<34} {status:<5} {elapsed:6.1f}s", flush=True)
         if not ok:
@@ -111,6 +126,16 @@ def main(argv: list[str] | None = None) -> int:
             f"p50 {metrics['p50_latency_s'] * 1000:.1f}ms  "
             f"p95 {metrics['p95_latency_s'] * 1000:.1f}ms  "
             f"batch fill {metrics['batch_fill_rate']:.2f}"
+        )
+    if tune_out_path.exists():
+        metrics = json.loads(tune_out_path.read_text())
+        print(f"\ntuning metrics -> {tune_out_path}")
+        print(
+            f"  {metrics['trials']} trials: serial {metrics['serial_s']:.2f}s, "
+            f"{metrics['workers']} workers {metrics['parallel_s']:.2f}s "
+            f"(speedup {metrics['speedup']:.2f}x)  "
+            f"warm cache {metrics['warm_cache_s']:.2f}s "
+            f"({metrics['warm_cache_hits']} hits)"
         )
     return 1 if failures else 0
 
