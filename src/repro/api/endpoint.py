@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.data.batching import encode_inputs
 from repro.data.record import Record
 from repro.errors import DeploymentError
+from repro.tensor import no_grad
 
 if TYPE_CHECKING:
     from repro.deploy.artifact import ModelArtifact
@@ -227,8 +228,15 @@ class Endpoint:
     def forward_encoded(
         self, records: list[Record], batch: dict
     ) -> list[dict[str, Any]]:
-        """One model forward over an encoded batch, formatted per record."""
-        outputs = self._model.predict(batch)
+        """One model forward over an encoded batch, formatted per record.
+
+        Serving never takes gradients, so the forward runs tape-free: the
+        ``no_grad`` guard here is belt-and-braces on top of
+        ``MultitaskModel.predict`` (and keeps the fast path even if a
+        custom model's ``predict`` forgets it).
+        """
+        with no_grad():
+            outputs = self._model.predict(batch)
         if self._constraints is not None and len(self._constraints):
             self._apply_constraints(outputs, records)
         self.batches_run += 1

@@ -21,6 +21,7 @@ from repro.data.batching import (
     extract_targets,
     iterate_batches,
 )
+from repro.data.encoded import EncodedDataset, encoding_fingerprint
 
 __all__ = [
     "Record",
@@ -43,5 +44,7 @@ __all__ = [
     "encode_inputs",
     "extract_targets",
     "iterate_batches",
+    "EncodedDataset",
+    "encoding_fingerprint",
     "RecordQuery",
 ]

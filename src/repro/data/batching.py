@@ -70,12 +70,22 @@ def encode_inputs(
             vocab = _require_vocab(vocabs, payload.name)
             length = payload.max_length or 0
             ids = np.zeros((n, length), dtype=np.int64)
-            mask = np.zeros((n, length), dtype=np.float64)
-            for i, record in enumerate(records):
-                tokens = record.payloads.get(payload.name) or []
-                tokens = tokens[:length]
-                ids[i, : len(tokens)] = vocab.ids(tokens)
-                mask[i, : len(tokens)] = 1.0
+            if n and length:
+                # Vectorized fill: one bulk vocab lookup over all tokens,
+                # scattered into the padded matrix by a row-length mask.
+                token_lists = [
+                    (record.payloads.get(payload.name) or [])[:length]
+                    for record in records
+                ]
+                lengths = np.fromiter(
+                    (len(t) for t in token_lists), dtype=np.int64, count=n
+                )
+                valid = np.arange(length) < lengths[:, None]
+                if lengths.any():
+                    ids[valid] = vocab.ids_flat(token_lists)
+                mask = valid.astype(np.float64)
+            else:
+                mask = np.zeros((n, length), dtype=np.float64)
             inputs.ids = ids
             inputs.mask = mask
         elif payload.type == "set":

@@ -56,6 +56,21 @@ class Vocab:
     def ids(self, symbols: Iterable[str]) -> list[int]:
         return [self.id(s) for s in symbols]
 
+    def ids_flat(self, sequences: Iterable[Iterable[str]]) -> "np.ndarray":
+        """Bulk lookup: ids of every symbol across ``sequences``, flattened.
+
+        One int64 array in sequence-major order — the batching layer pairs
+        it with a row-length mask to fill padded id matrices in a single
+        fancy-index assignment instead of a per-record loop.
+        """
+        import numpy as np
+
+        get = self._index.get
+        unk = self.unk_id
+        return np.asarray(
+            [get(s, unk) for seq in sequences for s in seq], dtype=np.int64
+        )
+
     def symbol(self, idx: int) -> str:
         return self._symbols[idx]
 

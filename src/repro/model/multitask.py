@@ -28,7 +28,7 @@ from repro.model.task_heads import (
     build_task_head,
 )
 from repro.nn import Module
-from repro.tensor import Tensor
+from repro.tensor import Tensor, no_grad
 
 
 class MultitaskModel(Module):
@@ -186,11 +186,18 @@ class MultitaskModel(Module):
         return total
 
     def predict(self, batch: Batch) -> dict[str, TaskOutput]:
-        """Inference-mode forward pass."""
+        """Inference-mode forward pass: eval mode *and* tape-free.
+
+        Runs under :func:`repro.tensor.no_grad`, so no vjp closures are
+        recorded anywhere in the forward graph — every serving caller
+        (``Endpoint``, ``Predictor``, the gateway's replica lanes) and the
+        evaluation harness inherit the fast path through this method.
+        """
         was_training = self.training
         self.eval()
         try:
-            return self.forward(batch)
+            with no_grad():
+                return self.forward(batch)
         finally:
             if was_training:
                 self.train()

@@ -201,20 +201,20 @@ class SetPayloadEncoder(Module):
 
     def forward(self, inputs: PayloadInputs, range_rep: Tensor) -> Tensor:
         """inputs.spans (B, M, 2) over range_rep (B, L, d) -> (B, M, size)."""
-        batch, max_members = inputs.member_ids.shape
         length = range_rep.shape[1]
-        # Span mean via a precomputed (B, M, L) weight matrix — pure numpy,
-        # no gradient needed through the weights themselves.
-        weights = np.zeros((batch, max_members, length))
-        for b in range(batch):
-            for m in range(max_members):
-                if inputs.member_mask[b, m] == 0:
-                    continue
-                start, end = inputs.spans[b, m]
-                end = min(int(end), length)
-                start = min(int(start), end - 1) if end > 0 else 0
-                width = max(end - start, 1)
-                weights[b, m, start:end] = 1.0 / width
+        # Span mean via a (B, M, L) weight matrix — pure numpy, no gradient
+        # needed through the weights themselves.  Built by broadcasting a
+        # position grid against the clipped span bounds instead of a
+        # (batch x members) python loop.  Empty or inverted spans (end <=
+        # start after clipping) get an all-zero row, i.e. a zero span
+        # summary, matching how masked members are treated.
+        starts = np.clip(inputs.spans[..., 0], 0, length)  # (B, M)
+        ends = np.clip(inputs.spans[..., 1], 0, length)
+        positions = np.arange(length)
+        in_span = (positions >= starts[..., None]) & (positions < ends[..., None])
+        widths = np.maximum(ends - starts, 1)[..., None]
+        active = (inputs.member_mask > 0)[..., None]
+        weights = np.where(active, in_span / widths, 0.0)
         span_summary = Tensor(weights) @ range_rep  # (B, M, d_range)
         rep = self.span_proj(span_summary)
         member_emb = self.member_embedding(inputs.member_ids)

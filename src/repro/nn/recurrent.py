@@ -4,6 +4,13 @@ These are two of the coarse "encoder blocks" Overton's architecture search
 chooses between (Fig. 2a lists ``"encoder": ["LSTM", ...]``).  Inputs are
 ``(batch, time, dim)`` tensors plus a ``(batch, time)`` mask; masked steps
 carry the previous hidden state forward so padding never corrupts state.
+
+Recurrent unrolls are the deepest graphs in the system (~20 recorded ops
+per timestep), so they are also where tape overhead hurts inference most.
+Under :func:`repro.tensor.no_grad` both encoders switch to a pure-numpy
+inner loop that performs *exactly the same numpy operations in the same
+order* as the tensor-op path — bit-identical outputs — without allocating
+a single intermediate ``Tensor``.
 """
 
 from __future__ import annotations
@@ -12,7 +19,8 @@ import numpy as np
 
 from repro.nn.init import orthogonal, xavier_uniform, zeros
 from repro.nn.module import Module, Parameter
-from repro.tensor import Tensor, concat, stack, where
+from repro.tensor import Tensor, concat, is_grad_enabled, stack, where
+from repro.tensor.tensor import logistic
 
 
 class LSTM(Module):
@@ -42,10 +50,16 @@ class LSTM(Module):
 
         Returns all hidden states, shape ``(batch, time, hidden_dim)``.
         """
+        if not is_grad_enabled():
+            return Tensor._wrap(self._forward_tape_free(x.data, mask), "lstm")
         batch, time, _ = x.shape
         d = self.hidden_dim
         h = Tensor(np.zeros((batch, d)))
         c = Tensor(np.zeros((batch, d)))
+        # All step masks in one pass: a single (B, T, 1) boolean array whose
+        # time slices broadcast against (B, d) states, instead of a per-step
+        # astype + broadcast_to inside the loop.
+        step_masks = mask.astype(bool)[:, :, None] if mask is not None else None
         outputs: list[Tensor] = []
         for t in range(time):
             x_t = x[:, t, :]
@@ -56,15 +70,40 @@ class LSTM(Module):
             o = gates[:, 3 * d : 4 * d].sigmoid()
             c_new = f * c + i * g
             h_new = o * c_new.tanh()
-            if mask is not None:
-                step_mask = mask[:, t].astype(bool)[:, None]
-                step_mask = np.broadcast_to(step_mask, (batch, d))
+            if step_masks is not None:
+                step_mask = step_masks[:, t]
                 h = where(step_mask, h_new, h)
                 c = where(step_mask, c_new, c)
             else:
                 h, c = h_new, c_new
             outputs.append(h)
         return stack(outputs, axis=1)
+
+    def _forward_tape_free(self, x: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
+        """The inference inner loop: same numpy ops as forward, no Tensors."""
+        batch, time, _ = x.shape
+        d = self.hidden_dim
+        w_x, w_h, bias = self.w_x.data, self.w_h.data, self.bias.data
+        h = np.zeros((batch, d))
+        c = np.zeros((batch, d))
+        step_masks = mask.astype(bool)[:, :, None] if mask is not None else None
+        outputs = []
+        for t in range(time):
+            gates = x[:, t, :] @ w_x + h @ w_h + bias
+            i = logistic(gates[:, 0:d])
+            f = logistic(gates[:, d : 2 * d])
+            g = np.tanh(gates[:, 2 * d : 3 * d])
+            o = logistic(gates[:, 3 * d : 4 * d])
+            c_new = f * c + i * g
+            h_new = o * np.tanh(c_new)
+            if step_masks is not None:
+                step_mask = step_masks[:, t]
+                h = np.where(step_mask, h_new, h)
+                c = np.where(step_mask, c_new, c)
+            else:
+                h, c = h_new, c_new
+            outputs.append(h)
+        return np.stack(outputs, axis=1)
 
 
 class GRU(Module):
@@ -83,9 +122,12 @@ class GRU(Module):
         self.hidden_dim = hidden_dim
 
     def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        if not is_grad_enabled():
+            return Tensor._wrap(self._forward_tape_free(x.data, mask), "gru")
         batch, time, _ = x.shape
         d = self.hidden_dim
         h = Tensor(np.zeros((batch, d)))
+        step_masks = mask.astype(bool)[:, :, None] if mask is not None else None
         outputs: list[Tensor] = []
         for t in range(time):
             x_t = x[:, t, :]
@@ -95,14 +137,34 @@ class GRU(Module):
             z = (x_proj[:, d : 2 * d] + h_proj[:, d : 2 * d]).sigmoid()
             n = (x_proj[:, 2 * d : 3 * d] + r * h_proj[:, 2 * d : 3 * d]).tanh()
             h_new = (1.0 - z) * n + z * h
-            if mask is not None:
-                step_mask = mask[:, t].astype(bool)[:, None]
-                step_mask = np.broadcast_to(step_mask, (batch, d))
-                h = where(step_mask, h_new, h)
+            if step_masks is not None:
+                h = where(step_masks[:, t], h_new, h)
             else:
                 h = h_new
             outputs.append(h)
         return stack(outputs, axis=1)
+
+    def _forward_tape_free(self, x: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
+        """The inference inner loop: same numpy ops as forward, no Tensors."""
+        batch, time, _ = x.shape
+        d = self.hidden_dim
+        w_x, w_h, bias = self.w_x.data, self.w_h.data, self.bias.data
+        h = np.zeros((batch, d))
+        step_masks = mask.astype(bool)[:, :, None] if mask is not None else None
+        outputs = []
+        for t in range(time):
+            x_proj = x[:, t, :] @ w_x + bias
+            h_proj = h @ w_h
+            r = logistic(x_proj[:, 0:d] + h_proj[:, 0:d])
+            z = logistic(x_proj[:, d : 2 * d] + h_proj[:, d : 2 * d])
+            n = np.tanh(x_proj[:, 2 * d : 3 * d] + r * h_proj[:, 2 * d : 3 * d])
+            h_new = (1.0 - z) * n + z * h
+            if step_masks is not None:
+                h = np.where(step_masks[:, t], h_new, h)
+            else:
+                h = h_new
+            outputs.append(h)
+        return np.stack(outputs, axis=1)
 
 
 class BiLSTM(Module):

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.nn.module import Parameter
 from repro.optim.optimizer import Optimizer
+from repro.tensor import SparseRowGrad
 
 
 class Adam(Optimizer):
@@ -13,6 +14,13 @@ class Adam(Optimizer):
 
     With ``decoupled_weight_decay=True`` this is AdamW: decay is applied to
     the weights directly instead of the gradient.
+
+    Sparse gradients (embedding rows) update the first/second-moment
+    estimates row-wise — the moment decay is applied in place to the whole
+    table (as Adam's math requires) but the gradient itself never
+    materializes densely.  Coupled weight decay mixes ``p.data`` into the
+    gradient, which is inherently dense, so that configuration falls back
+    to :meth:`~repro.tensor.SparseRowGrad.to_dense`.
     """
 
     def __init__(
@@ -44,6 +52,20 @@ class Adam(Optimizer):
             if p.grad is None:
                 continue
             grad = p.grad
+            if isinstance(grad, SparseRowGrad):
+                if self.weight_decay and not self.decoupled:
+                    grad = grad.to_dense()
+                else:
+                    sparse = grad.coalesce()
+                    m *= self.beta1
+                    m[sparse.indices] += (1.0 - self.beta1) * sparse.values
+                    v *= self.beta2
+                    v[sparse.indices] += (1.0 - self.beta2) * sparse.values**2
+                    update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+                    if self.weight_decay and self.decoupled:
+                        update = update + self.weight_decay * p.data
+                    p.data = p.data - self.lr * update
+                    continue
             if self.weight_decay and not self.decoupled:
                 grad = grad + self.weight_decay * p.data
             m *= self.beta1

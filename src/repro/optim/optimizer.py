@@ -1,10 +1,17 @@
-"""Optimizer base class and gradient clipping."""
+"""Optimizer base class and gradient clipping.
+
+Both are sparse-gradient aware: embedding lookups leave a
+:class:`~repro.tensor.SparseRowGrad` on their table parameter, and the norm
+/ scale / zeroing logic here treats it as the dense gradient it stands in
+for — without ever materializing that dense array.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.nn.module import Parameter
+from repro.tensor import SparseRowGrad
 
 
 class Optimizer:
@@ -20,25 +27,44 @@ class Optimizer:
         raise NotImplementedError
 
     def zero_grad(self) -> None:
+        """Clear gradients for the next step, keeping dense buffers parked.
+
+        ``.grad`` reads ``None`` afterwards (``step()`` relies on ``None``
+        to skip parameters whose loss terms were not computed), but each
+        dense gradient's allocation is parked on its parameter so the
+        following ``backward()`` writes into the same array instead of
+        allocating a fresh one per step.  Sparse gradients are dropped
+        (their shape changes with every batch's indices).
+        """
         for p in self.params:
-            p.zero_grad()
+            p.zero_grad(set_to_none=False)
 
 
 def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is <= ``max_norm``.
 
     Returns the pre-clipping norm (useful for training diagnostics).
+    Sparse gradients are coalesced first so duplicate-row contributions are
+    counted once, exactly as the equivalent dense gradient would be.
     """
     if max_norm <= 0:
         raise ValueError(f"max_norm must be positive, got {max_norm}")
     total = 0.0
     for p in params:
-        if p.grad is not None:
-            total += float((p.grad**2).sum())
+        grad = p.grad
+        if grad is None:
+            continue
+        if isinstance(grad, SparseRowGrad):
+            p.grad = grad.coalesce()
+            total += p.grad.norm_sq()
+        else:
+            total += float((grad**2).sum())
     norm = float(np.sqrt(total))
     if norm > max_norm and norm > 0:
         scale = max_norm / norm
         for p in params:
-            if p.grad is not None:
+            if isinstance(p.grad, SparseRowGrad):
                 p.grad = p.grad * scale
+            elif p.grad is not None:
+                p.grad *= scale
     return norm

@@ -6,10 +6,19 @@ import numpy as np
 
 from repro.nn.module import Parameter
 from repro.optim.optimizer import Optimizer
+from repro.tensor import SparseRowGrad
 
 
 class SGD(Optimizer):
-    """SGD with classical momentum and optional L2 weight decay."""
+    """SGD with classical momentum and optional L2 weight decay.
+
+    Sparse gradients (embedding rows) are applied row-wise: without
+    momentum only the touched rows are updated; with momentum the velocity
+    decay is in place and only the touched rows receive new gradient, so no
+    dense gradient is ever materialized.  Weight decay mixes ``p.data`` into
+    the gradient and is inherently dense, so it falls back to
+    :meth:`~repro.tensor.SparseRowGrad.to_dense`.
+    """
 
     def __init__(
         self,
@@ -30,6 +39,19 @@ class SGD(Optimizer):
             if p.grad is None:
                 continue
             grad = p.grad
+            if isinstance(grad, SparseRowGrad):
+                if self.weight_decay:
+                    grad = grad.to_dense()
+                elif self.momentum:
+                    sparse = grad.coalesce()
+                    v *= self.momentum
+                    v[sparse.indices] += sparse.values
+                    p.data -= self.lr * v
+                    continue
+                else:
+                    sparse = grad.coalesce()
+                    p.data[sparse.indices] -= self.lr * sparse.values
+                    continue
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data
             if self.momentum:

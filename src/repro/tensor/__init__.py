@@ -5,7 +5,16 @@ the equivalent differentiable-programming substrate built from scratch so the
 compiler has something real to target in an offline environment.
 """
 
-from repro.tensor.tensor import Tensor, tensor, zeros, ones
+from repro.tensor.tensor import (
+    Tensor,
+    tensor,
+    zeros,
+    ones,
+    no_grad,
+    enable_grad,
+    is_grad_enabled,
+)
+from repro.tensor.sparse import SparseRowGrad
 from repro.tensor.ops import (
     concat,
     stack,
@@ -30,6 +39,10 @@ __all__ = [
     "tensor",
     "zeros",
     "ones",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "SparseRowGrad",
     "concat",
     "stack",
     "where",

@@ -3,6 +3,9 @@
 These complement the methods on :class:`repro.tensor.Tensor` with operations
 whose natural form is a free function (``concat``, ``stack``, ``where``,
 ``gather`` for embedding lookups, masking helpers).
+
+Every op honors :func:`repro.tensor.no_grad`: with the tape disabled the
+vjp closures are never constructed and the result is a plain array wrapper.
 """
 
 from __future__ import annotations
@@ -12,7 +15,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ShapeError
-from repro.tensor.tensor import Array, Tensor, _FLOAT
+from repro.tensor.sparse import SparseRowGrad
+from repro.tensor.tensor import Array, Tensor, _FLOAT, is_grad_enabled
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -20,6 +24,8 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     if not tensors:
         raise ShapeError("concat requires at least one tensor")
     data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not is_grad_enabled():
+        return Tensor._wrap(data, "concat")
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -41,6 +47,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     if not tensors:
         raise ShapeError("stack requires at least one tensor")
     data = np.stack([t.data for t in tensors], axis=axis)
+    if not is_grad_enabled():
+        return Tensor._wrap(data, "stack")
 
     parents = []
     for i, t in enumerate(tensors):
@@ -58,6 +66,10 @@ def where(condition: Array, a: Tensor, b: Tensor) -> Tensor:
     ``condition`` is a plain boolean array (no gradient flows through it).
     """
     cond = np.asarray(condition, dtype=bool)
+    if not is_grad_enabled():
+        a_data = a.data if isinstance(a, Tensor) else np.asarray(a, dtype=_FLOAT)
+        b_data = b.data if isinstance(b, Tensor) else np.asarray(b, dtype=_FLOAT)
+        return Tensor._wrap(np.where(cond, a_data, b_data), "where")
     a_t = a if isinstance(a, Tensor) else Tensor(a)
     b_t = b if isinstance(b, Tensor) else Tensor(b)
     data = np.where(cond, a_t.data, b_t.data)
@@ -78,18 +90,31 @@ def gather_rows(table: Tensor, indices: Array) -> Tensor:
     """Embedding lookup: select rows of a 2-D ``table`` by integer indices.
 
     ``indices`` may have any shape; the result has shape
-    ``indices.shape + (table.shape[1],)``.  The backward pass scatter-adds
-    gradients into the table, which is the dense equivalent of a sparse
-    embedding update.
+    ``indices.shape + (table.shape[1],)``.  The backward pass is adaptive:
+    when the table is a leaf (an embedding
+    :class:`~repro.nn.module.Parameter`) and *large* relative to the batch's
+    index count, it produces a :class:`~repro.tensor.sparse.SparseRowGrad`
+    holding only the touched rows — a big-vocab table never materializes (or
+    scans) a dense gradient.  Small tables, and non-leaf tables (whose
+    upstream vjps expect plain arrays), keep the dense scatter-add: for them
+    the dense path is cheaper than sparse coalescing.
     """
     idx = np.asarray(indices, dtype=np.int64)
     if table.ndim != 2:
         raise ShapeError(f"gather_rows requires a 2-D table, got {table.shape}")
     data = table.data[idx]
+    if not is_grad_enabled():
+        return Tensor._wrap(data, "gather_rows")
+    dim = table.shape[1]
+    sparse = not table._parents and table.shape[0] > 2 * idx.size
 
-    def grad_fn(g: Array) -> Array:
+    def grad_fn(g: Array) -> "Array | SparseRowGrad":
+        flat_idx = idx.reshape(-1)
+        flat_g = g.reshape(-1, dim)
+        if sparse:
+            return SparseRowGrad(flat_idx, flat_g, table.shape)
         grad = np.zeros_like(table.data)
-        np.add.at(grad, idx.reshape(-1), g.reshape(-1, table.shape[1]))
+        np.add.at(grad, flat_idx, flat_g)
         return grad
 
     return Tensor._make(data, [(table, grad_fn)], "gather_rows")
@@ -99,6 +124,8 @@ def masked_fill(t: Tensor, mask: Array, value: float) -> Tensor:
     """Replace positions where ``mask`` is True with ``value`` (no grad there)."""
     mask = np.asarray(mask, dtype=bool)
     data = np.where(mask, value, t.data)
+    if not is_grad_enabled():
+        return Tensor._wrap(data, "masked_fill")
     return Tensor._make(data, [(t, lambda g: g * (~mask))], "masked_fill")
 
 
@@ -117,14 +144,16 @@ def pad_sequences(arrays: Sequence[np.ndarray], pad_value: float = 0.0) -> tuple
 
     Returns ``(padded, mask)`` where ``mask`` is 1.0 at real positions.  Used
     by the batching layer; works on plain numpy (inputs to the model, not
-    differentiated).
+    differentiated).  The fill is vectorized: one mask comparison plus one
+    fancy-index assignment of the concatenated values, instead of a python
+    loop over rows.
     """
     if not arrays:
         return np.zeros((0, 0)), np.zeros((0, 0))
-    max_len = max(len(a) for a in arrays)
+    lengths = np.fromiter((len(a) for a in arrays), dtype=np.int64, count=len(arrays))
+    max_len = int(lengths.max())
+    valid = np.arange(max_len) < lengths[:, None]
     padded = np.full((len(arrays), max_len), pad_value, dtype=_FLOAT)
-    mask = np.zeros((len(arrays), max_len), dtype=_FLOAT)
-    for i, a in enumerate(arrays):
-        padded[i, : len(a)] = a
-        mask[i, : len(a)] = 1.0
-    return padded, mask
+    if lengths.sum():
+        padded[valid] = np.concatenate([np.asarray(a, dtype=_FLOAT) for a in arrays])
+    return padded, valid.astype(_FLOAT)

@@ -1,0 +1,132 @@
+"""Sparse row gradients for embedding tables.
+
+``gather_rows`` touches a handful of rows of a ``(vocab, dim)`` table per
+batch, yet a dense backward pass allocates — and the optimizers then scan —
+the *entire* table every step.  :class:`SparseRowGrad` keeps the gradient in
+its natural ``(indices, values)`` form on the parameter; the optimizers
+(:mod:`repro.optim`) apply it row-wise and fall back to :meth:`to_dense`
+whenever the surrounding math is inherently dense (momentum, L2 decay mixed
+into the gradient).
+
+The class implements exactly the algebra the autodiff engine and the
+training loop need — copy, add (sparse+sparse concatenates, sparse+dense
+densifies), scalar scaling — and nothing more.  ``__array_ufunc__ = None``
+makes numpy defer ``ndarray + SparseRowGrad`` to our reflected ops instead
+of attempting elementwise object broadcasting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+Array = np.ndarray
+
+
+class SparseRowGrad:
+    """A gradient for a 2-D table that is nonzero on a few rows only.
+
+    ``indices`` is a flat ``(k,)`` int64 array of row ids (duplicates
+    allowed until :meth:`coalesce`); ``values`` is the matching ``(k, dim)``
+    float array of row gradients; ``shape`` is the dense table shape the
+    gradient stands in for.
+    """
+
+    __array_ufunc__ = None  # ndarray ops defer to our __radd__/__rmul__
+    __slots__ = ("indices", "values", "shape", "coalesced")
+
+    def __init__(self, indices: Array, values: Array, shape: tuple[int, int]) -> None:
+        indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2 or len(shape) != 2:
+            raise ShapeError(
+                f"SparseRowGrad needs (k, dim) values over a 2-D table, "
+                f"got values {values.shape} for table {shape}"
+            )
+        if len(indices) != len(values) or values.shape[1] != shape[1]:
+            raise ShapeError(
+                f"SparseRowGrad mismatch: {len(indices)} indices, "
+                f"values {values.shape}, table {shape}"
+            )
+        self.indices = indices
+        self.values = values
+        self.shape = tuple(shape)
+        self.coalesced = False
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored row entries (before coalescing)."""
+        return len(self.indices)
+
+    def __repr__(self) -> str:
+        return f"SparseRowGrad(nnz={self.nnz}, shape={self.shape})"
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_dense(self) -> Array:
+        """Materialize the equivalent dense gradient (scatter-add)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, self.indices, self.values)
+        return dense
+
+    def coalesce(self) -> "SparseRowGrad":
+        """Merge duplicate row indices by summation.
+
+        Duplicate contributions are summed with ``np.add.at`` in storage
+        order — the same sequential accumulation the dense scatter performs
+        — so coalesced values match the dense gradient's rows exactly.
+        Idempotent: an already-coalesced gradient is returned as-is.
+        """
+        if self.coalesced:
+            return self
+        unique, inverse = np.unique(self.indices, return_inverse=True)
+        if len(unique) == len(self.indices):
+            self.coalesced = True
+            return self
+        merged = np.zeros((len(unique), self.shape[1]), dtype=np.float64)
+        np.add.at(merged, inverse, self.values)
+        out = SparseRowGrad(unique, merged, self.shape)
+        out.coalesced = True
+        return out
+
+    def copy(self) -> "SparseRowGrad":
+        """Deep copy (mirrors ``ndarray.copy`` so leaf storage is uniform)."""
+        return SparseRowGrad(self.indices.copy(), self.values.copy(), self.shape)
+
+    # ------------------------------------------------------------------
+    # The minimal gradient algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        if isinstance(other, SparseRowGrad):
+            if other.shape != self.shape:
+                raise ShapeError(f"shape mismatch: {self.shape} vs {other.shape}")
+            return SparseRowGrad(
+                np.concatenate([self.indices, other.indices]),
+                np.concatenate([self.values, other.values]),
+                self.shape,
+            )
+        if isinstance(other, np.ndarray):
+            if other.shape != self.shape:
+                raise ShapeError(f"shape mismatch: {self.shape} vs {other.shape}")
+            dense = other.copy()
+            np.add.at(dense, self.indices, self.values)
+            return dense
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __mul__(self, scalar):
+        if not isinstance(scalar, (int, float, np.floating)):
+            return NotImplemented
+        out = SparseRowGrad(self.indices, self.values * float(scalar), self.shape)
+        out.coalesced = self.coalesced  # scaling cannot introduce duplicates
+        return out
+
+    __rmul__ = __mul__
+
+    def norm_sq(self) -> float:
+        """Squared L2 norm of the equivalent dense gradient."""
+        coalesced = self.coalesce()
+        return float((coalesced.values**2).sum())

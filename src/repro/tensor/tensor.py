@@ -17,10 +17,19 @@ The design follows the classic "tape" formulation:
 
 Broadcasting is fully supported: gradient contributions are summed over
 broadcast dimensions by :func:`_unbroadcast`.
+
+Serving and evaluation never take gradients, so the tape itself is pure
+overhead there.  :func:`no_grad` flips a thread-local flag that every op
+checks *before* building vjp closures: inside the context each op returns a
+plain array-wrapping :class:`Tensor` with no parents, no ``requires_grad``
+propagation, and no recorded graph.  The flag is thread-local so concurrent
+serving threads (the gateway's replica lanes) and a training thread can
+coexist in one process.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -29,6 +38,70 @@ from repro.errors import GradientError, ShapeError
 
 Array = np.ndarray
 _FLOAT = np.float64
+
+_GRAD_STATE = threading.local()
+
+# Shared, never-mutated parent list for tape-free tensors (see Tensor._wrap).
+_NO_PARENTS: list = []
+
+
+def is_grad_enabled() -> bool:
+    """Whether ops currently record the tape (thread-local, default True)."""
+    return getattr(_GRAD_STATE, "enabled", True)
+
+
+class no_grad:
+    """Context manager (and decorator) that disables tape recording.
+
+    Inside the context every op skips vjp-closure construction and returns a
+    plain array wrapper: no parents are recorded and ``requires_grad`` never
+    propagates, so forward passes cost only their numpy arithmetic.  Nesting
+    is safe; the previous state is restored on exit.  Explicit leaf creation
+    (``Tensor(data, requires_grad=True)``) is unaffected — only *recording*
+    is off.
+    """
+
+    __slots__ = ("_prev",)
+
+    def __enter__(self) -> "no_grad":
+        self._prev = is_grad_enabled()
+        _GRAD_STATE.enabled = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _GRAD_STATE.enabled = self._prev
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with no_grad():
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+class enable_grad:
+    """Context manager that re-enables tape recording inside a ``no_grad``.
+
+    The inverse escape hatch: code running under a caller's ``no_grad``
+    (e.g. a benchmark reproducing the legacy taped path, or a serving hook
+    that genuinely needs a gradient) can locally restore recording.
+    Restores the previous state on exit.
+    """
+
+    __slots__ = ("_prev",)
+
+    def __enter__(self) -> "enable_grad":
+        self._prev = is_grad_enabled()
+        _GRAD_STATE.enabled = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _GRAD_STATE.enabled = self._prev
+        return False
 
 
 def _as_array(value: "Tensor | Array | float | int | Sequence") -> Array:
@@ -40,6 +113,19 @@ def _as_array(value: "Tensor | Array | float | int | Sequence") -> Array:
             return value.astype(_FLOAT)
         return value
     return np.asarray(value, dtype=_FLOAT)
+
+
+def logistic(data: Array) -> Array:
+    """Numerically stable logistic function on a plain array.
+
+    A single exp: ``z = exp(-|x|)`` is always in (0, 1], so neither branch
+    of the np.where can overflow (np.where evaluates both).  Shared by
+    :meth:`Tensor.sigmoid` and the tape-free fast loops in
+    :mod:`repro.nn.recurrent` so both paths are bit-identical.
+    """
+    z = np.exp(-np.abs(data))
+    denom = 1.0 + z
+    return np.where(data >= 0, 1.0 / denom, z / denom)
 
 
 def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
@@ -79,7 +165,7 @@ class Tensor:
         Internal — short op name, for debugging and graph dumps.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_op", "_grad_buffer")
 
     def __init__(
         self,
@@ -93,6 +179,7 @@ class Tensor:
         self.requires_grad = bool(requires_grad)
         self._parents = parents or []
         self._op = op
+        self._grad_buffer: Array | None = None
 
     # ------------------------------------------------------------------
     # Basic introspection
@@ -134,23 +221,57 @@ class Tensor:
     # Graph construction helper
     # ------------------------------------------------------------------
     @staticmethod
+    def _wrap(data: Array, op: str) -> "Tensor":
+        """Cheapest possible tape-free wrapper around an op result.
+
+        ``data`` must already be a float64 ndarray (true for every numpy op
+        on float64 inputs).  Skips ``__init__``'s coercion and per-instance
+        parent-list allocation — all tape-free tensors share one immutable
+        empty parent list.
+        """
+        t = Tensor.__new__(Tensor)
+        t.data = data
+        t.grad = None
+        t.requires_grad = False
+        t._parents = _NO_PARENTS
+        t._op = op
+        t._grad_buffer = None
+        return t
+
+    @staticmethod
     def _make(
         data: Array,
         parents: Iterable[tuple["Tensor", Callable[[Array], Array]]],
         op: str,
     ) -> "Tensor":
-        """Create an op output, keeping only parents that need gradients."""
+        """Create an op output, keeping only parents that need gradients.
+
+        This is also the tape-mode safety net: with gradients disabled no
+        parents are kept, whatever the caller recorded.  (Hot ops check
+        :func:`is_grad_enabled` *before* building their vjp closures so the
+        closures are never allocated; ops that reach ``_make`` anyway are
+        still guaranteed tape-free output here.)
+        """
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor(data, op=op)
         kept = [(p, fn) for p, fn in parents if p.requires_grad]
         return Tensor(data, requires_grad=bool(kept), parents=kept, op=op)
 
     # ------------------------------------------------------------------
     # Backward pass
     # ------------------------------------------------------------------
-    def backward(self, grad: Array | None = None) -> None:
+    def backward(self, grad: Array | None = None, accumulate: bool = False) -> None:
         """Backpropagate from this tensor through the recorded graph.
 
         ``grad`` defaults to ones for scalar outputs; for non-scalar outputs
         an explicit output gradient must be supplied.
+
+        ``accumulate`` controls what happens to a leaf's existing ``.grad``:
+        by default the new gradient *overwrites* it, reusing the existing
+        buffer in place when shapes match (so a training loop that zeroes
+        gradients between steps never re-allocates them); with
+        ``accumulate=True`` the new gradient is added to whatever is already
+        there (the classic multi-backward accumulation behaviour).
         """
         if not self.requires_grad:
             raise GradientError("backward() on a tensor that does not require grad")
@@ -174,11 +295,8 @@ class Tensor:
             if node_grad is None:
                 continue
             if not node._parents:
-                # Leaf: accumulate into .grad
-                if node.grad is None:
-                    node.grad = node_grad.copy()
-                else:
-                    node.grad = node.grad + node_grad
+                # Leaf: write into .grad (accumulating only when asked).
+                self._write_leaf_grad(node, node_grad, accumulate)
                 continue
             for parent, vjp in node._parents:
                 contribution = vjp(node_grad)
@@ -187,6 +305,36 @@ class Tensor:
                     grads[id(parent)] = contribution
                 else:
                     grads[id(parent)] = existing + contribution
+
+    @staticmethod
+    def _write_leaf_grad(node: "Tensor", node_grad, accumulate: bool) -> None:
+        """Store a leaf gradient, reusing an existing buffer when possible.
+
+        ``node_grad`` may be a plain array or a sparse row-gradient (from
+        embedding lookups); sparse values keep their compact form on the
+        leaf so huge tables never materialize dense gradients.  Dense
+        gradients overwrite the live ``.grad`` array in place when shapes
+        match, or revive the buffer parked by ``zero_grad(set_to_none=
+        False)`` — either way no new allocation per step.
+        """
+        existing = node.grad
+        if accumulate and existing is not None:
+            node.grad = existing + node_grad
+            return
+        if not isinstance(node_grad, np.ndarray):
+            # Sparse contribution: .copy() detaches it from graph temporaries.
+            node.grad = node_grad.copy()
+            return
+        if isinstance(existing, np.ndarray) and existing.shape == node_grad.shape:
+            np.copyto(existing, node_grad)
+            return
+        parked = node._grad_buffer
+        if parked is not None and parked.shape == node_grad.shape:
+            np.copyto(parked, node_grad)
+            node.grad = parked
+            node._grad_buffer = None
+            return
+        node.grad = node_grad.copy()
 
     def _topological_order(self) -> list["Tensor"]:
         """Return the graph above ``self`` in reverse-topological order."""
@@ -210,14 +358,29 @@ class Tensor:
         order.reverse()
         return order
 
-    def zero_grad(self) -> None:
-        """Clear any accumulated gradient."""
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear any accumulated gradient.
+
+        ``.grad`` always reads ``None`` afterwards — optimizers rely on
+        ``None`` to mean "this parameter got no gradient this step" (a
+        zero-filled array would make momentum decay and apply stale
+        updates to parameters whose loss terms were skipped, e.g. slice
+        experts on batches with no members).  With ``set_to_none=False``
+        the dense buffer is *parked* instead of dropped, and the next
+        backward pass writes into the same allocation — the optimizer
+        fast path without the numeric hazard.  Sparse gradients are
+        always dropped; their shape changes per step.
+        """
+        if not set_to_none and isinstance(self.grad, np.ndarray):
+            self._grad_buffer = self.grad
         self.grad = None
 
     # ------------------------------------------------------------------
     # Arithmetic ops
     # ------------------------------------------------------------------
     def __add__(self, other: "Tensor | Array | float") -> "Tensor":
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(self.data + _as_array(other), "add")
         other_t = other if isinstance(other, Tensor) else Tensor(other)
         out = self.data + other_t.data
         return Tensor._make(
@@ -232,9 +395,13 @@ class Tensor:
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(-self.data, "neg")
         return Tensor._make(-self.data, [(self, lambda g: -g)], "neg")
 
     def __sub__(self, other: "Tensor | Array | float") -> "Tensor":
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(self.data - _as_array(other), "sub")
         other_t = other if isinstance(other, Tensor) else Tensor(other)
         out = self.data - other_t.data
         return Tensor._make(
@@ -247,9 +414,13 @@ class Tensor:
         )
 
     def __rsub__(self, other: "Array | float") -> "Tensor":
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(_as_array(other) - self.data, "sub")
         return Tensor(other) - self
 
     def __mul__(self, other: "Tensor | Array | float") -> "Tensor":
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(self.data * _as_array(other), "mul")
         other_t = other if isinstance(other, Tensor) else Tensor(other)
         out = self.data * other_t.data
         return Tensor._make(
@@ -264,6 +435,8 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: "Tensor | Array | float") -> "Tensor":
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(self.data / _as_array(other), "div")
         other_t = other if isinstance(other, Tensor) else Tensor(other)
         out = self.data / other_t.data
         return Tensor._make(
@@ -281,12 +454,16 @@ class Tensor:
         )
 
     def __rtruediv__(self, other: "Array | float") -> "Tensor":
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(_as_array(other) / self.data, "div")
         return Tensor(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
         out = self.data**exponent
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "pow")
         return Tensor._make(
             out,
             [(self, lambda g: g * exponent * self.data ** (exponent - 1))],
@@ -298,6 +475,8 @@ class Tensor:
         if self.ndim == 0 or other_t.ndim == 0:
             raise ShapeError("matmul requires tensors with ndim >= 1")
         out = self.data @ other_t.data
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "matmul")
 
         def grad_left(g: Array) -> Array:
             if other_t.ndim == 1:
@@ -327,15 +506,19 @@ class Tensor:
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        original = self.shape
         out = self.data.reshape(shape)
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "reshape")
+        original = self.shape
         return Tensor._make(out, [(self, lambda g: g.reshape(original))], "reshape")
 
     def transpose(self, *axes: int) -> "Tensor":
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        inverse = tuple(np.argsort(axes))
         out = self.data.transpose(axes)
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "transpose")
+        inverse = tuple(np.argsort(axes))
         return Tensor._make(out, [(self, lambda g: g.transpose(inverse))], "transpose")
 
     @property
@@ -344,10 +527,14 @@ class Tensor:
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         out = np.swapaxes(self.data, a, b)
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "swapaxes")
         return Tensor._make(out, [(self, lambda g: np.swapaxes(g, a, b))], "swapaxes")
 
     def __getitem__(self, index) -> "Tensor":
         out = self.data[index]
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(np.asarray(out, dtype=_FLOAT), "index")
 
         def grad_fn(g: Array) -> Array:
             grad = np.zeros_like(self.data)
@@ -358,10 +545,14 @@ class Tensor:
 
     def expand_dims(self, axis: int) -> "Tensor":
         out = np.expand_dims(self.data, axis)
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "expand_dims")
         return Tensor._make(out, [(self, lambda g: np.squeeze(g, axis))], "expand_dims")
 
     def squeeze(self, axis: int) -> "Tensor":
         out = np.squeeze(self.data, axis)
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "squeeze")
         return Tensor._make(out, [(self, lambda g: np.expand_dims(g, axis))], "squeeze")
 
     # ------------------------------------------------------------------
@@ -369,6 +560,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis: "int | tuple[int, ...] | None" = None, keepdims: bool = False) -> "Tensor":
         out = self.data.sum(axis=axis, keepdims=keepdims)
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(np.asarray(out, dtype=_FLOAT), "sum")
 
         def grad_fn(g: Array) -> Array:
             if axis is None:
@@ -389,6 +582,8 @@ class Tensor:
 
     def max(self, axis: int, keepdims: bool = False) -> "Tensor":
         out = self.data.max(axis=axis, keepdims=keepdims)
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(np.asarray(out, dtype=_FLOAT), "max")
         mask = self.data == self.data.max(axis=axis, keepdims=True)
         # Split gradient among ties, matching the subgradient convention.
         counts = mask.sum(axis=axis, keepdims=True)
@@ -404,42 +599,52 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         out = np.exp(self.data)
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "exp")
         return Tensor._make(out, [(self, lambda g: g * out)], "exp")
 
     def log(self) -> "Tensor":
         out = np.log(self.data)
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "log")
         return Tensor._make(out, [(self, lambda g: g / self.data)], "log")
 
     def sqrt(self) -> "Tensor":
         out = np.sqrt(self.data)
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "sqrt")
         return Tensor._make(out, [(self, lambda g: g * 0.5 / out)], "sqrt")
 
     def tanh(self) -> "Tensor":
         out = np.tanh(self.data)
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "tanh")
         return Tensor._make(out, [(self, lambda g: g * (1.0 - out**2))], "tanh")
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic function: clip the exponent so both
-        # np.where branches are safe to evaluate (np.where computes both).
-        clipped = np.clip(self.data, -60.0, 60.0)
-        positive = 1.0 / (1.0 + np.exp(-clipped))
-        exp_x = np.exp(clipped)
-        negative = exp_x / (1.0 + exp_x)
-        out = np.where(self.data >= 0, positive, negative)
+        out = logistic(self.data)
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "sigmoid")
         return Tensor._make(out, [(self, lambda g: g * out * (1.0 - out))], "sigmoid")
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
         out = self.data * mask
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "relu")
         return Tensor._make(out, [(self, lambda g: g * mask)], "relu")
 
     def clip(self, low: float, high: float) -> "Tensor":
         out = np.clip(self.data, low, high)
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "clip")
         mask = (self.data >= low) & (self.data <= high)
         return Tensor._make(out, [(self, lambda g: g * mask)], "clip")
 
     def abs(self) -> "Tensor":
         out = np.abs(self.data)
+        if not getattr(_GRAD_STATE, "enabled", True):
+            return Tensor._wrap(out, "abs")
         sign = np.sign(self.data)
         return Tensor._make(out, [(self, lambda g: g * sign)], "abs")
 

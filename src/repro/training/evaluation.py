@@ -14,9 +14,11 @@ import numpy as np
 
 from repro.core.schema_def import Schema
 from repro.data.batching import encode_inputs, extract_targets, iterate_batches
+from repro.data.encoded import EncodedDataset
 from repro.data.record import Record
 from repro.data.vocab import Vocab
 from repro.model.multitask import MultitaskModel
+from repro.tensor import no_grad
 from repro.training.metrics import accuracy, macro_f1, micro_f1_multilabel
 
 
@@ -41,17 +43,28 @@ def predict_all(
     schema: Schema,
     vocabs: dict[str, Vocab],
     batch_size: int = 64,
+    encoded: EncodedDataset | None = None,
 ) -> dict[str, dict[str, np.ndarray]]:
-    """Run inference over all records; returns per-task stacked outputs."""
+    """Run inference over all records; returns per-task stacked outputs.
+
+    The forward passes run tape-free (``model.predict`` is wrapped in
+    :func:`repro.tensor.no_grad`).  Passing a pre-built ``encoded`` dataset
+    skips per-batch re-encoding — the trainer reuses one encoding of the
+    dev split across every epoch's evaluation.
+    """
     collected: dict[str, list] = {t.name: [] for t in schema.tasks}
     probs: dict[str, list] = {t.name: [] for t in schema.tasks}
-    for idx in iterate_batches(len(records), batch_size):
-        batch_records = [records[int(i)] for i in idx]
-        batch = encode_inputs(batch_records, schema, vocabs, indices=idx)
-        outputs = model.predict(batch)
-        for name, out in outputs.items():
-            collected[name].append(out.predictions)
-            probs[name].append(out.probs)
+    with no_grad():
+        for idx in iterate_batches(len(records), batch_size):
+            if encoded is not None:
+                batch = encoded.batch(idx)
+            else:
+                batch_records = [records[int(i)] for i in idx]
+                batch = encode_inputs(batch_records, schema, vocabs, indices=idx)
+            outputs = model.predict(batch)
+            for name, out in outputs.items():
+                collected[name].append(out.predictions)
+                probs[name].append(out.probs)
     return {
         name: {
             "predictions": np.concatenate(chunks, axis=0)
@@ -72,14 +85,23 @@ def evaluate(
     vocabs: dict[str, Vocab],
     gold_source: str = "gold",
     batch_size: int = 64,
+    encoded: EncodedDataset | None = None,
 ) -> dict[str, TaskEvaluation]:
-    """Evaluate every task against ``gold_source`` labels."""
+    """Evaluate every task against ``gold_source`` labels.
+
+    Inference runs tape-free; ``encoded`` (optional) reuses a prior
+    :class:`~repro.data.EncodedDataset` of ``records`` instead of
+    re-encoding them.
+    """
     if not records:
         return {t.name: TaskEvaluation(task=t.name) for t in schema.tasks}
-    outputs = predict_all(model, records, schema, vocabs, batch_size)
+    outputs = predict_all(model, records, schema, vocabs, batch_size, encoded=encoded)
     results: dict[str, TaskEvaluation] = {}
     for task in schema.tasks:
-        gold = extract_targets(records, schema, task.name, gold_source)
+        if encoded is not None:
+            gold = encoded.gold_targets(task.name, gold_source)
+        else:
+            gold = extract_targets(records, schema, task.name, gold_source)
         preds = outputs[task.name]["predictions"]
         valid = gold["valid"]
         if task.type == "multiclass":

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.tuning_spec import TrainerConfig
 from repro.data.batching import encode_inputs, iterate_batches
+from repro.data.encoded import EncodedDataset
 from repro.data.record import Record
 from repro.data.vocab import Vocab
 from repro.errors import TrainingError
@@ -90,6 +91,7 @@ class Trainer:
         dev_records: Sequence[Record] | None = None,
         gold_source: str = "gold",
         callback: Callable[[EpochStats], None] | None = None,
+        cache_batches: bool = True,
     ) -> TrainHistory:
         """Train on ``records``; optionally track dev quality per epoch.
 
@@ -97,6 +99,14 @@ class Trainer:
         set and ``config.patience > 0``, training stops after ``patience``
         epochs without dev improvement and the best-epoch weights are
         restored.
+
+        ``cache_batches`` (the default) encodes the train and dev records
+        once up front (:class:`~repro.data.EncodedDataset`) and serves every
+        epoch's batches as row slices of that encoding; results are
+        bit-identical to re-encoding per batch — same RNG stream, same
+        batch order, same arrays — just without the per-epoch encode cost.
+        Pass ``False`` to force the legacy re-encoding path (used by the
+        core benchmark and the parity suite).
         """
         if not records:
             raise TrainingError("cannot train on an empty dataset")
@@ -112,12 +122,22 @@ class Trainer:
         best_state: dict | None = None
         epochs_since_best = 0
 
+        encoded: EncodedDataset | None = None
+        dev_encoded: EncodedDataset | None = None
+        if cache_batches:
+            encoded = EncodedDataset(records, schema, vocabs)
+            if dev_records:
+                dev_encoded = EncodedDataset(dev_records, schema, vocabs)
+
         self.model.train()
         for epoch in range(self.config.epochs):
             losses = []
             for idx in iterate_batches(len(records), self.config.batch_size, rng):
-                batch_records = [records[int(i)] for i in idx]
-                batch = encode_inputs(batch_records, schema, vocabs, indices=idx)
+                if encoded is not None:
+                    batch = encoded.batch(idx)
+                else:
+                    batch_records = [records[int(i)] for i in idx]
+                    batch = encode_inputs(batch_records, schema, vocabs, indices=idx)
                 outputs = self.model(batch)
                 loss = self.model.compute_loss(
                     outputs,
@@ -140,7 +160,14 @@ class Trainer:
 
             stats = EpochStats(epoch=epoch, train_loss=float(np.mean(losses)))
             if dev_records:
-                evals = evaluate(self.model, dev_records, schema, vocabs, gold_source)
+                evals = evaluate(
+                    self.model,
+                    dev_records,
+                    schema,
+                    vocabs,
+                    gold_source,
+                    encoded=dev_encoded,
+                )
                 stats.dev_score = mean_primary(evals)
                 if stats.dev_score > history.best_dev_score:
                     history.best_dev_score = stats.dev_score

@@ -1,0 +1,26 @@
+"""Tier-1 smoke for the core hot-path benchmark.
+
+Runs ``benchmarks/bench_core_hotpaths.py`` in reduced-size mode on every
+test run, so the perf-path wiring — tape-free inference, the legacy taped
+evaluation lane, encoded-batch caching, and the parity assertions inside
+the benchmark — is exercised continuously.  Thresholds are *not* asserted
+here; those belong to the full-size run under ``tools/run_benchmarks.py``.
+"""
+
+from benchmarks.bench_core_hotpaths import run_core_hotpaths
+
+
+def test_core_hotpaths_reduced_mode():
+    metrics = run_core_hotpaths(reduced=True)
+    # Wiring, not thresholds: both measurements ran and produced sane output.
+    for key in (
+        "taped_fwd_per_s",
+        "tape_free_fwd_per_s",
+        "inference_speedup",
+        "epoch_legacy_s",
+        "epoch_fast_s",
+        "epoch_speedup",
+    ):
+        assert metrics[key] > 0, (key, metrics)
+    assert metrics["reps"] == 2
+    assert metrics["epochs"] == 2

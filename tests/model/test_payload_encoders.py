@@ -136,6 +136,32 @@ class TestSetEncoder:
         assert out.shape == (1, 3, 8)
         np.testing.assert_allclose(out.data[0, 2], np.zeros(8))  # masked member
 
+    def test_empty_span_gives_zero_summary(self):
+        # Regression: an empty span (k, k) used to be silently clamped to the
+        # one-position span (k-1, k); it must contribute a zero span summary
+        # instead (like masked members), leaving only the member embedding.
+        enc = self.make()
+        enc.eval()
+        range_rep = Tensor(np.random.default_rng(5).normal(size=(1, 4, 8)))
+        inputs_empty = PayloadInputs(
+            member_ids=np.array([[2, 0, 0]]),
+            spans=np.array([[[2, 2], [0, 1], [0, 1]]]),  # (2, 2) is empty
+            member_mask=np.array([[1.0, 0.0, 0.0]]),
+        )
+        out = enc(inputs_empty, range_rep)
+        zero_summary = enc.span_proj(Tensor(np.zeros((1, 1, 8))))
+        member = enc.member_embedding(np.array([[2]]))
+        expected = (zero_summary + member).data
+        np.testing.assert_allclose(out.data[0, 0], expected[0, 0])
+        # And it no longer matches the legacy one-position clamp (1, 2).
+        inputs_clamped = PayloadInputs(
+            member_ids=np.array([[2, 0, 0]]),
+            spans=np.array([[[1, 2], [0, 1], [0, 1]]]),
+            member_mask=np.array([[1.0, 0.0, 0.0]]),
+        )
+        clamped = enc(inputs_clamped, range_rep)
+        assert np.abs(out.data[0, 0] - clamped.data[0, 0]).sum() > 1e-6
+
     def test_span_mean_reflects_span(self):
         enc = self.make()
         # Two members pointing at different spans of a contrasting range rep

@@ -1,0 +1,127 @@
+"""Tape-free mode: no_grad/enable_grad semantics and graph elision."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import GradientError
+from repro.tensor import (
+    Tensor,
+    concat,
+    enable_grad,
+    gather_rows,
+    is_grad_enabled,
+    masked_fill,
+    no_grad,
+    stack,
+    where,
+)
+
+
+class TestNoGradState:
+    def test_default_enabled(self):
+        assert is_grad_enabled()
+
+    def test_context_disables_and_restores(self):
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_nesting_restores_previous_state(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_enable_grad_escape_hatch(self):
+        with no_grad():
+            with enable_grad():
+                assert is_grad_enabled()
+            assert not is_grad_enabled()
+
+    def test_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_decorator_form(self):
+        @no_grad()
+        def probe():
+            return is_grad_enabled()
+
+        assert probe() is False
+        assert is_grad_enabled()
+
+    def test_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["worker"] = is_grad_enabled()
+
+        with no_grad():
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The other thread never saw this thread's disabled state.
+        assert seen["worker"] is True
+
+
+class TestTapeElision:
+    def test_ops_record_no_parents(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with no_grad():
+            out = ((x * 2.0 + 1.0) / 3.0).tanh().sum()
+        assert not out.requires_grad
+        assert out._parents == []
+        with pytest.raises(GradientError):
+            out.backward()
+
+    def test_leaf_creation_unaffected(self):
+        with no_grad():
+            leaf = Tensor([1.0], requires_grad=True)
+        assert leaf.requires_grad
+
+    def test_make_safety_net(self):
+        # Even an op that hands _make a parent list is stripped tape-free.
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = Tensor._make(x.data * 2, [(x, lambda g: g)], "custom")
+        assert not out.requires_grad and out._parents == []
+
+    def test_functional_ops_elided(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        y = Tensor(np.zeros((2, 3)), requires_grad=True)
+        table = Tensor(np.ones((50, 3)), requires_grad=True)
+        with no_grad():
+            for out in (
+                concat([x, y], axis=0),
+                stack([x, y]),
+                where(np.ones((2, 3), dtype=bool), x, y),
+                gather_rows(table, np.array([1, 2])),
+                masked_fill(x, np.zeros((2, 3), dtype=bool), -1.0),
+            ):
+                assert not out.requires_grad
+                assert out._parents == []
+
+    def test_values_identical_to_taped(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+
+        def compute(t):
+            return ((t * 2.0).sigmoid() + t.tanh()).relu().sum(axis=1).sqrt()
+
+        taped = compute(x)
+        with no_grad():
+            free = compute(x)
+        # Tape elision is pure: identical arithmetic, identical results.
+        np.testing.assert_array_equal(taped.data, free.data)
+
+    def test_grads_flow_again_after_context(self):
+        x = Tensor([2.0], requires_grad=True)
+        with no_grad():
+            (x * 3.0).sum()
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [3.0])

@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import ShapeError
 from repro.tensor import (
+    SparseRowGrad,
     Tensor,
     concat,
     stack,
@@ -87,7 +88,19 @@ class TestGatherRows:
     def test_grad_scatter_adds(self):
         table = Tensor(np.zeros((3, 2)), requires_grad=True)
         gather_rows(table, np.array([1, 1, 0])).sum().backward()
+        # Small tables keep the dense scatter-add gradient.
+        assert isinstance(table.grad, np.ndarray)
         np.testing.assert_allclose(table.grad, [[1.0, 1.0], [2.0, 2.0], [0.0, 0.0]])
+
+    def test_grad_sparse_for_large_leaf_table(self):
+        table = Tensor(np.zeros((64, 2)), requires_grad=True)
+        gather_rows(table, np.array([5, 5, 9])).sum().backward()
+        # Tables much larger than the index count get a sparse row grad.
+        assert isinstance(table.grad, SparseRowGrad)
+        dense = table.grad.to_dense()
+        np.testing.assert_allclose(dense[5], [2.0, 2.0])
+        np.testing.assert_allclose(dense[9], [1.0, 1.0])
+        assert dense.sum() == 6.0
 
     def test_multidim_indices(self):
         table = Tensor(np.arange(8.0).reshape(4, 2))
@@ -103,6 +116,16 @@ class TestGatherRows:
         gather_rows(table, np.array([[0, 0], [1, 0]])).sum().backward()
         np.testing.assert_allclose(table.grad[0], [3.0, 3.0, 3.0])
         np.testing.assert_allclose(table.grad[1], [1.0, 1.0, 1.0])
+
+    def test_grad_dense_for_non_leaf_table(self):
+        base = Tensor(np.ones((3, 2)), requires_grad=True)
+        table = base * 2.0
+        gather_rows(table, np.array([1, 1])).sum().backward()
+        # Non-leaf tables keep the dense scatter-add path so upstream vjps
+        # always see plain arrays.
+        np.testing.assert_allclose(
+            base.grad, [[0.0, 0.0], [4.0, 4.0], [0.0, 0.0]]
+        )
 
 
 class TestMaskedFill:

@@ -1,0 +1,159 @@
+"""SparseRowGrad: the embedding-gradient algebra and optimizer parity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, AdamW, clip_grad_norm
+from repro.tensor import SparseRowGrad, Tensor, gather_rows
+
+
+def make_grad(shape=(40, 3)):
+    idx = np.array([3, 7, 3])
+    vals = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [0.5, 0.5, 0.5]])
+    return SparseRowGrad(idx, vals, shape)
+
+
+class TestAlgebra:
+    def test_to_dense_scatter_adds(self):
+        dense = make_grad().to_dense()
+        np.testing.assert_allclose(dense[3], [1.5, 2.5, 3.5])
+        np.testing.assert_allclose(dense[7], [4.0, 5.0, 6.0])
+        assert dense.shape == (40, 3)
+        assert np.count_nonzero(dense.sum(axis=1)) == 2
+
+    def test_coalesce_merges_duplicates(self):
+        g = make_grad().coalesce()
+        assert g.coalesced
+        np.testing.assert_array_equal(g.indices, [3, 7])
+        np.testing.assert_allclose(g.values[0], [1.5, 2.5, 3.5])
+        # Idempotent: second call is a no-op returning the same object.
+        assert g.coalesce() is g
+
+    def test_sparse_plus_sparse_concatenates(self):
+        total = make_grad() + make_grad()
+        assert isinstance(total, SparseRowGrad)
+        np.testing.assert_allclose(total.to_dense(), 2 * make_grad().to_dense())
+
+    def test_sparse_plus_dense_densifies(self):
+        base = np.ones((40, 3))
+        for total in (make_grad() + base, base + make_grad()):
+            assert isinstance(total, np.ndarray)
+            np.testing.assert_allclose(total, base + make_grad().to_dense())
+
+    def test_scalar_scaling(self):
+        np.testing.assert_allclose(
+            (make_grad() * 0.5).to_dense(), 0.5 * make_grad().to_dense()
+        )
+        np.testing.assert_allclose(
+            (2.0 * make_grad()).to_dense(), 2.0 * make_grad().to_dense()
+        )
+
+    def test_copy_is_deep(self):
+        g = make_grad()
+        c = g.copy()
+        c.values[:] = 0.0
+        assert g.values.sum() != 0.0
+
+    def test_norm_sq_matches_dense(self):
+        g = make_grad()
+        np.testing.assert_allclose(g.norm_sq(), (g.to_dense() ** 2).sum())
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            SparseRowGrad(np.array([0]), np.zeros((1, 2)), (5, 3))
+        with pytest.raises(ShapeError):
+            SparseRowGrad(np.array([0, 1]), np.zeros((1, 3)), (5, 3))
+
+
+def lookup_loss(table, idx):
+    return (gather_rows(table, idx) * 2.0).sum()
+
+
+class TestOptimizerParity:
+    """Sparse updates must match the dense math bit-for-bit (or near)."""
+
+    def params_pair(self, vocab=100, dim=4, seed=0):
+        rng = np.random.default_rng(seed)
+        init = rng.normal(size=(vocab, dim))
+        return Parameter(init.copy()), Parameter(init.copy())
+
+    def grads_pair(self, p_sparse, p_dense, seed=1):
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, p_sparse.data.shape[0], size=6)
+        vals = rng.normal(size=(6, p_sparse.data.shape[1]))
+        p_sparse.grad = SparseRowGrad(idx, vals, p_sparse.data.shape)
+        dense = np.zeros_like(p_dense.data)
+        np.add.at(dense, idx, vals)
+        p_dense.grad = dense
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda ps: SGD(ps, lr=0.1),
+            lambda ps: SGD(ps, lr=0.1, momentum=0.9),
+            lambda ps: SGD(ps, lr=0.1, weight_decay=0.01),
+            lambda ps: Adam(ps, lr=0.01),
+            lambda ps: Adam(ps, lr=0.01, weight_decay=0.01),
+            lambda ps: AdamW(ps, lr=0.01, weight_decay=0.01),
+        ],
+    )
+    def test_step_parity(self, factory):
+        p_sparse, p_dense = self.params_pair()
+        opt_sparse = factory([p_sparse])
+        opt_dense = factory([p_dense])
+        for step in range(3):
+            self.grads_pair(p_sparse, p_dense, seed=step)
+            opt_sparse.step()
+            opt_dense.step()
+            np.testing.assert_allclose(
+                p_sparse.data, p_dense.data, rtol=1e-12, atol=1e-15
+            )
+
+    def test_clip_grad_norm_parity(self):
+        p_sparse, p_dense = self.params_pair()
+        self.grads_pair(p_sparse, p_dense)
+        norm_sparse = clip_grad_norm([p_sparse], 0.5)
+        norm_dense = clip_grad_norm([p_dense], 0.5)
+        np.testing.assert_allclose(norm_sparse, norm_dense, rtol=1e-12)
+        np.testing.assert_allclose(
+            p_sparse.grad.to_dense(), p_dense.grad, rtol=1e-12, atol=1e-15
+        )
+
+    def test_zero_grad_reads_none_but_parks_dense_buffer(self):
+        p_sparse, p_dense = self.params_pair()
+        self.grads_pair(p_sparse, p_dense)
+        opt = SGD([p_sparse, p_dense], lr=0.1)
+        buffer = p_dense.grad
+        opt.zero_grad()
+        # None semantics preserved: step() must skip both parameters.
+        assert p_sparse.grad is None
+        assert p_dense.grad is None
+        before = p_dense.data.copy()
+        opt.step()
+        np.testing.assert_array_equal(p_dense.data, before)
+        # ...but the next backward revives the parked allocation.
+        (Tensor(np.ones((1, 4))) @ p_dense.T).sum().backward()
+        assert p_dense.grad is buffer
+
+
+class TestEndToEndSparseFlow:
+    def test_large_table_backward_is_sparse_and_correct(self):
+        table = Tensor(np.zeros((500, 2)), requires_grad=True)
+        idx = np.array([7, 7, 400])
+        lookup_loss(table, idx).backward()
+        assert isinstance(table.grad, SparseRowGrad)
+        dense = table.grad.to_dense()
+        np.testing.assert_allclose(dense[7], [4.0, 4.0])
+        np.testing.assert_allclose(dense[400], [2.0, 2.0])
+
+    def test_two_lookups_accumulate(self):
+        table = Tensor(np.zeros((500, 2)), requires_grad=True)
+        (
+            gather_rows(table, np.array([1])).sum()
+            + gather_rows(table, np.array([1, 2])).sum()
+        ).backward()
+        dense = table.grad.to_dense()
+        np.testing.assert_allclose(dense[1], [2.0, 2.0])
+        np.testing.assert_allclose(dense[2], [1.0, 1.0])

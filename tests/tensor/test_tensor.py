@@ -65,8 +65,16 @@ class TestBackwardBasics:
     def test_grad_accumulates_across_backwards(self):
         t = Tensor([1.0], requires_grad=True)
         (t * 2).sum().backward()
-        (t * 2).sum().backward()
+        (t * 2).sum().backward(accumulate=True)
         np.testing.assert_allclose(t.grad, [4.0])
+
+    def test_backward_default_overwrites_reusing_buffer(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).sum().backward()
+        buffer = t.grad
+        (t * 3).sum().backward()
+        assert t.grad is buffer  # same allocation, refreshed in place
+        np.testing.assert_allclose(t.grad, [3.0])
 
     def test_zero_grad(self):
         t = Tensor([1.0], requires_grad=True)

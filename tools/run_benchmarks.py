@@ -3,18 +3,22 @@
 
 Each benchmark file runs in its own pytest subprocess (one bad experiment
 cannot take down the suite), with ``PYTHONPATH`` set exactly as the repo's
-tier-1 command uses it.  Two benchmarks additionally write their metrics
+tier-1 command uses it.  Three benchmarks additionally write their metrics
 to trajectory files in the repo root so successive PRs leave a comparable
 perf record:
 
 - the serving benchmark (p50/p95 latency, requests/sec, batch-fill rate)
   writes the path in ``BENCH_SERVE_JSON`` -> ``BENCH_serve.json``;
 - the tuning benchmark (serial vs 4-worker wall-clock, speedup, warm-cache
-  re-run) writes the path in ``BENCH_TUNE_JSON`` -> ``BENCH_tune.json``.
+  re-run) writes the path in ``BENCH_TUNE_JSON`` -> ``BENCH_tune.json``;
+- the core-compute benchmark (tape-free vs taped inference throughput,
+  fast-path vs legacy training-epoch wall-clock) writes the path in
+  ``BENCH_CORE_JSON`` -> ``BENCH_core.json``.
 
 Usage:
     python tools/run_benchmarks.py                 # full suite
-    python tools/run_benchmarks.py --only serve    # just bench_serve_*
+    python tools/run_benchmarks.py --only core     # just bench_core_*
+    python tools/run_benchmarks.py --only serve    # ... or serve / tune
     python tools/run_benchmarks.py --list
 """
 
@@ -32,6 +36,7 @@ ROOT = Path(__file__).resolve().parents[1]
 BENCH_DIR = ROOT / "benchmarks"
 DEFAULT_OUT = ROOT / "BENCH_serve.json"
 DEFAULT_TUNE_OUT = ROOT / "BENCH_tune.json"
+DEFAULT_CORE_OUT = ROOT / "BENCH_core.json"
 
 
 def bench_files(only: str = "") -> list[Path]:
@@ -42,7 +47,11 @@ def bench_files(only: str = "") -> list[Path]:
 
 
 def run_benchmark(
-    path: Path, out_path: Path, tune_out_path: Path, timeout: float
+    path: Path,
+    out_path: Path,
+    tune_out_path: Path,
+    core_out_path: Path,
+    timeout: float,
 ) -> tuple[bool, float, str]:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
@@ -51,6 +60,7 @@ def run_benchmark(
     )
     env["BENCH_SERVE_JSON"] = str(out_path)
     env["BENCH_TUNE_JSON"] = str(tune_out_path)
+    env["BENCH_CORE_JSON"] = str(core_out_path)
     start = time.perf_counter()
     try:
         result = subprocess.run(
@@ -85,6 +95,11 @@ def main(argv: list[str] | None = None) -> int:
         default=str(DEFAULT_TUNE_OUT),
         help="where the tuning benchmark writes BENCH_tune.json",
     )
+    parser.add_argument(
+        "--core-out",
+        default=str(DEFAULT_CORE_OUT),
+        help="where the core-compute benchmark writes BENCH_core.json",
+    )
     parser.add_argument("--timeout", type=float, default=900.0)
     parser.add_argument(
         "--list", action="store_true", help="list benchmark files and exit"
@@ -102,12 +117,16 @@ def main(argv: list[str] | None = None) -> int:
 
     out_path = Path(args.out).resolve()
     tune_out_path = Path(args.tune_out).resolve()
+    core_out_path = Path(args.core_out).resolve()
     # Never report a previous run's metrics as this run's.
     out_path.unlink(missing_ok=True)
     tune_out_path.unlink(missing_ok=True)
+    core_out_path.unlink(missing_ok=True)
     failures = 0
     for path in files:
-        ok, elapsed, detail = run_benchmark(path, out_path, tune_out_path, args.timeout)
+        ok, elapsed, detail = run_benchmark(
+            path, out_path, tune_out_path, core_out_path, args.timeout
+        )
         status = "ok" if ok else "FAIL"
         print(f"  {path.name:<34} {status:<5} {elapsed:6.1f}s", flush=True)
         if not ok:
@@ -136,6 +155,17 @@ def main(argv: list[str] | None = None) -> int:
             f"(speedup {metrics['speedup']:.2f}x)  "
             f"warm cache {metrics['warm_cache_s']:.2f}s "
             f"({metrics['warm_cache_hits']} hits)"
+        )
+    if core_out_path.exists():
+        metrics = json.loads(core_out_path.read_text())
+        print(f"\ncore-compute metrics -> {core_out_path}")
+        print(
+            f"  inference {metrics['tape_free_fwd_per_s']:.0f} fwd/s tape-free "
+            f"vs {metrics['taped_fwd_per_s']:.0f} taped "
+            f"(speedup {metrics['inference_speedup']:.2f}x)  "
+            f"epoch {metrics['epoch_fast_s'] * 1000:.0f}ms fast "
+            f"vs {metrics['epoch_legacy_s'] * 1000:.0f}ms legacy "
+            f"(speedup {metrics['epoch_speedup']:.2f}x)"
         )
     return 1 if failures else 0
 
