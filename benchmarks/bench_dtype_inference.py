@@ -1,0 +1,164 @@
+"""Float32 inference mode vs float64: throughput for bounded divergence.
+
+The dtype policy (:mod:`repro.tensor.backend`) lets serving trade precision
+for throughput without touching application code: the same artifact served
+through ``Endpoint(..., dtype="float32")`` runs every forward in single
+precision.  This bench measures what the trade buys on the factoid workload
+and what it costs:
+
+* **throughput** — tape-free forward passes/second for the same compiled
+  model in float64 vs float32 (both under ``no_grad``, so this isolates
+  the dtype's effect on the numpy arithmetic);
+* **divergence** — max absolute difference between the two precisions'
+  task probabilities, and whether any hard prediction flips.
+
+Shape target: float32 >= 1.2x float64 forward throughput with probability
+divergence <= 1e-4.  When ``BENCH_DTYPE_JSON`` is set (the
+``tools/run_benchmarks.py`` driver does this) the metrics are written there
+as the repo's dtype perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core import ModelConfig, PayloadConfig, TrainerConfig
+from repro.data import EncodedDataset
+from repro.model.compiler import compile_model
+from repro.tensor import dtype_policy, no_grad
+
+from benchmarks.bench_core_hotpaths import _workload
+from benchmarks.conftest import print_table
+
+N_RECORDS = 256
+INFER_BATCH = 64
+INFER_REPS = 30
+# Wide enough that the recurrent matmuls are FLOP-bound, where single
+# precision actually pays; tiny models are python-overhead-bound and show
+# no dtype effect.
+HIDDEN = 128
+
+
+def _dtype_config(dtype: str, size: int = HIDDEN, encoder: str = "lstm") -> ModelConfig:
+    return ModelConfig(
+        payloads={
+            "tokens": PayloadConfig(encoder=encoder, size=size),
+            "query": PayloadConfig(size=size),
+            "entities": PayloadConfig(size=size),
+        },
+        trainer=TrainerConfig(batch_size=INFER_BATCH, lr=0.05),
+        dtype=dtype,
+    )
+
+
+def _compile_for(app, dataset, dtype: str, size: int, encoder: str):
+    vocabs = dataset.build_vocabs()
+    config = _dtype_config(dtype, size=size, encoder=encoder)
+    model = compile_model(
+        app.schema,
+        config,
+        vocabs,
+        slice_names=app.slices.names,
+        registry=app.registry,
+        seed=7,
+    )
+    model.eval()
+    return model, vocabs
+
+
+def run_dtype_inference(
+    n_records: int = N_RECORDS,
+    reps: int = INFER_REPS,
+    size: int = HIDDEN,
+    encoder: str = "lstm",
+) -> dict:
+    """Measure float64 vs float32 tape-free forward throughput + divergence."""
+    app, dataset = _workload(n_records, extra_tokens=24)
+    models = {}
+    for dtype in ("float64", "float32"):
+        model, vocabs = _compile_for(app, dataset, dtype, size, encoder)
+        # Both models encode their own batch under their own policy, exactly
+        # as Endpoint.encode_requests does in production.
+        with dtype_policy(dtype):
+            encoded = EncodedDataset(dataset.records, app.schema, vocabs)
+        batch = encoded.batch(np.arange(min(INFER_BATCH, len(encoded))))
+        models[dtype] = (model, batch)
+
+    outputs = {}
+    timings = {}
+    for dtype, (model, batch) in models.items():
+        with no_grad():
+            outputs[dtype] = model.predict(batch)  # warm numpy/BLAS caches
+            start = time.perf_counter()
+            for _ in range(reps):
+                model.forward(batch)
+            timings[dtype] = time.perf_counter() - start
+
+    max_divergence = 0.0
+    prediction_flips = 0
+    for name in outputs["float64"]:
+        p64 = np.asarray(outputs["float64"][name].probs, dtype=float)
+        p32 = np.asarray(outputs["float32"][name].probs, dtype=float)
+        assert outputs["float32"][name].probs.dtype == np.dtype("float32"), name
+        max_divergence = max(max_divergence, float(np.abs(p64 - p32).max()))
+        prediction_flips += int(
+            (outputs["float64"][name].predictions != outputs["float32"][name].predictions).sum()
+        )
+
+    return {
+        "encoder": encoder,
+        "hidden": size,
+        "forward_batch": int(models["float64"][1].size),
+        "reps": reps,
+        "float64_s": timings["float64"],
+        "float32_s": timings["float32"],
+        "float64_fwd_per_s": reps / timings["float64"],
+        "float32_fwd_per_s": reps / timings["float32"],
+        "dtype_speedup": timings["float64"] / timings["float32"],
+        "max_divergence": max_divergence,
+        "prediction_flips": prediction_flips,
+    }
+
+
+def run_dtype_bench(reduced: bool = False) -> dict:
+    """Run the measurement; ``reduced`` mode just exercises the wiring."""
+    if reduced:
+        metrics = run_dtype_inference(n_records=40, reps=2, size=32)
+    else:
+        metrics = run_dtype_inference()
+    out_path = os.environ.get("BENCH_DTYPE_JSON")
+    if out_path and not reduced:
+        # Round timings for readability but keep the divergence exact — a
+        # ~1e-8 divergence rounded to 0.0 would misreport the trade.
+        rounded = {
+            k: round(v, 6) if isinstance(v, float) and k != "max_divergence" else v
+            for k, v in metrics.items()
+        }
+        with open(out_path, "w") as fh:
+            json.dump(rounded, fh, indent=2)
+    return metrics
+
+
+def test_dtype_inference(benchmark):
+    metrics = benchmark.pedantic(run_dtype_bench, rounds=1, iterations=1)
+    print_table(
+        "Dtype inference",
+        {
+            "path": [
+                f"forward ({metrics['encoder']}, hidden {metrics['hidden']}, "
+                f"batch {metrics['forward_batch']})"
+            ],
+            "float64": [f"{metrics['float64_fwd_per_s']:.1f} fwd/s"],
+            "float32": [f"{metrics['float32_fwd_per_s']:.1f} fwd/s"],
+            "speedup": [f"{metrics['dtype_speedup']:.2f}x"],
+            "divergence": [f"{metrics['max_divergence']:.2e}"],
+        },
+    )
+    # The shape of the trade: visibly faster, numerically bounded.
+    assert metrics["dtype_speedup"] >= 1.2, metrics
+    assert metrics["max_divergence"] <= 1e-4, metrics
+    assert metrics["prediction_flips"] == 0, metrics

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.data.batching import encode_inputs
 from repro.data.record import Record
 from repro.errors import DeploymentError
-from repro.tensor import no_grad
+from repro.tensor import dtype_policy, no_grad, resolve_dtype
 
 if TYPE_CHECKING:
     from repro.deploy.artifact import ModelArtifact
@@ -45,6 +45,14 @@ class Endpoint:
     ``micro_batch_size`` caps the model batch; ``None`` serves each request
     list as one batch.  ``strict`` controls whether *missing* signature
     inputs are rejected (unknown fields are always rejected).
+
+    ``dtype`` overrides the artifact's serving precision: ``"float32"``
+    casts the restored model's parameters once at load time and scopes
+    every encode/forward in the matching
+    :func:`~repro.tensor.dtype_policy`, trading a bounded prediction
+    divergence (~1e-7 on the bench workload) for forward throughput.
+    ``None`` (the default) restores exactly the precision the artifact's
+    config was compiled with.  The override survives :meth:`refresh`.
     """
 
     def __init__(
@@ -53,11 +61,13 @@ class Endpoint:
         constraints=None,
         micro_batch_size: int | None = 32,
         strict: bool = True,
+        dtype: str | None = None,
     ) -> None:
         if micro_batch_size is not None and micro_batch_size <= 0:
             raise DeploymentError("micro_batch_size must be positive (or None)")
         self.micro_batch_size = micro_batch_size
         self.strict = strict
+        self._dtype_override = resolve_dtype(dtype) if dtype is not None else None
         self._constraints = constraints
         # Store bookkeeping (populated by from_store).
         self._store: "ModelStore | None" = None
@@ -70,15 +80,40 @@ class Endpoint:
         self._load_artifact(artifact)
 
     def _load_artifact(self, artifact: "ModelArtifact") -> None:
+        # Build and cast before publishing, and publish the model before
+        # the artifact: a predict racing a refresh() must never observe a
+        # half-cast model, nor a *new* vocab paired with the *old* model
+        # (new ids could overrun the old embedding tables — the reverse
+        # pairing only under-uses the new tables).  True atomicity across
+        # a batch is the serving layer's job (``Replica.lock``).
+        model = artifact.build_model()
+        if self._dtype_override is not None:
+            model.to_dtype(self._dtype_override)
+        self._model = model
+        self._schema = artifact.schema
         self.artifact = artifact
         self.signature = artifact.signature
-        self._model = artifact.build_model()
-        self._schema = artifact.schema
 
     @property
     def store(self) -> "ModelStore | None":
         """The backing model store, if built via :meth:`from_store`."""
         return self._store
+
+    @property
+    def dtype_name(self) -> str:
+        """The dtype this endpoint serves in (``"float64"``/``"float32"``)."""
+        return self._model.dtype.name
+
+    @property
+    def dtype_override(self) -> str | None:
+        """The constructor's dtype override, or ``None`` (artifact dtype).
+
+        Distinct from :attr:`dtype_name`: an endpoint serving a
+        float32-compiled artifact has ``dtype_name == "float32"`` but no
+        override.  ``ReplicaPool`` reads this to give candidate replicas
+        the same precision as their stable tier.
+        """
+        return self._dtype_override.name if self._dtype_override is not None else None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -220,9 +255,15 @@ class Endpoint:
     def encode_requests(
         self, payloads: Sequence[dict[str, Any]]
     ) -> tuple[list[Record], dict]:
-        """Turn validated payloads into records + one encoded model batch."""
+        """Turn validated payloads into records + one encoded model batch.
+
+        Encoding runs under the model's dtype policy so float batch arrays
+        (masks, raw features) are born in the serving dtype instead of
+        being cast on every forward.
+        """
         records = [self._to_record(p) for p in payloads]
-        batch = encode_inputs(records, self._schema, self.artifact.vocabs)
+        with dtype_policy(self._model.dtype):
+            batch = encode_inputs(records, self._schema, self.artifact.vocabs)
         return records, batch
 
     def forward_encoded(

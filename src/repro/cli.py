@@ -186,10 +186,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ServingGateway,
     )
 
+    dtype = args.dtype or None
     if args.artifact:
-        pool = ReplicaPool.from_endpoint(_Endpoint.from_directory(args.artifact))
+        pool = ReplicaPool.from_endpoint(
+            _Endpoint.from_directory(args.artifact, dtype=dtype)
+        )
     elif args.store and args.model:
-        pool = ReplicaPool.from_store(ModelStore(args.store), args.model)
+        pool = ReplicaPool.from_store(ModelStore(args.store), args.model, dtype=dtype)
     else:
         raise ReproError("provide --artifact DIR, or --store DIR with --model NAME")
 
@@ -334,6 +337,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", default="", help="model store root directory")
     p.add_argument("--model", default="", help="model name in the store")
     p.add_argument("--artifact", default="", help="serve one artifact directory")
+    p.add_argument(
+        "--dtype",
+        default="",
+        choices=["", "float32", "float64"],
+        help="serving precision override (float32 = fast inference mode)",
+    )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080, help="0 picks a free port")
     p.add_argument(

@@ -83,10 +83,18 @@ class TrainerConfig:
 
 @dataclass(frozen=True)
 class ModelConfig:
-    """One fully concrete candidate: per-payload choices + trainer."""
+    """One fully concrete candidate: per-payload choices + trainer + dtype.
+
+    ``dtype`` is the float precision the compiler stamps into the model —
+    ``"float64"`` (the default, bit-identical to the pre-policy stack) or
+    ``"float32"``.  It is a *model* decision, not a payload or trainer one:
+    every parameter, activation, and loss of the compiled model lives in
+    this dtype (see :mod:`repro.tensor.backend`).
+    """
 
     payloads: dict[str, PayloadConfig] = field(default_factory=dict)
     trainer: TrainerConfig = field(default_factory=TrainerConfig)
+    dtype: str = "float64"
 
     def for_payload(self, name: str) -> PayloadConfig:
         return self.payloads.get(name, PayloadConfig())
@@ -95,6 +103,7 @@ class ModelConfig:
         return {
             "payloads": {k: v.to_dict() for k, v in self.payloads.items()},
             "trainer": self.trainer.to_dict(),
+            "dtype": self.dtype,
         }
 
     @classmethod
@@ -104,6 +113,7 @@ class ModelConfig:
                 k: PayloadConfig.from_dict(v) for k, v in spec.get("payloads", {}).items()
             },
             trainer=TrainerConfig.from_dict(spec.get("trainer", {})),
+            dtype=spec.get("dtype", "float64"),
         )
 
     def to_json(self) -> str:

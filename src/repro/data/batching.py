@@ -17,6 +17,7 @@ from repro.core.schema_def import Schema
 from repro.data.record import Record
 from repro.data.vocab import Vocab
 from repro.errors import DataError
+from repro.tensor.backend import default_dtype
 
 
 @dataclass
@@ -61,6 +62,9 @@ def encode_inputs(
         indices = np.arange(len(records))
     batch = Batch(indices=np.asarray(indices))
     n = len(records)
+    # Float inputs (masks, raw features) follow the dtype policy; id/index
+    # arrays are *always* integer — the policy must never touch them.
+    dtype = default_dtype()
 
     for payload in schema.payloads:
         if payload.base:
@@ -83,9 +87,9 @@ def encode_inputs(
                 valid = np.arange(length) < lengths[:, None]
                 if lengths.any():
                     ids[valid] = vocab.ids_flat(token_lists)
-                mask = valid.astype(np.float64)
+                mask = valid.astype(dtype)
             else:
-                mask = np.zeros((n, length), dtype=np.float64)
+                mask = np.zeros((n, length), dtype=dtype)
             inputs.ids = ids
             inputs.mask = mask
         elif payload.type == "set":
@@ -93,7 +97,7 @@ def encode_inputs(
             m = payload.max_members or 0
             member_ids = np.zeros((n, m), dtype=np.int64)
             spans = np.zeros((n, m, 2), dtype=np.int64)
-            member_mask = np.zeros((n, m), dtype=np.float64)
+            member_mask = np.zeros((n, m), dtype=dtype)
             range_payload = schema.payload(payload.range) if payload.range else None
             max_pos = range_payload.max_length if range_payload else None
             for i, record in enumerate(records):
@@ -111,11 +115,11 @@ def encode_inputs(
             inputs.spans = spans
             inputs.member_mask = member_mask
         elif payload.type == "singleton" and payload.dim is not None:
-            features = np.zeros((n, payload.dim), dtype=np.float64)
+            features = np.zeros((n, payload.dim), dtype=dtype)
             for i, record in enumerate(records):
                 value = record.payloads.get(payload.name)
                 if value is not None:
-                    features[i] = np.asarray(value, dtype=np.float64)
+                    features[i] = np.asarray(value, dtype=dtype)
             inputs.features = features
         batch.payloads[payload.name] = inputs
     return batch
@@ -196,9 +200,10 @@ def extract_targets(
         return {"labels": labels, "valid": valid}
 
     if task.type == "bitvector":
+        dtype = default_dtype()
         if payload.type == "sequence":
             length = payload.max_length or 0
-            labels = np.zeros((n, length, k), dtype=np.float64)
+            labels = np.zeros((n, length, k), dtype=dtype)
             valid = np.zeros((n, length), dtype=bool)
             for i, record in enumerate(records):
                 value = record.label_from(task_name, source)
@@ -211,7 +216,7 @@ def extract_targets(
                     for cls_name in item:
                         labels[i, t, task.class_index(cls_name)] = 1.0
             return {"labels": labels, "valid": valid}
-        labels = np.zeros((n, k), dtype=np.float64)
+        labels = np.zeros((n, k), dtype=dtype)
         valid = np.zeros(n, dtype=bool)
         for i, record in enumerate(records):
             value = record.label_from(task_name, source)

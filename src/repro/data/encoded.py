@@ -33,16 +33,20 @@ from repro.core.schema_def import Schema
 from repro.data.batching import Batch, PayloadInputs, encode_inputs, extract_targets
 from repro.data.record import Record
 from repro.data.vocab import Vocab
+from repro.tensor.backend import default_dtype
 
 
 def encoding_fingerprint(schema: Schema, vocabs: dict[str, Vocab]) -> str:
     """A stable digest of everything that shapes encoded arrays.
 
     Covers each payload's structural fields (type, widths, range/base
-    wiring) and each vocab's size — vocabs are append-only, so length pins
-    the id assignment.
+    wiring), each vocab's size — vocabs are append-only, so length pins
+    the id assignment — and the active dtype policy, since the float
+    arrays a cache built under float64 are not the arrays a float32
+    consumer expects.
     """
     spec = {
+        "dtype": default_dtype().name,
         "payloads": [
             {
                 "name": p.name,

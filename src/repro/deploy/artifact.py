@@ -65,6 +65,7 @@ class ModelArtifact:
             "embedding_dims": embedding_dims,
             "slices": list(model.slice_names),
             "num_parameters": model.num_parameters(),
+            "dtype": getattr(model, "dtype", np.dtype("float64")).name,
             "metrics": metrics or {},
         }
         metadata.update(extra_metadata or {})

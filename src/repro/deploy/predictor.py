@@ -28,14 +28,20 @@ class Predictor(Endpoint):
     as on :class:`repro.api.Endpoint`.
     """
 
-    def __init__(self, artifact: ModelArtifact, constraints=None) -> None:
+    def __init__(
+        self, artifact: ModelArtifact, constraints=None, dtype: str | None = None
+    ) -> None:
         super().__init__(
-            artifact, constraints=constraints, micro_batch_size=None, strict=False
+            artifact,
+            constraints=constraints,
+            micro_batch_size=None,
+            strict=False,
+            dtype=dtype,
         )
 
     @classmethod
-    def from_directory(cls, directory, constraints=None) -> "Predictor":
-        return cls(ModelArtifact.load(directory), constraints=constraints)
+    def from_directory(cls, directory, constraints=None, dtype: str | None = None) -> "Predictor":
+        return cls(ModelArtifact.load(directory), constraints=constraints, dtype=dtype)
 
 
 def predictions_match(

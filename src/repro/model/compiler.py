@@ -17,6 +17,7 @@ from repro.data.vocab import Vocab
 from repro.errors import CompilationError
 from repro.model.embeddings_registry import EmbeddingRegistry
 from repro.model.multitask import MultitaskModel
+from repro.tensor.backend import supported_dtypes
 
 
 def compile_model(
@@ -61,6 +62,11 @@ def _validate(
     vocabs: dict[str, Vocab],
     registry: EmbeddingRegistry,
 ) -> None:
+    if config.dtype not in supported_dtypes():
+        raise CompilationError(
+            f"tuning config dtype {config.dtype!r} is not supported; "
+            f"choices: {supported_dtypes()}"
+        )
     known_payloads = set(schema.payload_names)
     for name in config.payloads:
         if name not in known_payloads:

@@ -28,7 +28,7 @@ from repro.model.task_heads import (
     build_task_head,
 )
 from repro.nn import Module
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor, dtype_policy, no_grad, resolve_dtype
 
 
 class MultitaskModel(Module):
@@ -50,6 +50,22 @@ class MultitaskModel(Module):
         registry = registry or EmbeddingRegistry()
         rng = np.random.default_rng(seed)
 
+        # The compiler stamps the config's dtype into the model: every
+        # parameter below is created under this policy, and forward/loss
+        # scope themselves in it so raw numpy inputs coerce to match.
+        self.dtype = resolve_dtype(config.dtype)
+        with dtype_policy(self.dtype):
+            self._build(schema, config, vocabs, registry, rng)
+
+    def _build(
+        self,
+        schema: Schema,
+        config: ModelConfig,
+        vocabs: dict[str, Vocab],
+        registry: EmbeddingRegistry,
+        rng: np.random.Generator,
+    ) -> None:
+        """Construct encoders and heads (runs under the model's dtype)."""
         self.encoders: dict[str, Module] = {}
         sizes: dict[str, int] = {}
         for payload in schema.topological_payload_order():
@@ -145,20 +161,27 @@ class MultitaskModel(Module):
         return reps, masks
 
     def forward(self, batch: Batch) -> dict[str, TaskOutput]:
-        """Predict every task for ``batch``."""
-        reps, masks = self.encode_payloads(batch)
-        outputs: dict[str, TaskOutput] = {}
-        for task in self.schema.tasks:
-            rep = reps[task.payload]
-            mask = masks.get(task.payload)
-            context_name = self._select_context.get(task.name)
-            if context_name is not None:
-                outputs[task.name] = self.heads[task.name](
-                    rep, mask, context=reps[context_name]
-                )
-            else:
-                outputs[task.name] = self.heads[task.name](rep, mask)
-        return outputs
+        """Predict every task for ``batch``.
+
+        Runs under the model's :func:`~repro.tensor.dtype_policy`, so any
+        float input that enters the tensor layer (masks, features, span
+        weights) is coerced to the compiled dtype — a float32 model never
+        silently upcasts its activations through a float64 batch array.
+        """
+        with dtype_policy(self.dtype):
+            reps, masks = self.encode_payloads(batch)
+            outputs: dict[str, TaskOutput] = {}
+            for task in self.schema.tasks:
+                rep = reps[task.payload]
+                mask = masks.get(task.payload)
+                context_name = self._select_context.get(task.name)
+                if context_name is not None:
+                    outputs[task.name] = self.heads[task.name](
+                        rep, mask, context=reps[context_name]
+                    )
+                else:
+                    outputs[task.name] = self.heads[task.name](rep, mask)
+            return outputs
 
     # ------------------------------------------------------------------
     # Loss
@@ -173,17 +196,18 @@ class MultitaskModel(Module):
         """Sum of per-task noise-aware losses over the tasks in ``targets``."""
         if not targets:
             raise TrainingError("compute_loss needs at least one task's targets")
-        total: Tensor | None = None
-        for task_name, task_targets in targets.items():
-            if task_name not in outputs:
-                raise TrainingError(f"no output for task {task_name!r}")
-            head = self.heads[task_name]
-            term = head.loss(outputs[task_name], task_targets, slice_weight)
-            weight = (task_weights or {}).get(task_name, 1.0)
-            term = term * weight
-            total = term if total is None else total + term
-        assert total is not None
-        return total
+        with dtype_policy(self.dtype):
+            total: Tensor | None = None
+            for task_name, task_targets in targets.items():
+                if task_name not in outputs:
+                    raise TrainingError(f"no output for task {task_name!r}")
+                head = self.heads[task_name]
+                term = head.loss(outputs[task_name], task_targets, slice_weight)
+                weight = (task_weights or {}).get(task_name, 1.0)
+                term = term * weight
+                total = term if total is None else total + term
+            assert total is not None
+            return total
 
     def predict(self, batch: Batch) -> dict[str, TaskOutput]:
         """Inference-mode forward pass: eval mode *and* tape-free.
@@ -202,6 +226,25 @@ class MultitaskModel(Module):
             if was_training:
                 self.train()
 
+    def to_dtype(self, dtype) -> "MultitaskModel":
+        """Cast parameters *and* the model's forward/loss policy to ``dtype``.
+
+        This is the serving-time precision override (``Endpoint(...,
+        dtype="float32")``): unlike :meth:`Module.to_dtype` it also moves
+        the dtype the forward pass scopes itself in, so inputs keep
+        coercing to match the freshly-cast parameters.  ``self.config``
+        follows too — an artifact built from a cast model must recompile
+        in the dtype it actually serves in.
+        """
+        import dataclasses
+
+        resolved = resolve_dtype(dtype)
+        super().to_dtype(resolved)
+        self.dtype = resolved
+        if self.config.dtype != resolved.name:
+            self.config = dataclasses.replace(self.config, dtype=resolved.name)
+        return self
+
     def describe(self) -> dict:
         """Summary used in artifact metadata and monitoring."""
         return {
@@ -209,5 +252,6 @@ class MultitaskModel(Module):
             "num_parameters": self.num_parameters(),
             "slices": list(self.slice_names),
             "tasks": self.schema.task_names,
+            "dtype": self.dtype.name,
             "config": self.config.to_dict(),
         }

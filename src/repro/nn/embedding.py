@@ -45,7 +45,9 @@ class Embedding(Module):
     ) -> None:
         super().__init__()
         if pretrained is not None:
-            table = np.asarray(pretrained, dtype=np.float64)
+            from repro.tensor.backend import default_dtype
+
+            table = np.asarray(pretrained, dtype=default_dtype())
             if table.shape != (vocab_size, dim):
                 raise ShapeError(
                     f"pretrained table shape {table.shape} != ({vocab_size}, {dim})"

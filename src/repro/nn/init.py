@@ -3,34 +3,41 @@
 All initializers take an explicit ``numpy.random.Generator`` so model
 compilation is fully reproducible from a seed — a requirement for the tuning
 controller's trial comparisons to be meaningful.
+
+Draws always come off the generator's float64 stream and are then cast to
+the active dtype policy (:mod:`repro.tensor.backend`): a float32-compiled
+model starts from the *same* numbers as its float64 twin, rounded once —
+so cross-dtype trial comparisons stay apples-to-apples.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor.backend import default_dtype
+
 
 def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """Glorot/Xavier uniform: good default for tanh/sigmoid layers."""
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(default_dtype(), copy=False)
 
 
 def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """He uniform: good default for ReLU layers."""
     fan_in, _ = _fans(shape)
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(default_dtype(), copy=False)
 
 
 def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
     """Small-std normal init, used for embeddings."""
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(default_dtype(), copy=False)
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=default_dtype())
 
 
 def orthogonal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
@@ -43,7 +50,7 @@ def orthogonal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     if q.shape[0] < shape[0] or q.shape[1] < shape[1]:
         # QR gave the transposed economy shape; transpose to fit.
         q = q.T[: shape[0], : shape[1]]
-    return q
+    return q.astype(default_dtype(), copy=False)
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

@@ -72,6 +72,25 @@ class Module:
         for p in self.parameters():
             p.zero_grad()
 
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter to ``dtype`` in place; returns ``self``.
+
+        Same-dtype casts are free; live gradients and parked gradient
+        buffers are dropped so a stale-dtype buffer can never be revived
+        by the next backward pass.  (Optimizers re-align their own moment
+        buffers lazily on the next ``step()``.)
+        """
+        from repro.tensor.backend import active_backend, resolve_dtype
+
+        backend = active_backend()
+        resolved = resolve_dtype(dtype)
+        for p in self.parameters():
+            if p.data.dtype != resolved:
+                p.data = backend.cast(p.data, resolved)
+                p.grad = None
+                p._grad_buffer = None
+        return self
+
     # ------------------------------------------------------------------
     # Train / eval mode
     # ------------------------------------------------------------------
@@ -111,7 +130,12 @@ class Module:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameters in-place; names and shapes must match exactly."""
+        """Load parameters in-place; names and shapes must match exactly.
+
+        Stored values are cast to each parameter's *current* dtype, so a
+        float32-compiled model loads a float64 artifact (and vice versa)
+        without the state dict dictating precision.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -121,7 +145,7 @@ class Module:
                 f"unexpected={sorted(unexpected)}"
             )
         for name, p in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=p.data.dtype)
             if value.shape != p.data.shape:
                 raise DeploymentError(
                     f"shape mismatch for {name}: artifact {value.shape} vs "

@@ -19,7 +19,7 @@ class MeanPooling(Module):
     def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
         if mask is None:
             return x.mean(axis=1)
-        m = np.asarray(mask, dtype=np.float64)
+        m = np.asarray(mask, dtype=x.data.dtype)
         counts = np.maximum(m.sum(axis=1, keepdims=True), 1.0)
         weighted = x * Tensor(m[:, :, None])
         return weighted.sum(axis=1) / Tensor(counts)

@@ -54,8 +54,10 @@ class LSTM(Module):
             return Tensor._wrap(self._forward_tape_free(x.data, mask), "lstm")
         batch, time, _ = x.shape
         d = self.hidden_dim
-        h = Tensor(np.zeros((batch, d)))
-        c = Tensor(np.zeros((batch, d)))
+        # Initial states adopt the weights' dtype so a float32-compiled model
+        # never upcasts its whole unroll through a float64 zero state.
+        h = Tensor(np.zeros((batch, d), dtype=self.w_x.data.dtype))
+        c = Tensor(np.zeros((batch, d), dtype=self.w_x.data.dtype))
         # All step masks in one pass: a single (B, T, 1) boolean array whose
         # time slices broadcast against (B, d) states, instead of a per-step
         # astype + broadcast_to inside the loop.
@@ -84,8 +86,8 @@ class LSTM(Module):
         batch, time, _ = x.shape
         d = self.hidden_dim
         w_x, w_h, bias = self.w_x.data, self.w_h.data, self.bias.data
-        h = np.zeros((batch, d))
-        c = np.zeros((batch, d))
+        h = np.zeros((batch, d), dtype=w_x.dtype)
+        c = np.zeros((batch, d), dtype=w_x.dtype)
         step_masks = mask.astype(bool)[:, :, None] if mask is not None else None
         outputs = []
         for t in range(time):
@@ -126,7 +128,7 @@ class GRU(Module):
             return Tensor._wrap(self._forward_tape_free(x.data, mask), "gru")
         batch, time, _ = x.shape
         d = self.hidden_dim
-        h = Tensor(np.zeros((batch, d)))
+        h = Tensor(np.zeros((batch, d), dtype=self.w_x.data.dtype))
         step_masks = mask.astype(bool)[:, :, None] if mask is not None else None
         outputs: list[Tensor] = []
         for t in range(time):
@@ -149,7 +151,7 @@ class GRU(Module):
         batch, time, _ = x.shape
         d = self.hidden_dim
         w_x, w_h, bias = self.w_x.data, self.w_h.data, self.bias.data
-        h = np.zeros((batch, d))
+        h = np.zeros((batch, d), dtype=w_x.dtype)
         step_masks = mask.astype(bool)[:, :, None] if mask is not None else None
         outputs = []
         for t in range(time):

@@ -48,9 +48,10 @@ class Adam(Optimizer):
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.params, self._m, self._v):
+        for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
+            m, v = self._realigned_state(i, p, self._m, self._v)
             grad = p.grad
             if isinstance(grad, SparseRowGrad):
                 if self.weight_decay and not self.decoupled:

@@ -26,6 +26,23 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def _realigned_state(self, i: int, p: Parameter, *stores: list) -> tuple:
+        """Per-parameter state buffers, re-cast if the parameter was.
+
+        ``Module.to_dtype`` can change a parameter's dtype after the
+        optimizer allocated its moment/velocity buffers; a float64 buffer
+        would then promote every update and silently revert the cast on
+        the first ``step()``.  Each ``stores[k][i]`` is cast (in the
+        store, so the fix sticks) to ``p``'s dtype when they disagree.
+        """
+        out = []
+        for store in stores:
+            buf = store[i]
+            if buf.dtype != p.data.dtype:
+                buf = store[i] = buf.astype(p.data.dtype)
+            out.append(buf)
+        return tuple(out)
+
     def zero_grad(self) -> None:
         """Clear gradients for the next step, keeping dense buffers parked.
 

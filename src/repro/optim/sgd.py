@@ -35,9 +35,10 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.params]
 
     def step(self) -> None:
-        for p, v in zip(self.params, self._velocity):
+        for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
+            (v,) = self._realigned_state(i, p, self._velocity)
             grad = p.grad
             if isinstance(grad, SparseRowGrad):
                 if self.weight_decay:

@@ -237,6 +237,7 @@ class ServingGateway:
             "telemetry": snapshot.to_dict(),
             "rollout": self.rollout.status().to_dict(),
             "versions": self.pool.versions(),
+            "dtypes": self.pool.dtypes(),
             "tier_order": self.pool.tier_order,
             "latency_estimates_s": {
                 tier: self.pool.latency_estimate(tier)
@@ -320,6 +321,7 @@ class ServingGateway:
                             latency_s=now - item.enqueued_at,
                             batch_size=len(batch),
                             ok=False,
+                            dtype=lane.replica.endpoint.dtype_name,
                         )
                     )
                     item.future.set_exception(exc)
@@ -336,6 +338,7 @@ class ServingGateway:
                         role=lane.role,
                         latency_s=now - item.enqueued_at,
                         batch_size=len(batch),
+                        dtype=lane.replica.endpoint.dtype_name,
                     ),
                     payload=item.payload if lane.role != "shadow" else None,
                 )

@@ -107,6 +107,7 @@ def _make_handler(gateway: ServingGateway) -> type[BaseHTTPRequestHandler]:
                         "status": "ok",
                         "uptime_s": time.monotonic() - gateway.started_at,
                         "versions": gateway.pool.versions(),
+                        "dtypes": gateway.pool.dtypes(),
                         "tier_order": gateway.pool.tier_order,
                     },
                 )

@@ -79,9 +79,24 @@ class ReplicaPool:
         tier_order: Sequence[str] | None = None,
         store: "ModelStore | None" = None,
         store_names: Mapping[str, str] | None = None,
+        dtype: str | None = None,
     ) -> None:
         if not tiers:
             raise ServeError("a replica pool needs at least one tier")
+        # Serving precision for candidate replicas this pool creates later
+        # (canary/shadow must run in the same dtype as the stable tier they
+        # are compared against).  When not given explicitly it is derived
+        # from the stable endpoints' own dtype override, so directly
+        # constructed pools keep the invariant too.
+        if dtype is None:
+            overrides = {
+                e.dtype_override
+                for e in tiers.values()
+                if e.dtype_override is not None
+            }
+            if len(overrides) == 1:
+                dtype = overrides.pop()
+        self._dtype = dtype
         self._replicas: dict[tuple[str, str], Replica] = {
             (tier, STABLE): Replica(tier, STABLE, endpoint)
             for tier, endpoint in tiers.items()
@@ -108,7 +123,13 @@ class ReplicaPool:
     # ------------------------------------------------------------------
     @classmethod
     def from_endpoint(cls, endpoint: Endpoint, tier: str = "default") -> "ReplicaPool":
-        """A single-tier pool over one endpoint (store-backed or not)."""
+        """A single-tier pool over one endpoint (store-backed or not).
+
+        The endpoint's dtype override (if any) carries over to the pool
+        (derived in ``__init__``) so candidate replicas created later
+        serve in the same precision as the stable tier they are compared
+        against.
+        """
         store_names = {}
         if endpoint.model_name is not None:
             store_names[tier] = endpoint.model_name
@@ -120,6 +141,7 @@ class ReplicaPool:
         store: "ModelStore",
         name: str,
         tiers: Sequence[str] | None = None,
+        dtype: str | None = None,
     ) -> "ReplicaPool":
         """Serve a stored model, resolving large/small synchronized pairs.
 
@@ -127,6 +149,8 @@ class ReplicaPool:
         layout (``<name>/large`` + ``<name>/small``, as written by
         :func:`repro.deploy.sync.push_pair`); if neither half exists the
         model is served as a single ``default`` tier under ``name``.
+        ``dtype`` sets every tier's serving precision (e.g. ``"float32"``
+        inference mode); ``None`` keeps each artifact's compiled dtype.
         """
         if tiers is None:
             found = []
@@ -142,10 +166,10 @@ class ReplicaPool:
         else:
             store_names = {tier: f"{name}/{tier}" for tier in tiers}
         endpoints = {
-            tier: Endpoint.from_store(store, store_name)
+            tier: Endpoint.from_store(store, store_name, dtype=dtype)
             for tier, store_name in store_names.items()
         }
-        return cls(endpoints, store=store, store_names=store_names)
+        return cls(endpoints, store=store, store_names=store_names, dtype=dtype)
 
     # ------------------------------------------------------------------
     # Tier routing
@@ -235,7 +259,10 @@ class ReplicaPool:
         with self._lock:
             for tier, version in versions.items():
                 endpoint = Endpoint.from_store(
-                    store, self._store_names[tier], version=version
+                    store,
+                    self._store_names[tier],
+                    version=version,
+                    dtype=self._dtype,
                 )
                 self._replicas[(tier, CANDIDATE)] = Replica(
                     tier, CANDIDATE, endpoint
@@ -291,3 +318,10 @@ class ReplicaPool:
         for (tier, role), replica in sorted(self._replicas.items()):
             out.setdefault(tier, {})[role] = replica.version
         return out
+
+    def dtypes(self) -> dict[str, str]:
+        """The serving dtype of each tier's stable replica."""
+        return {
+            tier: self.replica(tier, STABLE).endpoint.dtype_name
+            for tier in self.tier_order
+        }

@@ -36,6 +36,7 @@ class RequestEvent:
     latency_s: float  # enqueue -> response, includes queueing time
     batch_size: int
     ok: bool = True
+    dtype: str = "float64"  # the precision the answering replica served in
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,7 @@ class TierStats:
     p95_s: float
     p99_s: float
     mean_batch: float
+    dtype: str = "float64"  # the tier's most recently observed serving dtype
 
     def to_dict(self) -> dict:
         return {
@@ -57,6 +59,7 @@ class TierStats:
             "p95_s": self.p95_s,
             "p99_s": self.p99_s,
             "mean_batch": self.mean_batch,
+            "dtype": self.dtype,
         }
 
 
@@ -163,6 +166,7 @@ class TelemetryRing:
                 p95_s=float(np.percentile(latencies, 95)),
                 p99_s=float(np.percentile(latencies, 99)),
                 mean_batch=float(np.mean([e.batch_size for e in tier_events])),
+                dtype=tier_events[-1].dtype,
             )
         roles = Counter(e.role for e in events)
         fill = None
@@ -214,6 +218,7 @@ class TelemetryRing:
                         "p95_ms": [s.p95_s * 1000 for s in snap.tiers.values()],
                         "p99_ms": [s.p99_s * 1000 for s in snap.tiers.values()],
                         "mean_batch": [s.mean_batch for s in snap.tiers.values()],
+                        "dtype": [s.dtype for s in snap.tiers.values()],
                     }
                 )
             )

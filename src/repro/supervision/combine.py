@@ -165,12 +165,12 @@ def _fit(matrix, method: str, label_model: LabelModel | None):
         probs = majority_vote(matrix)
         weights = vote_confidence(matrix)
         # Items with any vote train at full weight under majority vote.
-        weights = (weights > 0).astype(np.float64)
+        weights = (weights > 0).astype(float)
         return probs, weights, {}
     model = label_model or LabelModel()
     result = model.fit(matrix)
     confidence = model_confidence(result)
-    voted = (matrix.votes != -1).any(axis=1).astype(np.float64)
+    voted = (matrix.votes != -1).any(axis=1).astype(float)
     weights = confidence * voted
     accuracies = {s: result.accuracy_of(s) for s in result.sources}
     return result.probs, weights, accuracies

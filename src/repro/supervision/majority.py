@@ -28,7 +28,7 @@ def majority_vote(matrix: LabelMatrix) -> np.ndarray:
         if len(present) == 0:
             probs[i] = 1.0 / k
             continue
-        counts = np.bincount(present, minlength=k).astype(np.float64)
+        counts = np.bincount(present, minlength=k).astype(float)
         winners = counts == counts.max()
         probs[i, winners] = 1.0 / winners.sum()
     if matrix.item_cardinality is not None:

@@ -5,6 +5,20 @@ the equivalent differentiable-programming substrate built from scratch so the
 compiler has something real to target in an offline environment.
 """
 
+from repro.tensor.backend import (
+    Backend,
+    NumpyBackend,
+    active_backend,
+    available_backends,
+    default_dtype,
+    dtype_policy,
+    get_backend,
+    register_backend,
+    resolve_dtype,
+    set_active_backend,
+    set_default_dtype,
+    supported_dtypes,
+)
 from repro.tensor.tensor import (
     Tensor,
     tensor,
@@ -35,6 +49,18 @@ from repro.tensor.functional import (
 )
 
 __all__ = [
+    "Backend",
+    "NumpyBackend",
+    "active_backend",
+    "available_backends",
+    "default_dtype",
+    "dtype_policy",
+    "get_backend",
+    "register_backend",
+    "resolve_dtype",
+    "set_active_backend",
+    "set_default_dtype",
+    "supported_dtypes",
     "Tensor",
     "tensor",
     "zeros",

@@ -1,0 +1,235 @@
+"""The pluggable array backend and the thread-local dtype policy.
+
+Every array allocation and coercion in the compute stack routes through
+this module, which owns the two numerical decisions the rest of the system
+must never hard-code:
+
+* **which array library computes** — a :class:`Backend` wraps an
+  array-namespace (``xp``) plus the allocation/coercion primitives the
+  tensor layer calls.  Backends live in a registry; :class:`NumpyBackend`
+  is the default and, today, the only implementation, but the seam is what
+  the ROADMAP's "multi-backend" direction grows through: an alternate
+  backend only has to return array-likes that speak numpy's operator
+  protocol (``+``, ``@``, ``.sum``, fancy indexing, ...), which is exactly
+  what the autodiff ops consume.
+* **which float dtype numbers default to** — a **thread-local dtype
+  policy** replacing the old global ``_FLOAT = np.float64`` constant and
+  the ``dtype=np.float64`` literals that were scattered through
+  ``tensor/``, ``data/``, ``nn/``, and ``model/``.  The paper's premise is
+  that the schema compiler owns every numerical decision; the policy is
+  how that ownership reaches the array layer: the compiler stamps
+  ``ModelConfig.dtype`` into the model, the model scopes its forward/loss
+  in :func:`dtype_policy`, and serving can trade precision for throughput
+  (``Endpoint(..., dtype="float32")``) without touching application code.
+
+The policy is thread-local so a float32 serving lane and a float64
+training loop coexist in one process, exactly like the ``no_grad`` flag.
+The process-wide default stays ``float64``, so code that never touches the
+policy is bit-identical to the pre-backend stack.
+
+Usage::
+
+    from repro.tensor import dtype_policy, set_default_dtype, default_dtype
+
+    with dtype_policy("float32"):
+        t = Tensor([1.0, 2.0])          # float32 storage
+    set_default_dtype("float64")         # this thread, until changed back
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+# The only bare float64 literals in the compute stack live here: this module
+# *defines* what "float64" means for everyone else.
+_DTYPES: dict[str, np.dtype] = {
+    "float32": np.dtype(np.float32),
+    "float64": np.dtype(np.float64),
+}
+
+DEFAULT_DTYPE_NAME = "float64"
+
+
+def supported_dtypes() -> tuple[str, ...]:
+    """The dtype names the policy accepts (``float32``, ``float64``)."""
+    return tuple(sorted(_DTYPES))
+
+
+def resolve_dtype(spec) -> np.dtype:
+    """Normalize a dtype spec (name, numpy dtype/type, or None) to a dtype.
+
+    ``None`` resolves to the calling thread's current default, so call
+    sites can uniformly write ``resolve_dtype(maybe_dtype)``.
+    """
+    if spec is None:
+        return default_dtype()
+    if isinstance(spec, np.dtype):
+        name = spec.name
+    elif isinstance(spec, str):
+        name = spec
+    elif isinstance(spec, type) and issubclass(spec, np.generic):
+        name = np.dtype(spec).name
+    else:
+        raise TypeError(
+            f"cannot resolve dtype from {spec!r}; "
+            f"expected one of {supported_dtypes()} or a numpy float dtype"
+        )
+    try:
+        return _DTYPES[name]
+    except KeyError:
+        raise ValueError(
+            f"unsupported dtype {name!r}; supported: {supported_dtypes()}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class Backend:
+    """The array-provider contract the tensor layer allocates through.
+
+    A backend supplies an array namespace (``xp``) and the small set of
+    allocation/coercion primitives the autodiff engine calls directly.
+    Returned arrays must implement numpy's operator protocol — the ops in
+    :mod:`repro.tensor` apply ``+``/``@``/reductions/fancy indexing to
+    them without knowing which backend produced them.  Subclasses override
+    the primitives (and ``xp``) for their array library.
+    """
+
+    name: str = "abstract"
+    #: The array-function namespace (``numpy`` for the default backend).
+    xp = np
+
+    def asarray(self, value, dtype=None):
+        """Coerce ``value`` to this backend's array type in ``dtype``."""
+        raise NotImplementedError
+
+    def cast(self, array, dtype):
+        """Return ``array`` viewed/converted to ``dtype`` (no-copy if same)."""
+        raise NotImplementedError
+
+    def zeros(self, shape, dtype=None):
+        raise NotImplementedError
+
+    def ones(self, shape, dtype=None):
+        raise NotImplementedError
+
+    def full(self, shape, fill_value, dtype=None):
+        raise NotImplementedError
+
+
+class NumpyBackend(Backend):
+    """The default backend: plain numpy arrays in the policy dtype."""
+
+    name = "numpy"
+    xp = np
+
+    def asarray(self, value, dtype=None):
+        """``np.asarray`` honoring the dtype policy (no copy when aligned)."""
+        return np.asarray(value, dtype=resolve_dtype(dtype))
+
+    def cast(self, array, dtype):
+        """``astype`` with ``copy=False`` so same-dtype casts are free."""
+        return array.astype(resolve_dtype(dtype), copy=False)
+
+    def zeros(self, shape, dtype=None):
+        return np.zeros(shape, dtype=resolve_dtype(dtype))
+
+    def ones(self, shape, dtype=None):
+        return np.ones(shape, dtype=resolve_dtype(dtype))
+
+    def full(self, shape, fill_value, dtype=None):
+        return np.full(shape, fill_value, dtype=resolve_dtype(dtype))
+
+
+_REGISTRY: dict[str, Backend] = {}
+_ACTIVE_NAME = NumpyBackend.name
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Add a backend to the registry (idempotent by name); returns it."""
+    if not backend.name or backend.name == "abstract":
+        raise ValueError("backend must define a concrete name")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a registered backend by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no backend named {name!r}; registered: {available_backends()}"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of every registered backend."""
+    return tuple(sorted(_REGISTRY))
+
+
+def set_active_backend(name: str) -> str:
+    """Select the process-wide active backend; returns the previous name."""
+    global _ACTIVE_NAME
+    get_backend(name)  # validate before switching
+    previous = _ACTIVE_NAME
+    _ACTIVE_NAME = name
+    return previous
+
+
+def active_backend() -> Backend:
+    """The backend the tensor layer currently allocates through."""
+    return _REGISTRY[_ACTIVE_NAME]
+
+
+register_backend(NumpyBackend())
+
+
+# ----------------------------------------------------------------------
+# The dtype policy (thread-local)
+# ----------------------------------------------------------------------
+_PROCESS_DEFAULT = _DTYPES[DEFAULT_DTYPE_NAME]
+_POLICY = threading.local()
+
+
+def default_dtype() -> np.dtype:
+    """The calling thread's default float dtype (process default: float64)."""
+    return getattr(_POLICY, "dtype", _PROCESS_DEFAULT)
+
+
+def set_default_dtype(spec) -> np.dtype:
+    """Set the calling thread's default float dtype; returns the previous.
+
+    Prefer the scoped :func:`dtype_policy` in library code — an unmatched
+    ``set_default_dtype`` leaks the policy to everything else the thread
+    runs afterwards.
+    """
+    previous = default_dtype()
+    _POLICY.dtype = resolve_dtype(spec)
+    return previous
+
+
+class dtype_policy:
+    """Context manager scoping the thread's default float dtype.
+
+    Nesting is safe; the previous dtype is restored on exit even when the
+    body raises.  Like :class:`repro.tensor.no_grad` this is thread-local,
+    so a float32 serving thread never perturbs a float64 training thread.
+    """
+
+    __slots__ = ("_dtype", "_prev")
+
+    def __init__(self, spec) -> None:
+        self._dtype = resolve_dtype(spec)
+
+    def __enter__(self) -> "dtype_policy":
+        self._prev = default_dtype()
+        _POLICY.dtype = self._dtype
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _POLICY.dtype = self._prev
+        return False

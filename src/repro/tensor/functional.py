@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeError
-from repro.tensor.tensor import Array, Tensor, _FLOAT
+from repro.tensor.tensor import Array, Tensor
 
 
 def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
@@ -52,23 +52,26 @@ def cross_entropy(
     targets = np.asarray(targets)
     if logits.ndim != 2:
         raise ShapeError(f"cross_entropy expects 2-D logits, got {logits.shape}")
+    # Loss arithmetic follows the logits' storage dtype: float32 models get
+    # float32 losses without the targets silently upcasting the graph.
+    dtype = logits.data.dtype
     n, num_classes = logits.shape
     if targets.ndim == 1:
-        one_hot = np.zeros((n, num_classes), dtype=_FLOAT)
+        one_hot = np.zeros((n, num_classes), dtype=dtype)
         one_hot[np.arange(n), targets.astype(np.int64)] = 1.0
         target_probs = one_hot
     elif targets.shape == (n, num_classes):
-        target_probs = targets.astype(_FLOAT)
+        target_probs = targets.astype(dtype, copy=False)
     else:
         raise ShapeError(
             f"targets shape {targets.shape} incompatible with logits {logits.shape}"
         )
 
-    weights = np.ones(n, dtype=_FLOAT)
+    weights = np.ones(n, dtype=dtype)
     if sample_weights is not None:
-        weights = weights * np.asarray(sample_weights, dtype=_FLOAT)
+        weights = weights * np.asarray(sample_weights, dtype=dtype)
     if class_weights is not None:
-        cw = np.asarray(class_weights, dtype=_FLOAT)
+        cw = np.asarray(class_weights, dtype=dtype)
         if cw.shape != (num_classes,):
             raise ShapeError(
                 f"class_weights shape {cw.shape} != ({num_classes},)"
@@ -99,7 +102,7 @@ def binary_cross_entropy_with_logits(
     optional per-example and per-class (``pos_weight``) weighting.  Used for
     Overton's *bitvector* tasks where labels are non-exclusive.
     """
-    targets = np.asarray(targets, dtype=_FLOAT)
+    targets = np.asarray(targets, dtype=logits.data.dtype)
     if targets.shape != logits.shape:
         raise ShapeError(
             f"targets shape {targets.shape} != logits shape {logits.shape}"
@@ -112,14 +115,14 @@ def binary_cross_entropy_with_logits(
     per_element = relu_x - x * t + softplus
 
     if pos_weight is not None:
-        pw = np.asarray(pos_weight, dtype=_FLOAT)
+        pw = np.asarray(pos_weight, dtype=targets.dtype)
         # Weight the positive-label term: loss stays stable because we scale
         # the per-element loss, interpolated by the (soft) target.
         scale = targets * pw + (1.0 - targets)
         per_element = per_element * Tensor(scale)
 
     if sample_weights is not None:
-        sw = np.asarray(sample_weights, dtype=_FLOAT)
+        sw = np.asarray(sample_weights, dtype=targets.dtype)
         while sw.ndim < per_element.ndim:
             sw = sw[:, None] if sw.ndim == 1 else np.expand_dims(sw, -1)
         per_element = per_element * Tensor(np.broadcast_to(sw, per_element.shape).copy())
@@ -151,15 +154,16 @@ def select_loss(
     """
     from repro.tensor.ops import masked_fill
 
+    dtype = scores.data.dtype
     mask = np.asarray(candidate_mask, dtype=bool)
     masked_scores = masked_fill(scores, ~mask, -1e9)
     log_probs = log_softmax(masked_scores, axis=-1)
-    targets = np.asarray(target_probs, dtype=_FLOAT) * mask
+    targets = np.asarray(target_probs, dtype=dtype) * mask
 
     n = scores.shape[0]
-    weights = np.ones(n, dtype=_FLOAT)
+    weights = np.ones(n, dtype=dtype)
     if sample_weights is not None:
-        weights = weights * np.asarray(sample_weights, dtype=_FLOAT)
+        weights = weights * np.asarray(sample_weights, dtype=dtype)
     total = weights.sum()
     if total <= 0:
         return (scores * 0.0).sum()

@@ -15,8 +15,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.tensor.backend import active_backend, default_dtype
 from repro.tensor.sparse import SparseRowGrad
-from repro.tensor.tensor import Array, Tensor, _FLOAT, is_grad_enabled
+from repro.tensor.tensor import Array, Tensor, is_grad_enabled
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -67,8 +68,9 @@ def where(condition: Array, a: Tensor, b: Tensor) -> Tensor:
     """
     cond = np.asarray(condition, dtype=bool)
     if not is_grad_enabled():
-        a_data = a.data if isinstance(a, Tensor) else np.asarray(a, dtype=_FLOAT)
-        b_data = b.data if isinstance(b, Tensor) else np.asarray(b, dtype=_FLOAT)
+        dtype = default_dtype()
+        a_data = a.data if isinstance(a, Tensor) else np.asarray(a, dtype=dtype)
+        b_data = b.data if isinstance(b, Tensor) else np.asarray(b, dtype=dtype)
         return Tensor._wrap(np.where(cond, a_data, b_data), "where")
     a_t = a if isinstance(a, Tensor) else Tensor(a)
     b_t = b if isinstance(b, Tensor) else Tensor(b)
@@ -133,10 +135,11 @@ def dropout_mask(shape: tuple[int, ...], rate: float, rng: np.random.Generator) 
     """Sample an inverted-dropout mask (already scaled by ``1/(1-rate)``)."""
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    dtype = default_dtype()
     if rate == 0.0:
-        return np.ones(shape, dtype=_FLOAT)
+        return np.ones(shape, dtype=dtype)
     keep = rng.random(shape) >= rate
-    return keep.astype(_FLOAT) / (1.0 - rate)
+    return keep.astype(dtype) / (1.0 - rate)
 
 
 def pad_sequences(arrays: Sequence[np.ndarray], pad_value: float = 0.0) -> tuple[Array, Array]:
@@ -148,12 +151,14 @@ def pad_sequences(arrays: Sequence[np.ndarray], pad_value: float = 0.0) -> tuple
     fancy-index assignment of the concatenated values, instead of a python
     loop over rows.
     """
+    backend = active_backend()
+    dtype = default_dtype()
     if not arrays:
-        return np.zeros((0, 0)), np.zeros((0, 0))
+        return backend.zeros((0, 0), dtype), backend.zeros((0, 0), dtype)
     lengths = np.fromiter((len(a) for a in arrays), dtype=np.int64, count=len(arrays))
     max_len = int(lengths.max())
     valid = np.arange(max_len) < lengths[:, None]
-    padded = np.full((len(arrays), max_len), pad_value, dtype=_FLOAT)
+    padded = backend.full((len(arrays), max_len), pad_value, dtype)
     if lengths.sum():
-        padded[valid] = np.concatenate([np.asarray(a, dtype=_FLOAT) for a in arrays])
-    return padded, valid.astype(_FLOAT)
+        padded[valid] = np.concatenate([np.asarray(a, dtype=dtype) for a in arrays])
+    return padded, valid.astype(dtype)

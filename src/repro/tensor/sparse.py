@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.tensor.backend import default_dtype
 
 Array = np.ndarray
 
@@ -38,7 +39,11 @@ class SparseRowGrad:
 
     def __init__(self, indices: Array, values: Array, shape: tuple[int, int]) -> None:
         indices = np.asarray(indices, dtype=np.int64).reshape(-1)
-        values = np.asarray(values, dtype=np.float64)
+        # Values keep the dtype of the gradient they came from (the table's
+        # own dtype); non-float inputs are coerced to the policy default.
+        values = np.asarray(values)
+        if values.dtype.kind != "f":
+            values = values.astype(default_dtype())
         if values.ndim != 2 or len(shape) != 2:
             raise ShapeError(
                 f"SparseRowGrad needs (k, dim) values over a 2-D table, "
@@ -67,7 +72,7 @@ class SparseRowGrad:
     # ------------------------------------------------------------------
     def to_dense(self) -> Array:
         """Materialize the equivalent dense gradient (scatter-add)."""
-        dense = np.zeros(self.shape, dtype=np.float64)
+        dense = np.zeros(self.shape, dtype=self.values.dtype)
         np.add.at(dense, self.indices, self.values)
         return dense
 
@@ -85,7 +90,7 @@ class SparseRowGrad:
         if len(unique) == len(self.indices):
             self.coalesced = True
             return self
-        merged = np.zeros((len(unique), self.shape[1]), dtype=np.float64)
+        merged = np.zeros((len(unique), self.shape[1]), dtype=self.values.dtype)
         np.add.at(merged, inverse, self.values)
         out = SparseRowGrad(unique, merged, self.shape)
         out.coalesced = True

@@ -35,9 +35,9 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.errors import GradientError, ShapeError
+from repro.tensor.backend import active_backend, default_dtype
 
 Array = np.ndarray
-_FLOAT = np.float64
 
 _GRAD_STATE = threading.local()
 
@@ -105,14 +105,21 @@ class enable_grad:
 
 
 def _as_array(value: "Tensor | Array | float | int | Sequence") -> Array:
-    """Coerce ``value`` to a float64 numpy array (without copying Tensors)."""
+    """Coerce ``value`` to the policy's float dtype (Tensors pass through).
+
+    Tensors are never copied or cast — their storage dtype is authoritative.
+    Everything else is coerced to the calling thread's default dtype (see
+    :mod:`repro.tensor.backend`), which is how the dtype policy reaches raw
+    numpy inputs (batch masks, targets, scalars) at the tensor boundary.
+    """
     if isinstance(value, Tensor):
         return value.data
+    dtype = default_dtype()
     if isinstance(value, np.ndarray):
-        if value.dtype != _FLOAT:
-            return value.astype(_FLOAT)
+        if value.dtype != dtype:
+            return value.astype(dtype)
         return value
-    return np.asarray(value, dtype=_FLOAT)
+    return active_backend().asarray(value, dtype)
 
 
 def logistic(data: Array) -> Array:
@@ -154,7 +161,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a float64 numpy array.
+        Anything convertible to a float array in the policy dtype (see
+        :mod:`repro.tensor.backend`; existing Tensors keep their dtype).
     requires_grad:
         Whether gradients should flow to this tensor.  Leaf tensors created
         by users (e.g. parameters) set this; intermediate tensors inherit it
@@ -193,6 +201,10 @@ class Tensor:
         return self.data.ndim
 
     @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
     def size(self) -> int:
         return int(self.data.size)
 
@@ -224,10 +236,10 @@ class Tensor:
     def _wrap(data: Array, op: str) -> "Tensor":
         """Cheapest possible tape-free wrapper around an op result.
 
-        ``data`` must already be a float64 ndarray (true for every numpy op
-        on float64 inputs).  Skips ``__init__``'s coercion and per-instance
-        parent-list allocation — all tape-free tensors share one immutable
-        empty parent list.
+        ``data`` must already be a float ndarray (true for every numpy op
+        on float inputs — ops preserve their operands' dtype).  Skips
+        ``__init__``'s coercion and per-instance parent-list allocation —
+        all tape-free tensors share one immutable empty parent list.
         """
         t = Tensor.__new__(Tensor)
         t.data = data
@@ -282,7 +294,10 @@ class Tensor:
                     f"output; got shape {self.shape}"
                 )
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=_FLOAT)
+        # The output gradient adopts this tensor's own dtype (not the global
+        # float64 it used to be pinned to), so float32 training accumulates
+        # float32 gradients instead of silently upcasting the backward pass.
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             raise ShapeError(
                 f"output gradient shape {grad.shape} does not match tensor shape {self.shape}"
@@ -315,7 +330,10 @@ class Tensor:
         leaf so huge tables never materialize dense gradients.  Dense
         gradients overwrite the live ``.grad`` array in place when shapes
         match, or revive the buffer parked by ``zero_grad(set_to_none=
-        False)`` — either way no new allocation per step.
+        False)`` — either way no new allocation per step.  A buffer is only
+        reused when its dtype matches too: a parked float64 buffer must not
+        survive a model's cast to float32 (``np.copyto`` would silently
+        cast the gradient back up).
         """
         existing = node.grad
         if accumulate and existing is not None:
@@ -325,11 +343,19 @@ class Tensor:
             # Sparse contribution: .copy() detaches it from graph temporaries.
             node.grad = node_grad.copy()
             return
-        if isinstance(existing, np.ndarray) and existing.shape == node_grad.shape:
+        if (
+            isinstance(existing, np.ndarray)
+            and existing.shape == node_grad.shape
+            and existing.dtype == node_grad.dtype
+        ):
             np.copyto(existing, node_grad)
             return
         parked = node._grad_buffer
-        if parked is not None and parked.shape == node_grad.shape:
+        if (
+            parked is not None
+            and parked.shape == node_grad.shape
+            and parked.dtype == node_grad.dtype
+        ):
             np.copyto(parked, node_grad)
             node.grad = parked
             node._grad_buffer = None
@@ -534,14 +560,14 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         out = self.data[index]
         if not getattr(_GRAD_STATE, "enabled", True):
-            return Tensor._wrap(np.asarray(out, dtype=_FLOAT), "index")
+            return Tensor._wrap(np.asarray(out), "index")
 
         def grad_fn(g: Array) -> Array:
             grad = np.zeros_like(self.data)
             np.add.at(grad, index, g)
             return grad
 
-        return Tensor._make(np.asarray(out, dtype=_FLOAT), [(self, grad_fn)], "index")
+        return Tensor._make(np.asarray(out), [(self, grad_fn)], "index")
 
     def expand_dims(self, axis: int) -> "Tensor":
         out = np.expand_dims(self.data, axis)
@@ -561,7 +587,7 @@ class Tensor:
     def sum(self, axis: "int | tuple[int, ...] | None" = None, keepdims: bool = False) -> "Tensor":
         out = self.data.sum(axis=axis, keepdims=keepdims)
         if not getattr(_GRAD_STATE, "enabled", True):
-            return Tensor._wrap(np.asarray(out, dtype=_FLOAT), "sum")
+            return Tensor._wrap(np.asarray(out), "sum")
 
         def grad_fn(g: Array) -> Array:
             if axis is None:
@@ -569,7 +595,7 @@ class Tensor:
             g_expanded = g if keepdims else np.expand_dims(g, axis)
             return np.broadcast_to(g_expanded, self.shape).copy()
 
-        return Tensor._make(np.asarray(out, dtype=_FLOAT), [(self, grad_fn)], "sum")
+        return Tensor._make(np.asarray(out), [(self, grad_fn)], "sum")
 
     def mean(self, axis: "int | tuple[int, ...] | None" = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -583,7 +609,7 @@ class Tensor:
     def max(self, axis: int, keepdims: bool = False) -> "Tensor":
         out = self.data.max(axis=axis, keepdims=keepdims)
         if not getattr(_GRAD_STATE, "enabled", True):
-            return Tensor._wrap(np.asarray(out, dtype=_FLOAT), "max")
+            return Tensor._wrap(np.asarray(out), "max")
         mask = self.data == self.data.max(axis=axis, keepdims=True)
         # Split gradient among ties, matching the subgradient convention.
         counts = mask.sum(axis=axis, keepdims=True)
@@ -592,7 +618,7 @@ class Tensor:
             g_expanded = g if keepdims else np.expand_dims(g, axis)
             return mask * (g_expanded / counts)
 
-        return Tensor._make(np.asarray(out, dtype=_FLOAT), [(self, grad_fn)], "max")
+        return Tensor._make(np.asarray(out), [(self, grad_fn)], "max")
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities
@@ -655,8 +681,8 @@ def tensor(data, requires_grad: bool = False) -> Tensor:
 
 
 def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    return Tensor(active_backend().zeros(shape), requires_grad=requires_grad)
 
 
 def ones(*shape: int, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    return Tensor(active_backend().ones(shape), requires_grad=requires_grad)

@@ -18,7 +18,7 @@ from repro.data.encoded import EncodedDataset
 from repro.data.record import Record
 from repro.data.vocab import Vocab
 from repro.model.multitask import MultitaskModel
-from repro.tensor import no_grad
+from repro.tensor import default_dtype, dtype_policy, no_grad
 from repro.training.metrics import accuracy, macro_f1, micro_f1_multilabel
 
 
@@ -50,8 +50,11 @@ def predict_all(
     The forward passes run tape-free (``model.predict`` is wrapped in
     :func:`repro.tensor.no_grad`).  Passing a pre-built ``encoded`` dataset
     skips per-batch re-encoding — the trainer reuses one encoding of the
-    dev split across every epoch's evaluation.
+    dev split across every epoch's evaluation.  Per-batch encoding runs
+    under the model's dtype policy so float32 models are fed float32
+    batch arrays instead of re-casting float64 ones every forward.
     """
+    model_dtype = getattr(model, "dtype", None) or default_dtype()
     collected: dict[str, list] = {t.name: [] for t in schema.tasks}
     probs: dict[str, list] = {t.name: [] for t in schema.tasks}
     with no_grad():
@@ -60,7 +63,8 @@ def predict_all(
                 batch = encoded.batch(idx)
             else:
                 batch_records = [records[int(i)] for i in idx]
-                batch = encode_inputs(batch_records, schema, vocabs, indices=idx)
+                with dtype_policy(model_dtype):
+                    batch = encode_inputs(batch_records, schema, vocabs, indices=idx)
             outputs = model.predict(batch)
             for name, out in outputs.items():
                 collected[name].append(out.predictions)

@@ -24,6 +24,7 @@ from repro.errors import TrainingError
 from repro.model.multitask import MultitaskModel
 from repro.model.task_heads import TaskTargets
 from repro.optim import Adam, AdamW, ConstantSchedule, SGD, clip_grad_norm
+from repro.tensor import dtype_policy
 from repro.training.evaluation import evaluate, mean_primary
 
 
@@ -74,6 +75,30 @@ def _slice_targets(targets: dict[str, TaskTargets], idx: np.ndarray) -> dict[str
     return out
 
 
+def _cast_targets(targets: dict[str, TaskTargets], dtype) -> dict[str, TaskTargets]:
+    """Cast float target arrays to ``dtype`` once, up front.
+
+    Supervision produces float64 targets; casting here (a no-op under the
+    default policy) keeps the loss functions from re-casting every batch's
+    slice on every epoch of a float32 fit.
+    """
+
+    def cast(a):
+        if a is not None and a.dtype.kind == "f" and a.dtype != dtype:
+            return a.astype(dtype)
+        return a
+
+    return {
+        name: TaskTargets(
+            probs=cast(t.probs),
+            weights=cast(t.weights),
+            class_weights=cast(t.class_weights),
+            membership=cast(t.membership),
+        )
+        for name, t in targets.items()
+    }
+
+
 class Trainer:
     """Runs the training loop for a compiled multitask model."""
 
@@ -117,6 +142,7 @@ class Trainer:
                     f"{len(records)} records"
                 )
         schema = self.model.schema
+        targets = _cast_targets(targets, self.model.dtype)
         rng = np.random.default_rng(self.config.seed)
         history = TrainHistory()
         best_state: dict | None = None
@@ -124,10 +150,14 @@ class Trainer:
 
         encoded: EncodedDataset | None = None
         dev_encoded: EncodedDataset | None = None
+        # Encode under the model's dtype policy: a float32 model trains on
+        # float32 batch arrays (half the cache memory, no per-forward
+        # re-cast); under the default float64 policy this is a no-op.
         if cache_batches:
-            encoded = EncodedDataset(records, schema, vocabs)
-            if dev_records:
-                dev_encoded = EncodedDataset(dev_records, schema, vocabs)
+            with dtype_policy(self.model.dtype):
+                encoded = EncodedDataset(records, schema, vocabs)
+                if dev_records:
+                    dev_encoded = EncodedDataset(dev_records, schema, vocabs)
 
         self.model.train()
         for epoch in range(self.config.epochs):
@@ -137,7 +167,10 @@ class Trainer:
                     batch = encoded.batch(idx)
                 else:
                     batch_records = [records[int(i)] for i in idx]
-                    batch = encode_inputs(batch_records, schema, vocabs, indices=idx)
+                    with dtype_policy(self.model.dtype):
+                        batch = encode_inputs(
+                            batch_records, schema, vocabs, indices=idx
+                        )
                 outputs = self.model(batch)
                 loss = self.model.compute_loss(
                     outputs,

@@ -1,0 +1,20 @@
+"""Tier-1 smoke for the dtype inference benchmark.
+
+Runs ``benchmarks/bench_dtype_inference.py`` in reduced-size mode on every
+test run, so the float32 serving path — policy-scoped encoding, float32
+compilation, the divergence comparison — is exercised continuously.
+Thresholds are *not* asserted here; those belong to the full-size run
+under ``tools/run_benchmarks.py --only dtype``.
+"""
+
+from benchmarks.bench_dtype_inference import run_dtype_bench
+
+
+def test_dtype_bench_reduced_mode():
+    metrics = run_dtype_bench(reduced=True)
+    # Wiring, not thresholds: both precisions ran and compared sanely.
+    for key in ("float64_fwd_per_s", "float32_fwd_per_s", "dtype_speedup"):
+        assert metrics[key] > 0, (key, metrics)
+    assert metrics["reps"] == 2
+    assert metrics["max_divergence"] <= 1e-4, metrics
+    assert metrics["prediction_flips"] == 0, metrics

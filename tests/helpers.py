@@ -1,4 +1,11 @@
-"""Shared test utilities: numerical gradient checking."""
+"""Shared test utilities: numerical gradient checking.
+
+Both helpers accept a ``dtype`` so the gradcheck suites can run under the
+float32 policy too: the function under test is evaluated inside
+``dtype_policy(dtype)``, and float32 runs use a larger finite-difference
+step (single-precision losses only carry ~7 significant digits, so a 1e-6
+step is below the noise floor) with correspondingly relaxed tolerances.
+"""
 
 from __future__ import annotations
 
@@ -6,38 +13,75 @@ from typing import Callable
 
 import numpy as np
 
-from repro.tensor import Tensor
+from repro.tensor import Tensor, dtype_policy
+
+# Finite-difference steps and comparison tolerances per dtype policy.
+_EPS = {"float64": 1e-6, "float32": 1e-3}
+_TOL = {"float64": (1e-5, 1e-4), "float32": (5e-3, 5e-2)}
 
 
 def numerical_grad(
-    fn: Callable[[Tensor], Tensor], x: np.ndarray, eps: float = 1e-6
+    fn: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    eps: float | None = None,
+    dtype: str = "float64",
 ) -> np.ndarray:
-    """Central-difference gradient of scalar-valued ``fn`` at ``x``."""
+    """Central-difference gradient of scalar-valued ``fn`` at ``x``.
+
+    Perturbation bookkeeping stays in float64; each evaluation runs under
+    ``dtype_policy(dtype)`` so the function sees the same precision the
+    autodiff pass under test used.  ``eps`` defaults per dtype — a
+    float64-sized step under float32 would be dominated by rounding noise.
+    """
+    if eps is None:
+        eps = _EPS[dtype]
     x = np.asarray(x, dtype=np.float64)
     grad = np.zeros_like(x)
     flat = x.reshape(-1)
     grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        orig = flat[i]
-        flat[i] = orig + eps
-        hi = fn(Tensor(x)).item()
-        flat[i] = orig - eps
-        lo = fn(Tensor(x)).item()
-        flat[i] = orig
-        grad_flat[i] = (hi - lo) / (2 * eps)
+    with dtype_policy(dtype):
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            hi = fn(Tensor(x)).item()
+            flat[i] = orig - eps
+            lo = fn(Tensor(x)).item()
+            flat[i] = orig
+            grad_flat[i] = (hi - lo) / (2 * eps)
     return grad
 
 
 def check_grad(
     fn: Callable[[Tensor], Tensor],
     x: np.ndarray,
-    atol: float = 1e-5,
-    rtol: float = 1e-4,
+    atol: float | None = None,
+    rtol: float | None = None,
+    dtype: str = "float64",
 ) -> None:
-    """Assert that autodiff and numerical gradients of ``fn`` agree at ``x``."""
-    t = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
-    out = fn(t)
-    out.backward()
+    """Assert that autodiff and numerical gradients of ``fn`` agree at ``x``.
+
+    Under ``dtype="float32"`` the input, every op, and the returned
+    gradient all live in single precision (asserted), and the comparison
+    uses float32-appropriate step size and tolerances.  Explicit
+    caller tolerances are honored verbatim under float64 (so a test may
+    pin a *tighter* bound than the default); under float32 they are only
+    ever widened to the precision's noise floor.
+    """
+    base_atol, base_rtol = _TOL[dtype]
+    if atol is None:
+        atol = base_atol
+    elif dtype == "float32":
+        atol = max(atol, base_atol)
+    if rtol is None:
+        rtol = base_rtol
+    elif dtype == "float32":
+        rtol = max(rtol, base_rtol)
+    with dtype_policy(dtype):
+        t = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+        assert t.data.dtype == np.dtype(dtype)
+        out = fn(t)
+        out.backward()
     assert t.grad is not None, "no gradient reached the input"
-    num = numerical_grad(fn, x)
+    assert t.grad.dtype == np.dtype(dtype), t.grad.dtype
+    num = numerical_grad(fn, x, eps=_EPS[dtype], dtype=dtype)
     np.testing.assert_allclose(t.grad, num, atol=atol, rtol=rtol)

@@ -1,0 +1,40 @@
+"""Tier-1 wiring for the dtype-literal lint (tools/check_dtype_literals.py).
+
+The dtype policy only works if nothing re-pins precision with a bare
+``np.float64``/``np.float32`` outside ``repro.tensor.backend``; this test
+keeps the whole tree clean on every run and pins the lint's own detection
+logic with a known-bad snippet.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_dtype_literals import DEFAULT_TARGET, check_tree, violations_in
+
+
+def test_src_tree_has_no_bare_dtype_literals():
+    assert check_tree(DEFAULT_TARGET) == []
+
+
+def test_lint_catches_bare_literals(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import numpy as np\n"
+        "x = np.zeros(3, dtype=np.float64)\n"
+        "y = np.float32(1.0)\n"
+    )
+    found = violations_in(bad)
+    assert len(found) == 2
+    assert "np.float64" in found[0] and "np.float32" in found[1]
+
+
+def test_backend_module_is_exempt(tmp_path):
+    tree = tmp_path / "tensor"
+    tree.mkdir()
+    (tree / "backend.py").write_text("import numpy as np\nF = np.float64\n")
+    (tree / "other.py").write_text("import numpy as np\nF = np.float64\n")
+    problems = check_tree(tmp_path)
+    assert len(problems) == 1 and "other.py" in problems[0]

@@ -5,6 +5,10 @@ embedding gradients, vectorized span weights and recurrent masks — must be
 numerically invisible: same seeds, same scores, same weights as the legacy
 code paths.  This suite pins that contract (the ``workers=1`` parity
 pattern from ``tests/exec``, applied to the compute stack).
+
+The forward-parity, training-parity, and gradcheck suites run under **both
+dtype policies** (``ModelConfig.dtype`` float64 and float32): each fast
+path must be an elision *within* its precision, whatever the precision.
 """
 
 import numpy as np
@@ -16,13 +20,13 @@ from repro.data import EncodedDataset
 from repro.model.multitask import MultitaskModel
 from repro.nn import GRU, LSTM, Embedding, Linear, Module
 from repro.optim import Adam, clip_grad_norm
-from repro.tensor import Tensor, cross_entropy, no_grad
+from repro.tensor import Tensor, cross_entropy, dtype_policy, no_grad
 from repro.training import Trainer, evaluate
 from tests.fixtures import mini_dataset
 from tests.helpers import check_grad
 
 
-def build(encoder="bow", n=40, seed=0, epochs=3):
+def build(encoder="bow", n=40, seed=0, epochs=3, dtype="float64"):
     dataset = mini_dataset(n=n, seed=seed)
     schema = dataset.schema
     vocabs = dataset.build_vocabs()
@@ -33,9 +37,16 @@ def build(encoder="bow", n=40, seed=0, epochs=3):
             "entities": PayloadConfig(size=12),
         },
         trainer=TrainerConfig(epochs=epochs, batch_size=16, lr=0.05),
+        dtype=dtype,
     )
     model = MultitaskModel(schema, config, vocabs, seed=7)
     return dataset, schema, vocabs, config, model
+
+
+@pytest.fixture(params=["float64", "float32"])
+def dtype(request):
+    """Run the suite under both dtype policies."""
+    return request.param
 
 
 def gold_targets_for_training(dataset, schema):
@@ -66,8 +77,8 @@ def gold_targets_for_training(dataset, schema):
 
 class TestNoGradForwardParity:
     @pytest.mark.parametrize("encoder", ["bow", "lstm", "gru", "bilstm", "cnn"])
-    def test_predictions_identical(self, encoder):
-        dataset, schema, vocabs, _, model = build(encoder=encoder)
+    def test_predictions_identical(self, encoder, dtype):
+        dataset, schema, vocabs, _, model = build(encoder=encoder, dtype=dtype)
         model.eval()
         encoded = EncodedDataset(dataset.records, schema, vocabs)
         batch = encoded.batch(np.arange(len(dataset.records)))
@@ -83,10 +94,10 @@ class TestNoGradForwardParity:
 
 class TestEncodedTrainingParity:
     @pytest.mark.parametrize("encoder", ["bow", "lstm"])
-    def test_fit_bit_identical_with_and_without_cache(self, encoder):
+    def test_fit_bit_identical_with_and_without_cache(self, encoder, dtype):
         results = {}
         for cached in (False, True):
-            dataset, schema, vocabs, config, model = build(encoder=encoder)
+            dataset, schema, vocabs, config, model = build(encoder=encoder, dtype=dtype)
             trainer = Trainer(model, config.trainer)
             train = dataset.split("train")
             dev = dataset.split("dev")
@@ -182,23 +193,29 @@ class TestSparseTrainingParity:
 
 
 class TestVectorizedGradchecks:
-    """Gradcheck still green through the vectorized forward paths."""
+    """Gradcheck still green through the vectorized forward paths.
 
-    def test_set_encoder_span_weights(self):
+    Runs under both dtype policies: the layer is *built* under the policy
+    (float32 parameters) and :func:`tests.helpers.check_grad` evaluates,
+    differentiates, and compares in that precision.
+    """
+
+    def test_set_encoder_span_weights(self, dtype):
         from repro.core import PayloadSpec
         from repro.data import PayloadInputs
         from repro.model import EmbeddingRegistry
         from repro.model.payload_encoders import SetPayloadEncoder
 
         spec = PayloadSpec(name="entities", type="set", range="tokens", max_members=3)
-        enc = SetPayloadEncoder(
-            spec,
-            PayloadConfig(size=6),
-            range_size=6,
-            vocab_size=10,
-            rng=np.random.default_rng(4),
-            registry=EmbeddingRegistry(),
-        )
+        with dtype_policy(dtype):
+            enc = SetPayloadEncoder(
+                spec,
+                PayloadConfig(size=6),
+                range_size=6,
+                vocab_size=10,
+                rng=np.random.default_rng(4),
+                registry=EmbeddingRegistry(),
+            )
         enc.eval()
         inputs = PayloadInputs(
             member_ids=np.array([[2, 3, 0]]),
@@ -207,12 +224,13 @@ class TestVectorizedGradchecks:
             member_mask=np.array([[1.0, 1.0, 0.0]]),
         )
         x = np.random.default_rng(6).normal(size=(1, 4, 6))
-        check_grad(lambda t: enc(inputs, t).sum(), x)
+        check_grad(lambda t: enc(inputs, t).sum(), x, dtype=dtype)
 
     @pytest.mark.parametrize("cls", [LSTM, GRU])
-    def test_recurrent_masked_gradcheck(self, cls):
+    def test_recurrent_masked_gradcheck(self, cls, dtype):
         rng = np.random.default_rng(9)
-        layer = cls(3, 4, rng)
+        with dtype_policy(dtype):
+            layer = cls(3, 4, rng)
         mask = np.array([[1.0, 1.0, 0.0, 0.0], [1.0, 1.0, 1.0, 1.0]])
         x = rng.normal(size=(2, 4, 3))
-        check_grad(lambda t: layer(t, mask).sum(), x, atol=1e-4, rtol=1e-3)
+        check_grad(lambda t: layer(t, mask).sum(), x, atol=1e-4, rtol=1e-3, dtype=dtype)

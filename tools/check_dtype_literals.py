@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Dtype lint: no bare ``np.float64`` literals outside the backend module.
+
+The dtype policy (:mod:`repro.tensor.backend`) owns float precision for the
+whole compute stack; a scattered ``dtype=np.float64`` silently pins one code
+path to double precision and breaks float32 training/serving in ways only a
+slow numeric test would catch.  This lint fails (exit 1) on any
+``np.float64`` / ``numpy.float64`` attribute reference in ``src/repro``
+outside the one module allowed to define what "float64" means.
+
+Use ``repro.tensor.backend.default_dtype()`` (policy-driven allocation),
+an existing array's ``.dtype`` (dtype-preserving math), or plain ``float``
+(deliberately double-precision, e.g. the label model) instead.
+
+Runs standalone or via the tier-1 suite (``tests/test_dtype_literals.py``):
+
+    python tools/check_dtype_literals.py              # lint src/repro
+    python tools/check_dtype_literals.py --root PATH  # lint another tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_TARGET = ROOT / "src" / "repro"
+
+# The only module allowed to spell out float64: it defines the policy.
+ALLOWED = ("tensor", "backend.py")
+
+_NUMPY_NAMES = {"np", "numpy"}
+_BANNED_ATTRS = {"float64", "float32"}
+
+
+def _is_allowed(path: Path, root: Path) -> bool:
+    return path.relative_to(root).parts[-len(ALLOWED):] == ALLOWED
+
+
+def violations_in(path: Path) -> list[str]:
+    """Banned dtype-literal references in one module, as readable strings."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}: cannot parse: {exc}"]
+    found = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in _BANNED_ATTRS
+            and isinstance(node.value, ast.Name)
+            and node.value.id in _NUMPY_NAMES
+        ):
+            found.append(
+                (
+                    node.lineno,
+                    f"{path}:{node.lineno}: bare {node.value.id}.{node.attr} — "
+                    "use repro.tensor.backend.default_dtype(), an array's "
+                    ".dtype, or plain float",
+                )
+            )
+    return [message for _, message in sorted(found)]
+
+
+def check_tree(root: Path) -> list[str]:
+    """All violations under ``root``, in deterministic path order."""
+    problems: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        if _is_allowed(path, root):
+            continue
+        problems.extend(violations_in(path))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=str(DEFAULT_TARGET))
+    args = parser.parse_args(argv)
+    problems = check_tree(Path(args.root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"\n{len(problems)} dtype-literal problem(s)", file=sys.stderr)
+        return 1
+    print("dtype literals: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,11 +13,14 @@ perf record:
   re-run) writes the path in ``BENCH_TUNE_JSON`` -> ``BENCH_tune.json``;
 - the core-compute benchmark (tape-free vs taped inference throughput,
   fast-path vs legacy training-epoch wall-clock) writes the path in
-  ``BENCH_CORE_JSON`` -> ``BENCH_core.json``.
+  ``BENCH_CORE_JSON`` -> ``BENCH_core.json``;
+- the dtype benchmark (float32 vs float64 forward throughput + prediction
+  divergence) writes the path in ``BENCH_DTYPE_JSON`` -> ``BENCH_dtype.json``.
 
 Usage:
     python tools/run_benchmarks.py                 # full suite
     python tools/run_benchmarks.py --only core     # just bench_core_*
+    python tools/run_benchmarks.py --only dtype    # just bench_dtype_*
     python tools/run_benchmarks.py --only serve    # ... or serve / tune
     python tools/run_benchmarks.py --list
 """
@@ -37,6 +40,7 @@ BENCH_DIR = ROOT / "benchmarks"
 DEFAULT_OUT = ROOT / "BENCH_serve.json"
 DEFAULT_TUNE_OUT = ROOT / "BENCH_tune.json"
 DEFAULT_CORE_OUT = ROOT / "BENCH_core.json"
+DEFAULT_DTYPE_OUT = ROOT / "BENCH_dtype.json"
 
 
 def bench_files(only: str = "") -> list[Path]:
@@ -51,6 +55,7 @@ def run_benchmark(
     out_path: Path,
     tune_out_path: Path,
     core_out_path: Path,
+    dtype_out_path: Path,
     timeout: float,
 ) -> tuple[bool, float, str]:
     env = dict(os.environ)
@@ -61,6 +66,7 @@ def run_benchmark(
     env["BENCH_SERVE_JSON"] = str(out_path)
     env["BENCH_TUNE_JSON"] = str(tune_out_path)
     env["BENCH_CORE_JSON"] = str(core_out_path)
+    env["BENCH_DTYPE_JSON"] = str(dtype_out_path)
     start = time.perf_counter()
     try:
         result = subprocess.run(
@@ -100,6 +106,11 @@ def main(argv: list[str] | None = None) -> int:
         default=str(DEFAULT_CORE_OUT),
         help="where the core-compute benchmark writes BENCH_core.json",
     )
+    parser.add_argument(
+        "--dtype-out",
+        default=str(DEFAULT_DTYPE_OUT),
+        help="where the dtype benchmark writes BENCH_dtype.json",
+    )
     parser.add_argument("--timeout", type=float, default=900.0)
     parser.add_argument(
         "--list", action="store_true", help="list benchmark files and exit"
@@ -118,14 +129,16 @@ def main(argv: list[str] | None = None) -> int:
     out_path = Path(args.out).resolve()
     tune_out_path = Path(args.tune_out).resolve()
     core_out_path = Path(args.core_out).resolve()
+    dtype_out_path = Path(args.dtype_out).resolve()
     # Never report a previous run's metrics as this run's.
     out_path.unlink(missing_ok=True)
     tune_out_path.unlink(missing_ok=True)
     core_out_path.unlink(missing_ok=True)
+    dtype_out_path.unlink(missing_ok=True)
     failures = 0
     for path in files:
         ok, elapsed, detail = run_benchmark(
-            path, out_path, tune_out_path, core_out_path, args.timeout
+            path, out_path, tune_out_path, core_out_path, dtype_out_path, args.timeout
         )
         status = "ok" if ok else "FAIL"
         print(f"  {path.name:<34} {status:<5} {elapsed:6.1f}s", flush=True)
@@ -166,6 +179,16 @@ def main(argv: list[str] | None = None) -> int:
             f"epoch {metrics['epoch_fast_s'] * 1000:.0f}ms fast "
             f"vs {metrics['epoch_legacy_s'] * 1000:.0f}ms legacy "
             f"(speedup {metrics['epoch_speedup']:.2f}x)"
+        )
+    if dtype_out_path.exists():
+        metrics = json.loads(dtype_out_path.read_text())
+        print(f"\ndtype metrics -> {dtype_out_path}")
+        print(
+            f"  inference {metrics['float32_fwd_per_s']:.0f} fwd/s float32 "
+            f"vs {metrics['float64_fwd_per_s']:.0f} float64 "
+            f"(speedup {metrics['dtype_speedup']:.2f}x)  "
+            f"max divergence {metrics['max_divergence']:.2e}  "
+            f"prediction flips {metrics['prediction_flips']}"
         )
     return 1 if failures else 0
 
