@@ -1,0 +1,184 @@
+"""Autopilot heal-loop latency: drift detection to promoted model.
+
+The autopilot's pitch is that the monitor->retrain->rollout loop closes
+*without a human in it* — which only matters if the loop closes fast
+enough to be an incident response.  This bench runs one full heal against
+a live gateway and times each leg:
+
+* **detect**: drifted traffic arrives -> the drift trigger fires;
+* **retrain**: reference + sampled live records -> a candidate run
+  (the dominant cost, amortized by the executor's trial cache);
+* **stage + shadow**: candidate pushed unreleased, shadow mirroring on;
+* **gate + promote**: shadow window fills -> gate evaluates -> the
+  store's latest pointer moves.
+
+Shape target (the PR's acceptance bar): the loop completes — one
+promotion, the full journal pipeline in order — and the end-to-end
+detection->promotion wall-clock stays under a minute at bench size.
+When ``BENCH_AUTOPILOT_JSON`` is set (as ``tools/run_benchmarks.py``
+does), the segment timings are written there so the loop's latency is
+tracked between PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import Application
+from repro.autopilot import (
+    DriftTrigger,
+    HealPolicy,
+    PromotionGate,
+    RetrainPlan,
+    Supervisor,
+)
+from repro.deploy import ModelStore
+from repro.serve import GatewayConfig, ReplicaPool, ServingGateway
+from repro.workloads import (
+    FactoidGenerator,
+    WorkloadConfig,
+    apply_standard_weak_supervision,
+)
+
+from benchmarks.conftest import print_table, small_model_config
+
+N_RECORDS = 240
+N_RECORDS_REDUCED = 120
+EPOCHS = 4
+EPOCHS_REDUCED = 2
+
+
+def _shifted_payload(record) -> dict:
+    tokens = list(record.payloads["tokens"])
+    members = [dict(m) for m in record.payloads.get("entities") or []]
+    for member in members:
+        span = member.get("range") or [0, 1]
+        for t in range(span[0], min(span[1], len(tokens))):
+            tokens[t] = tokens[t] + "esque"
+    return {"tokens": tokens, "entities": members}
+
+
+def _drive(gateway, records) -> None:
+    for record in records:
+        gateway.submit(_shifted_payload(record))
+    gateway.drain()
+
+
+def _policy() -> HealPolicy:
+    return HealPolicy(
+        drift_triggers=(DriftTrigger(js_threshold=0.1, oov_jump_threshold=0.05),),
+        min_live_window=16,
+        cooldown_s=0.0,
+        retrain=RetrainPlan(workers=1, max_live_records=256),
+        gate=PromotionGate(
+            max_disagreement_rate=1.0,
+            min_shadow_requests=16,
+            regression_threshold=0.25,
+            min_examples=5,
+        ),
+    )
+
+
+def run_autopilot_bench(reduced: bool = False) -> dict:
+    n = N_RECORDS_REDUCED if reduced else N_RECORDS
+    epochs = EPOCHS_REDUCED if reduced else EPOCHS
+    dataset = FactoidGenerator(WorkloadConfig(n=n, seed=3)).generate()
+    apply_standard_weak_supervision(dataset.records, seed=3)
+    app = Application(dataset.schema, name="factoid-qa")
+    run = app.fit(dataset, small_model_config(size=12, epochs=epochs))
+
+    store = ModelStore(
+        Path(tempfile.mkdtemp(prefix="bench-autopilot-")) / "store"
+    )
+    run.deploy(store)
+    pool = ReplicaPool.from_store(store, app.name)
+    gateway = ServingGateway(
+        pool,
+        GatewayConfig(max_batch_size=8, max_wait_s=0.002, payload_sample_every=1),
+    )
+    supervisor = Supervisor(gateway, app, store, dataset, _policy())
+
+    half = n // 2
+    with gateway:
+        start = time.perf_counter()
+        _drive(gateway, dataset.records[:half])
+        heal_tick_start = time.perf_counter()
+        heal = supervisor.step()
+        heal_tick_s = time.perf_counter() - heal_tick_start
+        assert heal["action"] == "heal_started", heal
+
+        _drive(gateway, dataset.records[half:])
+        promote_tick_start = time.perf_counter()
+        promote = supervisor.step()
+        promote_tick_s = time.perf_counter() - promote_tick_start
+        assert promote["action"] == "promoted", promote
+        total_s = time.perf_counter() - start
+
+    by_kind = {e["kind"]: e for e in supervisor.journal.tail(20)}
+    retrain_s = by_kind["retrain_finished"]["at"] - by_kind["retrain_started"]["at"]
+    stage_shadow_s = by_kind["shadow_started"]["at"] - by_kind["retrain_finished"]["at"]
+    detect_s = heal_tick_s - (
+        by_kind["shadow_started"]["at"] - by_kind["trigger"]["at"]
+    )
+
+    metrics = {
+        "reduced": reduced,
+        "records": n,
+        "epochs": epochs,
+        "live_requests": n,
+        "detect_s": round(max(detect_s, 0.0), 4),
+        "retrain_s": round(retrain_s, 4),
+        "stage_shadow_s": round(stage_shadow_s, 4),
+        "heal_tick_s": round(heal_tick_s, 4),
+        "gate_promote_s": round(promote_tick_s, 4),
+        "detect_to_promote_s": round(heal_tick_s + promote_tick_s, 4),
+        "loop_total_s": round(total_s, 4),
+        "promotions": supervisor.status()["promotions"],
+        "journal_kinds": supervisor.journal.kinds(),
+    }
+
+    out_path = os.environ.get("BENCH_AUTOPILOT_JSON")
+    if out_path and not reduced:
+        with open(out_path, "w") as fh:
+            json.dump(metrics, fh, indent=2)
+    return metrics
+
+
+def test_autopilot_heal_latency(benchmark):
+    metrics = benchmark.pedantic(run_autopilot_bench, rounds=1, iterations=1)
+    print_table(
+        "Autopilot heal loop (detection -> promotion)",
+        {
+            "leg": [
+                "detect",
+                "retrain",
+                "stage+shadow",
+                "gate+promote",
+                "end-to-end",
+            ],
+            "seconds": [
+                metrics["detect_s"],
+                metrics["retrain_s"],
+                metrics["stage_shadow_s"],
+                metrics["gate_promote_s"],
+                metrics["detect_to_promote_s"],
+            ],
+        },
+    )
+    assert metrics["promotions"] == 1
+    assert metrics["journal_kinds"] == [
+        "trigger",
+        "retrain_started",
+        "retrain_finished",
+        "staged",
+        "shadow_started",
+        "gate",
+        "promoted",
+        "reference_updated",
+    ]
+    # The acceptance bar: the loop closes at incident-response speed.
+    assert metrics["detect_to_promote_s"] < 60.0, metrics

@@ -1,0 +1,161 @@
+"""The self-healing loop: drift detected, retrained, shadowed, promoted.
+
+"This has enabled model retraining and deployment to be nearly automatic"
+(§1) — :mod:`repro.autopilot` is the subsystem that makes "nearly" into a
+closed loop.  A :class:`~repro.autopilot.Supervisor` watches the serving
+gateway's live telemetry, and when a :class:`~repro.autopilot.HealPolicy`
+trigger fires it retrains on reference + live data, stages the candidate
+in the model store *without* releasing it, shadows it against the stable
+model, and only moves the latest pointer once the promotion gate (shadow
+disagreement, per-slice non-regression) passes.  Every decision lands in
+an append-only journal.
+
+This example walks one full heal:
+
+1. train a stable model, deploy it, and serve clean traffic — no trigger;
+2. shift the live distribution (entity surface forms mutate) until the
+   drift trigger fires: the supervisor retrains, stages, and shadows a
+   candidate in a single tick;
+3. keep traffic flowing through the shadow window; the gate passes and
+   the candidate is promoted — the store pointer moves, the drift
+   reference absorbs the live window, and the journal tells the story;
+4. replay the same shifted traffic: the healed model no longer drifts.
+
+Run:  python examples/autopilot_selfheal.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import ModelConfig, ModelStore, PayloadConfig, TrainerConfig
+from repro.api import Application
+from repro.autopilot import (
+    DriftTrigger,
+    HealPolicy,
+    PromotionGate,
+    RetrainPlan,
+    Supervisor,
+)
+from repro.serve import GatewayConfig, ReplicaPool, ServingGateway
+from repro.workloads import (
+    FactoidGenerator,
+    WorkloadConfig,
+    apply_standard_weak_supervision,
+)
+
+
+def config() -> ModelConfig:
+    return ModelConfig(
+        payloads={
+            "tokens": PayloadConfig(encoder="bow", size=12),
+            "query": PayloadConfig(size=12),
+            "entities": PayloadConfig(size=12),
+        },
+        trainer=TrainerConfig(epochs=2, batch_size=16, lr=0.05),
+    )
+
+
+def clean_payload(record) -> dict:
+    return {
+        "tokens": list(record.payloads["tokens"]),
+        "entities": [dict(m) for m in record.payloads.get("entities") or []],
+    }
+
+
+def shifted_payload(record) -> dict:
+    """The same query after a surface-form shift: entity tokens mutate."""
+    payload = clean_payload(record)
+    for member in payload["entities"]:
+        span = member.get("range") or [0, 1]
+        for t in range(span[0], min(span[1], len(payload["tokens"]))):
+            payload["tokens"][t] = payload["tokens"][t] + "esque"
+    return payload
+
+
+def drive(gateway, records, shifted: bool) -> None:
+    make = shifted_payload if shifted else clean_payload
+    for record in records:
+        gateway.submit(make(record))
+    gateway.drain()
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Stable model in production.
+    # ------------------------------------------------------------------
+    dataset = FactoidGenerator(WorkloadConfig(n=160, seed=3)).generate()
+    apply_standard_weak_supervision(dataset.records, seed=3)
+    app = Application(dataset.schema, name="factoid-qa")
+    run = app.fit(dataset, config())
+    store = ModelStore(
+        Path(tempfile.mkdtemp(prefix="overton-autopilot-")) / "store"
+    )
+    stable = run.deploy(store)
+    print(f"deployed stable model: {app.name}@{stable.version[:12]}")
+
+    pool = ReplicaPool.from_store(store, app.name)
+    gateway = ServingGateway(
+        pool,
+        GatewayConfig(max_batch_size=8, max_wait_s=0.002, payload_sample_every=1),
+    )
+    policy = HealPolicy(
+        drift_triggers=(DriftTrigger(js_threshold=0.1, oov_jump_threshold=0.05),),
+        min_live_window=16,
+        cooldown_s=0.0,
+        retrain=RetrainPlan(workers=1, max_live_records=256),
+        gate=PromotionGate(
+            max_disagreement_rate=1.0,
+            min_shadow_requests=16,
+            regression_threshold=0.25,
+            min_examples=5,
+        ),
+    )
+    supervisor = Supervisor(gateway, app, store, dataset, policy)
+
+    with gateway:
+        # --------------------------------------------------------------
+        # 2. Clean traffic: the supervisor sees nothing to do.
+        # --------------------------------------------------------------
+        drive(gateway, dataset.records[:20], shifted=False)
+        outcome = supervisor.step()
+        print(f"tick 1 (clean traffic):   action={outcome['action']}")
+
+        # --------------------------------------------------------------
+        # 3. The live distribution shifts; the heal pipeline fires.
+        # --------------------------------------------------------------
+        drive(gateway, dataset.records[:40], shifted=True)
+        outcome = supervisor.step()
+        print(
+            f"tick 2 (shifted traffic): action={outcome['action']} "
+            f"candidate={outcome['version'][:12]}"
+        )
+        print(
+            "  latest pointer unchanged while shadowing: "
+            f"{store.latest_version(app.name) == stable.version}"
+        )
+
+        drive(gateway, dataset.records[40:80], shifted=True)
+        outcome = supervisor.step()
+        print(f"tick 3 (shadow window):   action={outcome['action']}")
+        print(
+            f"  store latest moved: {stable.version[:12]} -> "
+            f"{store.latest_version(app.name)[:12]}"
+        )
+
+        # --------------------------------------------------------------
+        # 4. The healed reference absorbs the shift: no re-trigger.
+        # --------------------------------------------------------------
+        drive(gateway, dataset.records[80:120], shifted=True)
+        outcome = supervisor.step()
+        print(f"tick 4 (shifted again):   action={outcome['action']}")
+
+    print("\ndecision journal:")
+    for entry in supervisor.journal.tail(20):
+        print(f"  [{entry['seq']}] {entry['kind']}")
+    print("\n" + supervisor.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro.autopilot: the self-healing supervisor closing the paper's loop.
+
+The paper's central claim is a production lifecycle where the system
+*monitors* live quality and *improves* the deployed model without a human
+driving each hop.  Every hop already exists in this repo — telemetry
+drift reports, per-slice regression comparison, the cached trial
+executor, staged store pushes, shadow rollouts — and this package
+connects them under an explicit, auditable policy:
+
+* :class:`HealPolicy` — declarative triggers (drift thresholds, slice
+  regressions, live-window minimum, cooldown) and gates (shadow
+  disagreement cap, per-slice non-regression, blocking slices,
+  promotion budget);
+* :class:`Supervisor` — the tick loop (``step()`` for tests,
+  ``run(interval_s=...)`` for production) that detects, retrains,
+  stages, shadows, gates, and promotes — or discards and says why;
+* :class:`DecisionJournal` — append-only JSONL record of every
+  decision, because an automated corrector is only trustworthy when it
+  can be audited;
+* ``pause()`` / ``resume()`` — the kill switch; ``dry_run`` journals
+  intent without acting.
+"""
+
+from repro.autopilot.actions import (
+    GateResult,
+    assemble_retrain_set,
+    collect_live_records,
+    default_live_labeler,
+    evaluate_gate,
+    retrain_candidate,
+    stage_candidate,
+)
+from repro.autopilot.journal import DecisionJournal
+from repro.autopilot.policy import (
+    DriftTrigger,
+    HealPolicy,
+    PromotionGate,
+    RegressionTrigger,
+    RetrainPlan,
+)
+from repro.autopilot.supervisor import Supervisor
+from repro.autopilot.triggers import (
+    TriggerEvent,
+    evaluate_drift_triggers,
+    evaluate_regression_trigger,
+)
+
+__all__ = [
+    "HealPolicy",
+    "DriftTrigger",
+    "RegressionTrigger",
+    "RetrainPlan",
+    "PromotionGate",
+    "Supervisor",
+    "DecisionJournal",
+    "TriggerEvent",
+    "GateResult",
+    "evaluate_drift_triggers",
+    "evaluate_regression_trigger",
+    "evaluate_gate",
+    "collect_live_records",
+    "default_live_labeler",
+    "assemble_retrain_set",
+    "retrain_candidate",
+    "stage_candidate",
+]

@@ -1,0 +1,115 @@
+"""Append-only decision journal for the self-healing supervisor.
+
+Automated detect-and-correct pipelines are only trustworthy when every
+decision they take — trigger, evidence, action, gate verdict — is written
+down somewhere a human can audit after the fact.  The journal is that
+record: an in-memory ring for dashboards plus an optional append-only
+JSONL file that survives the process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort conversion of ``value`` into plain JSON types.
+
+    Journal entries must never fail to serialize mid-heal, so anything
+    exotic (numpy scalars, dataclasses with ``to_dict``, sets) degrades
+    gracefully instead of raising.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "item") and not isinstance(value, (list, tuple, dict)):
+        try:
+            return jsonable(value.item())
+        except Exception:
+            pass
+    if hasattr(value, "to_dict"):
+        try:
+            return jsonable(value.to_dict())
+        except Exception:
+            pass
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    return str(value)
+
+
+class DecisionJournal:
+    """Every autopilot decision, in order, append-only.
+
+    ``path=None`` keeps the journal purely in memory (tests, dry runs);
+    with a path, each entry is additionally appended to a JSONL file the
+    moment it is recorded, so a crash mid-heal still leaves the trail.
+    """
+
+    def __init__(self, path: str | Path | None = None, capacity: int = 512) -> None:
+        self.path = Path(path) if path is not None else None
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+        self._lock = threading.Lock()
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def record(self, kind: str, **detail) -> dict:
+        """Append one decision; returns the entry that was written."""
+        with self._lock:
+            self._seq += 1
+            entry = {
+                "seq": self._seq,
+                "at": time.time(),
+                "kind": kind,
+                "detail": jsonable(detail),
+            }
+            self._entries.append(entry)
+            if self.path is not None:
+                with self.path.open("a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(entry) + "\n")
+        return entry
+
+    def entries(self, kind: str | None = None) -> list[dict]:
+        """All retained entries, oldest first; optionally one kind."""
+        with self._lock:
+            entries = list(self._entries)
+        if kind is not None:
+            entries = [e for e in entries if e["kind"] == kind]
+        return entries
+
+    def tail(self, n: int = 20) -> list[dict]:
+        """The newest ``n`` entries, oldest first."""
+        with self._lock:
+            entries = list(self._entries)
+        return entries[-n:]
+
+    def kinds(self) -> list[str]:
+        """Distinct entry kinds, in first-seen order."""
+        seen: list[str] = []
+        for entry in self.entries():
+            if entry["kind"] not in seen:
+                seen.append(entry["kind"])
+        return seen
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def read(path: str | Path) -> list[dict]:
+        """Load a journal file written by a (possibly dead) supervisor."""
+        entries = []
+        text = Path(path).read_text(encoding="utf-8")
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+        return entries

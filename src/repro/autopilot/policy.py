@@ -1,0 +1,257 @@
+"""Declarative policy for the self-healing loop: triggers and gates.
+
+The supervisor never improvises.  Everything it is allowed to do — when
+to suspect the deployed model (triggers), how to build a replacement
+(retrain plan), and what a replacement must prove before taking traffic
+(promotion gate) — is declared up front in a :class:`HealPolicy`.  The
+policy is plain data: it serializes to/from JSON so operators can review
+and version the loop's rules like any other config.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core import ModelConfig, TuningSpec
+from repro.errors import AutopilotError
+
+
+@dataclass(frozen=True)
+class DriftTrigger:
+    """Fire when a payload's live distribution leaves the reference one.
+
+    ``vocab`` names the vocabulary used for OOV accounting; it defaults
+    to the payload name.
+    """
+
+    payload: str = "tokens"
+    js_threshold: float = 0.1
+    oov_jump_threshold: float = 0.05
+    vocab: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.js_threshold < 0 or self.oov_jump_threshold < 0:
+            raise AutopilotError("drift thresholds must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "payload": self.payload,
+            "js_threshold": self.js_threshold,
+            "oov_jump_threshold": self.oov_jump_threshold,
+            "vocab": self.vocab,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "DriftTrigger":
+        return cls(**spec)
+
+
+@dataclass(frozen=True)
+class RegressionTrigger:
+    """Fire when an observed labeled-eval report regresses vs baseline.
+
+    Live labeled evaluation arrives out of band (crowd labels, user
+    feedback); the supervisor compares each observed report against its
+    baseline with these parameters.  ``slices`` optionally restricts the
+    watch to specific tags.
+    """
+
+    threshold: float = 0.02
+    min_examples: int = 5
+    metrics: tuple[str, ...] | None = None
+    slices: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise AutopilotError("regression threshold must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "min_examples": self.min_examples,
+            "metrics": list(self.metrics) if self.metrics is not None else None,
+            "slices": list(self.slices) if self.slices is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "RegressionTrigger":
+        spec = dict(spec)
+        if spec.get("metrics") is not None:
+            spec["metrics"] = tuple(spec["metrics"])
+        if spec.get("slices") is not None:
+            spec["slices"] = tuple(spec["slices"])
+        return cls(**spec)
+
+
+@dataclass(frozen=True)
+class RetrainPlan:
+    """How to build a candidate once a trigger fires.
+
+    ``candidates`` lists explicit configs to score through the cached
+    executor; empty means "retrain the currently-deployed config".
+    ``spec`` switches to a full tuning search instead.  ``include_live``
+    mixes sampled live payloads (labeled by the supervisor's labeler,
+    tagged ``live_tag`` + "train") into the retrain set — that is what
+    heals vocabulary drift, since vocabs are rebuilt over the union.
+    """
+
+    candidates: tuple[ModelConfig, ...] = ()
+    spec: TuningSpec | None = None
+    strategy: str = "grid"
+    num_trials: int = 4
+    workers: int = 1
+    cache_dir: str | None = None
+    include_live: bool = True
+    max_live_records: int = 512
+    live_tag: str = "live"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise AutopilotError("retrain workers must be >= 1")
+        if self.max_live_records < 0:
+            raise AutopilotError("max_live_records must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "candidates": [c.to_dict() for c in self.candidates],
+            "spec": self.spec.to_dict() if self.spec is not None else None,
+            "strategy": self.strategy,
+            "num_trials": self.num_trials,
+            "workers": self.workers,
+            "cache_dir": self.cache_dir,
+            "include_live": self.include_live,
+            "max_live_records": self.max_live_records,
+            "live_tag": self.live_tag,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "RetrainPlan":
+        spec = dict(spec)
+        spec["candidates"] = tuple(
+            ModelConfig.from_dict(c) for c in spec.get("candidates", [])
+        )
+        if spec.get("spec") is not None:
+            spec["spec"] = TuningSpec.from_dict(spec["spec"])
+        return cls(**spec)
+
+
+@dataclass(frozen=True)
+class PromotionGate:
+    """What a candidate must prove before it takes traffic.
+
+    Two kinds of evidence feed the gate: live shadow disagreement (the
+    candidate answered mirrored traffic; how often did it differ?) and a
+    per-slice quality comparison against the stable model's report on the
+    same healed dataset.  ``blocking_slices`` names tags that must both
+    be *covered* (>= ``min_examples`` gold-labeled rows in the candidate
+    report) and non-regressing; when empty, any regression anywhere
+    blocks — automated changes are only safe when gated by measurable
+    coverage of the scenarios they might break.
+    """
+
+    max_disagreement_rate: float = 0.05
+    min_shadow_requests: int = 32
+    shadow_timeout_s: float = 600.0
+    regression_threshold: float = 0.01
+    min_examples: int = 5
+    metrics: tuple[str, ...] | None = None
+    blocking_slices: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_disagreement_rate <= 1.0:
+            raise AutopilotError("max_disagreement_rate must be in [0, 1]")
+        if self.min_shadow_requests < 1:
+            raise AutopilotError("min_shadow_requests must be >= 1")
+        if self.shadow_timeout_s <= 0:
+            raise AutopilotError("shadow_timeout_s must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "max_disagreement_rate": self.max_disagreement_rate,
+            "min_shadow_requests": self.min_shadow_requests,
+            "shadow_timeout_s": self.shadow_timeout_s,
+            "regression_threshold": self.regression_threshold,
+            "min_examples": self.min_examples,
+            "metrics": list(self.metrics) if self.metrics is not None else None,
+            "blocking_slices": list(self.blocking_slices),
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "PromotionGate":
+        spec = dict(spec)
+        if spec.get("metrics") is not None:
+            spec["metrics"] = tuple(spec["metrics"])
+        spec["blocking_slices"] = tuple(spec.get("blocking_slices", ()))
+        return cls(**spec)
+
+
+@dataclass(frozen=True)
+class HealPolicy:
+    """The complete rulebook for one supervised deployment.
+
+    ``min_live_window`` is the number of sampled live payloads required
+    before drift triggers are even evaluated; ``cooldown_s`` is the
+    mandatory quiet period after any heal attempt (promoted, rejected,
+    failed, or dry-run); ``max_promotions`` is the promotion budget —
+    once spent, the supervisor pauses itself rather than keep shipping.
+    """
+
+    drift_triggers: tuple[DriftTrigger, ...] = (DriftTrigger(),)
+    regression_trigger: RegressionTrigger | None = None
+    min_live_window: int = 32
+    cooldown_s: float = 300.0
+    max_promotions: int | None = None
+    retrain: RetrainPlan = field(default_factory=RetrainPlan)
+    gate: PromotionGate = field(default_factory=PromotionGate)
+
+    def __post_init__(self) -> None:
+        if self.min_live_window < 1:
+            raise AutopilotError("min_live_window must be >= 1")
+        if self.cooldown_s < 0:
+            raise AutopilotError("cooldown_s must be non-negative")
+        if self.max_promotions is not None and self.max_promotions < 0:
+            raise AutopilotError("max_promotions must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "drift_triggers": [t.to_dict() for t in self.drift_triggers],
+            "regression_trigger": (
+                self.regression_trigger.to_dict()
+                if self.regression_trigger is not None
+                else None
+            ),
+            "min_live_window": self.min_live_window,
+            "cooldown_s": self.cooldown_s,
+            "max_promotions": self.max_promotions,
+            "retrain": self.retrain.to_dict(),
+            "gate": self.gate.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "HealPolicy":
+        spec = dict(spec)
+        spec["drift_triggers"] = tuple(
+            DriftTrigger.from_dict(t) for t in spec.get("drift_triggers", [])
+        )
+        if spec.get("regression_trigger") is not None:
+            spec["regression_trigger"] = RegressionTrigger.from_dict(
+                spec["regression_trigger"]
+            )
+        if "retrain" in spec:
+            spec["retrain"] = RetrainPlan.from_dict(spec["retrain"])
+        if "gate" in spec:
+            spec["gate"] = PromotionGate.from_dict(spec["gate"])
+        return cls(**spec)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "HealPolicy":
+        """Load a policy from a JSON file (the ``repro autopilot`` path)."""
+        try:
+            spec = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AutopilotError(f"cannot read policy {path}: {exc}") from exc
+        if not isinstance(spec, dict):
+            raise AutopilotError("policy file must hold a JSON object")
+        return cls.from_dict(spec)

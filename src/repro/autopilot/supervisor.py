@@ -1,0 +1,435 @@
+"""The tick-driven supervisor that closes the monitor -> improve loop.
+
+One :class:`Supervisor` watches one :class:`~repro.serve.ServingGateway`.
+Each ``step()`` is a pure decision tick: evaluate triggers, advance an
+in-flight heal, or do nothing — so tests drive the loop deterministically
+while production calls :meth:`Supervisor.run` to tick on a thread.
+
+A heal deliberately spans multiple ticks.  Retraining and staging happen
+in the tick that fired the trigger, but the shadow-disagreement gate
+needs *live traffic* to accumulate evidence, so the supervisor parks in a
+``shadowing`` state and only gates (promote or discard) once the shadow
+window has filled — or times out.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.data.dataset import Dataset
+from repro.data.record import Record
+from repro.errors import AutopilotError
+from repro.training.reports import QualityReport
+
+from repro.autopilot import actions
+from repro.autopilot.journal import DecisionJournal
+from repro.autopilot.policy import HealPolicy
+from repro.autopilot.triggers import (
+    TriggerEvent,
+    evaluate_drift_triggers,
+    evaluate_regression_trigger,
+)
+
+IDLE = "idle"
+SHADOWING = "shadowing"
+
+
+@dataclass
+class _HealAttempt:
+    """Everything an in-flight heal carries between ticks."""
+
+    version: str
+    healed: Dataset
+    stable_report: QualityReport
+    candidate_report: QualityReport
+    shadow_started_at: float
+    baseline_shadow_served: int
+    baseline_shadow_disagreements: int
+    triggers: list[dict] = field(default_factory=list)
+
+
+class Supervisor:
+    """Policy-governed self-healing for one served model.
+
+    Parameters
+    ----------
+    gateway:
+        The live :class:`~repro.serve.ServingGateway` to watch and heal.
+        Must serve a single-tier pool built from a store.
+    application:
+        The :class:`~repro.api.Application` that trains this model.
+    store:
+        The :class:`~repro.deploy.ModelStore` candidates are staged into.
+    reference:
+        The labeled dataset the deployed model was trained on.  After a
+        successful promotion the healed dataset (reference + absorbed
+        live records) becomes the new reference, so a handled drift
+        stops re-firing.
+    policy:
+        The :class:`~repro.autopilot.HealPolicy` rulebook.
+    labeler:
+        Callable applied to sampled live records to attach weak labels
+        before they join the retrain set (default: the repo's gold-free
+        heuristic sources).  Pass ``None`` to skip labeling.
+    journal:
+        A :class:`~repro.autopilot.DecisionJournal`; defaults to an
+        in-memory one.
+    dry_run:
+        Journal intended actions (including the retrain plan) without
+        retraining, staging, or touching the rollout.
+    clock:
+        Injectable monotonic clock for deterministic cooldown tests.
+    """
+
+    def __init__(
+        self,
+        gateway,
+        application,
+        store,
+        reference: Dataset,
+        policy: HealPolicy | None = None,
+        *,
+        model_name: str | None = None,
+        labeler: Callable[[Sequence[Record]], None] | None = (
+            actions.default_live_labeler
+        ),
+        journal: DecisionJournal | None = None,
+        dry_run: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.gateway = gateway
+        self.application = application
+        self.store = store
+        self.reference = reference
+        self.policy = policy or HealPolicy()
+        # Not `journal or ...`: an empty DecisionJournal has len() == 0 and
+        # would be falsy, silently dropping the caller's file-backed journal.
+        self.journal = journal if journal is not None else DecisionJournal()
+        self.labeler = labeler
+        self.dry_run = dry_run
+        self._clock = clock
+        self._tier = actions.ensure_single_tier(gateway.pool)
+        if model_name is None:
+            model_name = gateway.pool.store_names.get(self._tier)
+        if model_name is None:
+            raise AutopilotError(
+                "pool has no store model name; pass model_name= explicitly"
+            )
+        self.model_name = model_name
+        self._vocabs = reference.build_vocabs()
+        self._state = IDLE
+        self._attempt: _HealAttempt | None = None
+        self._paused = False
+        self._pause_reason: str | None = None
+        self._cooldown_until: float | None = None
+        self._baseline_report: QualityReport | None = None
+        self._pending: list[TriggerEvent] = []
+        self._step_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.ticks = 0
+        self.heals_started = 0
+        self.promotions = 0
+        self.rejections = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+    # Kill switch and out-of-band evidence
+    # ------------------------------------------------------------------
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def pause(self, reason: str = "operator pause") -> None:
+        """Kill switch: stop deciding until :meth:`resume` (journaled)."""
+        self._paused = True
+        self._pause_reason = reason
+        self.journal.record("paused", reason=reason)
+
+    def resume(self) -> None:
+        """Re-enable the loop after a :meth:`pause` (journaled)."""
+        self._paused = False
+        self._pause_reason = None
+        self.journal.record("resumed")
+
+    def set_baseline_report(self, report: QualityReport) -> None:
+        """Anchor the regression trigger's point of comparison."""
+        self._baseline_report = report
+
+    def observe_report(self, report: QualityReport) -> TriggerEvent | None:
+        """Feed an out-of-band labeled evaluation into the loop.
+
+        If the policy has a regression trigger and the report regresses
+        vs the baseline, the event is queued for the next ``step()``.
+        The first observed report becomes the baseline when none is set.
+        """
+        trigger = self.policy.regression_trigger
+        if trigger is None:
+            return None
+        if self._baseline_report is None:
+            self._baseline_report = report
+            return None
+        event = evaluate_regression_trigger(trigger, self._baseline_report, report)
+        if event is not None:
+            self._pending.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # The tick
+    # ------------------------------------------------------------------
+    def step(self) -> dict:
+        """One decision tick; returns what the supervisor did and why."""
+        with self._step_lock:
+            self.ticks += 1
+            now = self._clock()
+            if self._paused:
+                return self._outcome("paused", reason=self._pause_reason)
+            if self._state == SHADOWING:
+                return self._step_shadowing(now)
+            return self._step_idle(now)
+
+    def _outcome(self, action: str, **detail) -> dict:
+        return {"state": self._state, "action": action, **detail}
+
+    def _cooldown_remaining(self, now: float) -> float:
+        if self._cooldown_until is None:
+            return 0.0
+        return max(0.0, self._cooldown_until - now)
+
+    def _step_idle(self, now: float) -> dict:
+        remaining = self._cooldown_remaining(now)
+        if remaining > 0:
+            return self._outcome("cooldown", remaining_s=remaining)
+        budget = self.policy.max_promotions
+        if budget is not None and self.promotions >= budget:
+            self.pause(reason=f"promotion budget ({budget}) exhausted")
+            return self._outcome("budget_exhausted", budget=budget)
+        events = list(self._pending)
+        self._pending.clear()
+        events += evaluate_drift_triggers(
+            self.policy, self.gateway.telemetry, self.reference.records, self._vocabs
+        )
+        if not events:
+            return self._outcome(
+                "no_trigger",
+                live_window=len(self.gateway.telemetry.payload_samples()),
+            )
+        for event in events:
+            self.journal.record("trigger", trigger=event.to_dict())
+        if self.dry_run:
+            self.journal.record(
+                "dry_run",
+                would=["retrain", "stage", "shadow", "gate"],
+                triggers=[e.reason for e in events],
+                retrain=self.policy.retrain.to_dict(),
+            )
+            self._enter_cooldown(now)
+            return self._outcome("dry_run", triggers=[e.reason for e in events])
+        return self._begin_heal(events, now)
+
+    def _begin_heal(self, events: list[TriggerEvent], now: float) -> dict:
+        self.heals_started += 1
+        try:
+            return self._heal(events, now)
+        except Exception as exc:  # noqa: BLE001 - the loop must survive
+            self.failures += 1
+            self.journal.record("heal_failed", error=f"{type(exc).__name__}: {exc}")
+            if self.gateway.pool.has_candidate():
+                self.gateway.cancel_canary()
+            self._state = IDLE
+            self._attempt = None
+            self._enter_cooldown(now)
+            return self._outcome("heal_failed", error=str(exc))
+
+    def _heal(self, events: list[TriggerEvent], now: float) -> dict:
+        plan = self.policy.retrain
+        live: list[Record] = []
+        if plan.include_live:
+            live = actions.collect_live_records(
+                self.gateway.telemetry,
+                self.application.schema,
+                max_records=plan.max_live_records,
+                labeler=self.labeler,
+                tags=("train", plan.live_tag),
+            )
+        healed = actions.assemble_retrain_set(self.reference, live)
+        self.journal.record(
+            "retrain_started",
+            live_records=len(live),
+            reference_records=len(self.reference.records),
+        )
+        stable_artifact = self.gateway.pool.replica(self._tier).endpoint.artifact
+        run, stats = actions.retrain_candidate(
+            self.application, healed, plan, stable_artifact.config
+        )
+        self.journal.record("retrain_finished", **stats)
+        staged = actions.stage_candidate(run, self.store, self.model_name)
+        self.journal.record("staged", version=staged.version, model=self.model_name)
+
+        eval_ds = healed
+        stable_run = self.application.run_from_artifact(stable_artifact)
+        stable_report = stable_run.report(eval_ds)
+        candidate_report = run.report(eval_ds)
+
+        status = self.gateway.rollout.status()
+        self.gateway.set_shadow(staged.version)
+        self.journal.record(
+            "shadow_started",
+            version=staged.version,
+            min_shadow_requests=self.policy.gate.min_shadow_requests,
+        )
+        self._attempt = _HealAttempt(
+            version=staged.version,
+            healed=healed,
+            stable_report=stable_report,
+            candidate_report=candidate_report,
+            shadow_started_at=now,
+            baseline_shadow_served=status.shadow_served,
+            baseline_shadow_disagreements=status.shadow_disagreements,
+            triggers=[e.to_dict() for e in events],
+        )
+        self._state = SHADOWING
+        return self._outcome("heal_started", version=staged.version)
+
+    def _step_shadowing(self, now: float) -> dict:
+        attempt = self._attempt
+        if attempt is None:  # defensive; state machine should prevent this
+            self._state = IDLE
+            return self._outcome("no_attempt")
+        status = self.gateway.rollout.status()
+        served = status.shadow_served - attempt.baseline_shadow_served
+        disagreements = (
+            status.shadow_disagreements - attempt.baseline_shadow_disagreements
+        )
+        gate = self.policy.gate
+        if served < gate.min_shadow_requests:
+            if now - attempt.shadow_started_at > gate.shadow_timeout_s:
+                return self._reject(
+                    attempt,
+                    now,
+                    reason=(
+                        f"shadow window timed out with {served}/"
+                        f"{gate.min_shadow_requests} requests"
+                    ),
+                )
+            return self._outcome(
+                "awaiting_shadow",
+                served=served,
+                required=gate.min_shadow_requests,
+            )
+        result = actions.evaluate_gate(
+            gate,
+            served,
+            disagreements,
+            attempt.stable_report,
+            attempt.candidate_report,
+        )
+        self.journal.record("gate", version=attempt.version, **result.to_dict())
+        if not result.passed:
+            return self._reject(
+                attempt, now, reason=f"gate failed: {result.failures()}"
+            )
+        promoted = self.gateway.promote_canary()
+        self.promotions += 1
+        self.journal.record("promoted", version=attempt.version, tiers=promoted)
+        # The healed dataset absorbed the drifted traffic; make it the new
+        # reference, and drop the sampled window — evidence gathered against
+        # the old reference would immediately re-fire the trigger.
+        self.reference = attempt.healed
+        self._vocabs = self.reference.build_vocabs()
+        self._baseline_report = attempt.candidate_report
+        dropped = self.gateway.telemetry.clear_payload_samples()
+        self.journal.record(
+            "reference_updated",
+            records=len(self.reference.records),
+            stale_samples_dropped=dropped,
+        )
+        self._finish(now)
+        return self._outcome("promoted", version=attempt.version, tiers=promoted)
+
+    def _reject(self, attempt: _HealAttempt, now: float, reason: str) -> dict:
+        self.gateway.cancel_canary()
+        self.rejections += 1
+        self.journal.record("rejected", version=attempt.version, reason=reason)
+        self._finish(now)
+        return self._outcome("rejected", version=attempt.version, reason=reason)
+
+    def _finish(self, now: float) -> None:
+        self._attempt = None
+        self._state = IDLE
+        self._enter_cooldown(now)
+
+    def _enter_cooldown(self, now: float) -> None:
+        if self.policy.cooldown_s > 0:
+            self._cooldown_until = now + self.policy.cooldown_s
+
+    # ------------------------------------------------------------------
+    # Production loop
+    # ------------------------------------------------------------------
+    def run(self, interval_s: float = 5.0) -> threading.Thread:
+        """Tick on a daemon thread every ``interval_s`` until :meth:`stop`."""
+        if self._thread is not None and self._thread.is_alive():
+            raise AutopilotError("supervisor loop is already running")
+        self._stop_event.clear()
+
+        def _loop() -> None:
+            while not self._stop_event.is_set():
+                try:
+                    self.step()
+                except Exception as exc:  # noqa: BLE001 - keep ticking
+                    self.journal.record(
+                        "tick_error", error=f"{type(exc).__name__}: {exc}"
+                    )
+                self._stop_event.wait(interval_s)
+
+        self._thread = threading.Thread(
+            target=_loop, name="autopilot-supervisor", daemon=True
+        )
+        self._thread.start()
+        return self._thread
+
+    def stop(self) -> None:
+        """Stop the :meth:`run` loop and join its thread."""
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """One JSON-able view of the loop for dashboards and HTTP."""
+        now = self._clock()
+        attempt = self._attempt
+        return {
+            "state": self._state,
+            "paused": self._paused,
+            "pause_reason": self._pause_reason,
+            "dry_run": self.dry_run,
+            "model": self.model_name,
+            "tier": self._tier,
+            "ticks": self.ticks,
+            "heals_started": self.heals_started,
+            "promotions": self.promotions,
+            "rejections": self.rejections,
+            "failures": self.failures,
+            "cooldown_remaining_s": self._cooldown_remaining(now),
+            "live_window": len(self.gateway.telemetry.payload_samples()),
+            "min_live_window": self.policy.min_live_window,
+            "candidate_version": attempt.version if attempt else None,
+            "journal_entries": len(self.journal),
+        }
+
+    def render(self) -> str:
+        """The autopilot dashboard panel (see ``render_autopilot``)."""
+        from repro.monitoring.dashboards import render_autopilot
+
+        return render_autopilot(self.status(), self.journal.tail(8))

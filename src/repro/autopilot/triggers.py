@@ -1,0 +1,118 @@
+"""Trigger evaluation: turning telemetry into evidence-backed alarms.
+
+A trigger firing is a *decision*, so each one produces a
+:class:`TriggerEvent` carrying the evidence (the full drift report, the
+regression list) that justified it — the journal records the event
+verbatim, which is what makes the loop auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.data.record import Record
+from repro.data.vocab import Vocab
+from repro.errors import AutopilotError
+from repro.monitoring.regression import compare_reports
+from repro.serve.telemetry import TelemetryRing
+from repro.training.reports import QualityReport
+
+from repro.autopilot.policy import HealPolicy, RegressionTrigger
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """One fired trigger plus the evidence that justified it."""
+
+    kind: str  # "drift" | "regression"
+    reason: str
+    evidence: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "reason": self.reason, "evidence": self.evidence}
+
+
+def evaluate_drift_triggers(
+    policy: HealPolicy,
+    telemetry: TelemetryRing,
+    reference: Sequence[Record],
+    vocabs: dict[str, Vocab],
+) -> list[TriggerEvent]:
+    """Check every drift trigger against the sampled live window.
+
+    Returns no events (regardless of drift) until the live window holds
+    at least ``policy.min_live_window`` samples — a handful of early
+    requests is not evidence of anything.
+    """
+    window = len(telemetry.payload_samples())
+    if window < policy.min_live_window:
+        return []
+    events = []
+    for trigger in policy.drift_triggers:
+        vocab_name = trigger.vocab or trigger.payload
+        vocab = vocabs.get(vocab_name)
+        if vocab is None:
+            raise AutopilotError(
+                f"drift trigger needs vocab {vocab_name!r}; "
+                f"reference has {sorted(vocabs)}"
+            )
+        report = telemetry.drift_report(
+            reference,
+            vocab,
+            payload=trigger.payload,
+            js_threshold=trigger.js_threshold,
+            oov_threshold=trigger.oov_jump_threshold,
+        )
+        if report.drifted():
+            events.append(
+                TriggerEvent(
+                    kind="drift",
+                    reason=(
+                        f"payload {trigger.payload!r} drifted: "
+                        f"js={report.token_js_divergence:.4f} "
+                        f"(threshold {trigger.js_threshold}), "
+                        f"oov_jump={report.oov_jump:.4f} "
+                        f"(threshold {trigger.oov_jump_threshold})"
+                    ),
+                    evidence={
+                        "payload": trigger.payload,
+                        "live_window": window,
+                        "report": report.to_dict(),
+                    },
+                )
+            )
+    return events
+
+
+def evaluate_regression_trigger(
+    trigger: RegressionTrigger,
+    baseline: QualityReport,
+    observed: QualityReport,
+) -> TriggerEvent | None:
+    """Compare an out-of-band labeled report against the baseline."""
+    result = compare_reports(
+        baseline,
+        observed,
+        threshold=trigger.threshold,
+        min_examples=trigger.min_examples,
+        metrics=trigger.metrics,
+    )
+    regressions = result.regressions
+    if trigger.slices is not None:
+        regressions = [r for r in regressions if r.tag in trigger.slices]
+    if not regressions:
+        return None
+    worst = min(regressions, key=lambda r: r.delta)
+    return TriggerEvent(
+        kind="regression",
+        reason=(
+            f"live quality regressed on {len(regressions)} slice(s); worst: "
+            f"{worst.tag}/{worst.task} {worst.metric} "
+            f"{worst.before:.4f} -> {worst.after:.4f}"
+        ),
+        evidence={
+            "regressions": [r.to_dict() for r in regressions],
+            "missing_after": [list(p) for p in result.missing_after],
+        },
+    )

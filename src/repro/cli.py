@@ -10,6 +10,7 @@ Overton's users interact through data files and reports, not notebooks
     python -m repro report   --artifact artifact/ --data data.jsonl
     python -m repro predict  --artifact artifact/ --request requests.json --batch 64
     python -m repro serve    --store store/ --model factoid-qa --port 8080
+    python -m repro autopilot --store store/ --model factoid-qa --app app.json --data data.jsonl
     python -m repro query    --schema schema.json --data data.jsonl --tag train --task Intent
 
 ``train`` accepts either a bare ``--schema`` or a full ``--app`` spec
@@ -235,6 +236,79 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_autopilot(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.autopilot import DecisionJournal, HealPolicy, Supervisor
+    from repro.serve import (
+        GatewayConfig,
+        GatewayHTTPServer,
+        ReplicaPool,
+        ServingGateway,
+    )
+
+    app = _application(args)
+    reference = Dataset.from_file(app.schema, args.data)
+    if not args.store or not args.model:
+        raise ReproError("autopilot needs --store DIR and --model NAME")
+    pool = ReplicaPool.from_store(ModelStore(args.store), args.model)
+    policy = HealPolicy.from_file(args.policy) if args.policy else HealPolicy()
+    journal = DecisionJournal(args.journal or None)
+    config = GatewayConfig(
+        max_batch_size=args.batch, max_wait_s=args.max_wait_ms / 1000.0
+    )
+    gateway = ServingGateway(pool, config)
+    supervisor = Supervisor(
+        gateway,
+        app,
+        ModelStore(args.store),
+        reference,
+        policy,
+        journal=journal,
+        dry_run=args.dry_run,
+    )
+
+    def narrate(outcome: dict) -> None:
+        extra = {
+            k: v for k, v in outcome.items() if k not in ("state", "action")
+        }
+        print(f"tick: {outcome['action']}" + (f"  {extra}" if extra else ""))
+
+    with gateway:
+        if args.steps:
+            # Synchronous mode: a fixed number of decision ticks, then the
+            # journal — scriptable in CI without a serving front.
+            for _ in range(args.steps):
+                narrate(supervisor.step())
+            print(supervisor.render())
+            return 0
+        server = None
+        if args.port >= 0:
+            server = GatewayHTTPServer(
+                gateway, host=args.host, port=args.port, autopilot=supervisor
+            ).start()
+            print(f"serving {args.model} on {server.url}")
+            print(
+                "routes: POST /predict   "
+                "GET /healthz /telemetry /dashboard /autopilot"
+            )
+        supervisor.run(interval_s=args.interval)
+        deadline = (
+            time.monotonic() + args.max_seconds if args.max_seconds else None
+        )
+        try:
+            while deadline is None or time.monotonic() < deadline:
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            supervisor.stop()
+            if server is not None:
+                server.stop()
+        print(supervisor.render())
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     dataset = _load(args.schema, args.data)
     query = RecordQuery(dataset.records)
@@ -388,6 +462,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after this many seconds (0 = serve until interrupted)",
     )
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "autopilot",
+        help="serve a model under the self-healing supervisor",
+    )
+    p.add_argument("--store", required=True, help="model store root directory")
+    p.add_argument("--model", required=True, help="model name in the store")
+    p.add_argument("--app", default="", help="application spec JSON")
+    p.add_argument("--schema", default="", help="bare schema JSON (no --app)")
+    p.add_argument("--gold-source", default="gold")
+    p.add_argument(
+        "--data", required=True, help="reference dataset (JSONL) for drift/retrain"
+    )
+    p.add_argument("--policy", default="", help="HealPolicy JSON file")
+    p.add_argument(
+        "--journal", default="", help="append decisions to this JSONL file"
+    )
+    p.add_argument(
+        "--interval", type=float, default=5.0, help="seconds between ticks"
+    )
+    p.add_argument(
+        "--steps",
+        type=int,
+        default=0,
+        help="run N synchronous ticks and exit (no HTTP server; for CI)",
+    )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="journal intended actions without retraining or promoting",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="HTTP port (0 picks a free port, -1 disables the server)",
+    )
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--max-wait-ms", type=float, default=5.0)
+    p.add_argument(
+        "--max-seconds",
+        type=float,
+        default=0.0,
+        help="stop after this many seconds (0 = run until interrupted)",
+    )
+    p.set_defaults(fn=cmd_autopilot)
 
     p = sub.add_parser("query", help="jq-style queries over a data file")
     p.add_argument("--schema", required=True)

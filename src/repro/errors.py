@@ -61,6 +61,10 @@ class StoreError(DeploymentError):
     """The model store rejected an operation (missing key, hash mismatch)."""
 
 
+class AutopilotError(ReproError):
+    """Raised when the self-healing supervisor is misconfigured or stuck."""
+
+
 class ServeError(ReproError):
     """The serving runtime (gateway, replica pool, rollout) is misused."""
 

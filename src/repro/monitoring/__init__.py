@@ -4,6 +4,7 @@ from repro.monitoring.regression import Regression, RegressionReport, compare_re
 from repro.monitoring.drift import DriftReport, detect_drift, js_divergence
 from repro.monitoring.dashboards import (
     format_table,
+    render_autopilot,
     render_quality_report,
     render_regressions,
     render_source_accuracies,
@@ -14,6 +15,7 @@ __all__ = [
     "RegressionReport",
     "compare_reports",
     "format_table",
+    "render_autopilot",
     "render_quality_report",
     "render_regressions",
     "render_source_accuracies",

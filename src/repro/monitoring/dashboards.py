@@ -67,6 +67,53 @@ def render_regressions(report: RegressionReport) -> str:
     return "\n".join(lines)
 
 
+def render_autopilot(
+    status: dict, entries: Sequence[dict] = (), max_entries: int = 8
+) -> str:
+    """The self-healing loop's dashboard panel.
+
+    Operates on plain dicts (a :class:`repro.autopilot.Supervisor`'s
+    ``status()`` and journal entries) so the monitoring layer stays free
+    of autopilot imports.
+    """
+    mode = []
+    if status.get("paused"):
+        mode.append("PAUSED" + (f" ({status['pause_reason']})" if status.get("pause_reason") else ""))
+    if status.get("dry_run"):
+        mode.append("dry-run")
+    lines = [
+        "autopilot: "
+        + f"state={status.get('state', '?')}"
+        + (f"  [{' | '.join(mode)}]" if mode else ""),
+        f"  model={status.get('model')}  "
+        f"heals={status.get('heals_started', 0)}  "
+        f"promotions={status.get('promotions', 0)}  "
+        f"rejections={status.get('rejections', 0)}  "
+        f"failures={status.get('failures', 0)}",
+        f"  live_window={status.get('live_window', 0)}/"
+        f"{status.get('min_live_window', '?')}  "
+        f"cooldown={status.get('cooldown_remaining_s', 0.0):.1f}s  "
+        f"journal={status.get('journal_entries', 0)} entries",
+    ]
+    if status.get("candidate_version"):
+        lines.append(f"  shadowing candidate {status['candidate_version'][:12]}")
+    recent = list(entries)[-max_entries:]
+    if recent:
+        lines.append("recent decisions:")
+        for entry in recent:
+            detail = entry.get("detail", {})
+            trigger = detail.get("trigger") or {}
+            summary = (
+                detail.get("reason")
+                or trigger.get("reason")
+                or detail.get("version")
+                or detail.get("error")
+                or ""
+            )
+            lines.append(f"  #{entry.get('seq', '?')} {entry.get('kind')}: {summary}")
+    return "\n".join(lines)
+
+
 def render_source_accuracies(accuracies: dict[str, float]) -> str:
     """Learned source accuracies, best first — the weak-supervision view."""
     if not accuracies:

@@ -22,7 +22,13 @@ from repro.data.vocab import Vocab
 
 @dataclass(frozen=True)
 class DriftReport:
-    """Drift between a reference and a live window."""
+    """Drift between a reference and a live window.
+
+    The report carries the thresholds it was measured against
+    (``js_threshold`` / ``oov_jump_threshold``) so policy code can configure
+    them once, at detection time, and every downstream consumer of the
+    report agrees on what "drifted" means.
+    """
 
     token_js_divergence: float  # Jensen-Shannon divergence, in [0, ln 2]
     oov_rate_reference: float
@@ -30,11 +36,41 @@ class DriftReport:
     mean_length_reference: float
     mean_length_live: float
     novel_token_fraction: float  # live tokens unseen in reference
+    js_threshold: float = 0.1
+    oov_jump_threshold: float = 0.05
 
-    def drifted(self, js_threshold: float = 0.1, oov_threshold: float = 0.05) -> bool:
-        """Simple gate: distribution moved or OOV rate jumped."""
-        oov_jump = self.oov_rate_live - self.oov_rate_reference
-        return self.token_js_divergence > js_threshold or oov_jump > oov_threshold
+    @property
+    def oov_jump(self) -> float:
+        """Live OOV rate minus reference OOV rate."""
+        return self.oov_rate_live - self.oov_rate_reference
+
+    def drifted(
+        self,
+        js_threshold: float | None = None,
+        oov_threshold: float | None = None,
+    ) -> bool:
+        """Simple gate: distribution moved or OOV rate jumped.
+
+        Explicit arguments override the thresholds stored on the report,
+        preserving the older call-site-decides style.
+        """
+        js = self.js_threshold if js_threshold is None else js_threshold
+        oov = self.oov_jump_threshold if oov_threshold is None else oov_threshold
+        return self.token_js_divergence > js or self.oov_jump > oov
+
+    def to_dict(self) -> dict:
+        return {
+            "token_js_divergence": self.token_js_divergence,
+            "oov_rate_reference": self.oov_rate_reference,
+            "oov_rate_live": self.oov_rate_live,
+            "oov_jump": self.oov_jump,
+            "mean_length_reference": self.mean_length_reference,
+            "mean_length_live": self.mean_length_live,
+            "novel_token_fraction": self.novel_token_fraction,
+            "js_threshold": self.js_threshold,
+            "oov_jump_threshold": self.oov_jump_threshold,
+            "drifted": self.drifted(),
+        }
 
 
 def _token_counts(records: Sequence[Record], payload: str) -> Counter:
@@ -62,8 +98,14 @@ def detect_drift(
     live: Sequence[Record],
     vocab: Vocab,
     payload: str = "tokens",
+    js_threshold: float = 0.1,
+    oov_threshold: float = 0.05,
 ) -> DriftReport:
-    """Compare a live window against the training-time reference."""
+    """Compare a live window against the training-time reference.
+
+    ``js_threshold`` / ``oov_threshold`` are recorded on the returned report
+    and become the defaults for its :meth:`DriftReport.drifted` gate.
+    """
     ref_counts = _token_counts(reference, payload)
     live_counts = _token_counts(live, payload)
     all_tokens = sorted(set(ref_counts) | set(live_counts))
@@ -95,4 +137,6 @@ def detect_drift(
         mean_length_reference=mean_length(reference),
         mean_length_live=mean_length(live),
         novel_token_fraction=novel,
+        js_threshold=js_threshold,
+        oov_jump_threshold=oov_threshold,
     )

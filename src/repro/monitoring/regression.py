@@ -27,18 +27,46 @@ class Regression:
     def delta(self) -> float:
         return self.after - self.before
 
+    def to_dict(self) -> dict:
+        return {
+            "tag": self.tag,
+            "task": self.task,
+            "metric": self.metric,
+            "before": self.before,
+            "after": self.after,
+            "delta": self.delta,
+        }
+
 
 @dataclass
 class RegressionReport:
-    """Per-(tag, task, metric) deltas between two quality reports."""
+    """Per-(tag, task, metric) deltas between two quality reports.
+
+    ``missing_after`` / ``missing_before`` list (tag, task) slices present
+    in only one of the two reports — a freshly retrained model may gain or
+    lose rare slices, and the comparison must record that rather than raise
+    or silently block.  Missing slices never make the report blocking on
+    their own; promotion gates decide how to treat lost coverage.
+    """
 
     regressions: list[Regression] = field(default_factory=list)
     improvements: list[Regression] = field(default_factory=list)
+    missing_after: list[tuple[str, str]] = field(default_factory=list)
+    missing_before: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def blocking(self) -> bool:
         """True when any regression was found (deploy gate)."""
         return bool(self.regressions)
+
+    def to_dict(self) -> dict:
+        return {
+            "regressions": [r.to_dict() for r in self.regressions],
+            "improvements": [r.to_dict() for r in self.improvements],
+            "missing_after": [list(pair) for pair in self.missing_after],
+            "missing_before": [list(pair) for pair in self.missing_before],
+            "blocking": self.blocking,
+        }
 
 
 def compare_reports(
@@ -54,12 +82,24 @@ def compare_reports(
     tiny slices produce noisy metrics that would block every deploy.
     ``metrics`` optionally restricts the gate to specific metric names
     (e.g. only accuracy), which teams use to keep noisy metrics advisory.
+
+    Slices present in only one report are never compared (and never raise):
+    they are collected into ``missing_after`` / ``missing_before`` so
+    callers that care about lost coverage can gate on them explicitly.
     """
     report = RegressionReport()
+    before_index = {(r.tag, r.task): r for r in before.rows}
     after_index = {(r.tag, r.task): r for r in after.rows}
+    for key, row in after_index.items():
+        if key not in before_index and row.n >= min_examples:
+            report.missing_before.append(key)
     for row in before.rows:
         other = after_index.get((row.tag, row.task))
-        if other is None or row.n < min_examples or other.n < min_examples:
+        if other is None:
+            if row.n >= min_examples:
+                report.missing_after.append((row.tag, row.task))
+            continue
+        if row.n < min_examples or other.n < min_examples:
             continue
         for metric, value in row.metrics.items():
             if metrics is not None and metric not in metrics:

@@ -27,6 +27,7 @@ from repro.serve.rollout import (
 )
 from repro.serve.telemetry import (
     RequestEvent,
+    RolloutEvent,
     TelemetryRing,
     TelemetrySnapshot,
     TierStats,
@@ -46,6 +47,7 @@ __all__ = [
     "TelemetrySnapshot",
     "TierStats",
     "RequestEvent",
+    "RolloutEvent",
     "RequestQueue",
     "QueuedRequest",
     "PendingResponse",

@@ -202,27 +202,54 @@ class ServingGateway:
         """
         self.pool.add_candidate(versions)
         self.rollout.start_canary(fraction, shadow=shadow)
+        self.telemetry.record_rollout(
+            "set_canary",
+            versions=self._describe_versions(versions),
+            fraction=fraction,
+            shadow=shadow,
+        )
 
     def set_shadow(self, versions: str | Mapping[str, str]) -> None:
         """Mirror all traffic to candidate ``versions``; stable answers."""
         self.pool.add_candidate(versions)
         self.rollout.start_shadow()
+        self.telemetry.record_rollout(
+            "set_shadow", versions=self._describe_versions(versions)
+        )
 
     def promote_canary(self, set_latest: bool = True) -> dict[str, str]:
         """The candidate becomes stable (and, by default, store-latest)."""
         self.rollout.stop()
         self._close_candidate_lanes()
-        return self.pool.promote_candidate(set_latest=set_latest)
+        promoted = self.pool.promote_candidate(set_latest=set_latest)
+        self.telemetry.record_rollout(
+            "promote", versions=dict(promoted), set_latest=set_latest
+        )
+        return promoted
 
     def cancel_canary(self) -> None:
         """Abort the rollout; candidate replicas are dropped."""
         self.rollout.stop()
         self._close_candidate_lanes()
         self.pool.clear_candidate()
+        self.telemetry.record_rollout("cancel")
 
     def poll_store(self) -> dict[str, bool]:
         """Refresh stable replicas from the store; per-tier changed flags."""
-        return self.pool.refresh()
+        changed = self.pool.refresh()
+        refreshed = sorted(tier for tier, did in changed.items() if did)
+        if refreshed:
+            versions = self.pool.versions()
+            self.telemetry.record_rollout(
+                "refresh",
+                tiers=refreshed,
+                versions={tier: versions.get(tier) for tier in refreshed},
+            )
+        return changed
+
+    @staticmethod
+    def _describe_versions(versions: str | Mapping[str, str]) -> dict | str:
+        return dict(versions) if isinstance(versions, Mapping) else versions
 
     # ------------------------------------------------------------------
     # Introspection
@@ -243,6 +270,9 @@ class ServingGateway:
                 tier: self.pool.latency_estimate(tier)
                 for tier in self.pool.tier_order
             },
+            "rollout_history": [
+                e.to_dict() for e in self.telemetry.rollout_events()
+            ],
         }
 
     def dashboard(self) -> str:

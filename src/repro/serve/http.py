@@ -12,6 +12,8 @@ Routes::
     GET  /healthz    status, uptime, served versions per tier
     GET  /telemetry  the gateway's stats() JSON
     GET  /dashboard  the live text dashboard (text/plain)
+    GET  /autopilot  the self-healing supervisor's status + recent journal
+                     (404 unless the server was built with one)
 
 Client errors (malformed JSON, bad envelopes, unknown/missing payload
 fields) are 400 with ``{"error": ...}``; a stopped or timed-out gateway is
@@ -48,9 +50,11 @@ class GatewayHTTPServer:
         gateway: ServingGateway,
         host: str = "127.0.0.1",
         port: int = 0,
+        autopilot=None,
     ) -> None:
         self.gateway = gateway
-        handler = _make_handler(gateway)
+        self.autopilot = autopilot
+        handler = _make_handler(gateway, autopilot)
         self._server = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
 
@@ -91,7 +95,9 @@ class GatewayHTTPServer:
         self.stop()
 
 
-def _make_handler(gateway: ServingGateway) -> type[BaseHTTPRequestHandler]:
+def _make_handler(
+    gateway: ServingGateway, autopilot=None
+) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
         # Silence the default per-request stderr logging.
         def log_message(self, format: str, *args) -> None:  # noqa: A002
@@ -114,7 +120,22 @@ def _make_handler(gateway: ServingGateway) -> type[BaseHTTPRequestHandler]:
             elif self.path == "/telemetry":
                 self._json(200, gateway.stats())
             elif self.path == "/dashboard":
-                self._text(200, gateway.dashboard() + "\n")
+                text = gateway.dashboard()
+                if autopilot is not None:
+                    text += "\n" + autopilot.render()
+                self._text(200, text + "\n")
+            elif self.path == "/autopilot":
+                if autopilot is None:
+                    self._json(404, {"error": "no autopilot attached"})
+                else:
+                    self._json(
+                        200,
+                        {
+                            "status": autopilot.status(),
+                            "policy": autopilot.policy.to_dict(),
+                            "journal": autopilot.journal.tail(50),
+                        },
+                    )
             else:
                 self._json(404, {"error": f"unknown path {self.path!r}"})
 

@@ -178,6 +178,11 @@ class ReplicaPool:
     def tiers(self) -> list[str]:
         return list(self.tier_order)
 
+    @property
+    def store_names(self) -> dict[str, str]:
+        """Per-tier store model names (empty for store-less pools)."""
+        return dict(self._store_names)
+
     def latency_estimate(self, tier: str) -> float | None:
         """Observed EWMA if the tier has served, else the operator hint."""
         replica = self.replica(tier, STABLE)

@@ -14,6 +14,7 @@ renders are computed on demand from the ring's current contents.
 from __future__ import annotations
 
 import threading
+import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -37,6 +38,18 @@ class RequestEvent:
     batch_size: int
     ok: bool = True
     dtype: str = "float64"  # the precision the answering replica served in
+
+
+@dataclass(frozen=True)
+class RolloutEvent:
+    """One rollout lifecycle action (canary/shadow/promote/refresh)."""
+
+    at: float  # time.monotonic() when the action was recorded
+    action: str  # "set_canary" | "set_shadow" | "promote" | "cancel" | "refresh"
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"at": self.at, "action": self.action, "detail": dict(self.detail)}
 
 
 @dataclass(frozen=True)
@@ -101,11 +114,13 @@ class TelemetryRing:
         capacity: int = 4096,
         payload_sample_every: int = 8,
         payload_capacity: int = 512,
+        rollout_capacity: int = 64,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self._events: deque[RequestEvent] = deque(maxlen=capacity)
         self._payloads: deque[dict] = deque(maxlen=payload_capacity)
+        self._rollout_events: deque[RolloutEvent] = deque(maxlen=rollout_capacity)
         self._sample_every = max(1, payload_sample_every)
         self._recorded = 0
         self._lock = threading.Lock()
@@ -119,6 +134,18 @@ class TelemetryRing:
             self._recorded += 1
             if payload is not None and self._recorded % self._sample_every == 0:
                 self._payloads.append(payload)
+
+    def record_rollout(self, action: str, **detail) -> RolloutEvent:
+        """Record a rollout lifecycle action (promotion, shadow start, ...).
+
+        Rollout actions are rare but load-bearing for post-hoc analysis —
+        "when did the candidate start shadowing" is unanswerable from
+        request events alone, so the gateway drops a breadcrumb here.
+        """
+        event = RolloutEvent(at=time.monotonic(), action=action, detail=detail)
+        with self._lock:
+            self._rollout_events.append(event)
+        return event
 
     # ------------------------------------------------------------------
     # Reading
@@ -140,6 +167,22 @@ class TelemetryRing:
     def payload_samples(self) -> list[dict]:
         with self._lock:
             return list(self._payloads)
+
+    def rollout_events(self) -> list[RolloutEvent]:
+        with self._lock:
+            return list(self._rollout_events)
+
+    def clear_payload_samples(self) -> int:
+        """Drop the sampled payload window; returns how many were dropped.
+
+        Called when the drift reference changes (e.g. after an autopilot
+        promotion absorbs the live window): samples gathered against the
+        old reference are stale evidence and would immediately re-trigger.
+        """
+        with self._lock:
+            dropped = len(self._payloads)
+            self._payloads.clear()
+        return dropped
 
     def live_records(self) -> list[Record]:
         """The sampled payload window as records, for the drift detector."""
@@ -190,9 +233,22 @@ class TelemetryRing:
         reference: Sequence[Record],
         vocab: Vocab,
         payload: str = "tokens",
+        js_threshold: float = 0.1,
+        oov_threshold: float = 0.05,
     ) -> DriftReport:
-        """Compare the sampled live window against a training reference."""
-        return detect_drift(reference, self.live_records(), vocab, payload=payload)
+        """Compare the sampled live window against a training reference.
+
+        Thresholds flow through to the returned report so a policy can set
+        them here, once, rather than at every ``drifted()`` call site.
+        """
+        return detect_drift(
+            reference,
+            self.live_records(),
+            vocab,
+            payload=payload,
+            js_threshold=js_threshold,
+            oov_threshold=oov_threshold,
+        )
 
     def render(self, max_batch_size: int | None = None) -> str:
         """The live dashboard: one aligned per-tier table plus headlines."""
@@ -208,6 +264,10 @@ class TelemetryRing:
         ]
         if snap.batch_fill_rate is not None:
             lines.append(f"batch fill rate: {snap.batch_fill_rate:.2f}")
+        rollout = self.rollout_events()
+        if rollout:
+            recent = "  ".join(e.action for e in rollout[-5:])
+            lines.append(f"rollout history ({len(rollout)}): {recent}")
         if snap.tiers:
             lines.append(
                 format_table(

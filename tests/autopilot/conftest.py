@@ -1,0 +1,86 @@
+"""Shared autopilot fixtures: one trained world, per-test gateways."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Application
+from repro.autopilot import DriftTrigger, HealPolicy, PromotionGate, RetrainPlan
+from repro.core import ModelConfig, PayloadConfig, TrainerConfig
+from repro.deploy import ModelStore
+from repro.serve import GatewayConfig, ReplicaPool, ServingGateway
+from repro.workloads.factoid import FactoidGenerator, WorkloadConfig
+from repro.workloads.weak_sources import apply_standard_weak_supervision
+
+
+def ap_config(size: int = 12, epochs: int = 2) -> ModelConfig:
+    return ModelConfig(
+        payloads={
+            "tokens": PayloadConfig(encoder="bow", size=size),
+            "query": PayloadConfig(size=size),
+            "entities": PayloadConfig(size=size),
+        },
+        trainer=TrainerConfig(epochs=epochs, batch_size=16, lr=0.05),
+    )
+
+
+def lenient_policy(**overrides) -> HealPolicy:
+    """A policy tuned so the e2e loop heals deterministically and fast."""
+    defaults = dict(
+        drift_triggers=(DriftTrigger(js_threshold=0.1, oov_jump_threshold=0.05),),
+        min_live_window=16,
+        cooldown_s=0.0,
+        retrain=RetrainPlan(workers=1, max_live_records=256),
+        gate=PromotionGate(
+            max_disagreement_rate=1.0,
+            min_shadow_requests=16,
+            regression_threshold=0.25,
+            min_examples=5,
+        ),
+    )
+    defaults.update(overrides)
+    return HealPolicy(**defaults)
+
+
+def clean_payload(record) -> dict:
+    return {
+        "tokens": list(record.payloads["tokens"]),
+        "entities": [dict(m) for m in record.payloads.get("entities") or []],
+    }
+
+
+def drifted_payload(record) -> dict:
+    """The same query with every entity surface token mutated (OOV)."""
+    payload = clean_payload(record)
+    for member in payload["entities"]:
+        span = member.get("range") or [0, 1]
+        for t in range(span[0], min(span[1], len(payload["tokens"]))):
+            payload["tokens"][t] = payload["tokens"][t] + "esque"
+    return payload
+
+
+@pytest.fixture(scope="session")
+def ap_world():
+    """One labeled dataset + application + trained stable run."""
+    ds = FactoidGenerator(WorkloadConfig(n=160, seed=3)).generate()
+    apply_standard_weak_supervision(ds.records, seed=3)
+    app = Application(ds.schema, name="factoid-qa")
+    run = app.fit(ds, ap_config())
+    return app, ds, run
+
+
+@pytest.fixture()
+def ap_gateway(ap_world, tmp_path):
+    """A fresh store + single-tier gateway serving the stable model."""
+    app, ds, run = ap_world
+    store = ModelStore(tmp_path / "store")
+    run.deploy(store)
+    pool = ReplicaPool.from_store(store, app.name)
+    gateway = ServingGateway(
+        pool,
+        GatewayConfig(
+            max_batch_size=8, max_wait_s=0.001, payload_sample_every=1
+        ),
+    )
+    yield store, gateway
+    gateway.stop()

@@ -1,0 +1,30 @@
+"""Tier-1 smoke for the autopilot heal-loop benchmark.
+
+Runs ``benchmarks/bench_autopilot.py`` in reduced-size mode on every test
+run, so the full monitor -> retrain -> shadow -> promote pipeline — the
+drift trigger, the cached retrain, the unreleased staging, the promotion
+gate — is exercised continuously against a live gateway.  Thresholds are
+*not* asserted here; those belong to the full-size run under
+``tools/run_benchmarks.py``.
+"""
+
+from benchmarks.bench_autopilot import run_autopilot_bench
+
+
+def test_autopilot_reduced_mode():
+    metrics = run_autopilot_bench(reduced=True)
+    # Wiring, not thresholds: the loop closed and every leg was timed.
+    assert metrics["promotions"] == 1
+    assert metrics["journal_kinds"] == [
+        "trigger",
+        "retrain_started",
+        "retrain_finished",
+        "staged",
+        "shadow_started",
+        "gate",
+        "promoted",
+        "reference_updated",
+    ]
+    for key in ("retrain_s", "heal_tick_s", "detect_to_promote_s"):
+        assert metrics[key] > 0, (key, metrics)
+    assert metrics["records"] == 120

@@ -67,6 +67,73 @@ class TestDetectDrift:
         assert not report.drifted()
 
 
+class TestThresholdFlow:
+    """Policy-set thresholds ride on the report instead of the call site."""
+
+    def test_detect_drift_stores_thresholds(self):
+        ds = mini_dataset(n=40, seed=0)
+        vocab = ds.build_vocabs()["tokens"]
+        report = detect_drift(
+            ds.records, ds.records, vocab, js_threshold=0.3, oov_threshold=0.2
+        )
+        assert report.js_threshold == 0.3
+        assert report.oov_jump_threshold == 0.2
+
+    def test_stored_thresholds_decide_drifted(self):
+        ds = mini_dataset(n=40, seed=0)
+        vocab = ds.build_vocabs()["tokens"]
+        live = mini_dataset(n=40, seed=5)
+        for record in live.records:
+            record.payloads["tokens"] = [
+                f"{t}_new" for t in record.payloads["tokens"]
+            ]
+        strict = detect_drift(ds.records, live.records, vocab)
+        lax = detect_drift(
+            ds.records,
+            live.records,
+            vocab,
+            js_threshold=np.log(2) + 1,
+            oov_threshold=1.0,
+        )
+        assert strict.drifted()
+        assert not lax.drifted()
+        # Explicit arguments still override the stored thresholds.
+        assert lax.drifted(js_threshold=0.01)
+
+    def test_ring_forwards_thresholds(self):
+        from repro.serve import RequestEvent, TelemetryRing
+
+        ds = mini_dataset(n=40, seed=0)
+        vocab = ds.build_vocabs()["tokens"]
+        ring = TelemetryRing(payload_sample_every=1)
+        for i in range(10):
+            ring.record(
+                RequestEvent(
+                    at=float(i),
+                    tier="default",
+                    role="stable",
+                    latency_s=0.001,
+                    batch_size=1,
+                ),
+                payload={"tokens": [f"novel_{i}"]},
+            )
+        report = ring.drift_report(
+            ds.records, vocab, js_threshold=0.42, oov_threshold=0.9
+        )
+        assert report.js_threshold == 0.42
+        assert report.oov_jump_threshold == 0.9
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        ds = mini_dataset(n=20, seed=0)
+        vocab = ds.build_vocabs()["tokens"]
+        report = detect_drift(ds.records, ds.records, vocab)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["drifted"] is False
+        assert payload["oov_jump"] == 0.0
+
+
 class TestLiveWindows:
     """Serving-shaped windows: a gateway's live sample can be tiny."""
 

@@ -53,6 +53,41 @@ class TestCompareReports:
         after = report([])
         assert not compare_reports(before, after).blocking
 
+    def test_missing_slices_surfaced_without_blocking(self):
+        before = report(
+            [
+                ("slice:gone", "Intent", 50, {"accuracy": 0.9}),
+                ("overall", "Intent", 50, {"accuracy": 0.9}),
+            ]
+        )
+        after = report(
+            [
+                ("overall", "Intent", 50, {"accuracy": 0.9}),
+                ("slice:new", "Intent", 50, {"accuracy": 0.8}),
+            ]
+        )
+        result = compare_reports(before, after)
+        assert result.missing_after == [("slice:gone", "Intent")]
+        assert result.missing_before == [("slice:new", "Intent")]
+        # A vanished slice is a coverage problem, not a regression.
+        assert not result.blocking
+
+    def test_missing_small_slices_ignored(self):
+        before = report([("slice:tiny", "Intent", 2, {"accuracy": 0.9})])
+        after = report([("slice:other", "Intent", 3, {"accuracy": 0.9})])
+        result = compare_reports(before, after, min_examples=5)
+        assert result.missing_after == []
+        assert result.missing_before == []
+
+    def test_regression_report_to_dict(self):
+        import json
+
+        before = report([("slice:a", "Intent", 50, {"accuracy": 0.9})])
+        after = report([("slice:a", "Intent", 50, {"accuracy": 0.7})])
+        payload = json.loads(json.dumps(compare_reports(before, after).to_dict()))
+        assert payload["blocking"] is True
+        assert payload["regressions"][0]["tag"] == "slice:a"
+
 
 class TestFormatTable:
     def test_alignment_and_floats(self):

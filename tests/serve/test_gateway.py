@@ -247,6 +247,62 @@ class TestShadow:
             gateway.drain()
 
 
+class TestRolloutHistory:
+    def test_lifecycle_actions_recorded(self, served, single_store):
+        app, ds, run, payloads = served
+        store, stable, candidate = single_store
+        with make_gateway(store) as gateway:
+            gateway.set_canary(candidate.version, fraction=0.5)
+            gateway.cancel_canary()
+            gateway.set_shadow(candidate.version)
+            gateway.cancel_canary()
+            events = gateway.telemetry.rollout_events()
+            assert [e.action for e in events] == [
+                "set_canary",
+                "cancel",
+                "set_shadow",
+                "cancel",
+            ]
+            assert events[0].detail["fraction"] == 0.5
+            assert candidate.version in events[2].detail["versions"]
+            # The same trail rides along in stats() for dashboards.
+            history = gateway.stats()["rollout_history"]
+            assert [h["action"] for h in history] == [e.action for e in events]
+
+    def test_promote_records_versions_and_latest_flag(
+        self, served, single_store
+    ):
+        app, ds, run, payloads = served
+        store, stable, candidate = single_store
+        with make_gateway(store) as gateway:
+            gateway.set_shadow(candidate.version)
+            gateway.promote_canary(set_latest=False)
+            promote = gateway.telemetry.rollout_events()[-1]
+            assert promote.action == "promote"
+            assert promote.detail["versions"] == {"default": candidate.version}
+            assert promote.detail["set_latest"] is False
+        # set_latest=False: the store pointer never moved.
+        assert store.latest_version(app.name) == stable.version
+
+    def test_poll_store_records_refresh_only_on_change(
+        self, served, single_store
+    ):
+        app, ds, run, payloads = served
+        store, stable, candidate = single_store
+        with make_gateway(store) as gateway:
+            gateway.poll_store()  # nothing changed
+            assert gateway.telemetry.rollout_events() == []
+            store.set_latest(app.name, candidate.version)
+            try:
+                gateway.poll_store()
+                [event] = gateway.telemetry.rollout_events()
+                assert event.action == "refresh"
+                assert event.detail["tiers"] == ["default"]
+            finally:
+                store.set_latest(app.name, stable.version)
+                gateway.poll_store()
+
+
 class TestStorePolling:
     def test_poll_store_follows_promotions(self, served, single_store):
         app, ds, run, payloads = served

@@ -89,6 +89,51 @@ class TestSnapshot:
         assert json.loads(json.dumps(ring.snapshot(8).to_dict()))
 
 
+class TestRolloutEvents:
+    def test_record_and_read_back(self):
+        ring = TelemetryRing()
+        ring.record_rollout("set_shadow", version="abc123")
+        ring.record_rollout("promote", version="abc123", set_latest=True)
+        events = ring.rollout_events()
+        assert [e.action for e in events] == ["set_shadow", "promote"]
+        assert events[0].detail == {"version": "abc123"}
+        assert events[1].detail["set_latest"] is True
+
+    def test_capacity_bounds_history(self):
+        ring = TelemetryRing(rollout_capacity=3)
+        for i in range(10):
+            ring.record_rollout("refresh", seq=i)
+        events = ring.rollout_events()
+        assert len(events) == 3
+        assert [e.detail["seq"] for e in events] == [7, 8, 9]
+
+    def test_to_dict_is_jsonable(self):
+        import json
+
+        ring = TelemetryRing()
+        ring.record_rollout("cancel", tier="default")
+        payload = json.loads(json.dumps(ring.rollout_events()[0].to_dict()))
+        assert payload["action"] == "cancel"
+        assert payload["detail"] == {"tier": "default"}
+
+    def test_clear_payload_samples(self):
+        ring = TelemetryRing(payload_sample_every=1)
+        for i in range(5):
+            ring.record(event(i), payload={"tokens": [f"t{i}"]})
+        assert ring.clear_payload_samples() == 5
+        assert ring.payload_samples() == []
+        # Request events survive; only the drift-evidence window resets.
+        assert len(ring) == 5
+        assert ring.clear_payload_samples() == 0
+
+    def test_render_shows_rollout_history(self):
+        ring = TelemetryRing()
+        ring.record_rollout("set_shadow")
+        ring.record_rollout("promote")
+        text = ring.render()
+        assert "rollout history (2): set_shadow  promote" in text
+
+
 class TestRender:
     def test_render_contains_tier_table(self):
         ring = TelemetryRing()

@@ -15,7 +15,10 @@ perf record:
   fast-path vs legacy training-epoch wall-clock) writes the path in
   ``BENCH_CORE_JSON`` -> ``BENCH_core.json``;
 - the dtype benchmark (float32 vs float64 forward throughput + prediction
-  divergence) writes the path in ``BENCH_DTYPE_JSON`` -> ``BENCH_dtype.json``.
+  divergence) writes the path in ``BENCH_DTYPE_JSON`` -> ``BENCH_dtype.json``;
+- the autopilot benchmark (drift-detection -> promotion wall-clock per
+  heal-loop leg) writes the path in ``BENCH_AUTOPILOT_JSON`` ->
+  ``BENCH_autopilot.json``.
 
 Usage:
     python tools/run_benchmarks.py                 # full suite
@@ -41,6 +44,7 @@ DEFAULT_OUT = ROOT / "BENCH_serve.json"
 DEFAULT_TUNE_OUT = ROOT / "BENCH_tune.json"
 DEFAULT_CORE_OUT = ROOT / "BENCH_core.json"
 DEFAULT_DTYPE_OUT = ROOT / "BENCH_dtype.json"
+DEFAULT_AUTOPILOT_OUT = ROOT / "BENCH_autopilot.json"
 
 
 def bench_files(only: str = "") -> list[Path]:
@@ -56,6 +60,7 @@ def run_benchmark(
     tune_out_path: Path,
     core_out_path: Path,
     dtype_out_path: Path,
+    autopilot_out_path: Path,
     timeout: float,
 ) -> tuple[bool, float, str]:
     env = dict(os.environ)
@@ -67,6 +72,7 @@ def run_benchmark(
     env["BENCH_TUNE_JSON"] = str(tune_out_path)
     env["BENCH_CORE_JSON"] = str(core_out_path)
     env["BENCH_DTYPE_JSON"] = str(dtype_out_path)
+    env["BENCH_AUTOPILOT_JSON"] = str(autopilot_out_path)
     start = time.perf_counter()
     try:
         result = subprocess.run(
@@ -111,6 +117,11 @@ def main(argv: list[str] | None = None) -> int:
         default=str(DEFAULT_DTYPE_OUT),
         help="where the dtype benchmark writes BENCH_dtype.json",
     )
+    parser.add_argument(
+        "--autopilot-out",
+        default=str(DEFAULT_AUTOPILOT_OUT),
+        help="where the autopilot benchmark writes BENCH_autopilot.json",
+    )
     parser.add_argument("--timeout", type=float, default=900.0)
     parser.add_argument(
         "--list", action="store_true", help="list benchmark files and exit"
@@ -130,15 +141,23 @@ def main(argv: list[str] | None = None) -> int:
     tune_out_path = Path(args.tune_out).resolve()
     core_out_path = Path(args.core_out).resolve()
     dtype_out_path = Path(args.dtype_out).resolve()
+    autopilot_out_path = Path(args.autopilot_out).resolve()
     # Never report a previous run's metrics as this run's.
     out_path.unlink(missing_ok=True)
     tune_out_path.unlink(missing_ok=True)
     core_out_path.unlink(missing_ok=True)
     dtype_out_path.unlink(missing_ok=True)
+    autopilot_out_path.unlink(missing_ok=True)
     failures = 0
     for path in files:
         ok, elapsed, detail = run_benchmark(
-            path, out_path, tune_out_path, core_out_path, dtype_out_path, args.timeout
+            path,
+            out_path,
+            tune_out_path,
+            core_out_path,
+            dtype_out_path,
+            autopilot_out_path,
+            args.timeout,
         )
         status = "ok" if ok else "FAIL"
         print(f"  {path.name:<34} {status:<5} {elapsed:6.1f}s", flush=True)
@@ -189,6 +208,17 @@ def main(argv: list[str] | None = None) -> int:
             f"(speedup {metrics['dtype_speedup']:.2f}x)  "
             f"max divergence {metrics['max_divergence']:.2e}  "
             f"prediction flips {metrics['prediction_flips']}"
+        )
+    if autopilot_out_path.exists():
+        metrics = json.loads(autopilot_out_path.read_text())
+        print(f"\nautopilot metrics -> {autopilot_out_path}")
+        print(
+            f"  heal loop {metrics['detect_to_promote_s']:.2f}s "
+            f"detection->promotion  "
+            f"(retrain {metrics['retrain_s']:.2f}s, "
+            f"stage+shadow {metrics['stage_shadow_s']:.2f}s, "
+            f"gate+promote {metrics['gate_promote_s']:.2f}s)  "
+            f"promotions {metrics['promotions']}"
         )
     return 1 if failures else 0
 
