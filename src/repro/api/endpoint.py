@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.data.batching import encode_inputs
 from repro.data.record import Record
 from repro.errors import DeploymentError
+from repro.obs import get_tracer
 from repro.tensor import dtype_policy, no_grad, resolve_dtype
 
 if TYPE_CHECKING:
@@ -261,9 +262,10 @@ class Endpoint:
         (masks, raw features) are born in the serving dtype instead of
         being cast on every forward.
         """
-        records = [self._to_record(p) for p in payloads]
-        with dtype_policy(self._model.dtype):
-            batch = encode_inputs(records, self._schema, self.artifact.vocabs)
+        with get_tracer().span("endpoint.encode", child_only=True, n=len(payloads)):
+            records = [self._to_record(p) for p in payloads]
+            with dtype_policy(self._model.dtype):
+                batch = encode_inputs(records, self._schema, self.artifact.vocabs)
         return records, batch
 
     def forward_encoded(
@@ -276,8 +278,9 @@ class Endpoint:
         ``MultitaskModel.predict`` (and keeps the fast path even if a
         custom model's ``predict`` forgets it).
         """
-        with no_grad():
-            outputs = self._model.predict(batch)
+        with get_tracer().span("endpoint.forward", child_only=True, n=len(records)):
+            with no_grad():
+                outputs = self._model.predict(batch)
         if self._constraints is not None and len(self._constraints):
             self._apply_constraints(outputs, records)
         self.batches_run += 1

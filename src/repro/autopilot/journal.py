@@ -16,6 +16,8 @@ from collections import deque
 from pathlib import Path
 from typing import Any
 
+from repro.obs import current_trace_id
+
 
 def jsonable(value: Any) -> Any:
     """Best-effort conversion of ``value`` into plain JSON types.
@@ -62,7 +64,13 @@ class DecisionJournal:
             self.path.parent.mkdir(parents=True, exist_ok=True)
 
     def record(self, kind: str, **detail) -> dict:
-        """Append one decision; returns the entry that was written."""
+        """Append one decision; returns the entry that was written.
+
+        When the caller sits inside an active trace (the supervisor's
+        per-tick root span), the trace id is stamped onto the entry so a
+        journaled decision links to the spans that explain it.
+        """
+        trace_id = current_trace_id()
         with self._lock:
             self._seq += 1
             entry = {
@@ -71,6 +79,8 @@ class DecisionJournal:
                 "kind": kind,
                 "detail": jsonable(detail),
             }
+            if trace_id is not None:
+                entry["trace_id"] = trace_id
             self._entries.append(entry)
             if self.path is not None:
                 with self.path.open("a", encoding="utf-8") as handle:

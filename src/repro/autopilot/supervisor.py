@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 from repro.data.dataset import Dataset
 from repro.data.record import Record
 from repro.errors import AutopilotError
+from repro.obs import get_registry, get_tracer
 from repro.training.reports import QualityReport
 
 from repro.autopilot import actions
@@ -135,6 +136,31 @@ class Supervisor:
         self.promotions = 0
         self.rejections = 0
         self.failures = 0
+        # Observability: the local counters above stay authoritative for
+        # status(); these registry mirrors make them scrapeable alongside
+        # the serving metrics.  One enabled-check branch each while off.
+        self._tracer = get_tracer()
+        registry = get_registry()
+        self._m_ticks = registry.counter(
+            "repro_autopilot_ticks_total", "Supervisor decision ticks"
+        )
+        self._m_triggers = registry.counter(
+            "repro_autopilot_triggers_total",
+            "Heal triggers fired, by trigger kind",
+            ("kind",),
+        )
+        self._m_heals = registry.counter(
+            "repro_autopilot_heals_total", "Heal attempts started"
+        )
+        self._m_promotions = registry.counter(
+            "repro_autopilot_promotions_total", "Candidates promoted to stable"
+        )
+        self._m_rejections = registry.counter(
+            "repro_autopilot_rejections_total", "Candidates rejected at the gate"
+        )
+        self._m_failures = registry.counter(
+            "repro_autopilot_failures_total", "Heal attempts that errored"
+        )
 
     # ------------------------------------------------------------------
     # Kill switch and out-of-band evidence
@@ -185,15 +211,27 @@ class Supervisor:
     # The tick
     # ------------------------------------------------------------------
     def step(self) -> dict:
-        """One decision tick; returns what the supervisor did and why."""
+        """One decision tick; returns what the supervisor did and why.
+
+        Each tick runs under its own root span, so every journal entry it
+        records carries the tick's trace id (``DecisionJournal.record``)
+        and the tick's internal timing is inspectable via the span ring.
+        """
         with self._step_lock:
             self.ticks += 1
-            now = self._clock()
-            if self._paused:
-                return self._outcome("paused", reason=self._pause_reason)
-            if self._state == SHADOWING:
-                return self._step_shadowing(now)
-            return self._step_idle(now)
+            self._m_ticks.inc()
+            with self._tracer.span(
+                "autopilot.tick", root=True, state=self._state
+            ) as tick_span:
+                now = self._clock()
+                if self._paused:
+                    outcome = self._outcome("paused", reason=self._pause_reason)
+                elif self._state == SHADOWING:
+                    outcome = self._step_shadowing(now)
+                else:
+                    outcome = self._step_idle(now)
+                tick_span.set(action=outcome.get("action"))
+                return outcome
 
     def _outcome(self, action: str, **detail) -> dict:
         return {"state": self._state, "action": action, **detail}
@@ -222,6 +260,7 @@ class Supervisor:
                 live_window=len(self.gateway.telemetry.payload_samples()),
             )
         for event in events:
+            self._m_triggers.inc(kind=event.kind)
             self.journal.record("trigger", trigger=event.to_dict())
         if self.dry_run:
             self.journal.record(
@@ -236,10 +275,12 @@ class Supervisor:
 
     def _begin_heal(self, events: list[TriggerEvent], now: float) -> dict:
         self.heals_started += 1
+        self._m_heals.inc()
         try:
             return self._heal(events, now)
         except Exception as exc:  # noqa: BLE001 - the loop must survive
             self.failures += 1
+            self._m_failures.inc()
             self.journal.record("heal_failed", error=f"{type(exc).__name__}: {exc}")
             if self.gateway.pool.has_candidate():
                 self.gateway.cancel_canary()
@@ -338,6 +379,7 @@ class Supervisor:
             )
         promoted = self.gateway.promote_canary()
         self.promotions += 1
+        self._m_promotions.inc()
         self.journal.record("promoted", version=attempt.version, tiers=promoted)
         # The healed dataset absorbed the drifted traffic; make it the new
         # reference, and drop the sampled window — evidence gathered against
@@ -357,6 +399,7 @@ class Supervisor:
     def _reject(self, attempt: _HealAttempt, now: float, reason: str) -> dict:
         self.gateway.cancel_canary()
         self.rejections += 1
+        self._m_rejections.inc()
         self.journal.record("rejected", version=attempt.version, reason=reason)
         self._finish(now)
         return self._outcome("rejected", version=attempt.version, reason=reason)

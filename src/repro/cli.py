@@ -12,6 +12,7 @@ Overton's users interact through data files and reports, not notebooks
     python -m repro serve    --store store/ --model factoid-qa --port 8080
     python -m repro autopilot --store store/ --model factoid-qa --app app.json --data data.jsonl
     python -m repro query    --schema schema.json --data data.jsonl --tag train --task Intent
+    python -m repro obs      --url http://127.0.0.1:8080 --metrics
 
 ``train`` accepts either a bare ``--schema`` or a full ``--app`` spec
 (schema + slices + supervision policy in one file); ``predict`` serves a
@@ -197,6 +198,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     else:
         raise ReproError("provide --artifact DIR, or --store DIR with --model NAME")
 
+    if args.obs:
+        import repro.obs
+
+        repro.obs.enable()
     config = GatewayConfig(
         max_batch_size=args.batch,
         max_wait_s=args.max_wait_ms / 1000.0,
@@ -216,7 +221,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             for tier, roles in pool.versions().items()
         )
         print(f"serving {versions} on {server.url}")
-        print("routes: POST /predict   GET /healthz /telemetry /dashboard")
+        print(
+            "routes: POST /predict   "
+            "GET /healthz /telemetry /dashboard /metrics /trace/<id>"
+        )
         deadline = (
             time.monotonic() + args.max_seconds if args.max_seconds else None
         )
@@ -247,6 +255,10 @@ def cmd_autopilot(args: argparse.Namespace) -> int:
         ServingGateway,
     )
 
+    if args.obs:
+        import repro.obs
+
+        repro.obs.enable()
     app = _application(args)
     reference = Dataset.from_file(app.schema, args.data)
     if not args.store or not args.model:
@@ -290,7 +302,7 @@ def cmd_autopilot(args: argparse.Namespace) -> int:
             print(f"serving {args.model} on {server.url}")
             print(
                 "routes: POST /predict   "
-                "GET /healthz /telemetry /dashboard /autopilot"
+                "GET /healthz /telemetry /dashboard /autopilot /metrics"
             )
         supervisor.run(interval_s=args.interval)
         deadline = (
@@ -306,6 +318,45 @@ def cmd_autopilot(args: argparse.Namespace) -> int:
             if server is not None:
                 server.stop()
         print(supervisor.render())
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Inspect a running gateway's observability surfaces (or a journal)."""
+    import urllib.error
+    import urllib.request
+
+    from repro.autopilot import DecisionJournal
+    from repro.monitoring import render_spans
+
+    def fetch(path: str) -> bytes:
+        url = args.url.rstrip("/") + path
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            raise ReproError(
+                f"GET {url} -> {exc.code}: {exc.read().decode('utf-8', 'replace')}"
+            ) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise ReproError(f"cannot reach {url}: {exc}") from exc
+
+    acted = False
+    if args.metrics:
+        acted = True
+        print(fetch("/metrics").decode("utf-8"), end="")
+    if args.trace:
+        acted = True
+        payload = json.loads(fetch(f"/trace/{args.trace}").decode("utf-8"))
+        print(render_spans(payload["spans"]))
+    if args.tail:
+        acted = True
+        for entry in DecisionJournal.read(args.tail)[-args.n:]:
+            print(json.dumps(entry))
+    if not acted:
+        raise ReproError(
+            "nothing to do: pass --metrics, --trace ID, and/or --tail journal.jsonl"
+        )
     return 0
 
 
@@ -461,6 +512,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="stop after this many seconds (0 = serve until interrupted)",
     )
+    p.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable tracing + metrics (GET /metrics, /trace/<id>)",
+    )
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -508,7 +564,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="stop after this many seconds (0 = run until interrupted)",
     )
+    p.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable tracing + metrics (journal entries gain trace ids)",
+    )
     p.set_defaults(fn=cmd_autopilot)
+
+    p = sub.add_parser(
+        "obs", help="inspect a gateway's metrics, traces, or a decision journal"
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="base URL of a running gateway HTTP server",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print GET /metrics (Prometheus text format)",
+    )
+    p.add_argument(
+        "--trace", default="", help="render one trace's spans (GET /trace/<id>)"
+    )
+    p.add_argument(
+        "--tail", default="", help="print the newest entries of a journal JSONL file"
+    )
+    p.add_argument(
+        "-n", type=int, default=20, help="how many journal entries --tail prints"
+    )
+    p.set_defaults(fn=cmd_obs)
 
     p = sub.add_parser("query", help="jq-style queries over a data file")
     p.add_argument("--schema", required=True)

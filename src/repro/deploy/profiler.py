@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.deploy.predictor import Predictor
 from repro.errors import DeploymentError
+from repro.obs import get_tracer
 
 
 @dataclass(frozen=True)
@@ -68,18 +69,31 @@ def profile_predictor(
     payloads: Sequence[dict],
     warmup: int = 3,
 ) -> LatencyProfile:
-    """Measure per-request latency, one request at a time (serving-style)."""
+    """Measure per-request latency, one request at a time (serving-style).
+
+    When tracing is enabled the whole profile runs under one
+    ``profile.run`` root span with a ``profile.request`` child per
+    measured request, built from the *measured* timestamps — tracing
+    reuses the profiler's own clock readings rather than adding its own,
+    so span overhead never pollutes the profile.
+    """
     if not payloads:
         raise DeploymentError("profiling requires at least one request payload")
     for payload in payloads[: min(warmup, len(payloads))]:
         predictor.predict_one(payload)
+    tracer = get_tracer()
     latencies = []
-    start_all = time.perf_counter()
-    for payload in payloads:
-        start = time.perf_counter()
-        predictor.predict_one(payload)
-        latencies.append(time.perf_counter() - start)
-    elapsed = time.perf_counter() - start_all
+    with tracer.span("profile.run", root=True, n_requests=len(payloads)) as run:
+        start_all = time.perf_counter()
+        for i, payload in enumerate(payloads):
+            start = time.perf_counter()
+            predictor.predict_one(payload)
+            end = time.perf_counter()
+            latencies.append(end - start)
+            tracer.record(
+                "profile.request", start, end, ctx=run.context, index=i
+            )
+        elapsed = time.perf_counter() - start_all
     latencies_arr = np.asarray(latencies)
     return LatencyProfile(
         n_requests=len(payloads),

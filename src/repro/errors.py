@@ -69,6 +69,10 @@ class ServeError(ReproError):
     """The serving runtime (gateway, replica pool, rollout) is misused."""
 
 
+class ObservabilityError(ReproError):
+    """A metric or trace instrument is declared or used inconsistently."""
+
+
 class GradientError(ReproError):
     """Autodiff failure: backward on a non-scalar, missing graph, etc."""
 

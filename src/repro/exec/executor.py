@@ -33,6 +33,7 @@ from typing import Any, Callable, Sequence
 from repro.core.tuning_spec import ModelConfig
 from repro.errors import ExecutionError, TuningError
 from repro.exec.cache import TrialCache, trial_key
+from repro.obs import get_registry, get_tracer
 
 # A trial function: (context, config, seed, budget) -> score.  Must be a
 # module-level callable when workers > 1 (it is shipped to the pool).
@@ -164,6 +165,21 @@ class TrialExecutor:
         self.namespace = namespace
         self.base_seed = base_seed
         self.stats = ExecutorStats()
+        # Observability mirrors of ExecutorStats (one branch each while off).
+        registry = get_registry()
+        self._m_started = registry.counter(
+            "repro_trials_started_total", "Trials dispatched for execution"
+        )
+        self._m_cached = registry.counter(
+            "repro_trials_cached_total", "Trials answered from the trial cache"
+        )
+        self._m_failed = registry.counter(
+            "repro_trials_failed_total", "Trials that raised in a worker"
+        )
+        self._m_utilization = registry.gauge(
+            "repro_exec_worker_utilization",
+            "Busy fraction of the worker pool over the last fan-out",
+        )
         if mp_start_method is None:
             # fork inherits the worker context for free and keeps closures
             # usable in tests; fall back to the platform default elsewhere.
@@ -240,6 +256,7 @@ class TrialExecutor:
         failures = [(i, err) for i, _, _, err in detailed if err is not None]
         if failures:
             self.stats.errors += len(failures)
+            self._m_failed.inc(len(failures))
             index, message = failures[0]
             raise ExecutionError(
                 f"{len(failures)}/{len(payloads)} tasks failed; "
@@ -254,6 +271,7 @@ class TrialExecutor:
         if not payloads:
             return []
         tasks = list(enumerate(payloads))
+        started = time.perf_counter()
         if self.workers == 1:
             _init_worker(fn, context)
             try:
@@ -263,9 +281,14 @@ class TrialExecutor:
         else:
             pool = self._ensure_pool(fn, context, min(self.workers, len(tasks)))
             results = pool.map(_invoke, tasks, chunksize=1)
+        wall_s = time.perf_counter() - started
         results.sort(key=lambda item: item[0])
         self.stats.executed += len(results)
-        self.stats.total_duration_s += sum(r[2] for r in results)
+        busy_s = sum(r[2] for r in results)
+        self.stats.total_duration_s += busy_s
+        if wall_s > 0:
+            pool_size = min(self.workers, len(tasks))
+            self._m_utilization.set(min(busy_s / (wall_s * pool_size), 1.0))
         return results
 
     # ------------------------------------------------------------------
@@ -291,6 +314,7 @@ class TrialExecutor:
             for index, config in enumerate(configs)
         ]
         self.stats.dispatched += len(tasks)
+        self._m_started.inc(len(tasks))
 
         outcomes: list[TrialOutcome | None] = [None] * len(tasks)
         misses: list[TrialTask] = []
@@ -304,6 +328,7 @@ class TrialExecutor:
             )
             if entry is not None:
                 self.stats.cache_hits += 1
+                self._m_cached.inc()
                 outcomes[task.index] = TrialOutcome(
                     index=task.index,
                     config=task.config,
@@ -318,12 +343,16 @@ class TrialExecutor:
         if misses:
             # The cache write happens in _trial_adapter, in the worker,
             # which recomputes the key from the same content.
-            detailed = self._run_detailed(
-                _trial_adapter, misses, self._dispatch_context
-            )
+            with get_tracer().span(
+                "exec.evaluate", trials=len(tasks), misses=len(misses)
+            ):
+                detailed = self._run_detailed(
+                    _trial_adapter, misses, self._dispatch_context
+                )
             failures = [(i, err) for i, _, _, err in detailed if err is not None]
             if failures:
                 self.stats.errors += len(failures)
+                self._m_failed.inc(len(failures))
                 local_index, message = failures[0]
                 task = misses[local_index]
                 raise TuningError(

@@ -8,6 +8,7 @@ from repro.monitoring.dashboards import (
     render_quality_report,
     render_regressions,
     render_source_accuracies,
+    render_spans,
 )
 
 __all__ = [
@@ -19,6 +20,7 @@ __all__ = [
     "render_quality_report",
     "render_regressions",
     "render_source_accuracies",
+    "render_spans",
     "DriftReport",
     "detect_drift",
     "js_divergence",

@@ -114,6 +114,54 @@ def render_autopilot(
     return "\n".join(lines)
 
 
+def render_spans(spans: Sequence, width: int = 40) -> str:
+    """A flame-style text panel for one trace's spans.
+
+    Accepts :class:`repro.obs.Span` objects or their ``to_dict()`` forms
+    (so journal/JSONL data renders too).  Spans are laid out in start
+    order, indented by parent depth, each with its duration and a bar
+    showing where it sits inside the trace's total window.
+    """
+    items = []
+    for span in spans:
+        d = span if isinstance(span, dict) else span.to_dict()
+        items.append(d)
+    if not items:
+        return "(no spans)"
+    items.sort(key=lambda d: (d["start_s"], -(d["end_s"] - d["start_s"])))
+    t0 = min(d["start_s"] for d in items)
+    t1 = max(d["end_s"] for d in items)
+    total = max(t1 - t0, 1e-12)
+    by_id = {d["span_id"]: d for d in items}
+
+    def depth(d: dict) -> int:
+        level, seen = 0, set()
+        parent = d.get("parent_id")
+        while parent in by_id and parent not in seen:
+            seen.add(parent)
+            parent = by_id[parent].get("parent_id")
+            level += 1
+        return level
+
+    trace_ids = {d["trace_id"] for d in items}
+    header = (
+        f"trace {next(iter(trace_ids))}" if len(trace_ids) == 1
+        else f"{len(trace_ids)} traces"
+    )
+    lines = [f"{header}  ({total * 1000:.3f}ms, {len(items)} spans)"]
+    name_width = max(
+        len("  " * depth(d) + d["name"]) for d in items
+    )
+    for d in items:
+        start = int((d["start_s"] - t0) / total * width)
+        end = max(int((d["end_s"] - t0) / total * width), start + 1)
+        bar = " " * start + "█" * (end - start)
+        label = ("  " * depth(d) + d["name"]).ljust(name_width)
+        duration_ms = (d["end_s"] - d["start_s"]) * 1000
+        lines.append(f"  {label}  {duration_ms:9.3f}ms  |{bar.ljust(width)}|")
+    return "\n".join(lines)
+
+
 def render_source_accuracies(accuracies: dict[str, float]) -> str:
     """Learned source accuracies, best first — the weak-supervision view."""
     if not accuracies:

@@ -1,0 +1,109 @@
+"""`repro.obs` — zero-dependency tracing, metrics, and exposition.
+
+Three pillars, all off by default and one-branch-cheap while off:
+
+* **tracing** (:mod:`repro.obs.trace`) — thread-local spans with
+  cross-thread propagation and batch fan-out, exported to a bounded
+  in-memory ring (behind ``GET /trace/<id>``) and optionally JSONL;
+* **metrics** (:mod:`repro.obs.metrics`) — a registry of thread-safe
+  counters / gauges / fixed-bucket histograms the serve, train, tune,
+  and autopilot layers report into;
+* **exposition** (:mod:`repro.obs.expo`) — Prometheus text format for
+  ``GET /metrics``, plus ``render_spans`` in
+  :mod:`repro.monitoring.dashboards` and the ``repro obs`` CLI.
+
+Turn the whole subsystem on with :func:`enable` (or scoped, in tests,
+with :func:`activated`); both the global tracer and registry share the
+switch.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.expo import CONTENT_TYPE, render_prometheus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    get_registry,
+)
+from repro.obs.trace import (
+    JsonlSpanExporter,
+    Span,
+    SpanContext,
+    SpanRing,
+    Tracer,
+    current_trace_id,
+    get_tracer,
+    span,
+    traced,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSpanExporter",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "SpanRing",
+    "Tracer",
+    "activated",
+    "current_trace_id",
+    "disable",
+    "enable",
+    "exponential_buckets",
+    "get_registry",
+    "get_tracer",
+    "is_active",
+    "render_prometheus",
+    "span",
+    "traced",
+]
+
+
+def enable(sample_every: int = 1) -> None:
+    """Turn on the global tracer and metrics registry.
+
+    ``sample_every`` is Dapper-style head sampling for *traces*: record
+    one new trace per that many started (1 = trace everything).  Metrics
+    always cover every request — sampling only thins span export, which
+    is what keeps fully-instrumented serving within a few percent of
+    uninstrumented throughput.
+    """
+    tracer = get_tracer()
+    tracer.enabled = True
+    tracer.sample_every = max(int(sample_every), 1)
+    get_registry().enabled = True
+
+
+def disable() -> None:
+    """Turn off the global tracer and metrics registry (data is kept)."""
+    get_tracer().enabled = False
+    get_registry().enabled = False
+
+
+def is_active() -> bool:
+    """Whether the global observability switch is currently on."""
+    return get_tracer().enabled or get_registry().enabled
+
+
+@contextmanager
+def activated():
+    """Scoped enable for tests: on entry enable; on exit restore the
+    previous switch state, zero every metric series, and clear the span
+    ring so no state leaks between tests."""
+    tracer, registry = get_tracer(), get_registry()
+    prev = (tracer.enabled, registry.enabled, tracer.sample_every)
+    enable()
+    try:
+        yield
+    finally:
+        tracer.enabled, registry.enabled, tracer.sample_every = prev
+        registry.reset()
+        tracer.ring.clear()

@@ -1,0 +1,74 @@
+"""Prometheus text-format exposition for the metrics registry.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` snapshot into the
+Prometheus exposition format (version 0.0.4): ``# HELP`` / ``# TYPE``
+header lines per family, one sample line per label combination, and for
+histograms the cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+``_count``.  Any Prometheus scraper (or ``promtool check metrics``) can
+consume the output of ``GET /metrics`` directly.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(names: tuple, values: tuple, extra: tuple = ()) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in list(zip(names, values)) + list(extra)
+    ]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """The full registry in Prometheus text format, ready to serve."""
+    registry = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    for inst in registry.instruments():
+        lines.append(f"# HELP {inst.name} {_escape_help(inst.help)}")
+        lines.append(f"# TYPE {inst.name} {inst.kind}")
+        if inst.kind in ("counter", "gauge"):
+            for key, value in inst.samples():
+                lines.append(
+                    f"{inst.name}{_label_str(inst.labels, key)} {_format_value(value)}"
+                )
+        else:  # histogram
+            bounds = list(inst.buckets) + [float("inf")]
+            for key, series in inst.samples():
+                cumulative = 0
+                for bound, count in zip(bounds, series["buckets"]):
+                    cumulative += count
+                    le = ("le", _format_value(bound))
+                    lines.append(
+                        f"{inst.name}_bucket"
+                        f"{_label_str(inst.labels, key, (le,))} {cumulative}"
+                    )
+                lines.append(
+                    f"{inst.name}_sum{_label_str(inst.labels, key)} "
+                    f"{_format_value(series['sum'])}"
+                )
+                lines.append(
+                    f"{inst.name}_count{_label_str(inst.labels, key)} {series['count']}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,6 +1,6 @@
 """Optimizers and learning-rate schedules."""
 
-from repro.optim.optimizer import Optimizer, clip_grad_norm
+from repro.optim.optimizer import Optimizer, clip_grad_norm, grad_norm
 from repro.optim.sgd import SGD
 from repro.optim.adam import Adam, AdamW
 from repro.optim.schedule import ConstantSchedule, Schedule, StepDecay, WarmupCosine
@@ -8,6 +8,7 @@ from repro.optim.schedule import ConstantSchedule, Schedule, StepDecay, WarmupCo
 __all__ = [
     "Optimizer",
     "clip_grad_norm",
+    "grad_norm",
     "SGD",
     "Adam",
     "AdamW",

@@ -57,15 +57,14 @@ class Optimizer:
             p.zero_grad(set_to_none=False)
 
 
-def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
-    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+def grad_norm(params: list[Parameter]) -> float:
+    """The global L2 norm of all current gradients, without modifying them.
 
-    Returns the pre-clipping norm (useful for training diagnostics).
-    Sparse gradients are coalesced first so duplicate-row contributions are
-    counted once, exactly as the equivalent dense gradient would be.
+    Sparse gradients are coalesced (in place, on the parameter) first so
+    duplicate-row contributions are counted once, exactly as the
+    equivalent dense gradient would be.  Parameters without a gradient
+    are skipped.
     """
-    if max_norm <= 0:
-        raise ValueError(f"max_norm must be positive, got {max_norm}")
     total = 0.0
     for p in params:
         grad = p.grad
@@ -76,7 +75,19 @@ def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
             total += p.grad.norm_sq()
         else:
             total += float((grad**2).sum())
-    norm = float(np.sqrt(total))
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clipping norm (useful for training diagnostics).
+    Sparse gradients are coalesced first so duplicate-row contributions are
+    counted once, exactly as the equivalent dense gradient would be.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    norm = grad_norm(params)
     if norm > max_norm and norm > 0:
         scale = max_norm / norm
         for p in params:

@@ -25,14 +25,20 @@ from repro.errors import ServeError
 
 
 class PendingResponse:
-    """A one-shot, thread-safe future for a single request's response."""
+    """A one-shot, thread-safe future for a single request's response.
 
-    __slots__ = ("_event", "_result", "_exception")
+    ``trace_id`` is stamped at submission when tracing is enabled, so a
+    caller holding only the future can fetch the request's full span tree
+    (``GET /trace/<id>``) after — or while — it is served.
+    """
+
+    __slots__ = ("_event", "_result", "_exception", "trace_id")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._result: Any = None
         self._exception: BaseException | None = None
+        self.trace_id: str | None = None
 
     def set_result(self, result: Any) -> None:
         self._result = result
@@ -59,21 +65,26 @@ class QueuedRequest:
 
     ``context`` carries lane-specific extras (e.g. the primary response a
     shadow comparison needs) without widening the queue contract.
+    ``trace`` is the submitter's :class:`~repro.obs.trace.SpanContext`
+    (or ``None`` when tracing is off) so the worker thread can continue
+    the request's trace across the queue boundary.
     """
 
-    __slots__ = ("payload", "request_id", "enqueued_at", "future", "context")
+    __slots__ = ("payload", "request_id", "enqueued_at", "future", "context", "trace")
 
     def __init__(
         self,
         payload: dict,
         request_id: str,
         context: Any = None,
+        trace: Any = None,
     ) -> None:
         self.payload = payload
         self.request_id = request_id
         self.enqueued_at = time.monotonic()
         self.future = PendingResponse()
         self.context = context
+        self.trace = trace
 
 
 class RequestQueue:

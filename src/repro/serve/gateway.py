@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.errors import ServeError
+from repro.obs import get_registry, get_tracer
 from repro.serve.batcher import PendingResponse, QueuedRequest, RequestQueue
 from repro.serve.replica import CANDIDATE, STABLE, ReplicaPool
 from repro.serve.rollout import RolloutController
@@ -92,6 +93,31 @@ class ServingGateway:
         self._inflight = 0
         self._inflight_cond = threading.Condition()
         self.started_at = time.monotonic()
+        # Observability: instruments are declared once here; every hot-path
+        # call below costs one enabled-check branch while obs is off.
+        self._tracer = get_tracer()
+        registry = self._registry = get_registry()
+        self._m_requests = registry.counter(
+            "repro_gateway_requests_total",
+            "Requests answered by the gateway",
+            ("tier", "role", "result"),
+        )
+        self._m_latency = registry.histogram(
+            "repro_gateway_request_latency_seconds",
+            "Enqueue-to-response latency per request",
+            ("tier",),
+        )
+        self._m_batch = registry.histogram(
+            "repro_gateway_batch_size",
+            "Formed batch sizes",
+            ("tier",),
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
+        self._m_depth = registry.gauge(
+            "repro_gateway_queue_depth",
+            "Requests currently queued per lane",
+            ("tier", "role"),
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -146,21 +172,35 @@ class ServingGateway:
             request_id = f"auto-{next(self._ids)}"
         if latency_budget is None:
             latency_budget = self.config.default_latency_budget
-        tier = self.pool.tier_for(latency_budget)
-        role = self.rollout.route(request_id)
-        if role == "canary" and not self.pool.has_candidate(tier):
-            role = "stable"
-        replica_role = CANDIDATE if role == "canary" else STABLE
-        replica = self.pool.replica(tier, replica_role)
-        replica.endpoint.validate_payload(payload)
-        item = QueuedRequest(payload, request_id)
-        lane = self._lane(tier, role)
-        self._track(+1)
-        try:
-            lane.queue.put(item)
-        except ServeError:
-            self._track(-1)
-            raise
+        with self._tracer.span(
+            "gateway.enqueue", root=True, request_id=request_id
+        ) as root:
+            ctx = root.context
+            route_t0 = self._tracer.clock() if ctx is not None else 0.0
+            tier = self.pool.tier_for(latency_budget)
+            role = self.rollout.route(request_id)
+            if role == "canary" and not self.pool.has_candidate(tier):
+                role = "stable"
+            if ctx is not None:
+                # Routing is timed with raw clock reads and exported via
+                # record() — a full child span here would be the most
+                # expensive line on the per-request hot path.
+                self._tracer.record(
+                    "gateway.route", route_t0, self._tracer.clock(),
+                    ctx=ctx, tier=tier, role=role,
+                )
+            replica_role = CANDIDATE if role == "canary" else STABLE
+            replica = self.pool.replica(tier, replica_role)
+            replica.endpoint.validate_payload(payload)
+            item = QueuedRequest(payload, request_id, trace=ctx)
+            item.future.trace_id = root.trace_id
+            lane = self._lane(tier, role)
+            self._track(+1)
+            try:
+                lane.queue.put(item)
+            except ServeError:
+                self._track(-1)
+                raise
         return item.future
 
     def submit(
@@ -331,15 +371,45 @@ class ServingGateway:
                 self._inflight_cond.notify_all()
 
     def _worker(self, lane: _Lane) -> None:
+        tracer = self._tracer
         while True:
             batch = lane.queue.pop_batch(
                 self.config.max_batch_size, self.config.max_wait_s
             )
             if batch is None:
                 return
+            if self._registry.enabled:
+                # The depth gauge is sampled at batch formation (not
+                # inc/dec'd per request) so submit stays metric-free.
+                self._m_depth.set(
+                    len(lane.queue), tier=lane.tier, role=lane.role
+                )
+                self._m_batch.observe(len(batch), tier=lane.tier)
             payloads = [item.payload for item in batch]
             try:
-                responses, _ = lane.replica.serve(payloads)
+                if tracer.enabled:
+                    # Queue wait is over: stamp a batch_form span per
+                    # request (enqueue -> pop), then serve the shared
+                    # batch once, fanned out into every request's trace.
+                    popped_at = tracer.clock()
+                    for item in batch:
+                        tracer.record(
+                            "gateway.batch_form",
+                            item.enqueued_at,
+                            popped_at,
+                            ctx=item.trace,
+                            batch_size=len(batch),
+                        )
+                    with tracer.span_fanout(
+                        "gateway.batch",
+                        [item.trace for item in batch],
+                        tier=lane.tier,
+                        role=lane.role,
+                        batch_size=len(batch),
+                    ):
+                        responses, _ = lane.replica.serve(payloads)
+                else:
+                    responses, _ = lane.replica.serve(payloads)
             except Exception as exc:  # noqa: BLE001 - propagate to callers
                 now = time.monotonic()
                 for item in batch:
@@ -352,10 +422,14 @@ class ServingGateway:
                             batch_size=len(batch),
                             ok=False,
                             dtype=lane.replica.endpoint.dtype_name,
+                            trace_id=item.future.trace_id,
                         )
                     )
                     item.future.set_exception(exc)
                     self._track(-1)
+                self._m_requests.inc(
+                    len(batch), tier=lane.tier, role=lane.role, result="error"
+                )
                 continue
             now = time.monotonic()
             if lane.role == "stable":
@@ -369,6 +443,7 @@ class ServingGateway:
                         latency_s=now - item.enqueued_at,
                         batch_size=len(batch),
                         dtype=lane.replica.endpoint.dtype_name,
+                        trace_id=item.future.trace_id,
                     ),
                     payload=item.payload if lane.role != "shadow" else None,
                 )
@@ -380,6 +455,15 @@ class ServingGateway:
                     self.rollout.note_served(lane.role)
                 item.future.set_result(response)
                 self._track(-1)
+            if self._registry.enabled:
+                # Per-batch metric flush: one counter bump and one locked
+                # histogram pass instead of two labelled ops per request.
+                self._m_requests.inc(
+                    len(batch), tier=lane.tier, role=lane.role, result="ok"
+                )
+                self._m_latency.observe_many(
+                    [now - item.enqueued_at for item in batch], tier=lane.tier
+                )
 
     def _mirror_to_shadow(
         self, tier: str, batch: list[QueuedRequest], responses: list[dict]

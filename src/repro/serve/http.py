@@ -12,12 +12,17 @@ Routes::
     GET  /healthz    status, uptime, served versions per tier
     GET  /telemetry  the gateway's stats() JSON
     GET  /dashboard  the live text dashboard (text/plain)
+    GET  /metrics    the metrics registry in Prometheus text format
+    GET  /trace/<id> one trace's spans as JSON (404 for unknown ids)
     GET  /autopilot  the self-healing supervisor's status + recent journal
                      (404 unless the server was built with one)
 
 Client errors (malformed JSON, bad envelopes, unknown/missing payload
 fields) are 400 with ``{"error": ...}``; a stopped or timed-out gateway is
-503 (retryable, the server's fault); anything else is 500.
+503 (retryable, the server's fault); anything else — including a handler
+crash on any GET route — is 500 with a structured ``{"error": ...}`` body,
+never a bare traceback.  Single-payload ``/predict`` responses carry an
+``X-Trace-Id`` header when tracing is enabled.
 """
 
 from __future__ import annotations
@@ -28,6 +33,8 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ReproError, ServeError
+from repro.obs import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from repro.obs import get_tracer, render_prometheus
 from repro.serve.gateway import ServingGateway
 
 _ENVELOPE_KEYS = {"payload", "latency_budget", "request_id"}
@@ -104,6 +111,12 @@ def _make_handler(
             pass
 
         def do_GET(self) -> None:  # noqa: N802 - http.server API
+            try:
+                self._route_get()
+            except Exception as exc:  # noqa: BLE001 - a 500, not a traceback
+                self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+        def _route_get(self) -> None:
             if self.path == "/healthz":
                 # The highest-frequency route: answer from cheap state only,
                 # never the full telemetry aggregation.
@@ -124,6 +137,25 @@ def _make_handler(
                 if autopilot is not None:
                     text += "\n" + autopilot.render()
                 self._text(200, text + "\n")
+            elif self.path == "/metrics":
+                self._respond(
+                    200,
+                    _METRICS_CONTENT_TYPE,
+                    render_prometheus().encode("utf-8"),
+                )
+            elif self.path.startswith("/trace/"):
+                trace_id = self.path[len("/trace/"):]
+                spans = get_tracer().ring.trace(trace_id)
+                if not spans:
+                    self._json(404, {"error": f"unknown trace {trace_id!r}"})
+                else:
+                    self._json(
+                        200,
+                        {
+                            "trace_id": trace_id,
+                            "spans": [s.to_dict() for s in spans],
+                        },
+                    )
             elif self.path == "/autopilot":
                 if autopilot is None:
                     self._json(404, {"error": "no autopilot attached"})
@@ -176,12 +208,19 @@ def _make_handler(
                         f"unknown envelope keys {sorted(unknown)}; "
                         f"expected a subset of {sorted(_ENVELOPE_KEYS)}"
                     )
-                return gateway.submit(
+                return self._submit_one(
                     body["payload"],
                     latency_budget=body.get("latency_budget"),
                     request_id=body.get("request_id"),
                 )
-            return gateway.submit(body)
+            return self._submit_one(body)
+
+        def _submit_one(self, payload, **kwargs):
+            """Submit a single payload, remembering its trace id (if any)
+            so the response can carry an ``X-Trace-Id`` header."""
+            future = gateway.submit_async(payload, **kwargs)
+            self._trace_id = future.trace_id
+            return future.result(timeout=gateway.config.request_timeout_s)
 
         def _json(self, code: int, obj) -> None:
             data = json.dumps(obj).encode("utf-8")
@@ -194,6 +233,9 @@ def _make_handler(
             self.send_response(code)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
+            trace_id = getattr(self, "_trace_id", None)
+            if trace_id is not None:
+                self.send_header("X-Trace-Id", trace_id)
             self.end_headers()
             self.wfile.write(data)
 

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.api.endpoint import Endpoint
 from repro.errors import ServeError, StoreError
+from repro.obs import get_tracer
 
 if TYPE_CHECKING:
     from repro.deploy.store import ModelStore
@@ -57,7 +58,10 @@ class Replica:
         """Answer one formed batch; returns (responses, batch latency)."""
         with self.lock:
             start = time.perf_counter()
-            responses = self.endpoint.serve_batch(payloads)
+            with get_tracer().span(
+                "replica.serve", child_only=True, tier=self.tier, role=self.role
+            ):
+                responses = self.endpoint.serve_batch(payloads)
             elapsed = time.perf_counter() - start
             self.requests_served += len(payloads)
             self.batches_served += 1

@@ -38,6 +38,7 @@ class RequestEvent:
     batch_size: int
     ok: bool = True
     dtype: str = "float64"  # the precision the answering replica served in
+    trace_id: str | None = None  # links back to the full span tree, if traced
 
 
 @dataclass(frozen=True)
@@ -197,7 +198,10 @@ class TelemetryRing:
             )
         first = min(e.at for e in events)
         last = max(e.at for e in events)
-        window = max(last - first, 1e-9)
+        # A single event (or events sharing one timestamp) spans no time;
+        # report zero throughput rather than dividing by an epsilon window
+        # and claiming ~1e9 requests/s.
+        window = last - first
         tiers: dict[str, TierStats] = {}
         for tier in sorted({e.tier for e in events}):
             tier_events = [e for e in events if e.tier == tier]
@@ -218,7 +222,7 @@ class TelemetryRing:
         return TelemetrySnapshot(
             total_requests=len(events),
             window_s=window,
-            requests_per_s=len(events) / window,
+            requests_per_s=len(events) / window if window > 0 else 0.0,
             tiers=tiers,
             roles=dict(roles),
             errors=sum(1 for e in events if not e.ok),

@@ -14,6 +14,7 @@ from repro.training.evaluation import (
     mean_primary,
     predict_all,
 )
+from repro.training.hooks import MetricsTrainerHooks, TrainerHooks
 from repro.training.trainer import EpochStats, Trainer, TrainHistory
 from repro.training.reports import (
     QualityReport,
@@ -35,7 +36,9 @@ __all__ = [
     "mean_primary",
     "predict_all",
     "EpochStats",
+    "MetricsTrainerHooks",
     "Trainer",
+    "TrainerHooks",
     "TrainHistory",
     "QualityReport",
     "ReportRow",

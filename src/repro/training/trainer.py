@@ -10,6 +10,7 @@ training", §3).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -23,9 +24,11 @@ from repro.data.vocab import Vocab
 from repro.errors import TrainingError
 from repro.model.multitask import MultitaskModel
 from repro.model.task_heads import TaskTargets
-from repro.optim import Adam, AdamW, ConstantSchedule, SGD, clip_grad_norm
+from repro.obs import get_tracer
+from repro.optim import Adam, AdamW, ConstantSchedule, SGD, clip_grad_norm, grad_norm
 from repro.tensor import dtype_policy
 from repro.training.evaluation import evaluate, mean_primary
+from repro.training.hooks import TrainerHooks
 
 
 @dataclass
@@ -117,6 +120,7 @@ class Trainer:
         gold_source: str = "gold",
         callback: Callable[[EpochStats], None] | None = None,
         cache_batches: bool = True,
+        hooks: TrainerHooks | None = None,
     ) -> TrainHistory:
         """Train on ``records``; optionally track dev quality per epoch.
 
@@ -124,6 +128,13 @@ class Trainer:
         set and ``config.patience > 0``, training stops after ``patience``
         epochs without dev improvement and the best-epoch weights are
         restored.
+
+        ``hooks`` opts into per-epoch instrumentation
+        (:class:`~repro.training.hooks.TrainerHooks`): each epoch's stats,
+        wall-clock, and mean gradient L2 norm are delivered to
+        ``hooks.on_epoch``.  Gradient norms are only *measured* when hooks
+        are present (or clipping already computes them), so the default
+        fit pays nothing.
 
         ``cache_batches`` (the default) encodes the train and dev records
         once up front (:class:`~repro.data.EncodedDataset`) and serves every
@@ -159,37 +170,49 @@ class Trainer:
                 if dev_records:
                     dev_encoded = EncodedDataset(dev_records, schema, vocabs)
 
+        tracer = get_tracer()
         self.model.train()
         for epoch in range(self.config.epochs):
+            epoch_started = time.perf_counter()
             losses = []
-            for idx in iterate_batches(len(records), self.config.batch_size, rng):
-                if encoded is not None:
-                    batch = encoded.batch(idx)
-                else:
-                    batch_records = [records[int(i)] for i in idx]
-                    with dtype_policy(self.model.dtype):
-                        batch = encode_inputs(
-                            batch_records, schema, vocabs, indices=idx
-                        )
-                outputs = self.model(batch)
-                loss = self.model.compute_loss(
-                    outputs,
-                    _slice_targets(targets, idx),
-                    slice_weight=self.config.slice_weight,
-                )
-                loss_value = loss.item()
-                if not np.isfinite(loss_value):
-                    raise TrainingError(
-                        f"non-finite loss at epoch {epoch}: {loss_value}; "
-                        "lower the learning rate or enable gradient clipping"
+            batch_norms = []
+            with tracer.span("train.epoch", epoch=epoch):
+                for idx in iterate_batches(
+                    len(records), self.config.batch_size, rng
+                ):
+                    if encoded is not None:
+                        batch = encoded.batch(idx)
+                    else:
+                        batch_records = [records[int(i)] for i in idx]
+                        with dtype_policy(self.model.dtype):
+                            batch = encode_inputs(
+                                batch_records, schema, vocabs, indices=idx
+                            )
+                    outputs = self.model(batch)
+                    loss = self.model.compute_loss(
+                        outputs,
+                        _slice_targets(targets, idx),
+                        slice_weight=self.config.slice_weight,
                     )
-                self.optimizer.zero_grad()
-                loss.backward()
-                if self.config.clip_norm > 0:
-                    clip_grad_norm(self.model.parameters(), self.config.clip_norm)
-                self.optimizer.step()
-                self.schedule.step()
-                losses.append(loss_value)
+                    loss_value = loss.item()
+                    if not np.isfinite(loss_value):
+                        raise TrainingError(
+                            f"non-finite loss at epoch {epoch}: {loss_value}; "
+                            "lower the learning rate or enable gradient clipping"
+                        )
+                    self.optimizer.zero_grad()
+                    loss.backward()
+                    if self.config.clip_norm > 0:
+                        norm = clip_grad_norm(
+                            self.model.parameters(), self.config.clip_norm
+                        )
+                        if hooks is not None:
+                            batch_norms.append(norm)
+                    elif hooks is not None:
+                        batch_norms.append(grad_norm(self.model.parameters()))
+                    self.optimizer.step()
+                    self.schedule.step()
+                    losses.append(loss_value)
 
             stats = EpochStats(epoch=epoch, train_loss=float(np.mean(losses)))
             if dev_records:
@@ -210,6 +233,14 @@ class Trainer:
                 else:
                     epochs_since_best += 1
             history.epochs.append(stats)
+            if hooks is not None:
+                hooks.on_epoch(
+                    stats,
+                    duration_s=time.perf_counter() - epoch_started,
+                    grad_norm=(
+                        float(np.mean(batch_norms)) if batch_norms else None
+                    ),
+                )
             if callback is not None:
                 callback(stats)
             if (

@@ -107,29 +107,30 @@ class TestBackendSkeletons:
             export_backend_skeleton(graph, "mxnet")
 
 
-class TestProfiler:
-    def make_predictor(self):
-        ds = mini_dataset(n=20, seed=0)
-        model, vocabs = compile_from_dataset(
-            ds,
-            ModelConfig(
-                payloads={
-                    "tokens": PayloadConfig(encoder="bow", size=8),
-                    "query": PayloadConfig(size=8),
-                    "entities": PayloadConfig(size=8),
-                },
-                trainer=TrainerConfig(epochs=1),
-            ),
-        )
-        artifact = ModelArtifact.from_model(model, vocabs)
-        payloads = [
-            {"tokens": r.payloads["tokens"], "entities": r.payloads["entities"]}
-            for r in ds.records[:10]
-        ]
-        return Predictor(artifact), payloads
+def make_predictor():
+    ds = mini_dataset(n=20, seed=0)
+    model, vocabs = compile_from_dataset(
+        ds,
+        ModelConfig(
+            payloads={
+                "tokens": PayloadConfig(encoder="bow", size=8),
+                "query": PayloadConfig(size=8),
+                "entities": PayloadConfig(size=8),
+            },
+            trainer=TrainerConfig(epochs=1),
+        ),
+    )
+    artifact = ModelArtifact.from_model(model, vocabs)
+    payloads = [
+        {"tokens": r.payloads["tokens"], "entities": r.payloads["entities"]}
+        for r in ds.records[:10]
+    ]
+    return Predictor(artifact), payloads
 
+
+class TestProfiler:
     def test_profile_shape(self):
-        predictor, payloads = self.make_predictor()
+        predictor, payloads = make_predictor()
         profile = profile_predictor(predictor, payloads, warmup=1)
         assert profile.n_requests == 10
         assert 0 < profile.p50 <= profile.p95 <= profile.p99
@@ -139,12 +140,12 @@ class TestProfiler:
         }
 
     def test_empty_payloads_rejected(self):
-        predictor, _ = self.make_predictor()
+        predictor, _ = make_predictor()
         with pytest.raises(DeploymentError):
             profile_predictor(predictor, [])
 
     def test_sla_gate_passes_generous_sla(self):
-        predictor, payloads = self.make_predictor()
+        predictor, payloads = make_predictor()
         passed, profile, violations = sla_gate(
             predictor, payloads, SLA(p95_seconds=60.0)
         )
@@ -152,9 +153,67 @@ class TestProfiler:
         assert violations == []
 
     def test_sla_gate_fails_impossible_sla(self):
-        predictor, payloads = self.make_predictor()
+        predictor, payloads = make_predictor()
         passed, _, violations = sla_gate(
             predictor, payloads, SLA(p95_seconds=1e-9, p99_seconds=1e-9)
         )
         assert not passed
         assert len(violations) == 2
+
+    def test_warmup_longer_than_payloads_is_fine(self):
+        predictor, payloads = make_predictor()
+        profile = profile_predictor(predictor, payloads[:2], warmup=10)
+        assert profile.n_requests == 2
+
+    def test_sla_p99_optional(self):
+        violations = SLA(p95_seconds=1e-9).check(
+            profile_predictor(*make_predictor())
+        )
+        assert len(violations) == 1 and "p95" in violations[0]
+
+
+class TestProfilerSpans:
+    def test_profile_emits_one_run_span_with_request_children(self):
+        import repro.obs as obs
+
+        predictor, payloads = make_predictor()
+        with obs.activated():
+            profile_predictor(predictor, payloads, warmup=1)
+            ring = obs.get_tracer().ring
+            (root,) = [s for s in ring.spans() if s.name == "profile.run"]
+            children = [s for s in ring.spans() if s.name == "profile.request"]
+            assert root.attrs == {"n_requests": len(payloads)}
+            assert len(children) == len(payloads)
+            assert [c.attrs["index"] for c in children] == list(range(len(payloads)))
+            for child in children:
+                assert child.trace_id == root.trace_id
+                assert child.parent_id == root.span_id
+                # record() reuses the profiler's own measured timestamps,
+                # so child spans are strictly timed and non-negative.
+                assert child.end_s >= child.start_s
+
+    def test_profile_spans_reach_jsonl_exporter(self, tmp_path):
+        import repro.obs as obs
+
+        predictor, payloads = make_predictor()
+        path = tmp_path / "profile.jsonl"
+        exporter = obs.JsonlSpanExporter(path)
+        tracer = obs.get_tracer()
+        tracer.add_exporter(exporter)
+        try:
+            with obs.activated():
+                profile_predictor(predictor, payloads[:3], warmup=1)
+        finally:
+            tracer.remove_exporter(exporter)
+        names = [row["name"] for row in obs.JsonlSpanExporter.read(path)]
+        assert names.count("profile.run") == 1
+        assert names.count("profile.request") == 3
+
+    def test_disabled_tracing_profiles_cleanly(self):
+        import repro.obs as obs
+
+        assert not obs.is_active()
+        predictor, payloads = make_predictor()
+        profile = profile_predictor(predictor, payloads, warmup=1)
+        assert profile.n_requests == len(payloads)
+        assert len(obs.get_tracer().ring) == 0

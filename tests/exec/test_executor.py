@@ -177,3 +177,51 @@ class TestExecutorBasics:
 
         with pytest.raises(TuningError):
             _evaluate_all([], None, TrialExecutor(score_trial, workers=1))
+
+
+class TestObservability:
+    def test_counters_mirror_executor_stats(self, tmp_path):
+        import repro.obs as obs
+        from repro.exec import TrialCache
+
+        configs = spec_4().expand()
+        with obs.activated():
+            registry = obs.get_registry()
+            cache = TrialCache(tmp_path / "cache")
+            executor = TrialExecutor(score_trial, workers=1, cache=cache)
+            executor.evaluate(configs)
+            assert registry.get("repro_trials_started_total").value() == 4.0
+            assert registry.get("repro_trials_cached_total").value() == 0.0
+            # A second pass answers everything from the cache.
+            executor.evaluate(configs)
+            assert registry.get("repro_trials_started_total").value() == 8.0
+            assert registry.get("repro_trials_cached_total").value() == 4.0
+            assert executor.stats.cache_hits == 4
+            util = registry.get("repro_exec_worker_utilization").value()
+            assert 0.0 <= util <= 1.0
+            executor.close()
+
+    def test_failed_trials_are_counted(self):
+        import repro.obs as obs
+
+        with obs.activated():
+            executor = TrialExecutor(failing_trial, workers=1)
+            with pytest.raises(TuningError):
+                executor.evaluate(spec_4().expand())
+            assert obs.get_registry().get(
+                "repro_trials_failed_total"
+            ).value() >= 1.0
+            executor.close()
+
+    def test_evaluate_is_traced(self):
+        import repro.obs as obs
+
+        with obs.activated():
+            executor = TrialExecutor(score_trial, workers=1)
+            executor.evaluate(spec_4().expand())
+            (span,) = [
+                s for s in obs.get_tracer().ring.spans()
+                if s.name == "exec.evaluate"
+            ]
+            assert span.attrs == {"trials": 4, "misses": 4}
+            executor.close()

@@ -132,3 +132,47 @@ class TestRenderers:
         text = render_source_accuracies({"crowd": 0.9, "weak1": 0.6})
         assert text.index("crowd") < text.index("weak1")
         assert render_source_accuracies({}) == "(no sources)"
+
+
+class TestRenderSpans:
+    def _spans(self):
+        from repro.obs import Span
+
+        return [
+            Span("t1", "root", None, "gateway.enqueue", 0.0, 0.010),
+            Span("t1", "mid", "root", "gateway.batch", 0.002, 0.009),
+            Span("t1", "leaf", "mid", "endpoint.forward", 0.003, 0.008),
+        ]
+
+    def test_flame_panel_shape(self):
+        from repro.monitoring import render_spans
+
+        text = render_spans(self._spans())
+        lines = text.splitlines()
+        assert lines[0].startswith("trace t1")
+        assert "3 spans" in lines[0]
+        # Indentation follows parent depth.
+        assert "gateway.enqueue" in lines[1]
+        assert "  gateway.batch" in lines[2]
+        assert "    endpoint.forward" in lines[3]
+        # Every row has a duration and a bar.
+        for line in lines[1:]:
+            assert "ms" in line and "█" in line
+
+    def test_accepts_dict_spans_from_jsonl(self):
+        from repro.monitoring import render_spans
+
+        text = render_spans([s.to_dict() for s in self._spans()])
+        assert "gateway.enqueue" in text
+
+    def test_empty_input(self):
+        from repro.monitoring import render_spans
+
+        assert render_spans([]) == "(no spans)"
+
+    def test_multiple_traces_header(self):
+        from repro.monitoring import render_spans
+        from repro.obs import Span
+
+        spans = self._spans() + [Span("t2", "x", None, "other", 0.0, 0.001)]
+        assert render_spans(spans).splitlines()[0].startswith("2 traces")

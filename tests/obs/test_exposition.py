@@ -1,0 +1,105 @@
+"""Unit tests for repro.obs.expo: Prometheus text-format rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.expo import CONTENT_TYPE, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    r = MetricsRegistry()
+    r.enabled = True
+    return r
+
+
+def test_content_type_pins_the_exposition_version():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_empty_registry_renders_empty(registry):
+    assert render_prometheus(registry) == ""
+
+
+def test_counter_family(registry):
+    c = registry.counter("requests_total", "Requests served.", labels=("tier",))
+    c.inc(3, tier="large")
+    c.inc(tier="small")
+    text = render_prometheus(registry)
+    lines = text.splitlines()
+    assert lines[0] == "# HELP requests_total Requests served."
+    assert lines[1] == "# TYPE requests_total counter"
+    assert 'requests_total{tier="large"} 3' in lines
+    assert 'requests_total{tier="small"} 1' in lines
+    assert text.endswith("\n")
+
+
+def test_unlabeled_gauge_has_no_braces(registry):
+    registry.gauge("queue_depth", "Now.").set(7)
+    assert "queue_depth 7" in render_prometheus(registry).splitlines()
+
+
+def test_histogram_buckets_are_cumulative_with_inf(registry):
+    h = registry.histogram("latency_s", "Latency.", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 0.5, 5.0):
+        h.observe(v)
+    lines = render_prometheus(registry).splitlines()
+    assert 'latency_s_bucket{le="0.1"} 1' in lines
+    assert 'latency_s_bucket{le="1"} 3' in lines
+    assert 'latency_s_bucket{le="+Inf"} 4' in lines
+    assert "latency_s_count 4" in lines
+    sum_line = next(l for l in lines if l.startswith("latency_s_sum"))
+    assert float(sum_line.split()[-1]) == pytest.approx(6.05)
+
+
+def test_histogram_labels_compose_with_le(registry):
+    h = registry.histogram("lat_s", labels=("tier",), buckets=(1.0,))
+    h.observe(0.5, tier="large")
+    lines = render_prometheus(registry).splitlines()
+    assert 'lat_s_bucket{tier="large",le="1"} 1' in lines
+    assert 'lat_s_bucket{tier="large",le="+Inf"} 1' in lines
+    assert 'lat_s_sum{tier="large"} 0.5' in lines
+    assert 'lat_s_count{tier="large"} 1' in lines
+
+
+def test_label_value_escaping(registry):
+    c = registry.counter("weird_total", labels=("path",))
+    c.inc(path='a"b\\c\nd')
+    line = render_prometheus(registry).splitlines()[-1]
+    assert line == 'weird_total{path="a\\"b\\\\c\\nd"} 1'
+
+
+def test_help_escaping(registry):
+    registry.counter("h_total", "line one\nline two \\ slash")
+    text = render_prometheus(registry)
+    assert "# HELP h_total line one\\nline two \\\\ slash" in text
+
+
+def test_value_formatting(registry):
+    g = registry.gauge("vals", labels=("k",))
+    g.set(2.0, k="int")          # integral floats render as integers
+    g.set(0.25, k="frac")
+    g.set(math.inf, k="inf")
+    g.set(-math.inf, k="ninf")
+    lines = render_prometheus(registry).splitlines()
+    assert 'vals{k="int"} 2' in lines
+    assert 'vals{k="frac"} 0.25' in lines
+    assert 'vals{k="inf"} +Inf' in lines
+    assert 'vals{k="ninf"} -Inf' in lines
+
+
+def test_families_render_in_registration_order(registry):
+    registry.counter("b_total").inc()
+    registry.gauge("a").set(1)
+    text = render_prometheus(registry)
+    assert text.index("b_total") < text.index("# HELP a ")
+
+
+def test_defaults_to_global_registry():
+    # Global registry is disabled in tests: series are empty but the
+    # render call itself must not blow up.
+    assert isinstance(render_prometheus(), str)

@@ -86,6 +86,22 @@ class TestPredict:
 
 
 class TestServerFaults:
+    def test_get_handler_crash_is_structured_500(self, server, monkeypatch):
+        # A crash inside any GET route must come back as JSON, never a
+        # bare HTML traceback page.
+        http, payloads = server
+        monkeypatch.setattr(
+            http.gateway,
+            "stats",
+            lambda: (_ for _ in ()).throw(RuntimeError("stats exploded")),
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(http.url + "/telemetry", timeout=30)
+        assert excinfo.value.code == 500
+        assert excinfo.value.headers["Content-Type"] == "application/json"
+        body = json.loads(excinfo.value.read())
+        assert body["error"] == "RuntimeError: stats exploded"
+
     def test_stopped_gateway_is_503_not_400(self, served, single_store):
         app, ds, run, payloads = served
         store, *_ = single_store
@@ -125,3 +141,12 @@ class TestIntrospection:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(http.url + "/nope", timeout=30)
         assert excinfo.value.code == 404
+        assert excinfo.value.headers["Content-Type"] == "application/json"
+        body = json.loads(excinfo.value.read())
+        assert "/nope" in body["error"]
+
+    def test_unknown_post_path_is_json_404(self, server):
+        http, payloads = server
+        status, body = post(http.url + "/nope", payloads[0])
+        assert status == 404
+        assert "/nope" in body["error"]

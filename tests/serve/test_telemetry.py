@@ -61,6 +61,25 @@ class TestSnapshot:
         assert snap.tiers["small"].p95_s == pytest.approx(0.001)
         assert snap.tiers["large"].p50_s == pytest.approx(0.1)
 
+    def test_single_event_reports_zero_throughput(self):
+        # Regression: a one-event window used to divide by an epsilon and
+        # claim ~1e9 requests/s; a zero-width window must report 0.0.
+        ring = TelemetryRing()
+        ring.record(event(0, at=5.0))
+        snap = ring.snapshot()
+        assert snap.total_requests == 1
+        assert snap.window_s == 0.0
+        assert snap.requests_per_s == 0.0
+
+    def test_identical_timestamps_report_zero_throughput(self):
+        ring = TelemetryRing()
+        for i in range(4):
+            ring.record(event(i, at=7.0))
+        snap = ring.snapshot()
+        assert snap.total_requests == 4
+        assert snap.window_s == 0.0
+        assert snap.requests_per_s == 0.0
+
     def test_throughput_over_window(self):
         ring = TelemetryRing()
         for i in range(11):

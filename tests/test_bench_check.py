@@ -1,0 +1,73 @@
+"""Unit coverage for the benchmark regression gate (tools/run_benchmarks.py).
+
+``--check`` compares this run's trajectory files against the previously
+recorded ones; these tests pin the direction classifier (throughputs are
+higher-better even when their names contain ``_s``) and the comparison
+semantics (threshold, skip rules) without running any benchmark.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from run_benchmarks import classify_direction, compare_entries
+
+
+class TestClassifyDirection:
+    def test_throughput_keys_are_higher_better(self):
+        for key in ("requests_per_s", "per_request_rps", "tape_free_fwd_per_s",
+                    "speedup", "batch_fill_rate", "warm_cache_hits",
+                    "promotions", "enabled_rps"):
+            assert classify_direction(key) == "higher", key
+
+    def test_latency_and_cost_keys_are_lower_better(self):
+        for key in ("p95_latency_s", "serial_s", "epoch_fast_s",
+                    "max_divergence", "overhead_frac", "prediction_flips",
+                    "detect_to_promote_s", "noop_span_ns", "total_duration_s"):
+            assert classify_direction(key) == "lower", key
+
+    def test_unrecognized_keys_are_not_gated(self):
+        assert classify_direction("trials") is None
+        assert classify_direction("workers") is None
+
+    def test_requests_per_s_is_not_mistaken_for_a_duration(self):
+        # "_s" is in the name, but the higher-better rules win the tie.
+        assert classify_direction("requests_per_s") == "higher"
+
+
+class TestCompareEntries:
+    def test_clean_run_produces_no_regressions(self):
+        old = {"requests_per_s": 1000.0, "p95_latency_s": 0.010}
+        new = {"requests_per_s": 990.0, "p95_latency_s": 0.011}
+        assert compare_entries(old, new) == []
+
+    def test_throughput_drop_beyond_threshold_is_flagged(self):
+        old = {"requests_per_s": 1000.0}
+        new = {"requests_per_s": 700.0}
+        problems = compare_entries(old, new, threshold=0.2)
+        assert len(problems) == 1
+        assert "requests_per_s" in problems[0]
+        assert "higher is better" in problems[0]
+
+    def test_latency_growth_beyond_threshold_is_flagged(self):
+        old = {"p95_latency_s": 0.010}
+        new = {"p95_latency_s": 0.013}
+        problems = compare_entries(old, new, threshold=0.2)
+        assert len(problems) == 1
+        assert "lower is better" in problems[0]
+
+    def test_threshold_is_respected(self):
+        old = {"p95_latency_s": 0.010}
+        new = {"p95_latency_s": 0.013}
+        assert compare_entries(old, new, threshold=0.5) == []
+
+    def test_zero_and_missing_and_nonnumeric_keys_are_skipped(self):
+        old = {"flips": 0, "requests_per_s": 1000.0, "tag": "v1"}
+        new = {"flips": 5, "p95_latency_s": 0.5, "tag": "v2"}
+        # flips: old == 0 (skip); requests_per_s / p95 not shared; tag str.
+        assert compare_entries(old, new) == []
+
+    def test_bools_are_not_treated_as_numbers(self):
+        assert compare_entries({"hits": True}, {"hits": False}) == []

@@ -280,3 +280,87 @@ class TestQuery:
         assert code == 0
         out = capsys.readouterr().out
         assert "payloads" in out
+
+
+class TestObs:
+    @pytest.fixture()
+    def obs_server(self):
+        """A stub gateway HTTP server exposing /metrics and /trace/<id>."""
+        import threading
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        metrics_text = (
+            "# HELP repro_gateway_requests_total Requests\n"
+            "# TYPE repro_gateway_requests_total counter\n"
+            'repro_gateway_requests_total{tier="default"} 7\n'
+        )
+        trace_body = {
+            "trace_id": "0xabc",
+            "spans": [
+                {
+                    "trace_id": "0xabc", "span_id": "s1", "parent_id": None,
+                    "name": "gateway.enqueue", "start_s": 0.0, "end_s": 0.01,
+                    "duration_s": 0.01, "attrs": {},
+                }
+            ],
+        }
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # noqa: A002
+                pass
+
+            def do_GET(self):  # noqa: N802
+                if self.path == "/metrics":
+                    data, code = metrics_text.encode(), 200
+                elif self.path == "/trace/0xabc":
+                    data, code = json.dumps(trace_body).encode(), 200
+                else:
+                    data, code = b'{"error": "nope"}', 404
+                self.send_response(code)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+        server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+        server.shutdown()
+        thread.join(timeout=5)
+        server.server_close()
+
+    def test_metrics_passthrough(self, obs_server, capsys):
+        code = main(["obs", "--url", obs_server, "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert 'repro_gateway_requests_total{tier="default"} 7' in out
+
+    def test_trace_renders_flame_panel(self, obs_server, capsys):
+        code = main(["obs", "--url", obs_server, "--trace", "0xabc"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace 0xabc" in out and "gateway.enqueue" in out
+
+    def test_unknown_trace_is_an_error(self, obs_server, capsys):
+        code = main(["obs", "--url", obs_server, "--trace", "0xmissing"])
+        assert code != 0
+        assert "404" in capsys.readouterr().err
+
+    def test_tail_prints_journal_entries(self, tmp_path, capsys):
+        from repro.autopilot import DecisionJournal
+
+        journal = DecisionJournal(tmp_path / "journal.jsonl")
+        for i in range(5):
+            journal.record("tick", index=i)
+        code = main(
+            ["obs", "--tail", str(tmp_path / "journal.jsonl"), "-n", "2"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert [json.loads(l)["detail"]["index"] for l in lines] == [3, 4]
+
+    def test_no_action_is_an_error(self, capsys):
+        code = main(["obs"])
+        assert code != 0
+        assert "nothing to do" in capsys.readouterr().err

@@ -1,0 +1,48 @@
+"""Tier-1 wiring for the print lint (tools/check_print_calls.py).
+
+The observability stack only pays off if the library actually routes
+runtime signals through it; this test keeps ``src/repro`` free of bare
+``print()`` calls (outside the CLI and the dashboard renderer) and pins
+the lint's own detection logic with a known-bad snippet.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_print_calls import DEFAULT_TARGET, check_tree, violations_in
+
+
+def test_src_tree_has_no_bare_print_calls():
+    assert check_tree(DEFAULT_TARGET) == []
+
+
+def test_lint_catches_bare_print(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def work(x):\n"
+        "    print('debugging', x)\n"
+        "    return x\n"
+    )
+    found = violations_in(bad)
+    assert len(found) == 1
+    assert "bare print()" in found[0]
+
+
+def test_allowed_modules_are_exempt(tmp_path):
+    (tmp_path / "cli.py").write_text("print('hi')\n")
+    monitoring = tmp_path / "monitoring"
+    monitoring.mkdir()
+    (monitoring / "dashboards.py").write_text("print('panel')\n")
+    (monitoring / "drift.py").write_text("print('oops')\n")
+    problems = check_tree(tmp_path)
+    assert len(problems) == 1 and "drift.py" in problems[0]
+
+
+def test_shadowed_print_name_still_flagged_only_for_builtin_shape(tmp_path):
+    # A method named print on an object is not a bare print() call.
+    ok = tmp_path / "ok.py"
+    ok.write_text("class Report:\n    def go(self, io):\n        io.print('x')\n")
+    assert violations_in(ok) == []

@@ -233,3 +233,67 @@ class TestNaNGuard:
         trainer = Trainer(model, TrainerConfig(epochs=1, lr=0.05))
         with pytest.raises(TrainingError, match="non-finite"):
             trainer.fit(train.records, vocabs, build_targets(ds, train.records))
+
+
+class TestTrainerHooks:
+    def _fit(self, hooks, epochs=2):
+        ds = mini_dataset(n=40, seed=0)
+        train = ds.split("train")
+        model, vocabs = compile_from_dataset(ds, small_config(epochs=epochs))
+        trainer = Trainer(model, model.config.trainer)
+        return trainer.fit(
+            train.records, vocabs, build_targets(ds, train.records), hooks=hooks
+        )
+
+    def test_hooks_see_every_epoch_with_measurements(self):
+        calls = []
+
+        class Recorder:
+            def on_epoch(self, stats, *, duration_s, grad_norm):
+                calls.append((stats.epoch, duration_s, grad_norm))
+
+        history = self._fit(Recorder(), epochs=3)
+        assert [c[0] for c in calls] == [0, 1, 2]
+        assert all(duration > 0 for _, duration, _ in calls)
+        # clip_norm defaults off, so hooks trigger explicit norm measurement.
+        assert all(norm is not None and norm >= 0 for *_, norm in calls)
+        assert len(history.epochs) == 3
+
+    def test_metrics_hooks_feed_the_registry(self):
+        import repro.obs as obs
+        from repro.training import MetricsTrainerHooks
+
+        with obs.activated():
+            self._fit(MetricsTrainerHooks(model="unit-test"), epochs=2)
+            registry = obs.get_registry()
+            assert registry.get("repro_train_epochs_total").value(
+                model="unit-test"
+            ) == 2.0
+            epoch_s = registry.get("repro_train_epoch_seconds").value(
+                model="unit-test"
+            )
+            assert epoch_s["count"] == 2 and epoch_s["sum"] > 0
+            assert registry.get("repro_train_loss").value(model="unit-test") > 0
+            assert (
+                registry.get("repro_train_grad_norm").value(model="unit-test")
+                >= 0
+            )
+
+    def test_epochs_are_traced_when_enabled(self):
+        import repro.obs as obs
+
+        with obs.activated():
+            self._fit(None, epochs=2)
+            epochs = [
+                s for s in obs.get_tracer().ring.spans()
+                if s.name == "train.epoch"
+            ]
+            assert [s.attrs["epoch"] for s in epochs] == [0, 1]
+
+    def test_no_hooks_means_no_metrics(self):
+        import repro.obs as obs
+
+        with obs.activated():
+            self._fit(None, epochs=1)
+            counter = obs.get_registry().get("repro_train_epochs_total")
+            assert counter is None or counter.samples() == []

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Print lint: no bare ``print()`` calls in the library outside the CLI.
+
+With :mod:`repro.obs` in place, the library has real channels for runtime
+signals — metrics, spans, and structured journal entries — so a stray
+``print()`` in ``src/repro`` is either debugging residue or output the
+caller cannot capture, filter, or ship.  This lint fails (exit 1) on any
+bare ``print(...)`` call in ``src/repro`` outside the two modules whose
+job *is* terminal output: ``cli.py`` and ``monitoring/dashboards.py``.
+
+Use a metric (:func:`repro.obs.get_registry`), a span attribute, the
+decision journal, or return the string to the caller instead.
+
+Runs standalone or via the tier-1 suite (``tests/test_print_calls.py``):
+
+    python tools/check_print_calls.py              # lint src/repro
+    python tools/check_print_calls.py --root PATH  # lint another tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_TARGET = ROOT / "src" / "repro"
+
+# Modules whose job is terminal output, relative to the linted root.
+ALLOWED = {("cli.py",), ("monitoring", "dashboards.py")}
+
+
+def _is_allowed(path: Path, root: Path) -> bool:
+    parts = path.relative_to(root).parts
+    return any(parts[-len(allowed):] == allowed for allowed in ALLOWED)
+
+
+def violations_in(path: Path) -> list[str]:
+    """Bare ``print()`` calls in one module, as readable strings."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}: cannot parse: {exc}"]
+    found = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            found.append(
+                (
+                    node.lineno,
+                    f"{path}:{node.lineno}: bare print() — use a metric, "
+                    "span attribute, or journal entry instead",
+                )
+            )
+    return [message for _, message in sorted(found)]
+
+
+def check_tree(root: Path) -> list[str]:
+    """All violations under ``root``, in deterministic path order."""
+    problems: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        if _is_allowed(path, root):
+            continue
+        problems.extend(violations_in(path))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=str(DEFAULT_TARGET))
+    args = parser.parse_args(argv)
+    problems = check_tree(Path(args.root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"\n{len(problems)} print-call problem(s)", file=sys.stderr)
+        return 1
+    print("print calls: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

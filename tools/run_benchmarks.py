@@ -18,13 +18,23 @@ perf record:
   divergence) writes the path in ``BENCH_DTYPE_JSON`` -> ``BENCH_dtype.json``;
 - the autopilot benchmark (drift-detection -> promotion wall-clock per
   heal-loop leg) writes the path in ``BENCH_AUTOPILOT_JSON`` ->
-  ``BENCH_autopilot.json``.
+  ``BENCH_autopilot.json``;
+- the observability benchmark (gateway throughput with tracing+metrics
+  off vs on, per-op costs of disabled instruments) writes the path in
+  ``BENCH_OBS_JSON`` -> ``BENCH_obs.json``.
+
+``--check`` turns the trajectory files into a regression gate: before the
+run every existing ``BENCH_*.json`` is snapshotted, and afterwards any
+shared numeric metric that moved the wrong way by more than 20%
+(slower, less throughput, more overhead) fails the run.
 
 Usage:
     python tools/run_benchmarks.py                 # full suite
     python tools/run_benchmarks.py --only core     # just bench_core_*
     python tools/run_benchmarks.py --only dtype    # just bench_dtype_*
+    python tools/run_benchmarks.py --only obs      # just bench_obs_*
     python tools/run_benchmarks.py --only serve    # ... or serve / tune
+    python tools/run_benchmarks.py --check         # fail on >20% regressions
     python tools/run_benchmarks.py --list
 """
 
@@ -45,6 +55,64 @@ DEFAULT_TUNE_OUT = ROOT / "BENCH_tune.json"
 DEFAULT_CORE_OUT = ROOT / "BENCH_core.json"
 DEFAULT_DTYPE_OUT = ROOT / "BENCH_dtype.json"
 DEFAULT_AUTOPILOT_OUT = ROOT / "BENCH_autopilot.json"
+DEFAULT_OBS_OUT = ROOT / "BENCH_obs.json"
+
+# Substring -> direction rules for --check.  Higher-better wins ties on
+# purpose: "requests_per_s" contains "_s" but is a throughput, not a
+# latency.
+HIGHER_IS_BETTER = (
+    "per_s", "rps", "speedup", "throughput", "fill", "hits", "promotions"
+)
+LOWER_IS_BETTER = (
+    "latency", "_s", "_ms", "divergence", "overhead", "flips", "duration"
+)
+
+
+def classify_direction(key: str) -> str | None:
+    """'higher', 'lower', or None (unclassified -> not gated) for a metric."""
+    name = key.lower()
+    if any(token in name for token in HIGHER_IS_BETTER):
+        return "higher"
+    if any(token in name for token in LOWER_IS_BETTER):
+        return "lower"
+    return None
+
+
+def compare_entries(
+    old: dict, new: dict, threshold: float = 0.2
+) -> list[str]:
+    """Regression messages for metrics shared by two trajectory entries.
+
+    Only numeric keys present in both entries are compared; keys with no
+    recognizable direction and old values <= 0 are skipped (a ratio
+    against zero means nothing).
+    """
+    regressions = []
+    for key in sorted(set(old) & set(new)):
+        old_value, new_value = old[key], new[key]
+        if isinstance(old_value, bool) or isinstance(new_value, bool):
+            continue
+        if not isinstance(old_value, (int, float)) or not isinstance(
+            new_value, (int, float)
+        ):
+            continue
+        if old_value <= 0:
+            continue
+        direction = classify_direction(key)
+        if direction is None:
+            continue
+        ratio = new_value / old_value
+        if direction == "higher" and ratio < 1 - threshold:
+            regressions.append(
+                f"{key}: {old_value:.4g} -> {new_value:.4g} "
+                f"({(1 - ratio) * 100:.0f}% worse, higher is better)"
+            )
+        elif direction == "lower" and ratio > 1 + threshold:
+            regressions.append(
+                f"{key}: {old_value:.4g} -> {new_value:.4g} "
+                f"({(ratio - 1) * 100:.0f}% worse, lower is better)"
+            )
+    return regressions
 
 
 def bench_files(only: str = "") -> list[Path]:
@@ -61,6 +129,7 @@ def run_benchmark(
     core_out_path: Path,
     dtype_out_path: Path,
     autopilot_out_path: Path,
+    obs_out_path: Path,
     timeout: float,
 ) -> tuple[bool, float, str]:
     env = dict(os.environ)
@@ -73,6 +142,7 @@ def run_benchmark(
     env["BENCH_CORE_JSON"] = str(core_out_path)
     env["BENCH_DTYPE_JSON"] = str(dtype_out_path)
     env["BENCH_AUTOPILOT_JSON"] = str(autopilot_out_path)
+    env["BENCH_OBS_JSON"] = str(obs_out_path)
     start = time.perf_counter()
     try:
         result = subprocess.run(
@@ -122,6 +192,16 @@ def main(argv: list[str] | None = None) -> int:
         default=str(DEFAULT_AUTOPILOT_OUT),
         help="where the autopilot benchmark writes BENCH_autopilot.json",
     )
+    parser.add_argument(
+        "--obs-out",
+        default=str(DEFAULT_OBS_OUT),
+        help="where the observability benchmark writes BENCH_obs.json",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when a rerun metric regresses >20%% vs the recorded file",
+    )
     parser.add_argument("--timeout", type=float, default=900.0)
     parser.add_argument(
         "--list", action="store_true", help="list benchmark files and exit"
@@ -142,12 +222,27 @@ def main(argv: list[str] | None = None) -> int:
     core_out_path = Path(args.core_out).resolve()
     dtype_out_path = Path(args.dtype_out).resolve()
     autopilot_out_path = Path(args.autopilot_out).resolve()
+    obs_out_path = Path(args.obs_out).resolve()
+    trajectory_paths = [
+        out_path,
+        tune_out_path,
+        core_out_path,
+        dtype_out_path,
+        autopilot_out_path,
+        obs_out_path,
+    ]
+    # Snapshot the last recorded entries before unlinking so --check can
+    # compare this run against them.
+    previous: dict[str, dict] = {}
+    for path in trajectory_paths:
+        if path.exists():
+            try:
+                previous[path.name] = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError):
+                pass
     # Never report a previous run's metrics as this run's.
-    out_path.unlink(missing_ok=True)
-    tune_out_path.unlink(missing_ok=True)
-    core_out_path.unlink(missing_ok=True)
-    dtype_out_path.unlink(missing_ok=True)
-    autopilot_out_path.unlink(missing_ok=True)
+    for path in trajectory_paths:
+        path.unlink(missing_ok=True)
     failures = 0
     for path in files:
         ok, elapsed, detail = run_benchmark(
@@ -157,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
             core_out_path,
             dtype_out_path,
             autopilot_out_path,
+            obs_out_path,
             args.timeout,
         )
         status = "ok" if ok else "FAIL"
@@ -220,6 +316,34 @@ def main(argv: list[str] | None = None) -> int:
             f"gate+promote {metrics['gate_promote_s']:.2f}s)  "
             f"promotions {metrics['promotions']}"
         )
+    if obs_out_path.exists():
+        metrics = json.loads(obs_out_path.read_text())
+        print(f"\nobservability metrics -> {obs_out_path}")
+        print(
+            f"  gateway {metrics['disabled_rps']:.0f} req/s obs-off "
+            f"vs {metrics['enabled_rps']:.0f} req/s obs-on "
+            f"(overhead {metrics['overhead_frac'] * 100:.1f}%)  "
+            f"disabled counter {metrics['disabled_counter_ns']:.0f}ns/op  "
+            f"noop span {metrics['noop_span_ns']:.0f}ns"
+        )
+    if args.check:
+        regressed = 0
+        for path in trajectory_paths:
+            old = previous.get(path.name)
+            if old is None or not path.exists():
+                continue
+            new = json.loads(path.read_text())
+            problems = compare_entries(old, new)
+            if problems:
+                regressed += len(problems)
+                print(f"\nREGRESSIONS in {path.name}:")
+                for problem in problems:
+                    print(f"  {problem}")
+        if regressed:
+            print(f"\n--check: {regressed} metric regression(s) > 20%")
+            return 1
+        if previous:
+            print("\n--check: no metric regressed > 20%")
     return 1 if failures else 0
 
 
