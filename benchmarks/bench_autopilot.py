@@ -28,7 +28,6 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.api import Application
 from repro.autopilot import (
     DriftTrigger,
     HealPolicy,
@@ -38,13 +37,8 @@ from repro.autopilot import (
 )
 from repro.deploy import ModelStore
 from repro.serve import GatewayConfig, ReplicaPool, ServingGateway
-from repro.workloads import (
-    FactoidGenerator,
-    WorkloadConfig,
-    apply_standard_weak_supervision,
-)
 
-from benchmarks.conftest import print_table, small_model_config
+from benchmarks.conftest import bench_workload, print_table, small_model_config
 
 N_RECORDS = 240
 N_RECORDS_REDUCED = 120
@@ -86,9 +80,9 @@ def _policy() -> HealPolicy:
 def run_autopilot_bench(reduced: bool = False) -> dict:
     n = N_RECORDS_REDUCED if reduced else N_RECORDS
     epochs = EPOCHS_REDUCED if reduced else EPOCHS
-    dataset = FactoidGenerator(WorkloadConfig(n=n, seed=3)).generate()
-    apply_standard_weak_supervision(dataset.records, seed=3)
-    app = Application(dataset.schema, name="factoid-qa")
+    built = bench_workload("factoid", scale=n, seed=3)
+    dataset = built.dataset
+    app = built.application
     run = app.fit(dataset, small_model_config(size=12, epochs=epochs))
 
     store = ModelStore(

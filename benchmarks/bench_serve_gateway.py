@@ -24,15 +24,10 @@ import os
 import threading
 import time
 
-from repro.api import Application, Endpoint
+from repro.api import Endpoint
 from repro.serve import GatewayConfig, ReplicaPool, ServingGateway
-from repro.workloads import (
-    FactoidGenerator,
-    WorkloadConfig,
-    apply_standard_weak_supervision,
-)
 
-from benchmarks.conftest import print_table, small_model_config
+from benchmarks.conftest import bench_workload, print_table, small_model_config
 
 N_RECORDS = 500
 N_REQUESTS = 512
@@ -42,10 +37,9 @@ N_CLIENTS = 4
 
 
 def _artifact_and_requests():
-    dataset = FactoidGenerator(WorkloadConfig(n=N_RECORDS, seed=0)).generate()
-    apply_standard_weak_supervision(dataset.records, seed=0)
-    app = Application(dataset.schema, name="factoid-qa")
-    run = app.fit(dataset, small_model_config(epochs=4))
+    built = bench_workload("factoid", scale=N_RECORDS, seed=0)
+    dataset = built.dataset
+    run = built.application.fit(dataset, small_model_config(epochs=4))
     artifact = run.artifact()
     records = dataset.records
     requests = [

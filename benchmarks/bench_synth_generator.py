@@ -1,0 +1,119 @@
+"""Synth workload generator: streaming throughput + difficulty calibration.
+
+The parametric generator's contract is that a small frozen spec stands in
+for a dataset: regenerate it anywhere, at any scale, byte-identically,
+fast enough that benches can materialize their own workloads instead of
+shipping fixtures.  This bench tracks both halves of that contract:
+
+* **throughput** — records/second streamed (not materialized) at three
+  scales; per-record cost must stay flat as ``n`` grows, since every
+  record is generated independently from (spec, seed, index);
+* **difficulty calibration** — the closed-form difficulty model's
+  predictions vs. the reference trainer's measured error over the
+  easy/medium/hard presets: mean absolute error plus rank concordance
+  (does predicted order match measured order?).
+
+Shape target (the PR's acceptance bar): streaming stays above 2k
+records/s at every scale and the difficulty model ranks the presets in
+the measured order.  When ``BENCH_SYNTH_JSON`` is set (as
+``tools/run_benchmarks.py`` does), the metrics land there so the
+generator's perf trajectory is tracked between PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.workloads.synth import (
+    SynthGenerator,
+    calibrate,
+    preset,
+    reference_config,
+)
+
+from benchmarks.conftest import print_table
+
+SCALES = (2_000, 10_000, 50_000)
+SCALES_REDUCED = (500, 1_000, 2_000)
+CALIBRATION_N = 300
+CALIBRATION_N_REDUCED = 150
+CALIBRATION_PRESETS = ("synth-easy", "synth-medium", "synth-hard")
+
+
+def _throughput(n: int) -> float:
+    """Records/second streaming ``n`` records without materializing them."""
+    generator = SynthGenerator(preset("synth-medium").scaled(n))
+    start = time.perf_counter()
+    count = sum(1 for _ in generator.iter_records(n))
+    elapsed = time.perf_counter() - start
+    assert count == n
+    return count / elapsed
+
+
+def run_synth_bench(reduced: bool = False) -> dict:
+    scales = SCALES_REDUCED if reduced else SCALES
+    calibration_n = CALIBRATION_N_REDUCED if reduced else CALIBRATION_N
+    throughput = {n: _throughput(n) for n in scales}
+
+    specs = [preset(name).scaled(calibration_n) for name in CALIBRATION_PRESETS]
+    calibration = calibrate(specs, reference_config(size=12, epochs=3))
+
+    metrics = {
+        "reduced": reduced,
+        "scales": list(scales),
+        **{
+            f"records_per_s_at_{n}": round(rps, 1)
+            for n, rps in throughput.items()
+        },
+        "calibration_n": calibration_n,
+        "calibration_mae": round(calibration.mean_absolute_error, 4),
+        "rank_concordance": round(calibration.rank_concordance, 4),
+        "calibration_rows": [
+            {
+                "spec": row.spec_name,
+                "predicted": round(row.predicted, 4),
+                "measured": round(row.measured, 4),
+            }
+            for row in calibration.rows
+        ],
+    }
+
+    out_path = os.environ.get("BENCH_SYNTH_JSON")
+    if out_path and not reduced:
+        with open(out_path, "w") as fh:
+            json.dump(metrics, fh, indent=2)
+    return metrics
+
+
+def test_synth_generator_throughput_and_calibration(benchmark):
+    metrics = benchmark.pedantic(run_synth_bench, rounds=1, iterations=1)
+    scales = metrics["scales"]
+    print_table(
+        "Synth generator streaming throughput",
+        {
+            "records": scales,
+            "records_per_s": [
+                metrics[f"records_per_s_at_{n}"] for n in scales
+            ],
+        },
+    )
+    print_table(
+        "Difficulty calibration (predicted vs measured error)",
+        {
+            "spec": [row["spec"] for row in metrics["calibration_rows"]],
+            "predicted": [row["predicted"] for row in metrics["calibration_rows"]],
+            "measured": [row["measured"] for row in metrics["calibration_rows"]],
+        },
+    )
+    for n in scales:
+        assert metrics[f"records_per_s_at_{n}"] > 2_000, metrics
+    # Per-record cost must not grow with n (streaming, no quadratic paths):
+    # the largest scale stays within 2x of the smallest's rate.
+    assert (
+        metrics[f"records_per_s_at_{scales[-1]}"]
+        > metrics[f"records_per_s_at_{scales[0]}"] / 2
+    ), metrics
+    assert metrics["calibration_mae"] < 0.35, metrics
+    assert metrics["rank_concordance"] >= 0.75, metrics

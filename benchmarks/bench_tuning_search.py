@@ -36,22 +36,14 @@ from pathlib import Path
 from repro.core.overton import Overton
 from repro.core.tuning_spec import TuningSpec
 from repro.exec import TrialCache, TrialExecutor
-from repro.workloads import (
-    FactoidGenerator,
-    WorkloadConfig,
-    apply_standard_weak_supervision,
-)
-
-from benchmarks.conftest import print_table
+from benchmarks.conftest import bench_workload, print_table
 
 SIMULATED_TRIAL_IO_S = 0.25
 PARALLEL_WORKERS = 4
 
 
 def _dataset(seed: int = 0, n: int = 300):
-    dataset = FactoidGenerator(WorkloadConfig(n=n, seed=seed)).generate()
-    apply_standard_weak_supervision(dataset.records, seed=seed)
-    return dataset
+    return bench_workload("factoid", scale=n, seed=seed).dataset
 
 
 def _spec() -> TuningSpec:

@@ -9,6 +9,8 @@ asserts the *shape* of the paper's result (who wins, roughly by how much).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.core import ModelConfig, PayloadConfig, TrainerConfig
@@ -26,6 +28,24 @@ def small_model_config(size: int = 24, epochs: int = 8, **trainer_kwargs) -> Mod
             epochs=epochs, batch_size=32, lr=0.05, **trainer_kwargs
         ),
     )
+
+
+def bench_workload(default: str, scale: int | None = None, seed: int | None = None):
+    """Resolve this bench's workload: env override, else the default.
+
+    Benches run as pytest subprocesses, so ``tools/run_benchmarks.py
+    --workload spec.json --scale N`` cannot reach them through argv; it
+    exports ``REPRO_BENCH_WORKLOAD`` / ``REPRO_BENCH_SCALE`` instead and
+    every bench funnels through :func:`repro.workloads.resolve_workload`
+    — a registry name or a ``WorkloadSpec`` JSON path both work.
+    """
+    from repro.workloads import resolve_workload
+
+    ref = os.environ.get("REPRO_BENCH_WORKLOAD", "").strip() or default
+    env_scale = os.environ.get("REPRO_BENCH_SCALE", "").strip()
+    if env_scale:
+        scale = int(env_scale)
+    return resolve_workload(ref, scale=scale, seed=seed)
 
 
 def print_table(title: str, columns: dict[str, list]) -> None:

@@ -30,7 +30,7 @@ from repro.autopilot.actions import (
     retrain_candidate,
     stage_candidate,
 )
-from repro.autopilot.journal import DecisionJournal
+from repro.autopilot.journal import DecisionJournal, check_consistency
 from repro.autopilot.policy import (
     DriftTrigger,
     HealPolicy,
@@ -53,6 +53,7 @@ __all__ = [
     "PromotionGate",
     "Supervisor",
     "DecisionJournal",
+    "check_consistency",
     "TriggerEvent",
     "GateResult",
     "evaluate_drift_triggers",

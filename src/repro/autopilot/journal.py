@@ -123,3 +123,125 @@ class DecisionJournal:
             if line:
                 entries.append(json.loads(line))
         return entries
+
+    def check(self, allow_in_flight: bool = False) -> list[str]:
+        """Lifecycle-consistency problems in this journal (see module fn)."""
+        return check_consistency(self.entries(), allow_in_flight=allow_in_flight)
+
+
+#: Entry kinds that end an in-flight heal attempt.
+_TERMINAL_KINDS = frozenset({"promoted", "rejected", "heal_failed"})
+
+
+def check_consistency(
+    entries: list[dict], *, allow_in_flight: bool = False
+) -> list[str]:
+    """Audit a journal's entries against the supervisor lifecycle.
+
+    Returns a list of human-readable problems (empty means consistent).
+    The rules mirror :class:`~repro.autopilot.supervisor.Supervisor`'s
+    state machine, so soak tests can assert that *many* heals in a row
+    never interleave or skip a stage:
+
+    - ``seq`` strictly increases;
+    - a heal (``retrain_started``) requires a ``trigger`` since the last
+      terminal outcome, and only one heal may be in flight at a time;
+    - within a heal the stages run in order: ``retrain_started`` ->
+      ``retrain_finished`` -> ``staged`` -> ``shadow_started`` ->
+      ``gate`` -> terminal (``promoted`` / ``rejected``), with
+      ``heal_failed`` allowed to cut any stage short;
+    - ``promoted`` requires a *passing* ``gate`` entry in the same heal;
+    - ``reference_updated`` may only follow a promotion;
+    - no triggers or heals may be journaled while ``paused``.
+
+    ``allow_in_flight=True`` accepts a journal that ends mid-heal (a
+    soak stopped while a shadow window was still open).
+    """
+    problems: list[str] = []
+    last_seq = 0
+    stage: str | None = None  # last heal stage seen, None = idle
+    triggered = False
+    gate_passed = False
+    promoted_once = False
+    paused = False
+
+    def _ordered(kind: str, expected: str | None, seq: int) -> None:
+        if stage != expected:
+            problems.append(
+                f"seq {seq}: {kind!r} arrived while heal stage was "
+                f"{stage!r} (expected {expected!r})"
+            )
+
+    for entry in entries:
+        seq = entry.get("seq", 0)
+        kind = entry.get("kind", "")
+        detail = entry.get("detail", {}) or {}
+        if seq <= last_seq:
+            problems.append(f"seq {seq}: not strictly increasing (after {last_seq})")
+        last_seq = max(last_seq, seq)
+
+        if kind == "paused":
+            paused = True
+            continue
+        if kind == "resumed":
+            paused = False
+            continue
+        if paused and kind in ("trigger", "retrain_started"):
+            problems.append(f"seq {seq}: {kind!r} recorded while paused")
+
+        if kind == "trigger":
+            if stage is not None:
+                # Triggers may accumulate while shadowing; they only count
+                # against the *next* heal, which is fine.
+                pass
+            triggered = True
+        elif kind == "retrain_started":
+            if stage is not None:
+                problems.append(
+                    f"seq {seq}: heal started while a previous heal was in "
+                    f"stage {stage!r}"
+                )
+            if not triggered:
+                problems.append(f"seq {seq}: heal started without a trigger")
+            stage = "retrain_started"
+            gate_passed = False
+        elif kind == "retrain_finished":
+            _ordered(kind, "retrain_started", seq)
+            stage = "retrain_finished"
+        elif kind == "staged":
+            _ordered(kind, "retrain_finished", seq)
+            stage = "staged"
+        elif kind == "shadow_started":
+            _ordered(kind, "staged", seq)
+            stage = "shadow_started"
+        elif kind == "gate":
+            _ordered(kind, "shadow_started", seq)
+            stage = "gate"
+            gate_passed = bool(detail.get("passed"))
+        elif kind == "promoted":
+            _ordered(kind, "gate", seq)
+            if not gate_passed:
+                problems.append(f"seq {seq}: promoted without a passing gate")
+            stage = None
+            triggered = False
+            promoted_once = True
+        elif kind == "rejected":
+            if stage not in ("gate", "shadow_started"):
+                problems.append(
+                    f"seq {seq}: rejected from unexpected stage {stage!r}"
+                )
+            stage = None
+            triggered = False
+        elif kind == "heal_failed":
+            if stage is None:
+                problems.append(f"seq {seq}: heal_failed outside a heal")
+            stage = None
+            triggered = False
+        elif kind == "reference_updated":
+            if not promoted_once:
+                problems.append(
+                    f"seq {seq}: reference_updated before any promotion"
+                )
+    if stage is not None and not allow_in_flight:
+        problems.append(f"journal ends mid-heal (stage {stage!r})")
+    return problems

@@ -13,6 +13,7 @@ Overton's users interact through data files and reports, not notebooks
     python -m repro autopilot --store store/ --model factoid-qa --app app.json --data data.jsonl
     python -m repro query    --schema schema.json --data data.jsonl --tag train --task Intent
     python -m repro obs      --url http://127.0.0.1:8080 --metrics
+    python -m repro synth    --preset synth-medium --scale 10000 --materialize data.jsonl
 
 ``train`` accepts either a bare ``--schema`` or a full ``--app`` spec
 (schema + slices + supervision policy in one file); ``predict`` serves a
@@ -360,6 +361,68 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_synth(args: argparse.Namespace) -> int:
+    """Inspect, export, and materialize parametric synth workloads."""
+    from repro.workloads.synth import (
+        SYNTH_PRESETS,
+        SynthGenerator,
+        WorkloadSpec,
+        build_schema,
+        get_workload,
+        predicted_components,
+        predicted_difficulty,
+        preset,
+        workload_names,
+    )
+
+    if args.list:
+        print("registered workloads:")
+        for name in workload_names():
+            entry = get_workload(name)
+            print(f"  {name:<22} [{entry.kind}]  {entry.description}")
+        return 0
+
+    if args.spec:
+        spec = WorkloadSpec.from_file(args.spec)
+    elif args.preset:
+        if args.preset not in SYNTH_PRESETS:
+            raise ReproError(
+                f"unknown preset {args.preset!r}; known: {sorted(SYNTH_PRESETS)}"
+            )
+        spec = preset(args.preset)
+    else:
+        raise ReproError("provide --preset NAME or --spec spec.json (or --list)")
+
+    if args.scale:
+        spec = spec.scaled(args.scale)
+    if args.seed is not None:
+        spec = spec.reseeded(args.seed)
+
+    acted = False
+    if args.out:
+        acted = True
+        spec.save(args.out)
+        print(f"spec written to {args.out}")
+    if args.materialize:
+        acted = True
+        generator = SynthGenerator(spec)
+        written = generator.write_jsonl(args.materialize, spec.n)
+        print(f"{written} records written to {args.materialize}")
+        if args.schema_out:
+            Path(args.schema_out).write_text(build_schema(spec).to_json())
+            print(f"schema written to {args.schema_out}")
+    if args.inspect or not acted:
+        generator = SynthGenerator(spec)
+        print(f"spec {spec.name!r}  fingerprint {spec.fingerprint()}")
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        print(f"predicted difficulty: {predicted_difficulty(spec):.3f}")
+        for component, value in predicted_components(spec).items():
+            print(f"  {component:<16} {value:+.3f}")
+        sample = generator.record(0, spec.n)
+        print("record 0 payload tokens:", " ".join(sample.payloads["tokens"]))
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     dataset = _load(args.schema, args.data)
     query = RecordQuery(dataset.records)
@@ -594,6 +657,30 @@ def build_parser() -> argparse.ArgumentParser:
         "-n", type=int, default=20, help="how many journal entries --tail prints"
     )
     p.set_defaults(fn=cmd_obs)
+
+    p = sub.add_parser(
+        "synth", help="inspect / export / materialize parametric workload specs"
+    )
+    p.add_argument(
+        "--list", action="store_true", help="list every registered workload"
+    )
+    p.add_argument("--preset", default="", help="a named synth preset")
+    p.add_argument("--spec", default="", help="a WorkloadSpec JSON file")
+    p.add_argument("--scale", type=int, default=0, help="override record count")
+    p.add_argument("--seed", type=int, default=None, help="override sampling seed")
+    p.add_argument("--out", default="", help="write the spec JSON here")
+    p.add_argument(
+        "--materialize", default="", help="stream the dataset to this JSONL file"
+    )
+    p.add_argument(
+        "--schema-out", default="", help="also write the schema JSON here"
+    )
+    p.add_argument(
+        "--inspect",
+        action="store_true",
+        help="print the spec, its fingerprint, and predicted difficulty",
+    )
+    p.set_defaults(fn=cmd_synth)
 
     p = sub.add_parser("query", help="jq-style queries over a data file")
     p.add_argument("--schema", required=True)

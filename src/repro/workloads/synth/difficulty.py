@@ -1,0 +1,204 @@
+"""The difficulty model: predicted vs. measured hardness of a spec.
+
+A workload generator is only useful for coverage if its knobs *provably*
+control difficulty.  This module gives each :class:`WorkloadSpec` a
+closed-form predicted error (a calibrated function of its knobs), a
+measured error (train the reference trainer, evaluate on the gold test
+split), and a calibration report comparing the two across a family of
+specs.  The property suite uses the measured side as a structural
+discriminator: harder specs must be measurably harder for the trainer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core import ModelConfig, PayloadConfig, TrainerConfig
+from repro.data.tags import slice_tag
+from repro.training.evaluation import mean_primary
+from repro.workloads.synth.generator import SynthGenerator
+from repro.workloads.synth.spec import HARD_SLICE, RARE_SLICE, WorkloadSpec
+
+
+def reference_config(size: int = 16, epochs: int = 4) -> ModelConfig:
+    """The fixed reference-trainer shape difficulty is measured against."""
+    return ModelConfig(
+        payloads={
+            "tokens": PayloadConfig(encoder="bow", size=size),
+            "query": PayloadConfig(size=size),
+            "entities": PayloadConfig(size=size),
+        },
+        trainer=TrainerConfig(epochs=epochs, batch_size=32, lr=0.05),
+    )
+
+
+def predicted_difficulty(spec: WorkloadSpec) -> float:
+    """Predicted test error of the reference trainer, in [0, 1].
+
+    A calibrated additive model over the knobs (weights fitted once
+    against measured errors of the preset family, see
+    ``docs/workloads.md``): supervision noise and correlated conflict
+    dominate, structural knobs (ambiguity, keyword dropout, skew,
+    vocabulary sparsity) contribute smaller terms.
+    """
+    components = predicted_components(spec)
+    return min(0.95, max(0.02, sum(components.values())))
+
+
+def predicted_components(spec: WorkloadSpec) -> dict[str, float]:
+    """The per-knob terms behind :func:`predicted_difficulty`."""
+    sparsity = min(1.0, spec.vocab_size / max(spec.n, 1))
+    return {
+        "base": 0.22,
+        "label_noise": 0.40 * spec.label_noise,
+        "conflict": 0.18 * spec.conflict_rate,
+        "ambiguity": 0.10 * spec.ambiguity,
+        "keyword_dropout": 0.15 * spec.keyword_dropout,
+        "skew": 0.04 * (1.0 - math.exp(-spec.slice_skew / 2.0)),
+        "sparsity": 0.08 * sparsity,
+    }
+
+
+@dataclass
+class MeasuredDifficulty:
+    """What the reference trainer actually achieved on one spec."""
+
+    spec_name: str
+    overall_error: float
+    rare_slice_error: float
+    hard_slice_error: float
+    per_task: dict[str, float] = field(default_factory=dict)
+    n: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form for benches and the CLI."""
+        return {
+            "spec_name": self.spec_name,
+            "overall_error": self.overall_error,
+            "rare_slice_error": self.rare_slice_error,
+            "hard_slice_error": self.hard_slice_error,
+            "per_task": dict(self.per_task),
+            "n": self.n,
+        }
+
+
+def measure_difficulty(
+    spec: WorkloadSpec, config: ModelConfig | None = None
+) -> MeasuredDifficulty:
+    """Train the reference trainer on the spec and measure test error.
+
+    ``overall_error`` is ``1 - mean primary metric`` on the gold test
+    split; the slice errors are intent error on ``slice:rare_intent``
+    and argument error on ``slice:hard_arg`` (NaN-free: absent slices
+    report the overall task error instead).
+    """
+    from repro.workloads.synth.registry import build_application
+
+    generator = SynthGenerator(spec)
+    dataset = generator.dataset()
+    application = build_application(spec)
+    run = application.fit(dataset, config or reference_config())
+    evaluations = run.evaluate(dataset, tag="test")
+    overall_error = 1.0 - mean_primary(evaluations)
+    per_task = {name: 1.0 - e.primary for name, e in evaluations.items()}
+    test = dataset.split("test")
+    wanted = [slice_tag(RARE_SLICE), slice_tag(HARD_SLICE)]
+    report = run.report(test, tags=wanted)
+    rare_accuracy = report.metric(slice_tag(RARE_SLICE), "Intent", "accuracy")
+    hard_accuracy = report.metric(slice_tag(HARD_SLICE), "IntentArg", "accuracy")
+    rare_error = (
+        1.0 - rare_accuracy
+        if rare_accuracy == rare_accuracy
+        else per_task.get("Intent", overall_error)
+    )
+    hard_error = (
+        1.0 - hard_accuracy
+        if hard_accuracy == hard_accuracy
+        else per_task.get("IntentArg", overall_error)
+    )
+    return MeasuredDifficulty(
+        spec_name=spec.name,
+        overall_error=float(overall_error),
+        rare_slice_error=float(rare_error),
+        hard_slice_error=float(hard_error),
+        per_task=per_task,
+        n=spec.n,
+    )
+
+
+@dataclass
+class CalibrationRow:
+    """Predicted vs. measured difficulty for one spec."""
+
+    spec_name: str
+    predicted: float
+    measured: float
+
+
+@dataclass
+class CalibrationReport:
+    """How well the closed-form model tracks the reference trainer."""
+
+    rows: list[CalibrationRow] = field(default_factory=list)
+
+    @property
+    def mean_absolute_error(self) -> float:
+        """Mean |predicted - measured| across the spec family."""
+        if not self.rows:
+            return 0.0
+        return sum(abs(r.predicted - r.measured) for r in self.rows) / len(self.rows)
+
+    @property
+    def rank_concordance(self) -> float:
+        """Fraction of spec pairs the model orders the same way (0..1).
+
+        1.0 means predicted difficulty sorts specs exactly like measured
+        difficulty does — the property that matters for using the model
+        to *choose* bench workloads; ties count as half-concordant.
+        """
+        pairs = 0
+        agree = 0.0
+        for i in range(len(self.rows)):
+            for j in range(i + 1, len(self.rows)):
+                a, b = self.rows[i], self.rows[j]
+                predicted = a.predicted - b.predicted
+                measured = a.measured - b.measured
+                pairs += 1
+                if predicted * measured > 0:
+                    agree += 1.0
+                elif predicted == 0 or measured == 0:
+                    agree += 0.5
+        return agree / pairs if pairs else 1.0
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form for benches."""
+        return {
+            "rows": [
+                {
+                    "spec_name": r.spec_name,
+                    "predicted": r.predicted,
+                    "measured": r.measured,
+                }
+                for r in self.rows
+            ],
+            "mean_absolute_error": self.mean_absolute_error,
+            "rank_concordance": self.rank_concordance,
+        }
+
+
+def calibrate(
+    specs: list[WorkloadSpec], config: ModelConfig | None = None
+) -> CalibrationReport:
+    """Measure every spec and compare against the closed-form model."""
+    report = CalibrationReport()
+    for spec in specs:
+        measured = measure_difficulty(spec, config=config)
+        report.rows.append(
+            CalibrationRow(
+                spec_name=spec.name,
+                predicted=predicted_difficulty(spec),
+                measured=measured.overall_error,
+            )
+        )
+    return report

@@ -1,0 +1,573 @@
+"""Deterministic, streaming record generation from a :class:`WorkloadSpec`.
+
+Two properties drive the design:
+
+1. **Per-record determinism.**  Every record is computed from an RNG
+   seeded by ``(spec.seed, purpose, index)`` alone, so record *i* is
+   byte-identical no matter which process generates it, in what order,
+   or in what chunk sizes — the foundation for reproducible million-
+   record benches and for comparing knob settings under common random
+   numbers (two specs differing only in ``label_noise`` share every
+   payload draw).
+
+2. **Streaming.**  :meth:`SynthGenerator.iter_records` is a generator;
+   nothing about dataset size is ever materialized in one list.  The
+   JSONL writer and the stream fingerprint both consume it record by
+   record, so peak memory is independent of ``n``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.schema_def import Schema
+from repro.data.dataset import Dataset
+from repro.data.record import Record
+from repro.data.tags import slice_tag
+from repro.workloads.synth.spec import (
+    HARD_SLICE,
+    RARE_SLICE,
+    SOURCE_FAMILIES,
+    DriftPhase,
+    WorkloadSpec,
+)
+
+# Seed-stream purposes.  Payload, split, and source draws come from
+# disjoint substreams so that, e.g., disabling a weak source never
+# changes the tokens of any record.
+_WORLD_STREAM = 11
+_PAYLOAD_STREAM = 13
+_SOURCE_STREAM = 17
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix(*parts: int) -> int:
+    """Hash a tuple of ints into one 64-bit stream seed (splitmix64)."""
+    state = 0x853C49E6748FEA9B
+    for part in parts:
+        state = (state ^ (part & _MASK64)) & _MASK64
+        state = (state + _GOLDEN) & _MASK64
+        z = state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        state = z ^ (z >> 31)
+    return state
+
+
+class _Stream:
+    """A tiny counter-seeded PRNG (splitmix64) for record generation.
+
+    Pure integer arithmetic makes every draw identical across platforms
+    and Python/numpy versions, and constructing one costs a hash rather
+    than a BitGenerator — the difference between a generator that streams
+    tens of thousands of records per second and one that doesn't.
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: int) -> None:
+        self.state = state & _MASK64
+
+    def _next(self) -> int:
+        self.state = (self.state + _GOLDEN) & _MASK64
+        z = self.state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return (z ^ (z >> 31)) & _MASK64
+
+    def random(self) -> float:
+        """A uniform float in [0, 1)."""
+        return self._next() / 2**64
+
+    def integers(self, n: int) -> int:
+        """A uniform int in [0, n)."""
+        return self._next() % n
+
+    def choice(self, seq):
+        """A uniform element of ``seq``."""
+        return seq[self._next() % len(seq)]
+
+    def distinct(self, n: int, k: int) -> list[int]:
+        """``k`` distinct ints from [0, n), by rejection (k << n)."""
+        picked: list[int] = []
+        while len(picked) < k:
+            value = self._next() % n
+            if value not in picked:
+                picked.append(value)
+        return picked
+
+
+def _rng(seed: int, stream: int, index: int = 0) -> _Stream:
+    """A fresh stream for one (seed, purpose, record) triple."""
+    return _Stream(_mix(seed, stream, index))
+
+
+def _stable_class(token: str, salt: int, classes: tuple[str, ...]) -> str:
+    """Deterministic token -> class assignment (platform-independent)."""
+    digest = zlib.crc32(f"{salt}:{token}".encode("utf-8"))
+    return classes[digest % len(classes)]
+
+
+@dataclass(frozen=True)
+class Reading:
+    """One interpretation of an entity surface token."""
+
+    id: str
+    surface: str
+    types: tuple[str, ...]
+    popularity: float
+
+
+class SynthWorld:
+    """The deterministic "universe" a spec implies: vocab, entities, rules.
+
+    Built once per spec from the world substream; record generation only
+    reads it.  The world is what a live labeler needs to label drifted
+    traffic, so :func:`repro.workloads.synth.sources.live_labeler` takes
+    a world, not a dataset.
+    """
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.intent_classes = spec.intent_classes()
+        self.role_classes = spec.role_classes()
+        self.type_classes = spec.type_classes()
+        world_seed = spec.resolved_world_seed()
+        rng = _rng(world_seed, _WORLD_STREAM)
+        # Keywords: each intent owns a few dedicated tokens that, when
+        # present, identify it — the learnable signal for Intent.
+        self.keywords: dict[str, tuple[str, ...]] = {
+            intent: tuple(
+                f"kw_{i:02d}_{j}" for j in range(spec.keywords_per_intent)
+            )
+            for i, intent in enumerate(self.intent_classes)
+        }
+        self.keyword_intent: dict[str, str] = {
+            token: intent
+            for intent, tokens in self.keywords.items()
+            for token in tokens
+        }
+        self.filler_vocab: tuple[str, ...] = tuple(
+            f"w{i:04d}" for i in range(spec.vocab_size)
+        )
+        # Entity surfaces with 1-2 readings each; ambiguity controls the
+        # two-reading probability.  Readings carry popularity + types.
+        readings: dict[str, list[Reading]] = {}
+        for s in range(spec.surfaces):
+            surface = f"ent{s:02d}"
+            n_readings = 2 if rng.random() < spec.ambiguity else 1
+            options = []
+            for r in range(n_readings):
+                primary = self.type_classes[int(rng.integers(len(self.type_classes)))]
+                types = {primary}
+                if rng.random() < 0.3:
+                    types.add(
+                        self.type_classes[int(rng.integers(len(self.type_classes)))]
+                    )
+                options.append(
+                    Reading(
+                        id=f"{surface}_r{r}",
+                        surface=surface,
+                        types=tuple(sorted(types)),
+                        popularity=float(rng.random()),
+                    )
+                )
+            options.sort(key=lambda o: (-o.popularity, o.id))
+            readings[surface] = options
+        # Intent -> compatible entity types.  Each intent "asks about" a
+        # home type (plus sometimes a second), mirroring the factoid
+        # workload's intent/category compatibility rule.
+        self.compatible_types: dict[str, frozenset[str]] = {}
+        for i, intent in enumerate(self.intent_classes):
+            types = {self.type_classes[i % len(self.type_classes)]}
+            if rng.random() < 0.5:
+                types.add(self.type_classes[(i + 1) % len(self.type_classes)])
+            self.compatible_types[intent] = frozenset(types)
+        # Guarantee every intent has >= 2 askable surfaces: append the
+        # home type to the *least popular* reading of forced surfaces,
+        # which also seeds popularity-vs-correctness hard cases.
+        surface_names = sorted(readings)
+        for i, intent in enumerate(self.intent_classes):
+            home = self.type_classes[i % len(self.type_classes)]
+            askable = [
+                s
+                for s in surface_names
+                if any(
+                    set(o.types) & self.compatible_types[intent]
+                    for o in readings[s]
+                )
+            ]
+            forced = [
+                surface_names[(2 * i) % len(surface_names)],
+                surface_names[(2 * i + 1) % len(surface_names)],
+            ]
+            for surface in forced:
+                if surface in askable:
+                    continue
+                options = readings[surface]
+                worst = min(range(len(options)), key=lambda j: options[j].popularity)
+                old = options[worst]
+                options[worst] = Reading(
+                    id=old.id,
+                    surface=old.surface,
+                    types=tuple(sorted(set(old.types) | {home})),
+                    popularity=old.popularity,
+                )
+                askable.append(surface)
+        self.readings: dict[str, tuple[Reading, ...]] = {
+            s: tuple(o for o in readings[s]) for s in surface_names
+        }
+        self.surfaces_for_intent: dict[str, tuple[str, ...]] = {
+            intent: tuple(
+                s
+                for s in surface_names
+                if any(
+                    set(o.types) & self.compatible_types[intent]
+                    for o in self.readings[s]
+                )
+            )
+            for intent in self.intent_classes
+        }
+        # Common-intent sampling weights: Zipf over everything except the
+        # reserved rare intent (when slice_rarity > 0).
+        rare = spec.rare_intent()
+        self.common_intents = tuple(
+            intent for intent in self.intent_classes if intent != rare
+        )
+        weights = [
+            1.0 / (r + 1) ** spec.slice_skew for r in range(len(self.common_intents))
+        ]
+        total = sum(weights)
+        cdf: list[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        self.common_cdf = cdf
+        self.rare_intent = rare
+        self._role_salt = world_seed
+
+    def role_of(self, token: str) -> str:
+        """The gold token role: a fixed hash of the token string.
+
+        Being a pure function of the token, roles stay labelable even
+        for drift-phase tokens the reference data never saw.
+        """
+        return _stable_class(token, self._role_salt, self.role_classes)
+
+    def drift_token(self, phase_index: int, slot: int) -> str:
+        """A token from one drift phase's private novel vocabulary."""
+        size = max(8, self.spec.vocab_size // 4)
+        return f"drift{phase_index}_w{slot % size:03d}"
+
+
+def build_schema(spec: WorkloadSpec) -> Schema:
+    """The factoid-family schema this spec's records conform to."""
+    return Schema.from_dict(
+        {
+            "payloads": {
+                "tokens": {"type": "sequence", "max_length": spec.max_length},
+                "query": {"type": "singleton", "base": ["tokens"]},
+                "entities": {
+                    "type": "set",
+                    "range": "tokens",
+                    "max_members": spec.max_candidates,
+                },
+            },
+            "tasks": {
+                "POS": {
+                    "payload": "tokens",
+                    "type": "multiclass",
+                    "classes": list(spec.role_classes()),
+                },
+                "EntityType": {
+                    "payload": "tokens",
+                    "type": "bitvector",
+                    "classes": list(spec.type_classes()),
+                },
+                "Intent": {
+                    "payload": "query",
+                    "type": "multiclass",
+                    "classes": list(spec.intent_classes()),
+                },
+                "IntentArg": {"payload": "entities", "type": "select"},
+            },
+        }
+    )
+
+
+def _split_for(index: int, spec: WorkloadSpec) -> str:
+    """Deterministic round-robin split with exact fractions (period 10)."""
+    slot = index % 10
+    train_slots = int(round(10 * spec.train_fraction))
+    dev_slots = int(round(10 * spec.dev_fraction))
+    if slot < train_slots:
+        return "train"
+    if slot < train_slots + dev_slots:
+        return "dev"
+    return "test"
+
+
+class SynthGenerator:
+    """Streams records for one :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.world = SynthWorld(spec)
+        self.schema = build_schema(spec)
+        # Precomputed stream bases: per-record seeding then costs one
+        # mix round instead of re-hashing the whole purpose tuple.
+        self._payload_base = _mix(spec.seed, _PAYLOAD_STREAM)
+        self._source_bases = tuple(
+            _mix(spec.seed, _SOURCE_STREAM, position)
+            for position in range(len(SOURCE_FAMILIES))
+        )
+
+    # ------------------------------------------------------------------
+    # Payload generation
+    # ------------------------------------------------------------------
+    def _phase(self, index: int, n: int) -> tuple[DriftPhase | None, int]:
+        """The drift phase (and its ordinal) covering record ``index``."""
+        if not self.spec.drift or n <= 0:
+            return None, -1
+        fraction = index / n
+        phase = self.spec.phase_at(fraction)
+        if phase is None:
+            return None, -1
+        return phase, self.spec.drift.index(phase)
+
+    def record(self, index: int, n: int | None = None) -> Record:
+        """Record ``index`` of a stream of length ``n`` (default spec.n).
+
+        ``n`` only matters for drift: the schedule is expressed over
+        stream-position *fractions*, so the same index can sit in
+        different phases at different scales.
+        """
+        spec = self.spec
+        world = self.world
+        n = spec.n if n is None else n
+        rng = _Stream(_mix(self._payload_base, index))
+        # 1. Intent: reserved rare intent with exact probability, else a
+        # Zipf-skewed draw over the common intents.
+        if world.rare_intent is not None and rng.random() < spec.slice_rarity:
+            intent = world.rare_intent
+        else:
+            intent = world.common_intents[
+                bisect_right(world.common_cdf, rng.random())
+            ]
+        # 2. Entity surface + gold reading among its candidates.
+        surface = rng.choice(world.surfaces_for_intent[intent])
+        candidates = world.readings[surface]
+        compatible = [
+            j
+            for j, option in enumerate(candidates)
+            if set(option.types) & world.compatible_types[intent]
+        ]
+        gold_arg = compatible[rng.integers(len(compatible))]
+        # 3. Sequence length, drift-adjusted.
+        phase, phase_index = self._phase(index, n)
+        length = spec.min_length + rng.integers(spec.max_length - spec.min_length + 1)
+        if phase is not None and phase.length_delta:
+            length = max(3, min(spec.max_length, length + phase.length_delta))
+        # 4. Token layout: keywords + the surface + filler tokens.
+        n_keywords = 0
+        if rng.random() >= spec.keyword_dropout:
+            n_keywords = 1 if length < 6 else min(2, spec.keywords_per_intent)
+        special = rng.distinct(length, n_keywords + 1)
+        surface_pos = special[-1]
+        keyword_positions = special[:-1]
+        tokens: list[str] = []
+        for position in range(length):
+            if position == surface_pos:
+                tokens.append(surface)
+            elif position in keyword_positions:
+                slot = keyword_positions.index(position)
+                tokens.append(world.keywords[intent][slot % spec.keywords_per_intent])
+            else:
+                filler = world.filler_vocab[rng.integers(spec.vocab_size)]
+                if phase is not None and phase.oov_rate > 0:
+                    if rng.random() < phase.oov_rate:
+                        filler = world.drift_token(phase_index, rng.integers(1 << 16))
+                tokens.append(filler)
+        # 5. Gold labels.
+        roles = [world.role_of(token) for token in tokens]
+        types_by_token: list[list[str]] = [[] for _ in tokens]
+        types_by_token[surface_pos] = list(candidates[gold_arg].types)
+        members = [
+            {"id": option.id, "range": [surface_pos, surface_pos + 1]}
+            for option in candidates
+        ]
+        record = Record.from_dict(
+            {
+                "payloads": {
+                    "tokens": tokens,
+                    "query": " ".join(tokens),
+                    "entities": members,
+                },
+                "tasks": {
+                    "POS": {"gold": roles},
+                    "EntityType": {"gold": types_by_token},
+                    "Intent": {"gold": intent},
+                    "IntentArg": {"gold": gold_arg},
+                },
+                "tags": [],
+            }
+        )
+        # 6. Weak sources, each from its own substream.
+        self._attach_sources(record, index, intent, gold_arg, candidates, roles)
+        # 7. Tags: split + slices.
+        record.add_tag(_split_for(index, spec))
+        if world.rare_intent is not None and intent == world.rare_intent:
+            record.add_tag(slice_tag(RARE_SLICE))
+        if gold_arg != 0 and spec.ambiguity > 0:
+            record.add_tag(slice_tag(HARD_SLICE))
+        return record
+
+    # ------------------------------------------------------------------
+    # Weak supervision
+    # ------------------------------------------------------------------
+    def _attach_sources(
+        self,
+        record: Record,
+        index: int,
+        intent: str,
+        gold_arg: int,
+        candidates: tuple[Reading, ...],
+        roles: list[str],
+    ) -> None:
+        """Attach every enabled weak-source family to one record."""
+        spec = self.spec
+        world = self.world
+        enabled = set(spec.sources)
+        if not enabled:
+            return
+        bases = self._source_bases
+        streams = {
+            family: _Stream(_mix(bases[position], index))
+            for position, family in enumerate(SOURCE_FAMILIES)
+            if family in enabled
+        }
+        intents = world.intent_classes
+        noise = spec.label_noise
+
+        def noisy_intent(rng: _Stream, flip_p: float) -> str:
+            if rng.random() < flip_p:
+                wrong = [c for c in intents if c != intent]
+                return wrong[rng.integers(len(wrong))]
+            return intent
+
+        weak_a_label: str | None = None
+        if "weak_a" in enabled:
+            rng = streams["weak_a"]
+            weak_a_label = noisy_intent(rng, noise)
+            record.add_label("Intent", "weak_a", weak_a_label)
+        if "weak_b" in enabled:
+            rng = streams["weak_b"]
+            anchor = weak_a_label if weak_a_label is not None else intent
+            if rng.random() < spec.conflict_rate:
+                # Correlated disagreement: contradict weak_a on purpose.
+                others = [c for c in intents if c != anchor]
+                record.add_label("Intent", "weak_b", others[rng.integers(len(others))])
+            else:
+                record.add_label(
+                    "Intent", "weak_b", noisy_intent(rng, min(0.95, 1.5 * noise))
+                )
+        if "crowd" in enabled:
+            rng = streams["crowd"]
+            if rng.random() < spec.crowd_coverage:
+                record.add_label("Intent", "crowd", noisy_intent(rng, 0.05))
+                if rng.random() < 0.95:
+                    record.add_label("IntentArg", "crowd", gold_arg)
+                else:
+                    record.add_label("IntentArg", "crowd", rng.integers(len(candidates)))
+        if "lf_keyword" in enabled:
+            rng = streams["lf_keyword"]
+            hits = [
+                world.keyword_intent[t]
+                for t in record.payloads["tokens"]
+                if t in world.keyword_intent
+            ]
+            if hits:
+                record.add_label("Intent", "lf_keyword", noisy_intent(rng, 0.5 * noise))
+        if "lf_tagger" in enabled:
+            rng = streams["lf_tagger"]
+            tagged = []
+            role_classes = world.role_classes
+            for role in roles:
+                if rng.random() < noise:
+                    wrong = [c for c in role_classes if c != role]
+                    tagged.append(wrong[rng.integers(len(wrong))])
+                else:
+                    tagged.append(role)
+            record.add_label("POS", "lf_tagger", tagged)
+        if "lf_types" in enabled:
+            # Project the *most popular* reading's types — systematically
+            # wrong on slice:hard_arg, just like the hand gazetteer LF.
+            surface_pos = record.payloads["entities"][0]["range"][0]
+            projected: list[list[str]] = [[] for _ in record.payloads["tokens"]]
+            projected[surface_pos] = list(candidates[0].types)
+            record.add_label("EntityType", "lf_types", projected)
+        if "lf_pop" in enabled:
+            record.add_label("IntentArg", "lf_pop", 0)
+        if "lf_compat" in enabled:
+            rng = streams["lf_compat"]
+            if rng.random() < noise:
+                record.add_label("IntentArg", "lf_compat", rng.integers(len(candidates)))
+            else:
+                record.add_label("IntentArg", "lf_compat", gold_arg)
+
+    # ------------------------------------------------------------------
+    # Streaming surfaces
+    # ------------------------------------------------------------------
+    def iter_records(
+        self, n: int | None = None, start: int = 0
+    ) -> Iterator[Record]:
+        """Yield records ``start .. n-1`` one at a time (O(1) memory)."""
+        n = self.spec.n if n is None else n
+        for index in range(start, n):
+            yield self.record(index, n)
+
+    def dataset(self, n: int | None = None, validate: bool = True) -> Dataset:
+        """Materialize the stream as a validated :class:`Dataset`."""
+        return Dataset(
+            self.schema, list(self.iter_records(n)), validate=validate
+        )
+
+    def payload(self, index: int, n: int | None = None) -> dict:
+        """A serving-request payload view (tokens + entities) of a record."""
+        record = self.record(index, n)
+        return {
+            "tokens": list(record.payloads["tokens"]),
+            "entities": [dict(m) for m in record.payloads.get("entities") or []],
+        }
+
+    def write_jsonl(
+        self, path: str | Path, n: int | None = None, start: int = 0
+    ) -> int:
+        """Stream records to a JSONL file; returns the record count."""
+        count = 0
+        with Path(path).open("w", encoding="utf-8") as handle:
+            for record in self.iter_records(n, start):
+                handle.write(record.to_json() + "\n")
+                count += 1
+        return count
+
+    def stream_fingerprint(self, n: int | None = None) -> str:
+        """SHA-256 over the canonical JSONL stream, computed streaming.
+
+        Two processes (or machines) agreeing on this hash have generated
+        byte-identical datasets without either holding one in memory.
+        """
+        digest = hashlib.sha256()
+        for record in self.iter_records(n):
+            digest.update(record.to_json().encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()

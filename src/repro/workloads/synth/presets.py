@@ -1,0 +1,82 @@
+"""Named workload presets spanning the difficulty and drift space.
+
+These are the specs the registry, CLI, and benches refer to by name.
+The easy/medium/hard family differs only in difficulty knobs (scale and
+schema are shared), so measured-difficulty comparisons across them are
+apples-to-apples; the drift pair exists for the autopilot: ``storm``
+crosses the default `DriftTrigger` thresholds mid-stream, ``calm``
+stays under them for the whole stream.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synth.spec import DriftPhase, WorkloadSpec
+
+SYNTH_PRESETS: dict[str, WorkloadSpec] = {
+    "synth-easy": WorkloadSpec(
+        name="synth-easy",
+        n=800,
+        seed=11,
+        label_noise=0.05,
+        conflict_rate=0.0,
+        slice_skew=0.5,
+        slice_rarity=0.08,
+        ambiguity=0.25,
+        keyword_dropout=0.02,
+    ),
+    "synth-medium": WorkloadSpec(
+        name="synth-medium",
+        n=800,
+        seed=11,
+        label_noise=0.2,
+        conflict_rate=0.2,
+        slice_skew=1.2,
+        slice_rarity=0.05,
+        ambiguity=0.5,
+        keyword_dropout=0.1,
+    ),
+    "synth-hard": WorkloadSpec(
+        name="synth-hard",
+        n=800,
+        seed=11,
+        label_noise=0.4,
+        conflict_rate=0.55,
+        slice_skew=2.5,
+        slice_rarity=0.04,
+        ambiguity=0.9,
+        keyword_dropout=0.3,
+    ),
+    "synth-drift-storm": WorkloadSpec(
+        name="synth-drift-storm",
+        n=800,
+        seed=14,
+        label_noise=0.15,
+        conflict_rate=0.1,
+        slice_rarity=0.05,
+        ambiguity=0.4,
+        drift=(
+            DriftPhase(start=0.0, oov_rate=0.0),
+            DriftPhase(start=0.5, oov_rate=0.45, length_delta=1),
+        ),
+    ),
+    "synth-drift-calm": WorkloadSpec(
+        name="synth-drift-calm",
+        n=800,
+        seed=14,
+        label_noise=0.15,
+        conflict_rate=0.1,
+        slice_rarity=0.05,
+        ambiguity=0.4,
+        drift=(DriftPhase(start=0.5, oov_rate=0.01),),
+    ),
+}
+
+
+def preset(name: str) -> WorkloadSpec:
+    """Look up a preset spec by name."""
+    try:
+        return SYNTH_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown synth preset {name!r}; known: {sorted(SYNTH_PRESETS)}"
+        ) from None

@@ -1,0 +1,256 @@
+"""One registry for every workload — hand-built and synthetic alike.
+
+The five hand-built workloads (the factoid running example and the four
+product profiles) and the synth presets all register here as *named
+builders* with a common output shape, so benches, the conformance test,
+and the CLI can iterate "every workload we have" without knowing which
+generator produced it.  Each entry builds a :class:`BuiltWorkload`:
+dataset (weak sources attached, slices tagged), an
+:class:`~repro.api.Application`, a default model config, and the
+JSON-able spec that reproduces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.api import Application
+from repro.core import ModelConfig, PayloadConfig, TrainerConfig
+from repro.data.dataset import Dataset
+from repro.slicing import SliceSet, SliceSpec
+from repro.workloads.factoid import (
+    HARD_DISAMBIGUATION_SLICE,
+    NUTRITION_SLICE,
+    SIZE_QUERY_SLICE,
+    FactoidGenerator,
+    WorkloadConfig,
+)
+from repro.workloads.products import PRODUCTS, ProductSpec
+from repro.workloads.synth.generator import SynthGenerator
+from repro.workloads.synth.presets import SYNTH_PRESETS
+from repro.workloads.synth.spec import HARD_SLICE, RARE_SLICE, WorkloadSpec
+from repro.workloads.weak_sources import apply_standard_weak_supervision
+
+
+def default_model_config(size: int = 24, epochs: int = 8) -> ModelConfig:
+    """The bench-default compiled-model shape for any workload."""
+    return ModelConfig(
+        payloads={
+            "tokens": PayloadConfig(encoder="bow", size=size),
+            "query": PayloadConfig(size=size),
+            "entities": PayloadConfig(size=size),
+        },
+        trainer=TrainerConfig(epochs=epochs, batch_size=32, lr=0.05),
+    )
+
+
+def build_application(spec: WorkloadSpec) -> Application:
+    """The :class:`Application` a synth spec implies (schema + slices)."""
+    generator = SynthGenerator(spec)
+    slices = []
+    if spec.slice_rarity > 0:
+        slices.append(
+            SliceSpec(name=RARE_SLICE, description="reserved rare intent")
+        )
+    if spec.ambiguity > 0:
+        slices.append(
+            SliceSpec(
+                name=HARD_SLICE,
+                description="gold argument is not the most popular reading",
+            )
+        )
+    return Application(
+        generator.schema, name=spec.name, slices=SliceSet(slices), seed=spec.seed
+    )
+
+
+@dataclass
+class BuiltWorkload:
+    """A materialized workload, ready for fit/tune/serve benches."""
+
+    name: str
+    dataset: Dataset
+    application: Application
+    model_config: ModelConfig
+    spec: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One registered workload: a named, parameterized builder."""
+
+    name: str
+    kind: str  # "synth" | "hand"
+    description: str
+    builder: Callable[[int | None, int | None], BuiltWorkload]
+
+    def build(self, scale: int | None = None, seed: int | None = None) -> BuiltWorkload:
+        """Materialize at an optional record count / seed override."""
+        return self.builder(scale, seed)
+
+
+_REGISTRY: dict[str, WorkloadEntry] = {}
+
+
+def register_workload(entry: WorkloadEntry) -> WorkloadEntry:
+    """Add (or replace) a registry entry; returns it for chaining."""
+    _REGISTRY[entry.name] = entry
+    return entry
+
+
+def workload_names() -> list[str]:
+    """Registered workload names, hand-built first, then synth presets."""
+    return sorted(_REGISTRY, key=lambda n: (_REGISTRY[n].kind != "hand", n))
+
+
+def get_workload(name: str) -> WorkloadEntry:
+    """Look up one registry entry by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {workload_names()}"
+        ) from None
+
+
+def build_workload(
+    name: str, scale: int | None = None, seed: int | None = None
+) -> BuiltWorkload:
+    """Materialize a registered workload by name."""
+    return get_workload(name).build(scale, seed)
+
+
+def build_from_spec(
+    spec: WorkloadSpec, scale: int | None = None, seed: int | None = None
+) -> BuiltWorkload:
+    """Materialize a synth spec (optionally rescaled/reseeded)."""
+    if scale is not None:
+        spec = spec.scaled(scale)
+    if seed is not None:
+        spec = spec.reseeded(seed)
+    generator = SynthGenerator(spec)
+    return BuiltWorkload(
+        name=spec.name,
+        dataset=generator.dataset(),
+        application=build_application(spec),
+        model_config=default_model_config(),
+        spec=spec.to_dict(),
+    )
+
+
+def resolve_workload(
+    ref: str, scale: int | None = None, seed: int | None = None
+) -> BuiltWorkload:
+    """Materialize a workload from a registry name or a spec-file path.
+
+    This is the single front door the benches use for their
+    ``--workload spec.json --scale N`` surface: a ``.json`` ref loads a
+    :class:`WorkloadSpec` file, anything else is a registry name.
+    """
+    if ref.endswith(".json") or "/" in ref or "\\" in ref:
+        return build_from_spec(WorkloadSpec.from_file(Path(ref)), scale, seed)
+    return build_workload(ref, scale, seed)
+
+
+def _factoid_slices() -> SliceSet:
+    return SliceSet(
+        [
+            SliceSpec(
+                name=HARD_DISAMBIGUATION_SLICE,
+                description="ambiguous entity where popularity misleads",
+            ),
+            SliceSpec(name=NUTRITION_SLICE, description="nutrition intents"),
+            SliceSpec(name=SIZE_QUERY_SLICE, description="'how big' queries"),
+        ]
+    )
+
+
+#: The registry's hand builds sample the rare "how big is ..." slice at a
+#: small, fixed rate so the declared size_queries slice is never empty.
+_SIZE_QUERY_RATE = 0.05
+
+
+def _build_factoid(scale: int | None, seed: int | None) -> BuiltWorkload:
+    n = 1000 if scale is None else scale
+    seed = 0 if seed is None else seed
+    dataset = FactoidGenerator(
+        WorkloadConfig(n=n, seed=seed, size_query_rate=_SIZE_QUERY_RATE)
+    ).generate()
+    apply_standard_weak_supervision(dataset.records, seed=seed)
+    application = Application(
+        dataset.schema, name="factoid", slices=_factoid_slices(), seed=seed
+    )
+    return BuiltWorkload(
+        name="factoid",
+        dataset=dataset,
+        application=application,
+        model_config=default_model_config(),
+        spec={"workload": "factoid", "n": n, "seed": seed},
+    )
+
+
+def _product_builder(product: ProductSpec):
+    def _build(scale: int | None, seed: int | None) -> BuiltWorkload:
+        n = product.n_records if scale is None else scale
+        seed = 0 if seed is None else seed
+        dataset = FactoidGenerator(
+            WorkloadConfig(n=n, seed=seed, size_query_rate=_SIZE_QUERY_RATE)
+        ).generate()
+        apply_standard_weak_supervision(
+            dataset.records,
+            seed=seed,
+            intent_sources=product.intent_sources,
+            arg_crowd_coverage=product.crowd_arg_coverage,
+        )
+        application = Application(
+            dataset.schema, name=product.name, slices=_factoid_slices(), seed=seed
+        )
+        return BuiltWorkload(
+            name=product.name,
+            dataset=dataset,
+            application=application,
+            model_config=product.model_config(),
+            spec={"workload": product.name, "n": n, "seed": seed},
+        )
+
+    return _build
+
+
+def _synth_builder(preset_name: str):
+    def _build(scale: int | None, seed: int | None) -> BuiltWorkload:
+        return build_from_spec(SYNTH_PRESETS[preset_name], scale, seed)
+
+    return _build
+
+
+register_workload(
+    WorkloadEntry(
+        name="factoid",
+        kind="hand",
+        description="the paper's Fig. 2a factoid running example",
+        builder=_build_factoid,
+    )
+)
+for _product in PRODUCTS:
+    register_workload(
+        WorkloadEntry(
+            name=_product.name,
+            kind="hand",
+            description=f"{_product.resourcing}-resourced product profile",
+            builder=_product_builder(_product),
+        )
+    )
+for _preset_name, _preset in SYNTH_PRESETS.items():
+    register_workload(
+        WorkloadEntry(
+            name=_preset_name,
+            kind="synth",
+            description=(
+                f"synthetic preset (noise={_preset.label_noise}, "
+                f"conflict={_preset.conflict_rate}, drift phases={len(_preset.drift)})"
+            ),
+            builder=_synth_builder(_preset_name),
+        )
+    )

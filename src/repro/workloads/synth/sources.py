@@ -1,0 +1,80 @@
+"""Weak labeling for *live* synth traffic (the autopilot's labeler).
+
+The autopilot's retrain path labels sampled live payloads with whatever
+heuristics the workload owns (`actions.default_live_labeler` does this
+with the hand gazetteer).  Synth workloads need their own: the heuristic
+rules live in the spec's :class:`~repro.workloads.synth.generator.SynthWorld`
+— keyword -> intent, token-hash roles, reading popularity and type
+compatibility — and, crucially, they still apply to drift-phase tokens
+the reference data never saw, which is what makes healing on a drifted
+stream possible at all.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.data.record import Record
+from repro.workloads.synth.generator import SynthGenerator, SynthWorld
+from repro.workloads.synth.spec import WorkloadSpec
+
+
+def live_labeler(
+    world: SynthWorld | WorkloadSpec | SynthGenerator,
+) -> Callable[[Sequence[Record]], None]:
+    """A labeler closure over one spec's world, for ``Supervisor(labeler=...)``.
+
+    Labels reuse the *generated* source names (``lf_keyword``,
+    ``lf_tagger``, ``lf_types``, ``lf_compat``) so live records extend
+    the same coverage blocks the label model already calibrated on the
+    reference data — fresh source names with disjoint coverage would
+    degrade supervision combination instead of helping it:
+
+    - ``Intent``/``lf_keyword``: the intent owning any keyword token;
+    - ``POS``/``lf_tagger``: the token-hash role (covers novel tokens);
+    - ``EntityType``/``lf_types``: the most popular reading's types;
+    - ``IntentArg``/``lf_compat``: the first candidate whose reading
+      is compatible with the keyword intent (popularity order).
+    """
+    if isinstance(world, WorkloadSpec):
+        world = SynthWorld(world)
+    elif isinstance(world, SynthGenerator):
+        world = world.world
+
+    def _label(records: Sequence[Record]) -> None:
+        for record in records:
+            tokens = record.payloads.get("tokens") or []
+            intent = None
+            for token in tokens:
+                if token in world.keyword_intent:
+                    intent = world.keyword_intent[token]
+                    break
+            if intent is not None:
+                record.add_label("Intent", "lf_keyword", intent)
+            record.add_label(
+                "POS", "lf_tagger", [world.role_of(t) for t in tokens]
+            )
+            members = record.payloads.get("entities") or []
+            if not members:
+                continue
+            surface = None
+            span = members[0].get("range") or [0, 0]
+            if 0 <= span[0] < len(tokens):
+                surface = tokens[span[0]]
+            readings = world.readings.get(surface) if surface else None
+            if readings:
+                projected: list[list[str]] = [[] for _ in tokens]
+                projected[span[0]] = list(readings[0].types)
+                record.add_label("EntityType", "lf_types", projected)
+            if intent is not None:
+                compatible = world.compatible_types[intent]
+                by_id = (
+                    {r.id: r for r in readings} if readings else {}
+                )
+                for position, member in enumerate(members):
+                    reading = by_id.get(member.get("id"))
+                    if reading is not None and set(reading.types) & compatible:
+                        record.add_label("IntentArg", "lf_compat", position)
+                        break
+
+    return _label

@@ -1,0 +1,150 @@
+"""Soak tests: the autopilot as a *stable controller*, not a one-shot heal.
+
+Tier-1 runs a reduced smoke — one drift storm, dozens of requests, a
+simulated clock — asserting the supervisor stays quiet on clean traffic,
+heals exactly once when the storm arrives, and never re-fires on drift it
+already absorbed.  Set ``REPRO_SOAK=1`` for the full tier-2 soak: dozens
+of ticks through a calm -> storm -> calm -> second-storm schedule, two
+promotions, and a :func:`repro.autopilot.check_consistency` audit of the
+whole decision journal.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.autopilot import (
+    DecisionJournal,
+    DriftTrigger,
+    HealPolicy,
+    PromotionGate,
+    RetrainPlan,
+    check_consistency,
+)
+from repro.workloads.synth import DriftPhase, preset, run_soak
+
+SOAK = os.environ.get("REPRO_SOAK", "") == "1"
+
+
+def _soak_policy() -> HealPolicy:
+    # js_threshold is deliberately high: small live windows over a
+    # 120-token vocabulary sit around js ~0.15 from sampling noise alone.
+    # The OOV jump is the reliable discriminator — the storm phases push
+    # live OOV to ~0.45 vs ~0.01 on clean traffic.
+    return HealPolicy(
+        drift_triggers=(DriftTrigger(js_threshold=0.35, oov_jump_threshold=0.05),),
+        min_live_window=16,
+        cooldown_s=0.0,
+        retrain=RetrainPlan(workers=1, max_live_records=256),
+        gate=PromotionGate(
+            max_disagreement_rate=1.0,
+            min_shadow_requests=16,
+            regression_threshold=0.25,
+            min_examples=5,
+        ),
+    )
+
+
+def test_soak_smoke_heals_once_and_absorbs_the_drift(tmp_path):
+    spec = preset("synth-drift-storm").scaled(160)
+    report = run_soak(
+        spec,
+        ticks=10,
+        requests_per_tick=24,
+        policy=_soak_policy(),
+        store_dir=tmp_path / "store",
+        journal_path=tmp_path / "journal.jsonl",
+    )
+    actions = report.actions()
+    heal_tick = report.first_action_tick("heal_started")
+    promote_tick = report.first_action_tick("promoted")
+
+    # Quiet on clean traffic: nothing fires before the storm arrives.
+    storm_start = next(t.tick for t in report.ticks if t.oov_rate > 0)
+    assert heal_tick is not None and heal_tick >= storm_start, actions
+    assert all(a == "no_trigger" for a in actions[:heal_tick]), actions
+
+    # The heal lands: one promotion, no rejections.
+    assert promote_tick is not None and promote_tick > heal_tick, actions
+    assert report.promotions == 1 and report.rejections == 0, actions
+
+    # Absorbed drift never re-fires, even though the storm keeps blowing.
+    assert all(a == "no_trigger" for a in actions[promote_tick + 1 :]), actions
+    assert report.heals_started == 1
+
+    # The journal survives the process and audits clean.
+    assert report.journal.check() == []
+    replayed = DecisionJournal.read(tmp_path / "journal.jsonl")
+    assert check_consistency(replayed) == []
+    assert [e["kind"] for e in replayed] == [
+        "trigger",
+        "retrain_started",
+        "retrain_finished",
+        "staged",
+        "shadow_started",
+        "gate",
+        "promoted",
+        "reference_updated",
+    ]
+
+
+def test_calm_drift_never_triggers(tmp_path):
+    """The calm preset's tiny OOV blip must stay below the trigger."""
+    spec = preset("synth-drift-calm").scaled(120)
+    report = run_soak(
+        spec,
+        ticks=6,
+        requests_per_tick=20,
+        policy=_soak_policy(),
+        store_dir=tmp_path / "store",
+    )
+    assert report.actions() == ["no_trigger"] * 6, report.actions()
+    assert report.heals_started == 0
+
+
+@pytest.mark.skipif(not SOAK, reason="tier-2 soak; set REPRO_SOAK=1")
+def test_full_soak_two_storms_two_heals(tmp_path):
+    spec = preset("synth-drift-storm").replace(
+        n=600,
+        drift=(
+            DriftPhase(start=0.0),
+            DriftPhase(start=0.25, oov_rate=0.45, length_delta=1),
+            DriftPhase(start=0.5),
+            DriftPhase(start=0.72, oov_rate=0.5, length_delta=1),
+        ),
+    )
+    report = run_soak(
+        spec,
+        ticks=36,
+        requests_per_tick=24,
+        policy=_soak_policy(),
+        store_dir=tmp_path / "store",
+        journal_path=tmp_path / "journal.jsonl",
+    )
+    actions = report.actions()
+
+    # Two storms, two heals, both promoted; the calm valleys stay quiet.
+    assert report.heals_started == 2, actions
+    assert report.promotions == 2 and report.rejections == 0, actions
+    heal_ticks = [t.tick for t in report.ticks if t.action == "heal_started"]
+    promote_ticks = [t.tick for t in report.ticks if t.action == "promoted"]
+    storm_ticks = {t.tick for t in report.ticks if t.oov_rate > 0}
+    assert len(heal_ticks) == 2 and len(promote_ticks) == 2
+    assert all(tick in storm_ticks for tick in heal_ticks), (
+        heal_ticks,
+        sorted(storm_ticks),
+    )
+    # Between a promotion and the next storm phase, and after the last
+    # one, nothing re-fires: absorbed drift stays absorbed.
+    first_promote, second_heal = promote_ticks[0], heal_ticks[1]
+    between = actions[first_promote + 1 : second_heal]
+    assert all(a == "no_trigger" for a in between), actions
+    assert all(a == "no_trigger" for a in actions[promote_ticks[1] + 1 :]), actions
+
+    # Repeated heals keep the journal consistent, in memory and on disk.
+    assert report.journal.check() == []
+    replayed = DecisionJournal.read(tmp_path / "journal.jsonl")
+    assert check_consistency(replayed) == []
+    assert sum(1 for e in replayed if e["kind"] == "promoted") == 2

@@ -1,0 +1,26 @@
+"""Tier-1 smoke for the synth generator benchmark.
+
+Runs ``benchmarks/bench_synth_generator.py`` in reduced-size mode on
+every test run, so the streaming throughput path and the difficulty
+calibration loop stay exercised continuously.  Thresholds are *not*
+asserted here; those belong to the full-size run under
+``tools/run_benchmarks.py``.
+"""
+
+from benchmarks.bench_synth_generator import run_synth_bench
+
+
+def test_synth_reduced_mode():
+    metrics = run_synth_bench(reduced=True)
+    # Wiring, not thresholds: every scale was timed, calibration ran.
+    assert metrics["reduced"] is True
+    assert metrics["scales"] == [500, 1_000, 2_000]
+    for n in metrics["scales"]:
+        assert metrics[f"records_per_s_at_{n}"] > 0
+    assert 0.0 <= metrics["calibration_mae"] <= 1.0
+    assert 0.0 <= metrics["rank_concordance"] <= 1.0
+    assert [row["spec"] for row in metrics["calibration_rows"]] == [
+        "synth-easy",
+        "synth-medium",
+        "synth-hard",
+    ]

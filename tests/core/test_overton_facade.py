@@ -66,7 +66,7 @@ class TestTrainEvaluate:
     def test_report_includes_slices(self):
         ds = mini_dataset(n=40, seed=4)
         slices = SliceSet(
-            [SliceSpec(name="short", predicate=lambda r: len(r.payloads["tokens"]) <= 3)]
+            [SliceSpec(name="short", predicate=lambda r: len(r.payloads["tokens"]) <= 5)]
         )
         overton = Overton(factoid_schema(), slices=slices)
         trained = overton.train(ds, fast_config())
@@ -135,8 +135,8 @@ class TestDeploy:
         predictor = Predictor(store.fetch("factoid-qa"))
         response = predictor.predict_one(
             {
-                "tokens": ["how", "tall", "is", "everest"],
-                "entities": [{"id": "everest", "range": [3, 4]}],
+                "tokens": ["kw_00_0", "kw_00_1", "ent00", "w0001"],
+                "entities": [{"id": "ent00", "range": [2, 3]}],
             }
         )
         assert response["Intent"]["label"] == "height"

@@ -1,6 +1,15 @@
-"""Shared fixtures: the paper's Fig. 2a factoid schema and sample records."""
+"""Shared fixtures: the paper's Fig. 2a factoid schema and sample records.
+
+``mini_dataset`` builds from a small parametric synth spec
+(:mod:`repro.workloads.synth`), so the fixture corpus exercises the same
+generator the benches and soak tests use.  Set ``REPRO_LEGACY_FIXTURES=1``
+(or pass ``legacy=True``) for the original hand-rolled records,
+byte-identical to the pre-synth fixture.
+"""
 
 from __future__ import annotations
+
+import os
 
 from repro.core import Schema
 from repro.data import Record
@@ -41,13 +50,58 @@ def factoid_schema() -> Schema:
     )
 
 
-def mini_dataset(n: int = 60, seed: int = 0, weak_noise: float = 0.2):
+def mini_spec(n: int = 60, seed: int = 0, weak_noise: float = 0.2):
+    """The synth WorkloadSpec behind :func:`mini_dataset`."""
+    from repro.workloads.synth import WorkloadSpec
+
+    return WorkloadSpec(
+        name="mini",
+        n=n,
+        seed=seed,
+        intents=len(INTENT_CLASSES),
+        entity_types=len(ENTITY_TYPE_CLASSES),
+        roles=len(POS_CLASSES),
+        intent_names=tuple(INTENT_CLASSES),
+        role_names=tuple(POS_CLASSES),
+        type_names=tuple(ENTITY_TYPE_CLASSES),
+        vocab_size=40,
+        min_length=4,
+        max_length=7,
+        label_noise=weak_noise * 0.75,
+        slice_rarity=0.0,
+        slice_skew=0.0,
+        ambiguity=0.0,
+        keyword_dropout=0.0,
+        sources=("weak_a", "weak_b", "lf_keyword", "crowd"),
+        train_fraction=0.6,
+        dev_fraction=0.2,
+    )
+
+
+def mini_dataset(
+    n: int = 60, seed: int = 0, weak_noise: float = 0.2, legacy: bool | None = None
+):
     """A small learnable dataset conforming to the factoid schema.
 
     Intent is determined by a keyword; entities are single-token spans; gold
     labels exist on every record (used for dev/test evaluation only), plus
-    two noisy weak sources for training.
+    two noisy weak sources for training.  Built from :func:`mini_spec` by
+    default; ``legacy=True`` (or ``REPRO_LEGACY_FIXTURES=1``) regenerates
+    the original hand-rolled records byte-for-byte.
     """
+    if legacy is None:
+        legacy = os.environ.get("REPRO_LEGACY_FIXTURES", "") == "1"
+    if legacy:
+        return _legacy_mini_dataset(n, seed, weak_noise)
+    from repro.data import Dataset
+    from repro.workloads.synth import SynthGenerator
+
+    generator = SynthGenerator(mini_spec(n, seed, weak_noise))
+    return Dataset(factoid_schema(), list(generator.iter_records(n)))
+
+
+def _legacy_mini_dataset(n: int = 60, seed: int = 0, weak_noise: float = 0.2):
+    """The pre-synth hand-rolled fixture, kept byte-identical."""
     import numpy as np
 
     from repro.data import Dataset

@@ -16,17 +16,19 @@ class TestHarvest:
         model, vocabs = compile_from_dataset(ds, small_config())
         product = harvest_embedding_product(model, vocabs, "tokens", "qa-tokens-v1")
         assert product.dim == 8
-        assert "paris" in product.vectors
+        assert "kw_04_0" in product.vectors
         np.testing.assert_allclose(
-            product.vectors["paris"],
-            model.encoders["tokens"].embedding.weight.data[vocabs["tokens"].id("paris")],
+            product.vectors["kw_04_0"],
+            model.encoders["tokens"].embedding.weight.data[
+                vocabs["tokens"].id("kw_04_0")
+            ],
         )
 
     def test_harvest_entity_embeddings(self):
         ds = mini_dataset(n=20, seed=1)
         model, vocabs = compile_from_dataset(ds, small_config())
         product = harvest_embedding_product(model, vocabs, "entities", "qa-ents-v1")
-        assert "france" in product.vectors
+        assert "ent01_r0" in product.vectors
 
     def test_special_symbols_skipped_by_default(self):
         ds = mini_dataset(n=10, seed=2)
@@ -70,5 +72,5 @@ class TestHarvest:
         downstream = compile_model(ds.schema, config, vocabs, registry=registry)
         table = downstream.encoders["tokens"].embedding.weight.data
         np.testing.assert_allclose(
-            table[vocabs["tokens"].id("paris")], product.vectors["paris"]
+            table[vocabs["tokens"].id("kw_04_0")], product.vectors["kw_04_0"]
         )

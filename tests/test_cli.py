@@ -364,3 +364,66 @@ class TestObs:
         code = main(["obs"])
         assert code != 0
         assert "nothing to do" in capsys.readouterr().err
+
+
+class TestSynth:
+    def test_list_names_every_workload(self, capsys):
+        code = main(["synth", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("factoid", "synth-easy", "synth-drift-storm"):
+            assert name in out
+
+    def test_inspect_preset_prints_spec_and_difficulty(self, capsys):
+        code = main(["synth", "--preset", "synth-medium", "--inspect"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out
+        assert "predicted difficulty" in out
+        assert '"label_noise": 0.2' in out
+
+    def test_export_and_materialize_round_trip(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        data_path = tmp_path / "data.jsonl"
+        schema_path = tmp_path / "schema.json"
+        code = main(
+            [
+                "synth",
+                "--preset",
+                "synth-easy",
+                "--scale",
+                "30",
+                "--out",
+                str(spec_path),
+                "--materialize",
+                str(data_path),
+                "--schema-out",
+                str(schema_path),
+            ]
+        )
+        assert code == 0
+        assert "30 records written" in capsys.readouterr().out
+        # The materialized dataset validates against its own schema ...
+        code = main(
+            ["validate", "--schema", str(schema_path), "--data", str(data_path)]
+        )
+        assert code == 0
+        # ... and the exported spec regenerates the identical file.
+        from repro.workloads.synth import SynthGenerator, WorkloadSpec
+
+        spec = WorkloadSpec.from_file(spec_path)
+        regen = tmp_path / "regen.jsonl"
+        SynthGenerator(spec).write_jsonl(regen, spec.n)
+        assert regen.read_text() == data_path.read_text()
+
+    def test_unknown_preset_is_an_error(self, capsys):
+        code = main(["synth", "--preset", "synth-imaginary"])
+        assert code != 0
+        assert "unknown preset" in capsys.readouterr().err
+
+    def test_no_action_defaults_to_inspect(self, capsys):
+        code = main(["synth", "--preset", "synth-hard", "--scale", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"n": 20' in out
+        assert "record 0 payload tokens:" in out

@@ -1,0 +1,112 @@
+"""Conformance suite: every registered workload honors the same contract.
+
+The registry is only useful if "iterate every workload" is safe — any
+entry, hand-built or synthetic, must materialize a schema-valid dataset
+with usable supervision, an Application whose declarative spec
+round-trips, non-empty slices, and deterministic rebuilds.  Each
+registered name is a parametrized case, so registering a broken workload
+fails here by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Application
+from repro.data import Dataset
+from repro.workloads import (
+    build_workload,
+    get_workload,
+    resolve_workload,
+    workload_names,
+)
+
+SCALE = 120
+
+
+@pytest.fixture(scope="module")
+def built():
+    return {name: build_workload(name, scale=SCALE) for name in workload_names()}
+
+
+def test_registry_has_hand_and_synth_entries():
+    names = workload_names()
+    kinds = {get_workload(name).kind for name in names}
+    assert kinds == {"hand", "synth"}
+    assert "factoid" in names
+    assert any(name.startswith("synth-") for name in names)
+    # Hand-built entries sort first: the paper's workloads lead the list.
+    hand = [n for n in names if get_workload(n).kind == "hand"]
+    assert names[: len(hand)] == hand
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_workload_conforms(name, built):
+    workload = built[name]
+    dataset = workload.dataset
+    assert workload.name == name
+    assert len(dataset.records) == SCALE
+
+    # Schema-valid records with all three splits present (the Dataset
+    # constructor re-validates every record against the schema).
+    Dataset(dataset.schema, dataset.records)
+    table = dataset.tag_table()
+    for split in ("train", "dev", "test"):
+        assert table.count(split) > 0, (name, split)
+
+    # Supervision beyond gold: a workload with no weak sources cannot
+    # exercise the combination pipeline.
+    stats = dataset.supervision_stats()
+    assert stats, name
+    weak_sources = {
+        source
+        for sources in stats.values()
+        for source in sources
+        if source != "gold"
+    }
+    assert weak_sources, (name, stats)
+    # And gold labels exist for evaluation.
+    assert any("gold" in sources for sources in stats.values()), (name, stats)
+
+    # The Application round-trips through its declarative spec.
+    app = workload.application
+    rebuilt = Application.from_spec(app.to_spec())
+    assert rebuilt.to_spec() == app.to_spec()
+    assert rebuilt.name == name
+
+    # Non-empty slices: every declared slice matches tagged records.
+    assert len(app.slices) > 0, name
+    counts = app.slices.materialize(dataset.records)
+    for spec in app.slices:
+        assert counts[spec.name] > 0, (name, counts)
+
+    # The stored spec is JSON-able provenance for reproducing the build.
+    assert isinstance(workload.spec, dict) and workload.spec, name
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_workload_builds_deterministically(name):
+    first = build_workload(name, scale=60)
+    second = build_workload(name, scale=60)
+    assert [r.to_dict() for r in first.dataset.records] == [
+        r.to_dict() for r in second.dataset.records
+    ]
+    assert first.spec == second.spec
+
+
+def test_resolve_workload_accepts_spec_files(tmp_path):
+    from repro.workloads.synth import preset
+
+    spec = preset("synth-medium").scaled(40)
+    path = tmp_path / "spec.json"
+    spec.save(path)
+    from_file = resolve_workload(str(path), scale=40)
+    by_name = resolve_workload("synth-medium", scale=40)
+    assert [r.to_dict() for r in from_file.dataset.records] == [
+        r.to_dict() for r in by_name.dataset.records
+    ]
+
+
+def test_resolve_workload_rejects_unknown_names():
+    with pytest.raises(KeyError):
+        resolve_workload("no-such-workload")

@@ -1,0 +1,247 @@
+"""Unit tests for the parametric synth workload package.
+
+The property suite (``tests/property/test_synth_properties.py``) carries
+the expensive claims — cross-process determinism, streaming memory,
+monotone difficulty.  This file covers the cheap, exact surfaces: spec
+validation and serialization, world/sampling seed separation, drift
+phases, the generated records' shape, the live labeler's coverage, and
+the closed-form difficulty model.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.data.record import Record
+from repro.errors import SchemaError
+from repro.workloads.synth import (
+    HARD_SLICE,
+    RARE_SLICE,
+    SOURCE_FAMILIES,
+    SYNTH_PRESETS,
+    DriftPhase,
+    SynthGenerator,
+    WorkloadSpec,
+    build_schema,
+    live_labeler,
+    predicted_components,
+    predicted_difficulty,
+    preset,
+)
+
+# ----------------------------------------------------------------------
+# WorkloadSpec
+# ----------------------------------------------------------------------
+
+
+def test_spec_json_round_trip(tmp_path):
+    spec = WorkloadSpec(
+        name="rt",
+        n=50,
+        seed=9,
+        drift=(DriftPhase(0.0), DriftPhase(0.4, oov_rate=0.3, length_delta=1)),
+    )
+    path = tmp_path / "spec.json"
+    spec.save(path)
+    loaded = WorkloadSpec.from_file(path)
+    assert loaded == spec
+    assert loaded.to_json() == spec.to_json()
+    # The JSON is canonical: keys sorted, so diffs between specs are real.
+    assert json.loads(spec.to_json()) == spec.to_dict()
+
+
+def test_spec_rejects_unknown_keys_and_bad_knobs():
+    with pytest.raises(SchemaError):
+        WorkloadSpec.from_dict({"no_such_knob": 1})
+    with pytest.raises(SchemaError):
+        WorkloadSpec(label_noise=1.5)
+    with pytest.raises(SchemaError):
+        WorkloadSpec(min_length=8, max_length=4)
+    with pytest.raises(SchemaError):
+        WorkloadSpec(sources=("weak_a", "mystery"))
+    with pytest.raises(SchemaError):
+        WorkloadSpec(drift=(DriftPhase(0.5), DriftPhase(0.2)))
+    with pytest.raises(SchemaError):
+        DriftPhase(start=0.0, oov_rate=2.0)
+
+
+def test_scaled_and_reseeded_pin_the_world():
+    spec = WorkloadSpec(n=100, seed=5)
+    assert spec.scaled(400).n == 400
+    assert spec.scaled(400).seed == 5
+    reseeded = spec.reseeded(6)
+    assert reseeded.seed == 6
+    # Reseeding changes sampling, never the world.
+    assert reseeded.resolved_world_seed() == 5
+    assert reseeded.reseeded(7).resolved_world_seed() == 5
+    assert spec.resolved_world_seed() == 5
+
+
+def test_reseeding_changes_records_but_not_meaning():
+    spec = WorkloadSpec(n=40, seed=5, drift=())
+    original = SynthGenerator(spec)
+    reseeded = SynthGenerator(spec.reseeded(6))
+    assert original.record(0, 40).to_dict() != reseeded.record(0, 40).to_dict()
+    # Same world: every token keeps its role under the new seed.
+    for record in reseeded.iter_records(10):
+        roles = record.tasks["POS"]["gold"]
+        expected = [original.world.role_of(t) for t in record.payloads["tokens"]]
+        assert list(roles) == expected
+
+
+def test_fingerprint_tracks_every_knob():
+    base = WorkloadSpec(n=50)
+    assert base.fingerprint() == WorkloadSpec(n=50).fingerprint()
+    assert base.fingerprint() != base.replace(label_noise=0.2).fingerprint()
+    assert base.fingerprint() != base.scaled(51).fingerprint()
+
+
+def test_phase_at_walks_the_schedule():
+    spec = WorkloadSpec(
+        drift=(DriftPhase(0.0), DriftPhase(0.5, oov_rate=0.4))
+    )
+    assert spec.phase_at(0.1).oov_rate == 0.0
+    assert spec.phase_at(0.8).oov_rate == 0.4
+    assert spec.without_drift().drift == ()
+    assert WorkloadSpec().phase_at(0.5) is None
+
+
+# ----------------------------------------------------------------------
+# Generator output shape
+# ----------------------------------------------------------------------
+
+
+def test_generated_records_conform_to_schema_and_slices():
+    spec = WorkloadSpec(n=80, seed=2, slice_rarity=0.1, ambiguity=0.8)
+    generator = SynthGenerator(spec)
+    dataset = generator.dataset()
+    assert len(dataset.records) == 80
+    tags = {t for r in dataset.records for t in r.tags}
+    assert {"train", "dev", "test"} <= tags
+    assert f"slice:{RARE_SLICE}" in tags
+    assert f"slice:{HARD_SLICE}" in tags
+    schema = build_schema(spec)
+    assert {t.name for t in schema.tasks} == {
+        "POS",
+        "EntityType",
+        "Intent",
+        "IntentArg",
+    }
+
+
+def test_source_families_are_independent_substreams():
+    """Dropping one weak-source family must not perturb the others."""
+    full = SynthGenerator(WorkloadSpec(n=30, seed=4))
+    trimmed = SynthGenerator(
+        WorkloadSpec(n=30, seed=4, sources=tuple(s for s in SOURCE_FAMILIES if s != "crowd"))
+    )
+    for index in range(30):
+        a = full.record(index, 30).to_dict()
+        b = trimmed.record(index, 30).to_dict()
+        for task in a["tasks"]:
+            for source, label in b["tasks"][task].items():
+                assert a["tasks"][task][source] == label, (index, task, source)
+
+
+def test_payload_matches_record():
+    generator = SynthGenerator(WorkloadSpec(n=20, seed=1))
+    record = generator.record(3, 20)
+    payload = generator.payload(3, 20)
+    assert payload["tokens"] == record.payloads["tokens"]
+    assert payload["entities"] == record.payloads["entities"]
+    assert set(payload) == {"tokens", "entities"}
+
+
+def test_write_jsonl_streams_the_dataset(tmp_path):
+    spec = WorkloadSpec(n=25, seed=8)
+    generator = SynthGenerator(spec)
+    path = tmp_path / "data.jsonl"
+    written = generator.write_jsonl(path, spec.n)
+    assert written == 25
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 25
+    assert json.loads(lines[0]) == generator.record(0, 25).to_dict()
+
+
+# ----------------------------------------------------------------------
+# Live labeler coverage
+# ----------------------------------------------------------------------
+
+
+def test_live_labeler_reuses_generated_source_names():
+    spec = WorkloadSpec(n=40, seed=6, keyword_dropout=0.0)
+    generator = SynthGenerator(spec)
+    labeler = live_labeler(generator)
+    records = [
+        Record.from_dict({"payloads": generator.payload(i, 40), "tasks": {}})
+        for i in range(10)
+    ]
+    labeler(records)
+    seen = {
+        (task, source)
+        for record in records
+        for task, sources in (
+            (name, record.sources_for(name)) for name in record.tasks
+        )
+        for source in sources
+    }
+    # Every label rides an existing generated family, never a new name.
+    assert {("Intent", "lf_keyword"), ("POS", "lf_tagger")} <= seen
+    families = {source for _, source in seen}
+    assert families <= set(SOURCE_FAMILIES), families
+
+
+def test_live_labeler_covers_novel_drift_tokens():
+    spec = preset("synth-drift-storm").scaled(100)
+    generator = SynthGenerator(spec)
+    labeler = live_labeler(spec)
+    # The tail of the stream sits in the storm phase: novel vocabulary.
+    record = Record.from_dict(
+        {"payloads": generator.payload(90, 100), "tasks": {}}
+    )
+    labeler([record])
+    roles = record.tasks["POS"]["lf_tagger"]
+    assert len(roles) == len(record.payloads["tokens"])
+
+
+# ----------------------------------------------------------------------
+# Difficulty model + presets
+# ----------------------------------------------------------------------
+
+
+def test_predicted_difficulty_is_monotone_in_each_knob():
+    base = WorkloadSpec(n=200)
+    for knob, harder in (
+        ("label_noise", 0.5),
+        ("conflict_rate", 0.6),
+        ("ambiguity", 0.9),
+        ("keyword_dropout", 0.5),
+        ("slice_skew", 3.0),
+    ):
+        easy = predicted_difficulty(base.replace(**{knob: 0.0}))
+        hard = predicted_difficulty(base.replace(**{knob: harder}))
+        assert hard > easy, knob
+    components = predicted_components(base)
+    assert 0.0 < sum(components.values()) < 1.0
+
+
+def test_presets_order_by_predicted_difficulty():
+    assert set(SYNTH_PRESETS) == {
+        "synth-easy",
+        "synth-medium",
+        "synth-hard",
+        "synth-drift-storm",
+        "synth-drift-calm",
+    }
+    assert (
+        predicted_difficulty(preset("synth-easy"))
+        < predicted_difficulty(preset("synth-medium"))
+        < predicted_difficulty(preset("synth-hard"))
+    )
+    with pytest.raises(KeyError):
+        preset("synth-imaginary")
+    # Drift presets differ only in their schedule: same world, same base.
+    storm, calm = preset("synth-drift-storm"), preset("synth-drift-calm")
+    assert storm.without_drift() == calm.without_drift().replace(name=storm.name)

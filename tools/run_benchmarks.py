@@ -21,7 +21,15 @@ perf record:
   ``BENCH_autopilot.json``;
 - the observability benchmark (gateway throughput with tracing+metrics
   off vs on, per-op costs of disabled instruments) writes the path in
-  ``BENCH_OBS_JSON`` -> ``BENCH_obs.json``.
+  ``BENCH_OBS_JSON`` -> ``BENCH_obs.json``;
+- the synth-workload benchmark (generator records/sec at three scales,
+  difficulty-model calibration error) writes the path in
+  ``BENCH_SYNTH_JSON`` -> ``BENCH_synth.json``.
+
+``--workload`` / ``--scale`` select the dataset the workload-driven
+benches (serve, tune, autopilot) run on — a registry name or a
+``WorkloadSpec`` JSON file — exported to the bench subprocesses as
+``REPRO_BENCH_WORKLOAD`` / ``REPRO_BENCH_SCALE``.
 
 ``--check`` turns the trajectory files into a regression gate: before the
 run every existing ``BENCH_*.json`` is snapshotted, and afterwards any
@@ -34,6 +42,8 @@ Usage:
     python tools/run_benchmarks.py --only dtype    # just bench_dtype_*
     python tools/run_benchmarks.py --only obs      # just bench_obs_*
     python tools/run_benchmarks.py --only serve    # ... or serve / tune
+    python tools/run_benchmarks.py --only synth    # generator + difficulty
+    python tools/run_benchmarks.py --workload spec.json --scale 2000
     python tools/run_benchmarks.py --check         # fail on >20% regressions
     python tools/run_benchmarks.py --list
 """
@@ -56,15 +66,18 @@ DEFAULT_CORE_OUT = ROOT / "BENCH_core.json"
 DEFAULT_DTYPE_OUT = ROOT / "BENCH_dtype.json"
 DEFAULT_AUTOPILOT_OUT = ROOT / "BENCH_autopilot.json"
 DEFAULT_OBS_OUT = ROOT / "BENCH_obs.json"
+DEFAULT_SYNTH_OUT = ROOT / "BENCH_synth.json"
 
 # Substring -> direction rules for --check.  Higher-better wins ties on
 # purpose: "requests_per_s" contains "_s" but is a throughput, not a
 # latency.
 HIGHER_IS_BETTER = (
-    "per_s", "rps", "speedup", "throughput", "fill", "hits", "promotions"
+    "per_s", "rps", "speedup", "throughput", "fill", "hits", "promotions",
+    "concordance",
 )
 LOWER_IS_BETTER = (
-    "latency", "_s", "_ms", "divergence", "overhead", "flips", "duration"
+    "latency", "_s", "_ms", "divergence", "overhead", "flips", "duration",
+    "_mae", "error",
 )
 
 
@@ -130,7 +143,10 @@ def run_benchmark(
     dtype_out_path: Path,
     autopilot_out_path: Path,
     obs_out_path: Path,
+    synth_out_path: Path,
     timeout: float,
+    workload: str = "",
+    scale: int = 0,
 ) -> tuple[bool, float, str]:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
@@ -143,6 +159,11 @@ def run_benchmark(
     env["BENCH_DTYPE_JSON"] = str(dtype_out_path)
     env["BENCH_AUTOPILOT_JSON"] = str(autopilot_out_path)
     env["BENCH_OBS_JSON"] = str(obs_out_path)
+    env["BENCH_SYNTH_JSON"] = str(synth_out_path)
+    if workload:
+        env["REPRO_BENCH_WORKLOAD"] = workload
+    if scale:
+        env["REPRO_BENCH_SCALE"] = str(scale)
     start = time.perf_counter()
     try:
         result = subprocess.run(
@@ -198,6 +219,23 @@ def main(argv: list[str] | None = None) -> int:
         help="where the observability benchmark writes BENCH_obs.json",
     )
     parser.add_argument(
+        "--synth-out",
+        default=str(DEFAULT_SYNTH_OUT),
+        help="where the synth benchmark writes BENCH_synth.json",
+    )
+    parser.add_argument(
+        "--workload",
+        default="",
+        help="workload for the serve/tune/autopilot benches: a registry "
+        "name or a WorkloadSpec JSON file",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=0,
+        help="record-count override for --workload",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="fail when a rerun metric regresses >20%% vs the recorded file",
@@ -223,6 +261,7 @@ def main(argv: list[str] | None = None) -> int:
     dtype_out_path = Path(args.dtype_out).resolve()
     autopilot_out_path = Path(args.autopilot_out).resolve()
     obs_out_path = Path(args.obs_out).resolve()
+    synth_out_path = Path(args.synth_out).resolve()
     trajectory_paths = [
         out_path,
         tune_out_path,
@@ -230,6 +269,7 @@ def main(argv: list[str] | None = None) -> int:
         dtype_out_path,
         autopilot_out_path,
         obs_out_path,
+        synth_out_path,
     ]
     # Snapshot the last recorded entries before unlinking so --check can
     # compare this run against them.
@@ -253,7 +293,10 @@ def main(argv: list[str] | None = None) -> int:
             dtype_out_path,
             autopilot_out_path,
             obs_out_path,
+            synth_out_path,
             args.timeout,
+            workload=args.workload,
+            scale=args.scale,
         )
         status = "ok" if ok else "FAIL"
         print(f"  {path.name:<34} {status:<5} {elapsed:6.1f}s", flush=True)
@@ -325,6 +368,18 @@ def main(argv: list[str] | None = None) -> int:
             f"(overhead {metrics['overhead_frac'] * 100:.1f}%)  "
             f"disabled counter {metrics['disabled_counter_ns']:.0f}ns/op  "
             f"noop span {metrics['noop_span_ns']:.0f}ns"
+        )
+    if synth_out_path.exists():
+        metrics = json.loads(synth_out_path.read_text())
+        print(f"\nsynth metrics -> {synth_out_path}")
+        rates = "  ".join(
+            f"{n}: {metrics[f'records_per_s_at_{n}']:.0f}/s"
+            for n in metrics["scales"]
+        )
+        print(
+            f"  generator {rates}  "
+            f"calibration mae {metrics['calibration_mae']:.3f}  "
+            f"rank concordance {metrics['rank_concordance']:.2f}"
         )
     if args.check:
         regressed = 0
