@@ -439,12 +439,17 @@ class Application:
         workers: int = 1,
         cache_dir: str | Path | None = None,
         method: str | None = None,
+        retries: int = 0,
+        retry_backoff_s: float = 0.05,
+        on_error: str = "raise",
     ):
         """Build the :class:`repro.exec.TrialExecutor` ``tune`` would use.
 
         Exposed so callers can inspect executor stats (cache hits, work
         done) or reuse one executor across several searches; pass it back
-        via ``tune(..., executor=...)``.
+        via ``tune(..., executor=...)``.  ``retries`` / ``retry_backoff_s``
+        / ``on_error`` configure the executor's failure handling (see
+        :meth:`repro.exec.TrialExecutor.evaluate`).
         """
         from repro.deploy.sync import data_fingerprint
         from repro.exec import (
@@ -477,6 +482,9 @@ class Application:
             cache=cache,
             namespace=namespace,
             base_seed=self.seed,
+            retries=retries,
+            retry_backoff_s=retry_backoff_s,
+            on_error=on_error,
         )
 
     def _picklable_clone(self) -> "Application":

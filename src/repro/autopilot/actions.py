@@ -96,7 +96,12 @@ def retrain_candidate(
     "same architecture, fresher data" heal.
     """
     executor = application.tuning_executor(
-        dataset, workers=plan.workers, cache_dir=plan.cache_dir
+        dataset,
+        workers=plan.workers,
+        cache_dir=plan.cache_dir,
+        retries=plan.retries,
+        retry_backoff_s=plan.retry_backoff_s,
+        on_error=plan.on_error,
     )
     try:
         if plan.spec is not None:

@@ -10,6 +10,7 @@ JSONL file that survives the process.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from collections import deque
@@ -114,19 +115,154 @@ class DecisionJournal:
             return len(self._entries)
 
     @staticmethod
-    def read(path: str | Path) -> list[dict]:
-        """Load a journal file written by a (possibly dead) supervisor."""
-        entries = []
-        text = Path(path).read_text(encoding="utf-8")
-        for line in text.splitlines():
-            line = line.strip()
-            if line:
+    def _read_file(path: str | Path) -> tuple[list[dict], str | None]:
+        """Parse a journal file; returns (entries, truncated trailing line).
+
+        A crash mid-append leaves a torn last line — recoverable damage,
+        reported rather than raised.  Unparseable JSON *before* the last
+        line is real corruption and raises ``ValueError``.
+        """
+        entries: list[dict] = []
+        lines = [
+            line
+            for line in Path(path).read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        for lineno, line in enumerate(lines):
+            try:
                 entries.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines) - 1:
+                    return entries, line
+                raise ValueError(
+                    f"corrupt journal {path}: unparseable line "
+                    f"{lineno + 1} of {len(lines)}: {exc}"
+                ) from exc
+        return entries, None
+
+    @staticmethod
+    def read(path: str | Path, *, strict: bool = False) -> list[dict]:
+        """Load a journal file written by a (possibly dead) supervisor.
+
+        A truncated trailing line (crash mid-append) is silently dropped
+        by default — the readable prefix is the recoverable record;
+        ``strict=True`` raises ``ValueError`` on it instead.
+        """
+        entries, truncated = DecisionJournal._read_file(path)
+        if truncated is not None and strict:
+            raise ValueError(
+                f"corrupt journal {path}: truncated trailing line "
+                f"({len(truncated)} bytes)"
+            )
         return entries
+
+    @classmethod
+    def check_file(
+        cls, path: str | Path, *, allow_in_flight: bool = False
+    ) -> list[str]:
+        """Audit a journal *file*: torn-tail warning + lifecycle problems."""
+        entries, truncated = cls._read_file(path)
+        problems = []
+        if truncated is not None:
+            problems.append(
+                "warning: dropped truncated trailing line "
+                f"({len(truncated)} bytes)"
+            )
+        problems.extend(
+            check_consistency(entries, allow_in_flight=allow_in_flight)
+        )
+        return problems
 
     def check(self, allow_in_flight: bool = False) -> list[str]:
         """Lifecycle-consistency problems in this journal (see module fn)."""
         return check_consistency(self.entries(), allow_in_flight=allow_in_flight)
+
+    def compact(self, keep_last: int = 256) -> int:
+        """Drop old completed-heal history; returns how many were dropped.
+
+        A long-lived supervisor's file journal grows without bound.
+        Compaction rewrites it (atomically) as one ``compacted`` marker —
+        carrying the dropped range and a per-kind census — followed by the
+        newest entries.  The cut point only ever lands on an *idle*
+        boundary (no heal in flight, not triggered, not paused, and never
+        between a promotion and its ``reference_updated``), so
+        :func:`check_consistency` stays clean over the survivors.
+        """
+        if keep_last < 0:
+            raise ValueError("keep_last must be >= 0")
+        with self._lock:
+            if self.path is not None and self.path.exists():
+                entries, _ = self._read_file(self.path)
+            else:
+                entries = list(self._entries)
+            boundary = self._compaction_boundary(entries, keep_last)
+            if boundary <= 0:
+                return 0
+            dropped = entries[:boundary]
+            kept = entries[boundary:]
+            census: dict[str, int] = {}
+            for entry in dropped:
+                kind = entry.get("kind", "")
+                census[kind] = census.get(kind, 0) + 1
+            marker = {
+                "seq": dropped[-1].get("seq", 0),
+                "at": time.time(),
+                "kind": "compacted",
+                "detail": {
+                    "dropped": len(dropped),
+                    "first_seq": dropped[0].get("seq", 0),
+                    "last_seq": dropped[-1].get("seq", 0),
+                    "kinds": census,
+                },
+            }
+            survivors = [marker] + kept
+            if self.path is not None and self.path.exists():
+                tmp = self.path.with_name(self.path.name + ".tmp")
+                with tmp.open("w", encoding="utf-8") as handle:
+                    for entry in survivors:
+                        handle.write(json.dumps(entry) + "\n")
+                os.replace(tmp, self.path)
+            self._entries.clear()
+            self._entries.extend(survivors[-(self._entries.maxlen or len(survivors)):])
+            return len(dropped)
+
+    @staticmethod
+    def _compaction_boundary(entries: list[dict], keep_last: int) -> int:
+        """The largest safe cut index <= len(entries) - keep_last.
+
+        Safe means the journal is *idle* at the cut: every heal before it
+        reached a terminal outcome, no un-consumed trigger, not paused,
+        and the next survivor is not a ``reference_updated`` whose
+        promotion would be dropped.
+        """
+        limit = len(entries) - keep_last
+        if limit <= 0:
+            return 0
+        stage: str | None = None
+        triggered = False
+        paused = False
+        best = 0
+        for i, entry in enumerate(entries):
+            kind = entry.get("kind", "")
+            if kind == "paused":
+                paused = True
+            elif kind == "resumed":
+                paused = False
+            elif kind == "trigger":
+                triggered = True
+            elif kind == "retrain_started":
+                stage = "in_heal"
+            elif kind in _TERMINAL_KINDS:
+                stage = None
+                triggered = False
+            cut = i + 1
+            if cut > limit:
+                break
+            if stage is None and not triggered and not paused:
+                nxt = entries[cut] if cut < len(entries) else None
+                if nxt is None or nxt.get("kind") != "reference_updated":
+                    best = cut
+        return best
 
 
 #: Entry kinds that end an in-flight heal attempt.

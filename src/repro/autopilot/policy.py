@@ -95,6 +95,12 @@ class RetrainPlan:
     mixes sampled live payloads (labeled by the supervisor's labeler,
     tagged ``live_tag`` + "train") into the retrain set — that is what
     heals vocabulary drift, since vocabs are rebuilt over the union.
+
+    ``retries`` / ``retry_backoff_s`` / ``on_error`` flow straight into
+    the trial executor: an unattended retrain defaults to one retry and
+    ``on_error="skip"`` so a single flaky trial degrades the search
+    instead of failing the whole heal (see
+    :meth:`repro.exec.TrialExecutor.evaluate`).
     """
 
     candidates: tuple[ModelConfig, ...] = ()
@@ -106,12 +112,23 @@ class RetrainPlan:
     include_live: bool = True
     max_live_records: int = 512
     live_tag: str = "live"
+    retries: int = 1
+    retry_backoff_s: float = 0.0
+    on_error: str = "skip"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise AutopilotError("retrain workers must be >= 1")
         if self.max_live_records < 0:
             raise AutopilotError("max_live_records must be >= 0")
+        if self.retries < 0:
+            raise AutopilotError("retrain retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise AutopilotError("retry_backoff_s must be non-negative")
+        if self.on_error not in ("raise", "skip"):
+            raise AutopilotError(
+                f"on_error must be 'raise' or 'skip', got {self.on_error!r}"
+            )
 
     def to_dict(self) -> dict:
         return {
@@ -124,6 +141,9 @@ class RetrainPlan:
             "include_live": self.include_live,
             "max_live_records": self.max_live_records,
             "live_tag": self.live_tag,
+            "retries": self.retries,
+            "retry_backoff_s": self.retry_backoff_s,
+            "on_error": self.on_error,
         }
 
     @classmethod
@@ -196,6 +216,12 @@ class HealPolicy:
     mandatory quiet period after any heal attempt (promoted, rejected,
     failed, or dry-run); ``max_promotions`` is the promotion budget —
     once spent, the supervisor pauses itself rather than keep shipping.
+
+    Heal *failures* escalate: after the k-th consecutive ``heal_failed``
+    the cooldown doubles (``cooldown_s * 2**(k-1)``, capped at
+    ``heal_backoff_cap_s``), and after ``max_heal_failures`` of them the
+    supervisor auto-pauses — a heal that keeps dying needs a human, not
+    an infinite retry loop (``None`` disables the auto-pause).
     """
 
     drift_triggers: tuple[DriftTrigger, ...] = (DriftTrigger(),)
@@ -205,6 +231,8 @@ class HealPolicy:
     max_promotions: int | None = None
     retrain: RetrainPlan = field(default_factory=RetrainPlan)
     gate: PromotionGate = field(default_factory=PromotionGate)
+    heal_backoff_cap_s: float = 3600.0
+    max_heal_failures: int | None = 3
 
     def __post_init__(self) -> None:
         if self.min_live_window < 1:
@@ -213,6 +241,10 @@ class HealPolicy:
             raise AutopilotError("cooldown_s must be non-negative")
         if self.max_promotions is not None and self.max_promotions < 0:
             raise AutopilotError("max_promotions must be >= 0")
+        if self.heal_backoff_cap_s < 0:
+            raise AutopilotError("heal_backoff_cap_s must be non-negative")
+        if self.max_heal_failures is not None and self.max_heal_failures < 1:
+            raise AutopilotError("max_heal_failures must be >= 1 (or None)")
 
     def to_dict(self) -> dict:
         return {
@@ -227,6 +259,8 @@ class HealPolicy:
             "max_promotions": self.max_promotions,
             "retrain": self.retrain.to_dict(),
             "gate": self.gate.to_dict(),
+            "heal_backoff_cap_s": self.heal_backoff_cap_s,
+            "max_heal_failures": self.max_heal_failures,
         }
 
     @classmethod

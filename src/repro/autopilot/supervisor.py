@@ -136,6 +136,7 @@ class Supervisor:
         self.promotions = 0
         self.rejections = 0
         self.failures = 0
+        self._consecutive_heal_failures = 0
         # Observability: the local counters above stay authoritative for
         # status(); these registry mirrors make them scrapeable alongside
         # the serving metrics.  One enabled-check branch each while off.
@@ -280,14 +281,35 @@ class Supervisor:
             return self._heal(events, now)
         except Exception as exc:  # noqa: BLE001 - the loop must survive
             self.failures += 1
+            self._consecutive_heal_failures += 1
+            streak = self._consecutive_heal_failures
             self._m_failures.inc()
-            self.journal.record("heal_failed", error=f"{type(exc).__name__}: {exc}")
+            self.journal.record(
+                "heal_failed",
+                error=f"{type(exc).__name__}: {exc}",
+                consecutive=streak,
+            )
             if self.gateway.pool.has_candidate():
                 self.gateway.cancel_canary()
             self._state = IDLE
             self._attempt = None
-            self._enter_cooldown(now)
-            return self._outcome("heal_failed", error=str(exc))
+            limit = self.policy.max_heal_failures
+            if limit is not None and streak >= limit:
+                # A heal that keeps dying needs a human: stop burning
+                # retrain compute and page instead of looping forever.
+                self.pause(
+                    reason=f"auto-paused after {streak} consecutive heal failures"
+                )
+                return self._outcome(
+                    "heal_failed",
+                    error=str(exc),
+                    consecutive=streak,
+                    auto_paused=True,
+                )
+            self._enter_cooldown(now, escalation=streak)
+            return self._outcome(
+                "heal_failed", error=str(exc), consecutive=streak
+            )
 
     def _heal(self, events: list[TriggerEvent], now: float) -> dict:
         plan = self.policy.retrain
@@ -407,11 +429,28 @@ class Supervisor:
     def _finish(self, now: float) -> None:
         self._attempt = None
         self._state = IDLE
+        # Promotion or rejection is a heal that ran to completion — the
+        # failure streak (and its escalated backoff) resets.
+        self._consecutive_heal_failures = 0
         self._enter_cooldown(now)
 
-    def _enter_cooldown(self, now: float) -> None:
-        if self.policy.cooldown_s > 0:
-            self._cooldown_until = now + self.policy.cooldown_s
+    def _enter_cooldown(self, now: float, escalation: int = 0) -> None:
+        """Start the quiet period; repeated failures double it (capped).
+
+        ``escalation`` is the consecutive-failure streak: cooldown becomes
+        ``cooldown_s * 2**(streak-1)`` up to ``heal_backoff_cap_s`` — a
+        persistently failing heal backs off instead of hammering the
+        trigger every ``cooldown_s``.
+        """
+        base = self.policy.cooldown_s
+        if base <= 0:
+            return
+        if escalation > 1:
+            cap = max(self.policy.heal_backoff_cap_s, base)
+            cooldown = min(base * (2 ** (escalation - 1)), cap)
+        else:
+            cooldown = base
+        self._cooldown_until = now + cooldown
 
     # ------------------------------------------------------------------
     # Production loop
@@ -464,6 +503,7 @@ class Supervisor:
             "promotions": self.promotions,
             "rejections": self.rejections,
             "failures": self.failures,
+            "consecutive_heal_failures": self._consecutive_heal_failures,
             "cooldown_remaining_s": self._cooldown_remaining(now),
             "live_window": len(self.gateway.telemetry.payload_samples()),
             "min_live_window": self.policy.min_live_window,

@@ -178,6 +178,20 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_fault_plan(args: argparse.Namespace) -> None:
+    """Arm ``--fault-plan plan.json`` (chaos drills against a live server)."""
+    if not getattr(args, "fault_plan", None):
+        return
+    from repro.faults import FaultPlan, install
+
+    plan = FaultPlan.from_file(args.fault_plan)
+    install(plan)
+    print(
+        f"fault plan {plan.name!r} armed (seed={plan.seed}, "
+        f"points: {', '.join(plan.points())})"
+    )
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import time
 
@@ -211,6 +225,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ),
     )
     gateway = ServingGateway(pool, config)
+    _install_fault_plan(args)
     if args.canary:
         gateway.set_canary(args.canary, args.canary_fraction, shadow=args.shadow_canary)
     elif args.shadow:
@@ -271,6 +286,7 @@ def cmd_autopilot(args: argparse.Namespace) -> int:
         max_batch_size=args.batch, max_wait_s=args.max_wait_ms / 1000.0
     )
     gateway = ServingGateway(pool, config)
+    _install_fault_plan(args)
     supervisor = Supervisor(
         gateway,
         app,
@@ -580,6 +596,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable tracing + metrics (GET /metrics, /trace/<id>)",
     )
+    p.add_argument(
+        "--fault-plan",
+        default="",
+        help="arm a FaultPlan JSON for chaos drills (see docs/robustness.md)",
+    )
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -631,6 +652,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs",
         action="store_true",
         help="enable tracing + metrics (journal entries gain trace ids)",
+    )
+    p.add_argument(
+        "--fault-plan",
+        default="",
+        help="arm a FaultPlan JSON for chaos drills (see docs/robustness.md)",
     )
     p.set_defaults(fn=cmd_autopilot)
 

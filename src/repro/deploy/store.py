@@ -20,6 +20,11 @@ from pathlib import Path
 
 from repro.deploy.artifact import ModelArtifact
 from repro.errors import StoreError
+from repro.faults import fault_point
+
+# Chaos hook: fires per artifact load, inside fetch's error handling, so
+# injected IO errors surface as friendly StoreErrors (see repro.faults).
+_FP_FETCH = fault_point("store.fetch")
 
 
 @dataclass(frozen=True)
@@ -92,12 +97,27 @@ class ModelStore:
         return record
 
     def fetch(self, name: str, version: str | None = None) -> ModelArtifact:
-        """Load an artifact; ``version`` defaults to latest."""
+        """Load an artifact; ``version`` defaults to latest.
+
+        Failure modes are named, not leaked: a missing version and a
+        corrupt/unreadable artifact both raise :class:`StoreError`
+        identifying the model, version, and path — the message an operator
+        pastes into an incident channel, not a bare ``KeyError``.
+        """
         version = version or self.latest_version(name)
         target = self.root / name / version
         if not target.exists():
             raise StoreError(f"no version {version!r} for model {name!r}")
-        artifact = ModelArtifact.load(target)
+        try:
+            _FP_FETCH.hit(model=name)
+            artifact = ModelArtifact.load(target)
+        except StoreError:
+            raise
+        except (OSError, ValueError, KeyError, TypeError, EOFError) as exc:
+            raise StoreError(
+                f"corrupt artifact for model {name!r} version {version!r} "
+                f"at {target}: {type(exc).__name__}: {exc}"
+            ) from exc
         actual = self._content_hash(artifact)
         if actual != version:
             raise StoreError(

@@ -69,6 +69,27 @@ class ServeError(ReproError):
     """The serving runtime (gateway, replica pool, rollout) is misused."""
 
 
+class ServeOverloadError(ServeError):
+    """The gateway shed a request: queue full or every tier's breaker open.
+
+    Retryable by construction — the request was rejected *before* any
+    work happened, so a client may simply resubmit after backing off
+    (the HTTP front maps this to 503 with a ``Retry-After`` header).
+    """
+
+
+class ServeTimeout(ServeError):
+    """A submitted request was not answered within its deadline.
+
+    Unlike :class:`ServeOverloadError` the request *was* accepted and may
+    still complete; the caller only stopped waiting (HTTP 504).
+    """
+
+
+class FaultError(ReproError):
+    """A fault-injection plan is malformed or internally inconsistent."""
+
+
 class ObservabilityError(ReproError):
     """A metric or trace instrument is declared or used inconsistently."""
 

@@ -17,12 +17,16 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.tuning_spec import ModelConfig
+from repro.obs import get_registry
+
+_log = logging.getLogger("repro.exec.cache")
 
 
 def trial_key(
@@ -116,23 +120,53 @@ class TrialCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self._warned_paths: set[str] = set()
+        self._m_corrupt = get_registry().counter(
+            "repro_trial_cache_corrupt_total",
+            "Cache entries that existed but could not be parsed",
+        )
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
     def get(self, key: str) -> CacheEntry | None:
-        """The recorded entry for ``key``, or None (corrupt files miss)."""
+        """The recorded entry for ``key``, or None (corrupt files miss).
+
+        A *missing* file is a plain miss; a file that exists but cannot be
+        parsed (or records the wrong key) is a **corrupt** miss — counted
+        on ``corrupt`` / ``repro_trial_cache_corrupt_total`` and warned
+        once per path, because silent data loss in the cache looks exactly
+        like "the search is mysteriously slow".
+        """
         path = self._path(key)
         try:
-            entry = CacheEntry.from_dict(json.loads(path.read_text()))
-        except (OSError, ValueError, KeyError, TypeError):
+            raw = path.read_text()
+        except OSError:
             self.misses += 1
             return None
+        try:
+            entry = CacheEntry.from_dict(json.loads(raw))
+        except (ValueError, KeyError, TypeError) as exc:
+            self._note_corrupt(path, f"{type(exc).__name__}: {exc}")
+            return None
         if entry.key != key:
-            self.misses += 1
+            self._note_corrupt(path, f"entry records key {entry.key!r}")
             return None
         self.hits += 1
         return entry
+
+    def _note_corrupt(self, path: Path, reason: str) -> None:
+        self.misses += 1
+        self.corrupt += 1
+        self._m_corrupt.inc()
+        if str(path) not in self._warned_paths:
+            self._warned_paths.add(str(path))
+            _log.warning(
+                "corrupt trial-cache entry at %s (%s); treating as a miss",
+                path,
+                reason,
+            )
 
     def put(
         self,

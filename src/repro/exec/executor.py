@@ -33,7 +33,12 @@ from typing import Any, Callable, Sequence
 from repro.core.tuning_spec import ModelConfig
 from repro.errors import ExecutionError, TuningError
 from repro.exec.cache import TrialCache, trial_key
+from repro.faults import fault_point
 from repro.obs import get_registry, get_tracer
+
+# Chaos hook: fires per dispatched trial, inside the worker adapter (the
+# armed state is inherited by forked pool workers).  See repro.faults.
+_FP_TRIAL = fault_point("exec.trial")
 
 # A trial function: (context, config, seed, budget) -> score.  Must be a
 # module-level callable when workers > 1 (it is shipped to the pool).
@@ -91,7 +96,12 @@ class TrialTask:
 
 @dataclass
 class TrialOutcome:
-    """One gathered result, in dispatch order."""
+    """One gathered result, in dispatch order.
+
+    A ``skipped`` outcome is a trial that still failed after every retry
+    under ``on_error="skip"``: its ``score`` is ``-inf`` (safe — every
+    search path maximizes) and ``error`` holds the last failure message.
+    """
 
     index: int
     config: ModelConfig
@@ -99,6 +109,8 @@ class TrialOutcome:
     seed: int
     cached: bool = False
     duration_s: float = 0.0
+    skipped: bool = False
+    error: str | None = None
 
 
 @dataclass
@@ -109,6 +121,8 @@ class ExecutorStats:
     executed: int = 0
     cache_hits: int = 0
     errors: int = 0
+    retries: int = 0
+    skipped: int = 0
     total_duration_s: float = 0.0
 
     def to_dict(self) -> dict:
@@ -117,6 +131,8 @@ class ExecutorStats:
             "executed": self.executed,
             "cache_hits": self.cache_hits,
             "errors": self.errors,
+            "retries": self.retries,
+            "skipped": self.skipped,
             "total_duration_s": self.total_duration_s,
         }
 
@@ -130,6 +146,7 @@ def _trial_adapter(context: tuple, task: TrialTask) -> float:
     trial that completed, so resume really does skip finished work.
     """
     fn, user_context, cache, namespace = context
+    _FP_TRIAL.hit(trial=task.index)
     start = time.perf_counter()
     score = fn(user_context, task.config, task.seed, task.budget)
     if cache is not None:
@@ -155,15 +172,29 @@ class TrialExecutor:
         namespace: str = "",
         base_seed: int = 0,
         mp_start_method: str | None = None,
+        retries: int = 0,
+        retry_backoff_s: float = 0.05,
+        on_error: str = "raise",
     ) -> None:
         if workers < 1:
             raise TuningError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise TuningError(f"retries must be >= 0, got {retries}")
+        if retry_backoff_s < 0:
+            raise TuningError("retry_backoff_s must be non-negative")
+        if on_error not in ("raise", "skip"):
+            raise TuningError(
+                f"on_error must be 'raise' or 'skip', got {on_error!r}"
+            )
         self._trial_fn = trial_fn
         self._context = context
         self.workers = workers
         self.cache = cache
         self.namespace = namespace
         self.base_seed = base_seed
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.on_error = on_error
         self.stats = ExecutorStats()
         # Observability mirrors of ExecutorStats (one branch each while off).
         registry = get_registry()
@@ -175,6 +206,14 @@ class TrialExecutor:
         )
         self._m_failed = registry.counter(
             "repro_trials_failed_total", "Trials that raised in a worker"
+        )
+        self._m_retried = registry.counter(
+            "repro_trials_retried_total",
+            "Failed trials re-dispatched by the retry loop",
+        )
+        self._m_skipped = registry.counter(
+            "repro_trials_skipped_total",
+            "Trials skipped (score=-inf) after exhausting retries",
         )
         self._m_utilization = registry.gauge(
             "repro_exec_worker_utilization",
@@ -299,8 +338,15 @@ class TrialExecutor:
     ) -> list[TrialOutcome]:
         """Score every candidate, skipping ones the cache already holds.
 
-        Results come back in candidate order.  A failing trial raises
-        :class:`repro.errors.TuningError` naming the failing config.
+        Results come back in candidate order.  Failing trials are
+        re-dispatched up to ``retries`` times with exponential backoff
+        (``retry_backoff_s * 2**attempt``); a trial that still fails
+        either raises :class:`repro.errors.TuningError` naming the config
+        (``on_error="raise"``, the default) or becomes a ``skipped``
+        outcome with ``score=-inf`` (``on_error="skip"``) so one flaky
+        candidate cannot sink a whole search.  If *every* trial fails,
+        ``on_error="skip"`` still raises — a search with no survivors has
+        no best candidate to return.
         """
         if self._trial_fn is None:
             raise TuningError("this executor was built without a trial function")
@@ -350,23 +396,70 @@ class TrialExecutor:
                     _trial_adapter, misses, self._dispatch_context
                 )
             failures = [(i, err) for i, _, _, err in detailed if err is not None]
+            attempt = 0
+            while failures and attempt < self.retries:
+                attempt += 1
+                self.stats.retries += len(failures)
+                self._m_retried.inc(len(failures))
+                backoff = self.retry_backoff_s * (2 ** (attempt - 1))
+                if backoff > 0:
+                    time.sleep(backoff)
+                retry_tasks = [misses[local] for local, _ in failures]
+                retried = self._run_detailed(
+                    _trial_adapter, retry_tasks, self._dispatch_context
+                )
+                # _run_detailed re-enumerates from 0: map each retried
+                # result back to its position in the original miss list.
+                for (local, _), (_, value, duration, err) in zip(
+                    failures, retried
+                ):
+                    detailed[local] = (local, value, duration, err)
+                failures = [
+                    (i, err) for i, _, _, err in detailed if err is not None
+                ]
             if failures:
                 self.stats.errors += len(failures)
                 self._m_failed.inc(len(failures))
-                local_index, message = failures[0]
-                task = misses[local_index]
-                raise TuningError(
-                    f"trial {task.index} failed ({message}) for config: "
-                    f"{task.config.to_json()}"
-                )
-            for task, (_, score, duration, _) in zip(misses, detailed):
-                outcomes[task.index] = TrialOutcome(
-                    index=task.index,
-                    config=task.config,
-                    score=float(score),
-                    seed=task.seed,
-                    cached=False,
-                    duration_s=duration,
-                )
+                if self.on_error == "raise":
+                    local_index, message = failures[0]
+                    task = misses[local_index]
+                    attempts_note = (
+                        f" after {self.retries + 1} attempts"
+                        if self.retries
+                        else ""
+                    )
+                    raise TuningError(
+                        f"trial {task.index} failed{attempts_note} "
+                        f"({message}) for config: {task.config.to_json()}"
+                    )
+                self.stats.skipped += len(failures)
+                self._m_skipped.inc(len(failures))
+            for task, (_, score, duration, err) in zip(misses, detailed):
+                if err is not None:
+                    outcomes[task.index] = TrialOutcome(
+                        index=task.index,
+                        config=task.config,
+                        score=float("-inf"),
+                        seed=task.seed,
+                        cached=False,
+                        duration_s=duration,
+                        skipped=True,
+                        error=err,
+                    )
+                else:
+                    outcomes[task.index] = TrialOutcome(
+                        index=task.index,
+                        config=task.config,
+                        score=float(score),
+                        seed=task.seed,
+                        cached=False,
+                        duration_s=duration,
+                    )
         assert all(outcome is not None for outcome in outcomes)
+        if outcomes and all(o.skipped for o in outcomes):  # type: ignore[union-attr]
+            first = outcomes[0]
+            raise TuningError(
+                f"all {len(outcomes)} trials failed; "
+                f"first error: {first.error}"  # type: ignore[union-attr]
+            )
         return outcomes  # type: ignore[return-value]

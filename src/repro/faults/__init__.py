@@ -1,0 +1,53 @@
+"""repro.faults: deterministic fault injection for robustness testing.
+
+Broken operational configuration should be found by tooling, not in
+production.  This package lets a soak or chaos test declare *exactly*
+which infrastructure failures happen — replica forward exceptions,
+injected latency, worker-process crashes, store IO errors — as a seeded,
+JSON-round-trippable :class:`FaultPlan`, and replay them deterministically
+through named :func:`fault_point` sites compiled into the serving, trial
+execution, and deployment layers:
+
+* ``"replica.serve"`` — fires per formed batch inside
+  :meth:`repro.serve.Replica.serve`;
+* ``"exec.trial"`` — fires per dispatched trial inside the executor's
+  worker adapter;
+* ``"store.fetch"`` — fires per artifact load inside
+  :meth:`repro.deploy.ModelStore.fetch`.
+
+While no plan is installed every ``hit()`` is a single attribute check —
+the same off-by-default-cheap contract as ``repro.obs`` (gated by
+``benchmarks/bench_faults_overhead.py``).  Install with :func:`install`
+/ :func:`clear`, or scoped in tests with :func:`injected`; the live
+:class:`FaultInjector` logs every firing decision (seeded, timestamp-free)
+so a storm's outcome is a pure function of its plan.  See
+``docs/robustness.md``.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultPoint,
+    InjectedCrash,
+    InjectedFault,
+    active,
+    clear,
+    fault_point,
+    injected,
+    install,
+)
+from repro.faults.plan import KINDS, FaultPlan, FaultRule
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "KINDS",
+    "FaultPoint",
+    "FaultInjector",
+    "InjectedFault",
+    "InjectedCrash",
+    "fault_point",
+    "install",
+    "clear",
+    "active",
+    "injected",
+]

@@ -1,0 +1,228 @@
+"""The fault-point registry and the injector that arms it.
+
+Call sites declare a named :class:`FaultPoint` once (module scope) and
+``hit()`` it on the hot path.  While no plan is installed, ``hit()`` is a
+single attribute check — the same off-by-default-cheap contract as
+``repro.obs`` instruments — so production code carries its chaos hooks
+for free.  :func:`install` arms the points a :class:`~repro.faults.plan.
+FaultPlan` targets; every firing decision is drawn from a per-rule seeded
+stream and appended to a decision log, so a storm replays byte-identically
+given the same plan and the same per-point hit order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.faults.plan import FaultPlan, FaultRule
+
+
+class InjectedFault(Exception):
+    """An injected infrastructure failure (deliberately *not* ReproError).
+
+    Fault injection simulates the outside world breaking — a replica
+    segfaulting, a network partition — so it must not be catchable as a
+    deliberate library error; hardening code has to survive arbitrary
+    exceptions, and tests that catch :class:`~repro.errors.ReproError`
+    must not swallow it.
+    """
+
+    def __init__(self, message: str, point: str = "") -> None:
+        super().__init__(message)
+        self.point = point
+
+
+class InjectedCrash(InjectedFault):
+    """A simulated worker-process death mid-task (transient by nature)."""
+
+
+class _RuleState:
+    """One armed rule's mutable window counters and seeded stream."""
+
+    __slots__ = ("rule", "rng", "hits", "fires")
+
+    def __init__(self, rule: FaultRule, seed: int) -> None:
+        self.rule = rule
+        self.rng = random.Random(seed)
+        self.hits = 0
+        self.fires = 0
+
+
+class FaultPoint:
+    """One named injection site; ``hit()`` is a no-op branch when disarmed."""
+
+    __slots__ = ("name", "armed", "_injector")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.armed = False
+        self._injector: "FaultInjector | None" = None
+
+    def hit(self, **labels) -> None:
+        """Give any installed plan a chance to fire at this site.
+
+        The disarmed path is one attribute check; the armed path consults
+        the injector (seeded windows, label matching) and may sleep or
+        raise on the caller's behalf.
+        """
+        if not self.armed:
+            return
+        injector = self._injector
+        if injector is not None:
+            injector._fire(self.name, labels)
+
+
+class FaultInjector:
+    """One installed plan's live state: rule windows and the decision log.
+
+    The decision log records every firing as plain data (point, rule
+    index, kind, the hit number it fired on) with no timestamps, so two
+    runs of the same storm can be compared byte-for-byte.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, *, sleep: Callable[[float], None] = time.sleep
+    ) -> None:
+        self.plan = plan
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._log: list[dict] = []
+        self._states: dict[str, list[_RuleState]] = {}
+        for index, rule in enumerate(plan.rules):
+            self._states.setdefault(rule.point, []).append(
+                _RuleState(rule, _rule_seed(plan.seed, index, rule.point))
+            )
+
+    def decisions(self) -> list[dict]:
+        """Every firing so far, in order, as timestamp-free plain dicts."""
+        with self._lock:
+            return [dict(entry) for entry in self._log]
+
+    def fires(self, point: str | None = None) -> int:
+        """Total firings, optionally restricted to one point."""
+        with self._lock:
+            return sum(
+                1 for e in self._log if point is None or e["point"] == point
+            )
+
+    def _fire(self, point: str, labels: dict) -> None:
+        """Decide and act for one hit; called from ``FaultPoint.hit``."""
+        sleep_s = 0.0
+        exc: Exception | None = None
+        with self._lock:
+            for state in self._states.get(point, ()):
+                rule = state.rule
+                if not rule.matches(labels):
+                    continue
+                state.hits += 1
+                if state.hits <= rule.after:
+                    continue
+                if rule.max_fires is not None and state.fires >= rule.max_fires:
+                    continue
+                if rule.rate < 1.0 and state.rng.random() >= rule.rate:
+                    continue
+                state.fires += 1
+                self._log.append(
+                    {
+                        "point": point,
+                        "rule": self.plan.rules.index(rule),
+                        "kind": rule.kind,
+                        "hit": state.hits,
+                        "fire": state.fires,
+                    }
+                )
+                if rule.kind == "latency":
+                    sleep_s += rule.latency_s
+                elif exc is None:
+                    message = f"{rule.message} [{point}]"
+                    if rule.kind == "crash":
+                        exc = InjectedCrash(message, point=point)
+                    elif rule.kind == "io_error":
+                        exc = OSError(message)
+                    else:
+                        exc = InjectedFault(message, point=point)
+        # Act outside the lock: a sleeping or raising rule must not block
+        # other points (or other threads hitting this one).
+        if sleep_s > 0:
+            self._sleep(sleep_s)
+        if exc is not None:
+            raise exc
+
+
+def _rule_seed(plan_seed: int, index: int, point: str) -> int:
+    """Stable per-rule stream seed: a hash of (plan seed, rule identity)."""
+    digest = hashlib.sha256(f"{plan_seed}:{index}:{point}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+_POINTS: dict[str, FaultPoint] = {}
+_POINTS_LOCK = threading.Lock()
+_ACTIVE: FaultInjector | None = None
+
+
+def fault_point(name: str) -> FaultPoint:
+    """Get-or-create the named fault point (the ``registry.counter`` idiom).
+
+    Call once at module or object scope and keep the reference; ``hit()``
+    on the returned point is then a single branch while no plan targets it.
+    """
+    with _POINTS_LOCK:
+        point = _POINTS.get(name)
+        if point is None:
+            point = _POINTS[name] = FaultPoint(name)
+        return point
+
+
+def install(
+    plan: FaultPlan, *, sleep: Callable[[float], None] = time.sleep
+) -> FaultInjector:
+    """Arm ``plan``'s fault points; replaces any previously installed plan.
+
+    ``sleep`` is injectable so latency rules can be tested without
+    wall-clock waits.  Returns the live injector (decision log access).
+    """
+    global _ACTIVE
+    injector = FaultInjector(plan, sleep=sleep)
+    with _POINTS_LOCK:
+        _ACTIVE = injector
+        targeted = set(plan.points())
+        for name in targeted:
+            point = _POINTS.get(name)
+            if point is None:
+                point = _POINTS[name] = FaultPoint(name)
+        for name, point in _POINTS.items():
+            point._injector = injector if name in targeted else None
+            point.armed = name in targeted
+    return injector
+
+
+def clear() -> None:
+    """Disarm every fault point; hits go back to the one-branch no-op."""
+    global _ACTIVE
+    with _POINTS_LOCK:
+        _ACTIVE = None
+        for point in _POINTS.values():
+            point.armed = False
+            point._injector = None
+
+
+def active() -> FaultInjector | None:
+    """The currently installed injector, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def injected(
+    plan: FaultPlan, *, sleep: Callable[[float], None] = time.sleep
+) -> Iterator[FaultInjector]:
+    """Scoped :func:`install` for tests: arms on entry, clears on exit."""
+    injector = install(plan, sleep=sleep)
+    try:
+        yield injector
+    finally:
+        clear()

@@ -12,10 +12,13 @@ models evolve (§1), operationalized:
   shadow mirroring with disagreement recording;
 * :class:`TelemetryRing` — latency percentiles, per-tier throughput, and
   sampled payloads that feed ``repro.monitoring``;
+* :class:`CircuitBreaker` — per-tier failure domains: load shedding,
+  healthy-tier degradation, half-open recovery (``docs/robustness.md``);
 * :class:`GatewayHTTPServer` — a stdlib HTTP front (``repro serve``).
 """
 
 from repro.serve.batcher import PendingResponse, QueuedRequest, RequestQueue
+from repro.serve.breaker import BreakerPolicy, CircuitBreaker
 from repro.serve.gateway import GatewayConfig, ServingGateway
 from repro.serve.http import GatewayHTTPServer
 from repro.serve.replica import Replica, ReplicaPool
@@ -37,6 +40,8 @@ __all__ = [
     "ServingGateway",
     "GatewayConfig",
     "GatewayHTTPServer",
+    "BreakerPolicy",
+    "CircuitBreaker",
     "ReplicaPool",
     "Replica",
     "RolloutController",

@@ -21,7 +21,7 @@ import time
 from collections import deque
 from typing import Any
 
-from repro.errors import ServeError
+from repro.errors import ServeError, ServeOverloadError, ServeTimeout
 
 
 class PendingResponse:
@@ -54,7 +54,7 @@ class PendingResponse:
     def result(self, timeout: float | None = None) -> Any:
         """Block until the response arrives; re-raises serving failures."""
         if not self._event.wait(timeout):
-            raise ServeError(f"request not answered within {timeout}s")
+            raise ServeTimeout(f"request not answered within {timeout}s")
         if self._exception is not None:
             raise self._exception
         return self._result
@@ -88,10 +88,20 @@ class QueuedRequest:
 
 
 class RequestQueue:
-    """A FIFO of :class:`QueuedRequest` with size-or-deadline batch pops."""
+    """A FIFO of :class:`QueuedRequest` with size-or-deadline batch pops.
 
-    def __init__(self) -> None:
+    ``max_depth`` bounds the queue: once full, :meth:`put` sheds with
+    :class:`~repro.errors.ServeOverloadError` instead of buffering without
+    limit — an overloaded gateway must fail fast and retryably, not grow
+    its queue until every response is a timeout.  ``None`` keeps the
+    queue unbounded.
+    """
+
+    def __init__(self, max_depth: int | None = None) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ServeError("max_depth must be >= 1 (or None for unbounded)")
         self._items: deque[QueuedRequest] = deque()
+        self._max_depth = max_depth
         self._cond = threading.Condition()
         self._closed = False
 
@@ -107,6 +117,11 @@ class RequestQueue:
         with self._cond:
             if self._closed:
                 raise ServeError("request queue is closed")
+            if self._max_depth is not None and len(self._items) >= self._max_depth:
+                raise ServeOverloadError(
+                    f"request queue full ({self._max_depth} queued); "
+                    "retry after backing off"
+                )
             self._items.append(item)
             self._cond.notify_all()
 

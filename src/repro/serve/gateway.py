@@ -28,20 +28,31 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.errors import ServeError
+from repro.errors import ServeError, ServeOverloadError
 from repro.obs import get_registry, get_tracer
 from repro.serve.batcher import PendingResponse, QueuedRequest, RequestQueue
+from repro.serve.breaker import BreakerPolicy, CircuitBreaker
 from repro.serve.replica import CANDIDATE, STABLE, ReplicaPool
 from repro.serve.rollout import RolloutController
 from repro.serve.telemetry import RequestEvent, TelemetryRing
 
+# Breaker states as gauge values (for repro_gateway_breaker_state).
+_BREAKER_STATE = {"closed": 0, "half_open": 1, "open": 2}
+
 
 @dataclass(frozen=True)
 class GatewayConfig:
-    """Batching and telemetry knobs for one gateway."""
+    """Batching, telemetry, and failure-domain knobs for one gateway.
+
+    ``max_queue_depth`` bounds each lane's queue — beyond it, submissions
+    shed with :class:`~repro.errors.ServeOverloadError` instead of
+    buffering until every answer is a timeout (``None`` = unbounded).
+    ``breaker`` governs the per-tier circuit breakers that stop routing
+    into a persistently failing replica (``None`` disables them).
+    """
 
     max_batch_size: int = 32
     max_wait_s: float = 0.005
@@ -50,22 +61,26 @@ class GatewayConfig:
     payload_capacity: int = 512
     default_latency_budget: float | None = None
     request_timeout_s: float = 60.0
+    max_queue_depth: int | None = 2048
+    breaker: BreakerPolicy | None = field(default_factory=BreakerPolicy)
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
             raise ServeError("max_batch_size must be positive")
         if self.max_wait_s < 0:
             raise ServeError("max_wait_s must be non-negative")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ServeError("max_queue_depth must be >= 1 (or None)")
 
 
 class _Lane:
     """One (tier, role) serving lane: queue, worker, replica."""
 
-    def __init__(self, tier: str, role: str, replica):
+    def __init__(self, tier: str, role: str, replica, max_depth: int | None = None):
         self.tier = tier
         self.role = role  # "stable" | "canary" | "shadow"
         self.replica = replica
-        self.queue = RequestQueue()
+        self.queue = RequestQueue(max_depth=max_depth)
         self.worker: threading.Thread | None = None
 
 
@@ -118,6 +133,38 @@ class ServingGateway:
             "Requests currently queued per lane",
             ("tier", "role"),
         )
+        self._m_shed = registry.counter(
+            "repro_gateway_shed_total",
+            "Requests shed before queueing (queue full or circuit open)",
+            ("tier", "reason"),
+        )
+        self._m_isolated = registry.counter(
+            "repro_gateway_batch_isolated_total",
+            "Failed batches retried per-request to isolate poison payloads",
+            ("tier",),
+        )
+        self._m_breaker_flips = registry.counter(
+            "repro_gateway_breaker_transitions_total",
+            "Circuit-breaker state transitions",
+            ("tier", "to"),
+        )
+        self._m_breaker_state = registry.gauge(
+            "repro_gateway_breaker_state",
+            "Breaker state per tier (0 closed, 1 half-open, 2 open)",
+            ("tier",),
+        )
+        # One breaker per tier: routing consults them (submit_async) and
+        # lane workers feed them (shadow lanes excluded — a candidate's
+        # failures say nothing about the stable tier's health).
+        self._breakers: dict[str, CircuitBreaker] = {}
+        if self.config.breaker is not None:
+            self._breakers = {
+                tier: CircuitBreaker(
+                    self.config.breaker,
+                    on_transition=self._breaker_observer(tier),
+                )
+                for tier in pool.tier_order
+            }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -177,7 +224,7 @@ class ServingGateway:
         ) as root:
             ctx = root.context
             route_t0 = self._tracer.clock() if ctx is not None else 0.0
-            tier = self.pool.tier_for(latency_budget)
+            tier = self._healthy_tier(self.pool.tier_for(latency_budget))
             role = self.rollout.route(request_id)
             if role == "canary" and not self.pool.has_candidate(tier):
                 role = "stable"
@@ -198,6 +245,11 @@ class ServingGateway:
             self._track(+1)
             try:
                 lane.queue.put(item)
+            except ServeOverloadError:
+                self._track(-1)
+                self.telemetry.record_shed(lane.tier, reason="queue_full")
+                self._m_shed.inc(tier=lane.tier, reason="queue_full")
+                raise
             except ServeError:
                 self._track(-1)
                 raise
@@ -292,6 +344,39 @@ class ServingGateway:
         return dict(versions) if isinstance(versions, Mapping) else versions
 
     # ------------------------------------------------------------------
+    # Failure domains
+    # ------------------------------------------------------------------
+    def _breaker_observer(self, tier: str):
+        """Bind one tier's transition callback: telemetry + metrics."""
+
+        def _observe(old_state: str, new_state: str) -> None:
+            self.telemetry.record_breaker(tier, old_state, new_state)
+            self._m_breaker_flips.inc(tier=tier, to=new_state)
+            self._m_breaker_state.set(_BREAKER_STATE[new_state], tier=tier)
+
+        return _observe
+
+    def _healthy_tier(self, tier: str) -> str:
+        """Degrade routing away from a tier whose circuit is open.
+
+        Preference order: the requested tier, then the pool's tier order.
+        When every circuit is open the request is shed — failing fast with
+        a retryable error beats queueing into a known-broken replica.
+        """
+        breakers = self._breakers
+        if not breakers or breakers[tier].allow():
+            return tier
+        for other in self.pool.tier_order:
+            if other != tier and breakers[other].allow():
+                return other
+        self.telemetry.record_shed(tier, reason="breaker")
+        self._m_shed.inc(tier=tier, reason="breaker")
+        raise ServeOverloadError(
+            f"tier {tier!r} circuit is open and no healthy tier is available; "
+            "retry after backing off"
+        )
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -313,6 +398,12 @@ class ServingGateway:
             "rollout_history": [
                 e.to_dict() for e in self.telemetry.rollout_events()
             ],
+            "sheds": self.telemetry.sheds(),
+            "breakers": {
+                tier: breaker.to_dict()
+                for tier, breaker in sorted(self._breakers.items())
+            },
+            "breaker_history": self.telemetry.breaker_events(),
         }
 
     def dashboard(self) -> str:
@@ -341,7 +432,9 @@ class ServingGateway:
             if lane is None:
                 replica_role = STABLE if role == "stable" else CANDIDATE
                 replica = self.pool.replica(tier, replica_role)
-                lane = _Lane(tier, role, replica)
+                lane = _Lane(
+                    tier, role, replica, max_depth=self.config.max_queue_depth
+                )
                 lane.worker = threading.Thread(
                     target=self._worker,
                     args=(lane,),
@@ -411,59 +504,130 @@ class ServingGateway:
                 else:
                     responses, _ = lane.replica.serve(payloads)
             except Exception as exc:  # noqa: BLE001 - propagate to callers
-                now = time.monotonic()
-                for item in batch:
-                    self.telemetry.record(
-                        RequestEvent(
-                            at=now,
-                            tier=lane.tier,
-                            role=lane.role,
-                            latency_s=now - item.enqueued_at,
-                            batch_size=len(batch),
-                            ok=False,
-                            dtype=lane.replica.endpoint.dtype_name,
-                            trace_id=item.future.trace_id,
-                        )
-                    )
-                    item.future.set_exception(exc)
-                    self._track(-1)
-                self._m_requests.inc(
-                    len(batch), tier=lane.tier, role=lane.role, result="error"
-                )
+                self._handle_batch_failure(lane, batch, exc)
                 continue
-            now = time.monotonic()
-            if lane.role == "stable":
-                self._mirror_to_shadow(lane.tier, batch, responses)
-            for item, response in zip(batch, responses):
-                self.telemetry.record(
-                    RequestEvent(
-                        at=now,
-                        tier=lane.tier,
-                        role=lane.role,
-                        latency_s=now - item.enqueued_at,
-                        batch_size=len(batch),
-                        dtype=lane.replica.endpoint.dtype_name,
-                        trace_id=item.future.trace_id,
-                    ),
-                    payload=item.payload if lane.role != "shadow" else None,
+            breaker = self._lane_breaker(lane)
+            if breaker is not None:
+                breaker.record_success()
+            self._resolve_items(lane, batch, responses, batch_size=len(batch))
+
+    def _lane_breaker(self, lane: _Lane) -> CircuitBreaker | None:
+        """The breaker a lane's outcomes feed, if any.
+
+        Shadow lanes are excluded: a mirrored candidate's failures are
+        rollout evidence, not a statement about the tier's health.
+        """
+        if lane.role == "shadow":
+            return None
+        return self._breakers.get(lane.tier)
+
+    def _resolve_items(
+        self,
+        lane: _Lane,
+        items: list[QueuedRequest],
+        responses: list[dict],
+        batch_size: int,
+    ) -> None:
+        """Answer served requests: mirror, telemetry, futures, metrics."""
+        now = time.monotonic()
+        if lane.role == "stable":
+            self._mirror_to_shadow(lane.tier, items, responses)
+        for item, response in zip(items, responses):
+            self.telemetry.record(
+                RequestEvent(
+                    at=now,
+                    tier=lane.tier,
+                    role=lane.role,
+                    latency_s=now - item.enqueued_at,
+                    batch_size=batch_size,
+                    dtype=lane.replica.endpoint.dtype_name,
+                    trace_id=item.future.trace_id,
+                ),
+                payload=item.payload if lane.role != "shadow" else None,
+            )
+            if lane.role == "shadow":
+                self.rollout.record_shadow(
+                    item.request_id, item.payload, item.context, response
                 )
-                if lane.role == "shadow":
-                    self.rollout.record_shadow(
-                        item.request_id, item.payload, item.context, response
-                    )
-                else:
-                    self.rollout.note_served(lane.role)
-                item.future.set_result(response)
-                self._track(-1)
-            if self._registry.enabled:
-                # Per-batch metric flush: one counter bump and one locked
-                # histogram pass instead of two labelled ops per request.
-                self._m_requests.inc(
-                    len(batch), tier=lane.tier, role=lane.role, result="ok"
+            else:
+                self.rollout.note_served(lane.role)
+            item.future.set_result(response)
+            self._track(-1)
+        if self._registry.enabled:
+            # Per-batch metric flush: one counter bump and one locked
+            # histogram pass instead of two labelled ops per request.
+            self._m_requests.inc(
+                len(items), tier=lane.tier, role=lane.role, result="ok"
+            )
+            self._m_latency.observe_many(
+                [now - item.enqueued_at for item in items], tier=lane.tier
+            )
+
+    def _fail_items(
+        self,
+        lane: _Lane,
+        items: list[QueuedRequest],
+        exc: BaseException,
+        batch_size: int,
+    ) -> None:
+        """Fail requests whose serve raised: telemetry, futures, metrics."""
+        now = time.monotonic()
+        for item in items:
+            self.telemetry.record(
+                RequestEvent(
+                    at=now,
+                    tier=lane.tier,
+                    role=lane.role,
+                    latency_s=now - item.enqueued_at,
+                    batch_size=batch_size,
+                    ok=False,
+                    dtype=lane.replica.endpoint.dtype_name,
+                    trace_id=item.future.trace_id,
                 )
-                self._m_latency.observe_many(
-                    [now - item.enqueued_at for item in batch], tier=lane.tier
-                )
+            )
+            item.future.set_exception(exc)
+            self._track(-1)
+        self._m_requests.inc(
+            len(items), tier=lane.tier, role=lane.role, result="error"
+        )
+
+    def _handle_batch_failure(
+        self, lane: _Lane, batch: list[QueuedRequest], exc: BaseException
+    ) -> None:
+        """Isolate a failed batch so one poison payload costs one request.
+
+        A batch exception says nothing about *which* co-batched request
+        broke the forward pass — so for multi-request batches each item is
+        retried individually: the poison request fails with its own error,
+        the innocent bystanders are answered.  Every outcome feeds the
+        tier's breaker, so a replica that fails each retry still opens the
+        circuit promptly.
+        """
+        breaker = self._lane_breaker(lane)
+        if breaker is not None:
+            breaker.record_failure()
+        if len(batch) == 1:
+            self._fail_items(lane, batch, exc, batch_size=1)
+            return
+        self._m_isolated.inc(tier=lane.tier)
+        salvaged_items: list[QueuedRequest] = []
+        salvaged_responses: list[dict] = []
+        for item in batch:
+            try:
+                responses, _ = lane.replica.serve([item.payload])
+            except Exception as single_exc:  # noqa: BLE001 - per-item verdict
+                if breaker is not None:
+                    breaker.record_failure()
+                self._fail_items(lane, [item], single_exc, batch_size=1)
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                salvaged_items.append(item)
+                salvaged_responses.append(responses[0])
+        if salvaged_items:
+            self._resolve_items(
+                lane, salvaged_items, salvaged_responses, batch_size=1
+            )
 
     def _mirror_to_shadow(
         self, tier: str, batch: list[QueuedRequest], responses: list[dict]

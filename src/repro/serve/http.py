@@ -18,10 +18,12 @@ Routes::
                      (404 unless the server was built with one)
 
 Client errors (malformed JSON, bad envelopes, unknown/missing payload
-fields) are 400 with ``{"error": ...}``; a stopped or timed-out gateway is
-503 (retryable, the server's fault); anything else — including a handler
-crash on any GET route — is 500 with a structured ``{"error": ...}`` body,
-never a bare traceback.  Single-payload ``/predict`` responses carry an
+fields) are 400 with ``{"error": ...}``; a shed request (queue full or
+every circuit open) is 503 with a ``Retry-After`` header; a request that
+was accepted but not answered within the gateway timeout is 504; a
+stopped gateway is 503; anything else — including a handler crash on any
+GET route — is 500 with a structured ``{"error": ...}`` body, never a
+bare traceback.  Single-payload ``/predict`` responses carry an
 ``X-Trace-Id`` header when tracing is enabled.
 """
 
@@ -32,7 +34,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.errors import ReproError, ServeError
+from repro.errors import ReproError, ServeError, ServeOverloadError, ServeTimeout
 from repro.obs import CONTENT_TYPE as _METRICS_CONTENT_TYPE
 from repro.obs import get_tracer, render_prometheus
 from repro.serve.gateway import ServingGateway
@@ -185,8 +187,14 @@ def _make_handler(
                 self._json(200, self._serve(body))
             except _BadRequest as exc:
                 self._json(400, {"error": str(exc)})
+            except ServeOverloadError as exc:
+                # Shed before any work: retryable, tell the client when.
+                self._json(503, {"error": str(exc)}, headers={"Retry-After": "1"})
+            except ServeTimeout as exc:
+                # Accepted but not answered in time: a gateway timeout.
+                self._json(504, {"error": str(exc)})
             except ServeError as exc:
-                # The gateway, not the request: stopped or timed out.
+                # The gateway, not the request: stopped or unavailable.
                 self._json(503, {"error": str(exc)})
             except ReproError as exc:  # payload validation and friends
                 self._json(400, {"error": str(exc)})
@@ -222,17 +230,25 @@ def _make_handler(
             self._trace_id = future.trace_id
             return future.result(timeout=gateway.config.request_timeout_s)
 
-        def _json(self, code: int, obj) -> None:
+        def _json(self, code: int, obj, headers: dict | None = None) -> None:
             data = json.dumps(obj).encode("utf-8")
-            self._respond(code, "application/json", data)
+            self._respond(code, "application/json", data, headers=headers)
 
         def _text(self, code: int, text: str) -> None:
             self._respond(code, "text/plain; charset=utf-8", text.encode("utf-8"))
 
-        def _respond(self, code: int, content_type: str, data: bytes) -> None:
+        def _respond(
+            self,
+            code: int,
+            content_type: str,
+            data: bytes,
+            headers: dict | None = None,
+        ) -> None:
             self.send_response(code)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             trace_id = getattr(self, "_trace_id", None)
             if trace_id is not None:
                 self.send_header("X-Trace-Id", trace_id)

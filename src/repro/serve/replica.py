@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.api.endpoint import Endpoint
 from repro.errors import ServeError, StoreError
+from repro.faults import fault_point
 from repro.obs import get_tracer
 
 if TYPE_CHECKING:
@@ -31,6 +32,10 @@ STABLE = "stable"
 CANDIDATE = "candidate"
 
 _EWMA_ALPHA = 0.25
+
+# Chaos hook: fires once per formed batch, before the forward pass.  A
+# disarmed point costs one attribute check (see repro.faults).
+_FP_SERVE = fault_point("replica.serve")
 
 
 class Replica:
@@ -57,6 +62,7 @@ class Replica:
     def serve(self, payloads: list[dict]) -> tuple[list[dict], float]:
         """Answer one formed batch; returns (responses, batch latency)."""
         with self.lock:
+            _FP_SERVE.hit(tier=self.tier, role=self.role)
             start = time.perf_counter()
             with get_tracer().span(
                 "replica.serve", child_only=True, tier=self.tier, role=self.role

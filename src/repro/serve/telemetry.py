@@ -122,6 +122,8 @@ class TelemetryRing:
         self._events: deque[RequestEvent] = deque(maxlen=capacity)
         self._payloads: deque[dict] = deque(maxlen=payload_capacity)
         self._rollout_events: deque[RolloutEvent] = deque(maxlen=rollout_capacity)
+        self._breaker_events: deque[dict] = deque(maxlen=rollout_capacity)
+        self._sheds: Counter = Counter()  # (tier, reason) -> count
         self._sample_every = max(1, payload_sample_every)
         self._recorded = 0
         self._lock = threading.Lock()
@@ -148,6 +150,27 @@ class TelemetryRing:
             self._rollout_events.append(event)
         return event
 
+    def record_shed(self, tier: str, reason: str = "queue_full") -> None:
+        """Count one load-shed request (queue full / circuit open).
+
+        Shed requests never become :class:`RequestEvent`\\ s — they were
+        rejected before any work — so overload pressure needs its own
+        counter or it would be invisible in the ring.
+        """
+        with self._lock:
+            self._sheds[(tier, reason)] += 1
+
+    def record_breaker(self, tier: str, old_state: str, new_state: str) -> None:
+        """Record one circuit-breaker state flip (rare, load-bearing)."""
+        event = {
+            "at": time.monotonic(),
+            "tier": tier,
+            "from": old_state,
+            "to": new_state,
+        }
+        with self._lock:
+            self._breaker_events.append(event)
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -172,6 +195,19 @@ class TelemetryRing:
     def rollout_events(self) -> list[RolloutEvent]:
         with self._lock:
             return list(self._rollout_events)
+
+    def breaker_events(self) -> list[dict]:
+        """Circuit-breaker transitions, oldest first."""
+        with self._lock:
+            return [dict(e) for e in self._breaker_events]
+
+    def sheds(self) -> dict[str, dict[str, int]]:
+        """Shed counts as ``{tier: {reason: count}}`` (JSON-able)."""
+        with self._lock:
+            out: dict[str, dict[str, int]] = {}
+            for (tier, reason), count in sorted(self._sheds.items()):
+                out.setdefault(tier, {})[reason] = count
+            return out
 
     def clear_payload_samples(self) -> int:
         """Drop the sampled payload window; returns how many were dropped.
@@ -272,6 +308,20 @@ class TelemetryRing:
         if rollout:
             recent = "  ".join(e.action for e in rollout[-5:])
             lines.append(f"rollout history ({len(rollout)}): {recent}")
+        sheds = self.sheds()
+        if sheds:
+            parts = "  ".join(
+                f"{tier}:{reason}={count}"
+                for tier, reasons in sheds.items()
+                for reason, count in reasons.items()
+            )
+            lines.append(f"shed requests: {parts}")
+        flips = self.breaker_events()
+        if flips:
+            recent = "  ".join(
+                f"{e['tier']}:{e['from']}->{e['to']}" for e in flips[-5:]
+            )
+            lines.append(f"breaker flips ({len(flips)}): {recent}")
         if snap.tiers:
             lines.append(
                 format_table(

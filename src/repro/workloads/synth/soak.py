@@ -12,6 +12,7 @@ reproduce.
 from __future__ import annotations
 
 import tempfile
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -19,6 +20,8 @@ from repro.api import Application
 from repro.autopilot import DecisionJournal, HealPolicy, Supervisor
 from repro.core import ModelConfig
 from repro.deploy import ModelStore
+from repro.errors import ServeOverloadError
+from repro.faults import FaultPlan, InjectedFault, injected
 from repro.serve import GatewayConfig, ReplicaPool, ServingGateway
 from repro.workloads.synth.difficulty import reference_config
 from repro.workloads.synth.generator import SynthGenerator
@@ -48,6 +51,9 @@ class SoakReport:
     promotions: int = 0
     rejections: int = 0
     heals_started: int = 0
+    shed: int = 0  # requests refused retryably (queue full / circuit open)
+    request_errors: int = 0  # requests failed by an injected fault
+    fault_decisions: list[dict] = field(default_factory=list)
 
     def actions(self) -> list[str]:
         """The per-tick action sequence, in order."""
@@ -72,6 +78,7 @@ def run_soak(
     journal_path: str | Path | None = None,
     tick_seconds: float = 60.0,
     application: Application | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> SoakReport:
     """Drive ``Supervisor.step()`` through the spec's drift schedule.
 
@@ -81,6 +88,12 @@ def run_soak(
     tick by tick.  The supervisor sees a simulated clock advancing
     ``tick_seconds`` per tick, so cooldown and shadow windows behave as
     in production without wall-clock sleeps.
+
+    ``fault_plan`` replays a seeded fault storm (see ``repro.faults``)
+    across the run: shed and fault-failed requests are counted on the
+    report instead of failing the soak, and the injector's timestamp-free
+    decision log lands in ``report.fault_decisions`` so chaos soaks can
+    assert byte-identical storms across runs.
     """
     reference_spec = spec.without_drift()
     reference = SynthGenerator(reference_spec).dataset()
@@ -115,11 +128,20 @@ def run_soak(
         clock=lambda: now[0],
     )
     report = SoakReport(spec=spec, journal=journal)
-    with gateway:
+    # The storm arms *after* setup (reference fit, deploy, pool creation):
+    # chaos tests target the live loop — serving, heals, candidate fetches
+    # — not the fixture-building preamble.
+    storm = injected(fault_plan) if fault_plan is not None else nullcontext(None)
+    with storm as injector, gateway:
         for tick in range(ticks):
             start = tick * requests_per_tick
             for index in range(start, start + requests_per_tick):
-                gateway.submit(live.payload(index, live_n))
+                try:
+                    gateway.submit(live.payload(index, live_n))
+                except ServeOverloadError:
+                    report.shed += 1
+                except InjectedFault:
+                    report.request_errors += 1
             gateway.drain()
             now[0] += tick_seconds
             fraction = min(1.0, (tick + 1) * requests_per_tick / live_n)
@@ -137,4 +159,6 @@ def run_soak(
     report.promotions = supervisor.promotions
     report.rejections = supervisor.rejections
     report.heals_started = supervisor.heals_started
+    if injector is not None:
+        report.fault_decisions = injector.decisions()
     return report

@@ -23,6 +23,7 @@ from repro.autopilot import (
     RetrainPlan,
     check_consistency,
 )
+from repro.faults import FaultPlan, FaultRule
 from repro.workloads.synth import DriftPhase, preset, run_soak
 
 SOAK = os.environ.get("REPRO_SOAK", "") == "1"
@@ -102,6 +103,166 @@ def test_calm_drift_never_triggers(tmp_path):
     )
     assert report.actions() == ["no_trigger"] * 6, report.actions()
     assert report.heals_started == 0
+
+
+def _chaos_policy(max_heal_failures: int = 3) -> HealPolicy:
+    """The soak policy, hardened: retrial-tolerant retrains, auto-pause."""
+    return HealPolicy(
+        drift_triggers=(DriftTrigger(js_threshold=0.35, oov_jump_threshold=0.05),),
+        min_live_window=16,
+        cooldown_s=0.0,
+        retrain=RetrainPlan(
+            workers=1,
+            max_live_records=256,
+            retries=1,
+            retry_backoff_s=0.0,
+            on_error="skip",
+        ),
+        gate=PromotionGate(
+            max_disagreement_rate=1.0,
+            min_shadow_requests=16,
+            regression_threshold=0.25,
+            min_examples=5,
+        ),
+        max_heal_failures=max_heal_failures,
+    )
+
+
+def _chaos_plan() -> FaultPlan:
+    """One storm across all three shipped fault points.
+
+    Two live requests fail outright, the first retrain's trial crashes
+    once (absorbed by the executor retry), and the first heal's candidate
+    fetch dies with an IO error (failing that heal) — the loop must
+    degrade, back off, and still land the promotion on the second try.
+    """
+    return FaultPlan(
+        name="soak-storm",
+        seed=20,
+        rules=(
+            FaultRule(
+                point="replica.serve",
+                match=(("role", "stable"),),
+                after=30,
+                max_fires=2,
+            ),
+            FaultRule(point="exec.trial", kind="crash", max_fires=1),
+            FaultRule(point="store.fetch", kind="io_error", max_fires=1),
+        ),
+    )
+
+
+def _run_chaos_soak(tmp_path, name: str, **overrides):
+    spec = preset("synth-drift-storm").scaled(160)
+    kwargs = dict(
+        ticks=12,
+        requests_per_tick=24,
+        policy=_chaos_policy(),
+        store_dir=tmp_path / f"{name}-store",
+        journal_path=tmp_path / f"{name}-journal.jsonl",
+        fault_plan=_chaos_plan(),
+    )
+    kwargs.update(overrides)
+    return run_soak(spec, **kwargs)
+
+
+def test_chaos_soak_degrades_and_recovers(tmp_path):
+    """The full storm: failed requests, a crashed trial, a failed heal —
+    and still exactly one promotion, with every decision journaled."""
+    report = _run_chaos_soak(tmp_path, "chaos")
+    actions = report.actions()
+
+    # The storm was absorbed: one failed heal, then a clean promotion.
+    assert actions.count("heal_failed") == 1, actions
+    assert report.heals_started == 2 and report.promotions == 1, actions
+    assert report.rejections == 0
+
+    # The two injected request faults failed those requests, nothing more:
+    # no shedding, and the loop never saw them as drift.
+    assert report.request_errors == 2
+    assert report.shed == 0
+
+    # The injected storm replayed exactly as planned, in plan order.
+    assert [d["kind"] for d in report.fault_decisions] == [
+        "error",
+        "error",
+        "crash",
+        "io_error",
+    ]
+    assert [d["hit"] for d in report.fault_decisions] == [31, 32, 1, 1]
+
+    # The journal tells the whole story, and audits clean despite the
+    # mid-heal failure.
+    replayed = DecisionJournal.read(tmp_path / "chaos-journal.jsonl")
+    assert check_consistency(replayed) == []
+    assert [e["kind"] for e in replayed] == [
+        "trigger",
+        "retrain_started",
+        "retrain_finished",
+        "staged",
+        "heal_failed",
+        "trigger",
+        "retrain_started",
+        "retrain_finished",
+        "staged",
+        "shadow_started",
+        "gate",
+        "promoted",
+        "reference_updated",
+    ]
+    failed = [e for e in replayed if e["kind"] == "heal_failed"]
+    assert failed[0]["detail"]["consecutive"] == 1
+    assert "StoreError" in failed[0]["detail"]["error"]
+
+
+def test_chaos_soak_auto_pauses_after_repeated_heal_failures(tmp_path):
+    """A heal that keeps dying must stop retraining and page a human."""
+    always_down = FaultPlan(
+        name="store-down",
+        seed=0,
+        rules=(FaultRule(point="store.fetch", kind="io_error"),),
+    )
+    report = _run_chaos_soak(
+        tmp_path,
+        "pause",
+        ticks=10,
+        policy=_chaos_policy(max_heal_failures=2),
+        fault_plan=always_down,
+    )
+    actions = report.actions()
+    assert actions.count("heal_failed") == 2, actions
+    assert report.heals_started == 2 and report.promotions == 0
+
+    # Every tick after the second failure is a paused no-op.
+    last_failure = max(i for i, a in enumerate(actions) if a == "heal_failed")
+    assert actions[last_failure + 1 :] == ["paused"] * (
+        len(actions) - last_failure - 1
+    ), actions
+
+    paused = report.journal.entries("paused")
+    assert len(paused) == 1
+    assert (
+        paused[0]["detail"]["reason"]
+        == "auto-paused after 2 consecutive heal failures"
+    )
+    failed = report.journal.entries("heal_failed")
+    assert [e["detail"]["consecutive"] for e in failed] == [1, 2]
+    assert report.journal.check() == []
+
+
+@pytest.mark.skipif(not SOAK, reason="tier-2 soak; set REPRO_SOAK=1")
+def test_chaos_soak_is_byte_deterministic(tmp_path):
+    """The same seeded storm twice: identical decisions, identical journal."""
+    first = _run_chaos_soak(tmp_path, "det-a")
+    second = _run_chaos_soak(tmp_path, "det-b")
+    assert first.fault_decisions == second.fault_decisions
+    first_journal = DecisionJournal.read(tmp_path / "det-a-journal.jsonl")
+    second_journal = DecisionJournal.read(tmp_path / "det-b-journal.jsonl")
+    assert [(e["seq"], e["kind"]) for e in first_journal] == [
+        (e["seq"], e["kind"]) for e in second_journal
+    ]
+    assert first.actions() == second.actions()
+    assert first.request_errors == second.request_errors
 
 
 @pytest.mark.skipif(not SOAK, reason="tier-2 soak; set REPRO_SOAK=1")

@@ -1,0 +1,21 @@
+"""Tier-1 smoke for the fault-injection overhead benchmark.
+
+Runs ``benchmarks/bench_faults_overhead.py`` in reduced-size mode on
+every test run, so the cleared-vs-armed gateway drain and the per-op
+micro measurements stay exercised continuously.  Thresholds are *not*
+asserted here; those belong to the full-size run under
+``tools/run_benchmarks.py``.
+"""
+
+from benchmarks.bench_faults_overhead import run_faults_overhead
+
+
+def test_faults_reduced_mode():
+    metrics = run_faults_overhead(reduced=True)
+    # Wiring, not thresholds: both postures drained, micros were timed.
+    assert metrics["reduced"] is True
+    assert metrics["cleared_rps"] > 0
+    assert metrics["armed_rps"] > 0
+    assert 0.0 <= metrics["overhead_frac"] <= 1.0
+    assert metrics["disarmed_hit_ns"] > 0
+    assert metrics["armed_idle_hit_ns"] > 0

@@ -1,0 +1,73 @@
+"""Fixtures for the fault-injection suites.
+
+The fault-point registry is process-global, so every test in this
+directory runs under an autouse guard that disarms whatever plan it
+installed — a leaked armed point would fire into unrelated suites.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.faults
+from repro.api import Application
+from repro.core import ModelConfig, PayloadConfig, TrainerConfig
+from repro.deploy import ModelStore
+from repro.deploy.sync import push_pair
+
+from tests.fixtures import factoid_schema, mini_dataset
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """Never let an installed plan outlive its test."""
+    yield
+    repro.faults.clear()
+
+
+def serve_config(size: int = 12, epochs: int = 2) -> ModelConfig:
+    return ModelConfig(
+        payloads={
+            "tokens": PayloadConfig(encoder="bow", size=size),
+            "query": PayloadConfig(size=size),
+            "entities": PayloadConfig(size=size),
+        },
+        trainer=TrainerConfig(epochs=epochs, batch_size=16, lr=0.05),
+    )
+
+
+def request_payloads(ds, n: int = 20) -> list[dict]:
+    records = ds.records[:n]
+    return [
+        {"tokens": r.payloads["tokens"], "entities": r.payloads["entities"]}
+        for r in records
+    ]
+
+
+@pytest.fixture(scope="session")
+def served():
+    """One app + dataset + trained run + request payloads, shared read-only."""
+    ds = mini_dataset(n=80, seed=0)
+    app = Application(factoid_schema(), name="factoid-qa")
+    run = app.fit(ds, serve_config())
+    return app, ds, run, request_payloads(ds)
+
+
+@pytest.fixture(scope="session")
+def single_store(served, tmp_path_factory):
+    """A store with one stable version of the served model."""
+    app, ds, run, payloads = served
+    store = ModelStore(tmp_path_factory.mktemp("faults-store") / "store")
+    stable = run.deploy(store)
+    return store, stable
+
+
+@pytest.fixture(scope="session")
+def pair_store(served, tmp_path_factory):
+    """A store holding a synchronized large/small pair for tier routing."""
+    app, ds, run, payloads = served
+    large = app.fit(ds, serve_config(size=16, epochs=1))
+    small = app.fit(ds, serve_config(size=8, epochs=1))
+    store = ModelStore(tmp_path_factory.mktemp("faults-pair") / "store")
+    pushed = push_pair(store, app.name, large.artifact(), small.artifact())
+    return store, pushed

@@ -1,0 +1,115 @@
+"""TrialExecutor under failure: retries, skip-vs-raise, injected crashes."""
+
+import pytest
+
+from repro.core import ModelConfig, PayloadConfig
+from repro.errors import TuningError
+from repro.exec import TrialExecutor
+from repro.faults import FaultPlan, FaultRule, injected
+
+
+def config(size: int) -> ModelConfig:
+    return ModelConfig(payloads={"tokens": PayloadConfig(size=size)})
+
+
+def score(context, cfg, seed, budget) -> float:
+    return cfg.for_payload("tokens").size / 100.0
+
+
+class TestRetries:
+    def test_flaky_trial_recovers_within_retries(self):
+        attempts: dict[int, int] = {}
+
+        def flaky(context, cfg, seed, budget) -> float:
+            size = cfg.for_payload("tokens").size
+            attempts[size] = attempts.get(size, 0) + 1
+            if attempts[size] == 1:
+                raise RuntimeError(f"transient blip on size {size}")
+            return score(context, cfg, seed, budget)
+
+        executor = TrialExecutor(flaky, retries=1, retry_backoff_s=0.0)
+        outcomes = executor.evaluate([config(8), config(16)])
+        assert [o.score for o in outcomes] == [0.08, 0.16]
+        assert not any(o.skipped for o in outcomes)
+        assert executor.stats.retries == 2
+        assert executor.stats.errors == 0
+        assert attempts == {8: 2, 16: 2}
+
+    def test_raise_names_config_and_attempt_count(self):
+        def broken(context, cfg, seed, budget) -> float:
+            raise ValueError("always down")
+
+        executor = TrialExecutor(broken, retries=2, retry_backoff_s=0.0)
+        with pytest.raises(TuningError, match="after 3 attempts"):
+            executor.evaluate([config(8)])
+        assert executor.stats.retries == 2
+        assert executor.stats.errors == 1
+
+    def test_zero_retries_keeps_the_legacy_message(self):
+        def broken(context, cfg, seed, budget) -> float:
+            raise ValueError("always down")
+
+        with pytest.raises(TuningError, match=r"trial 0 failed \(ValueError"):
+            TrialExecutor(broken).evaluate([config(8)])
+
+
+class TestSkip:
+    def test_skipped_outcome_cannot_win_a_search(self):
+        def poisoned(context, cfg, seed, budget) -> float:
+            if cfg.for_payload("tokens").size == 8:
+                raise RuntimeError("cursed candidate")
+            return score(context, cfg, seed, budget)
+
+        executor = TrialExecutor(poisoned, on_error="skip")
+        outcomes = executor.evaluate([config(8), config(16)])
+        cursed, healthy = outcomes
+        assert cursed.skipped and cursed.score == float("-inf")
+        assert "cursed candidate" in cursed.error
+        assert not healthy.skipped and healthy.score == 0.16
+        assert max(outcomes, key=lambda o: o.score) is healthy
+        assert executor.stats.skipped == 1
+
+    def test_all_trials_failing_still_raises(self):
+        def broken(context, cfg, seed, budget) -> float:
+            raise RuntimeError("everything is down")
+
+        executor = TrialExecutor(broken, on_error="skip")
+        with pytest.raises(TuningError, match="all 2 trials failed"):
+            executor.evaluate([config(8), config(16)])
+
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(TuningError, match="on_error"):
+            TrialExecutor(score, on_error="ignore")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(TuningError, match="retries"):
+            TrialExecutor(score, retries=-1)
+
+
+class TestInjectedCrashes:
+    def test_injected_worker_crash_is_retried_away(self):
+        storm = FaultPlan(
+            name="crash-once",
+            rules=(FaultRule(point="exec.trial", kind="crash", max_fires=1),),
+        )
+        executor = TrialExecutor(score, retries=1, retry_backoff_s=0.0)
+        with injected(storm) as injector:
+            outcomes = executor.evaluate([config(8), config(16)])
+        assert [o.score for o in outcomes] == [0.08, 0.16]
+        assert executor.stats.retries == 1
+        assert [d["kind"] for d in injector.decisions()] == ["crash"]
+
+    def test_unretried_crash_skips_the_trial(self):
+        storm = FaultPlan(
+            name="crash-once",
+            rules=(
+                FaultRule(
+                    point="exec.trial", kind="crash", match=(("trial", "0"),)
+                ),
+            ),
+        )
+        executor = TrialExecutor(score, on_error="skip")
+        with injected(storm):
+            outcomes = executor.evaluate([config(8), config(16)])
+        assert outcomes[0].skipped and "InjectedCrash" in outcomes[0].error
+        assert outcomes[1].score == 0.16

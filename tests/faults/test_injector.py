@@ -1,0 +1,187 @@
+"""The fault-point registry and injector: windows, seeds, determinism."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    InjectedFault,
+    active,
+    clear,
+    fault_point,
+    injected,
+    install,
+)
+
+
+def plan(*rules: FaultRule, seed: int = 0) -> FaultPlan:
+    return FaultPlan(name="test", seed=seed, rules=tuple(rules))
+
+
+class TestRegistry:
+    def test_fault_point_is_get_or_create(self):
+        assert fault_point("t.registry") is fault_point("t.registry")
+
+    def test_disarmed_hit_is_a_no_op(self):
+        fault_point("t.disarmed").hit(tier="small", anything=1)
+
+    def test_install_arms_only_targeted_points(self):
+        point = fault_point("t.armed")
+        other = fault_point("t.other")
+        install(plan(FaultRule(point="t.armed")))
+        assert point.armed and not other.armed
+        clear()
+        assert not point.armed
+
+    def test_active_tracks_the_installed_injector(self):
+        assert active() is None
+        injector = install(plan(FaultRule(point="t.active")))
+        assert active() is injector
+        clear()
+        assert active() is None
+
+    def test_injected_scopes_install_and_clear(self):
+        point = fault_point("t.scoped")
+        with injected(plan(FaultRule(point="t.scoped"))):
+            assert point.armed
+        assert not point.armed
+
+    def test_injected_clears_even_when_the_fault_escapes(self):
+        point = fault_point("t.escape")
+        with pytest.raises(InjectedFault):
+            with injected(plan(FaultRule(point="t.escape"))):
+                point.hit()
+        assert not point.armed
+
+    def test_reinstall_replaces_the_previous_plan(self):
+        first = fault_point("t.first")
+        install(plan(FaultRule(point="t.first")))
+        install(plan(FaultRule(point="t.second")))
+        assert not first.armed
+        assert fault_point("t.second").armed
+
+
+class TestKinds:
+    def test_error_raises_injected_fault_with_point(self):
+        point = fault_point("t.error")
+        with injected(plan(FaultRule(point="t.error", message="boom"))):
+            with pytest.raises(InjectedFault) as excinfo:
+                point.hit()
+        assert excinfo.value.point == "t.error"
+        assert str(excinfo.value) == "boom [t.error]"
+        # Injected faults model the outside world breaking: they must
+        # never be catchable as a deliberate library error.
+        assert not isinstance(excinfo.value, ReproError)
+
+    def test_crash_is_a_transient_subclass(self):
+        point = fault_point("t.crash")
+        with injected(plan(FaultRule(point="t.crash", kind="crash"))):
+            with pytest.raises(InjectedCrash):
+                point.hit()
+        assert issubclass(InjectedCrash, InjectedFault)
+
+    def test_io_error_raises_os_error(self):
+        point = fault_point("t.io")
+        with injected(plan(FaultRule(point="t.io", kind="io_error"))):
+            with pytest.raises(OSError):
+                point.hit()
+
+    def test_latency_sleeps_via_injected_clock(self):
+        point = fault_point("t.latency")
+        slept: list[float] = []
+        storm = plan(FaultRule(point="t.latency", kind="latency", latency_s=0.25))
+        with injected(storm, sleep=slept.append):
+            point.hit()
+        assert slept == [0.25]
+
+    def test_latency_and_error_on_one_hit_do_both(self):
+        point = fault_point("t.both")
+        slept: list[float] = []
+        storm = plan(
+            FaultRule(point="t.both", kind="latency", latency_s=0.1),
+            FaultRule(point="t.both"),
+        )
+        with injected(storm, sleep=slept.append):
+            with pytest.raises(InjectedFault):
+                point.hit()
+        assert slept == [0.1]
+
+
+class TestWindows:
+    def test_after_passes_the_first_hits(self):
+        point = fault_point("t.after")
+        with injected(plan(FaultRule(point="t.after", after=2))) as injector:
+            point.hit()
+            point.hit()
+            with pytest.raises(InjectedFault):
+                point.hit()
+        assert injector.fires() == 1
+        assert injector.decisions()[0]["hit"] == 3
+
+    def test_max_fires_disarms_the_rule(self):
+        point = fault_point("t.maxfires")
+        with injected(plan(FaultRule(point="t.maxfires", max_fires=2))) as inj:
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    point.hit()
+            point.hit()
+            point.hit()
+        assert inj.fires("t.maxfires") == 2
+
+    def test_match_restricts_to_labelled_hits(self):
+        point = fault_point("t.match")
+        rule = FaultRule(point="t.match", match=(("tier", "small"),))
+        with injected(plan(rule)) as injector:
+            point.hit(tier="large")
+            with pytest.raises(InjectedFault):
+                point.hit(tier="small")
+        # Non-matching hits must not consume the rule's window.
+        assert injector.decisions()[0]["hit"] == 1
+
+    def test_zero_rate_never_fires(self):
+        point = fault_point("t.zero")
+        with injected(plan(FaultRule(point="t.zero", rate=0.0))) as injector:
+            for _ in range(50):
+                point.hit()
+        assert injector.fires() == 0
+
+
+class TestDeterminism:
+    def storm(self, seed: int = 7) -> FaultPlan:
+        return plan(
+            FaultRule(point="t.det", rate=0.4, max_fires=10),
+            FaultRule(point="t.det", kind="crash", rate=0.2, after=5),
+            seed=seed,
+        )
+
+    def run_storm(self, storm: FaultPlan) -> list[dict]:
+        point = fault_point("t.det")
+        with injected(storm) as injector:
+            for _ in range(100):
+                try:
+                    point.hit()
+                except InjectedFault:
+                    pass
+            return injector.decisions()
+
+    def test_same_plan_replays_byte_identically(self):
+        first = self.run_storm(self.storm())
+        second = self.run_storm(self.storm())
+        assert first, "the storm should fire at least once in 100 hits"
+        assert first == second
+
+    def test_decisions_are_timestamp_free_plain_data(self):
+        for entry in self.run_storm(self.storm()):
+            assert set(entry) == {"point", "rule", "kind", "hit", "fire"}
+
+    def test_a_different_seed_is_a_different_storm(self):
+        assert self.run_storm(self.storm(seed=7)) != self.run_storm(
+            self.storm(seed=8)
+        )
+
+    def test_decision_rule_indexes_point_into_the_plan(self):
+        storm = self.storm()
+        for entry in self.run_storm(storm):
+            assert storm.rules[entry["rule"]].kind == entry["kind"]

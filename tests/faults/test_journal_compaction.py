@@ -1,0 +1,164 @@
+"""DecisionJournal durability: torn tails, corruption, and compaction."""
+
+import json
+
+import pytest
+
+from repro.autopilot import DecisionJournal, check_consistency
+
+HEAL_CYCLE = (
+    "trigger",
+    "retrain_started",
+    "retrain_finished",
+    "staged",
+    "shadow_started",
+    "gate",
+    "promoted",
+    "reference_updated",
+)
+
+
+def record_cycle(journal: DecisionJournal) -> None:
+    for kind in HEAL_CYCLE:
+        if kind == "gate":
+            journal.record(kind, passed=True)
+        else:
+            journal.record(kind)
+
+
+class TestTornTail:
+    def journal_file(self, tmp_path, torn: bool = True):
+        journal = DecisionJournal(path=tmp_path / "journal.jsonl")
+        record_cycle(journal)
+        if torn:
+            with journal.path.open("a", encoding="utf-8") as handle:
+                handle.write('{"seq": 9, "at": 1.0, "kind": "trig')
+        return journal.path
+
+    def test_read_drops_the_truncated_trailing_line(self, tmp_path):
+        path = self.journal_file(tmp_path)
+        entries = DecisionJournal.read(path)
+        assert [e["kind"] for e in entries] == list(HEAL_CYCLE)
+
+    def test_strict_read_raises_on_the_torn_tail(self, tmp_path):
+        path = self.journal_file(tmp_path)
+        with pytest.raises(ValueError, match="truncated trailing line"):
+            DecisionJournal.read(path, strict=True)
+
+    def test_check_file_reports_the_tail_as_a_warning(self, tmp_path):
+        path = self.journal_file(tmp_path)
+        problems = DecisionJournal.check_file(path)
+        assert len(problems) == 1
+        assert problems[0].startswith("warning: dropped truncated trailing line")
+
+    def test_clean_file_checks_clean(self, tmp_path):
+        path = self.journal_file(tmp_path, torn=False)
+        assert DecisionJournal.check_file(path) == []
+
+    def test_mid_file_corruption_is_raised_not_dropped(self, tmp_path):
+        path = self.journal_file(tmp_path, torn=False)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[2] = "{broken"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="unparseable line 3"):
+            DecisionJournal.read(path)
+
+
+class TestCompaction:
+    def test_compacts_old_cycles_behind_a_marker(self, tmp_path):
+        journal = DecisionJournal(path=tmp_path / "journal.jsonl")
+        for _ in range(3):
+            record_cycle(journal)
+        dropped = journal.compact(keep_last=8)
+        assert dropped == 16  # the two oldest cycles
+
+        survivors = DecisionJournal.read(journal.path)
+        assert [e["kind"] for e in survivors] == ["compacted"] + list(HEAL_CYCLE)
+        marker = survivors[0]
+        assert marker["detail"]["dropped"] == 16
+        assert marker["detail"]["first_seq"] == 1
+        assert marker["detail"]["last_seq"] == 16
+        assert marker["detail"]["kinds"]["promoted"] == 2
+        # The compacted file still audits clean, memory and disk alike.
+        assert DecisionJournal.check_file(journal.path) == []
+        assert journal.check() == []
+        assert [e["kind"] for e in journal.entries()] == [
+            "compacted"
+        ] + list(HEAL_CYCLE)
+
+    def test_recording_continues_after_compaction(self, tmp_path):
+        journal = DecisionJournal(path=tmp_path / "journal.jsonl")
+        for _ in range(2):
+            record_cycle(journal)
+        journal.compact(keep_last=8)
+        record_cycle(journal)
+        entries = DecisionJournal.read(journal.path)
+        assert entries[-1]["kind"] == "reference_updated"
+        assert entries[-1]["seq"] == 24
+        assert DecisionJournal.check_file(journal.path) == []
+
+    def test_never_cuts_inside_an_in_flight_heal(self, tmp_path):
+        journal = DecisionJournal(path=tmp_path / "journal.jsonl")
+        journal.record("trigger")
+        journal.record("retrain_started")
+        assert journal.compact(keep_last=0) == 0
+        assert len(DecisionJournal.read(journal.path)) == 2
+
+    def test_never_splits_a_promotion_from_its_reference_update(self, tmp_path):
+        journal = DecisionJournal(path=tmp_path / "journal.jsonl")
+        for _ in range(2):
+            record_cycle(journal)
+        # keep_last=1 would cut between promoted and reference_updated;
+        # the boundary must retreat to the previous completed cycle.
+        dropped = journal.compact(keep_last=1)
+        assert dropped == 8
+        survivors = DecisionJournal.read(journal.path)
+        assert [e["kind"] for e in survivors] == ["compacted"] + list(HEAL_CYCLE)
+        assert check_consistency(survivors) == []
+
+    def test_unconsumed_trigger_blocks_the_cut(self, tmp_path):
+        journal = DecisionJournal()
+        record_cycle(journal)
+        journal.record("trigger")
+        # Only boundary not splitting trigger from its heal is before it.
+        assert journal.compact(keep_last=0) == 8
+        assert [e["kind"] for e in journal.entries()] == ["compacted", "trigger"]
+
+    def test_paused_journal_blocks_the_cut_until_resumed(self, tmp_path):
+        journal = DecisionJournal()
+        record_cycle(journal)
+        journal.record("paused", reason="operator")
+        assert journal.compact(keep_last=0) == 8
+        assert [e["kind"] for e in journal.entries()] == ["compacted", "paused"]
+        journal.record("resumed")
+        assert journal.compact(keep_last=0) == 3
+        assert [e["kind"] for e in journal.entries()] == ["compacted"]
+
+    def test_in_memory_journal_compacts_without_a_file(self):
+        journal = DecisionJournal()
+        for _ in range(4):
+            record_cycle(journal)
+        assert journal.compact(keep_last=8) == 24
+        assert journal.check() == []
+
+    def test_negative_keep_last_rejected(self):
+        with pytest.raises(ValueError, match="keep_last"):
+            DecisionJournal().compact(keep_last=-1)
+
+    def test_compact_is_a_no_op_on_a_short_journal(self, tmp_path):
+        journal = DecisionJournal(path=tmp_path / "journal.jsonl")
+        record_cycle(journal)
+        assert journal.compact(keep_last=256) == 0
+        assert len(DecisionJournal.read(journal.path)) == 8
+
+    def test_compaction_tolerates_a_torn_tail(self, tmp_path):
+        journal = DecisionJournal(path=tmp_path / "journal.jsonl")
+        for _ in range(2):
+            record_cycle(journal)
+        with journal.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq": 99, "at":')
+        dropped = journal.compact(keep_last=8)
+        assert dropped == 8
+        lines = journal.path.read_text(encoding="utf-8").splitlines()
+        for line in lines:
+            json.loads(line)  # the rewrite healed the torn tail

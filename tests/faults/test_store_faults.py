@@ -1,0 +1,67 @@
+"""ModelStore.fetch failure modes: named errors, never leaked internals."""
+
+import pytest
+
+from repro.deploy import ModelStore
+from repro.errors import StoreError
+from repro.faults import FaultPlan, FaultRule, injected
+
+
+@pytest.fixture()
+def fresh_store(served, tmp_path):
+    """A per-test store (safe to corrupt) with one pushed version."""
+    app, ds, run, payloads = served
+    store = ModelStore(tmp_path / "store")
+    record = store.push(app.name, run.artifact())
+    return store, app.name, record
+
+
+def test_missing_version_names_model_and_version(fresh_store):
+    store, name, record = fresh_store
+    with pytest.raises(StoreError, match=f"no version 'deadbeef' for model {name!r}"):
+        store.fetch(name, "deadbeef")
+
+
+def test_corrupt_artifact_is_a_friendly_store_error(fresh_store):
+    store, name, record = fresh_store
+    target = store.root / name / record.version
+    for path in target.iterdir():
+        if path.is_file():
+            path.write_bytes(b"\x00garbage\x00")
+    with pytest.raises(StoreError) as excinfo:
+        store.fetch(name, record.version)
+    message = str(excinfo.value)
+    assert "corrupt artifact" in message
+    assert name in message and record.version in message
+
+
+def test_injected_io_error_surfaces_as_store_error(fresh_store):
+    store, name, record = fresh_store
+    storm = FaultPlan(
+        name="disk-flake",
+        rules=(FaultRule(point="store.fetch", kind="io_error", max_fires=1),),
+    )
+    with injected(storm) as injector:
+        with pytest.raises(StoreError, match="corrupt artifact") as excinfo:
+            store.fetch(name, record.version)
+        # The flake was one-shot: the very next fetch succeeds.
+        artifact = store.fetch(name, record.version)
+    assert isinstance(excinfo.value.__cause__, OSError)
+    assert artifact is not None
+    assert injector.fires("store.fetch") == 1
+
+
+def test_fetch_matches_by_model_label(fresh_store):
+    store, name, record = fresh_store
+    storm = FaultPlan(
+        name="other-model",
+        rules=(
+            FaultRule(
+                point="store.fetch",
+                kind="io_error",
+                match=(("model", "someone-else"),),
+            ),
+        ),
+    )
+    with injected(storm):
+        assert store.fetch(name, record.version) is not None

@@ -24,7 +24,10 @@ perf record:
   ``BENCH_OBS_JSON`` -> ``BENCH_obs.json``;
 - the synth-workload benchmark (generator records/sec at three scales,
   difficulty-model calibration error) writes the path in
-  ``BENCH_SYNTH_JSON`` -> ``BENCH_synth.json``.
+  ``BENCH_SYNTH_JSON`` -> ``BENCH_synth.json``;
+- the fault-injection benchmark (gateway throughput with fault points
+  cleared vs armed-never-firing, per-op hit costs) writes the path in
+  ``BENCH_FAULTS_JSON`` -> ``BENCH_faults.json``.
 
 ``--workload`` / ``--scale`` select the dataset the workload-driven
 benches (serve, tune, autopilot) run on — a registry name or a
@@ -43,6 +46,7 @@ Usage:
     python tools/run_benchmarks.py --only obs      # just bench_obs_*
     python tools/run_benchmarks.py --only serve    # ... or serve / tune
     python tools/run_benchmarks.py --only synth    # generator + difficulty
+    python tools/run_benchmarks.py --only faults   # fault-point overhead
     python tools/run_benchmarks.py --workload spec.json --scale 2000
     python tools/run_benchmarks.py --check         # fail on >20% regressions
     python tools/run_benchmarks.py --list
@@ -67,6 +71,7 @@ DEFAULT_DTYPE_OUT = ROOT / "BENCH_dtype.json"
 DEFAULT_AUTOPILOT_OUT = ROOT / "BENCH_autopilot.json"
 DEFAULT_OBS_OUT = ROOT / "BENCH_obs.json"
 DEFAULT_SYNTH_OUT = ROOT / "BENCH_synth.json"
+DEFAULT_FAULTS_OUT = ROOT / "BENCH_faults.json"
 
 # Substring -> direction rules for --check.  Higher-better wins ties on
 # purpose: "requests_per_s" contains "_s" but is a throughput, not a
@@ -144,6 +149,7 @@ def run_benchmark(
     autopilot_out_path: Path,
     obs_out_path: Path,
     synth_out_path: Path,
+    faults_out_path: Path,
     timeout: float,
     workload: str = "",
     scale: int = 0,
@@ -160,6 +166,7 @@ def run_benchmark(
     env["BENCH_AUTOPILOT_JSON"] = str(autopilot_out_path)
     env["BENCH_OBS_JSON"] = str(obs_out_path)
     env["BENCH_SYNTH_JSON"] = str(synth_out_path)
+    env["BENCH_FAULTS_JSON"] = str(faults_out_path)
     if workload:
         env["REPRO_BENCH_WORKLOAD"] = workload
     if scale:
@@ -224,6 +231,11 @@ def main(argv: list[str] | None = None) -> int:
         help="where the synth benchmark writes BENCH_synth.json",
     )
     parser.add_argument(
+        "--faults-out",
+        default=str(DEFAULT_FAULTS_OUT),
+        help="where the fault-injection benchmark writes BENCH_faults.json",
+    )
+    parser.add_argument(
         "--workload",
         default="",
         help="workload for the serve/tune/autopilot benches: a registry "
@@ -262,6 +274,7 @@ def main(argv: list[str] | None = None) -> int:
     autopilot_out_path = Path(args.autopilot_out).resolve()
     obs_out_path = Path(args.obs_out).resolve()
     synth_out_path = Path(args.synth_out).resolve()
+    faults_out_path = Path(args.faults_out).resolve()
     trajectory_paths = [
         out_path,
         tune_out_path,
@@ -270,6 +283,7 @@ def main(argv: list[str] | None = None) -> int:
         autopilot_out_path,
         obs_out_path,
         synth_out_path,
+        faults_out_path,
     ]
     # Snapshot the last recorded entries before unlinking so --check can
     # compare this run against them.
@@ -294,6 +308,7 @@ def main(argv: list[str] | None = None) -> int:
             autopilot_out_path,
             obs_out_path,
             synth_out_path,
+            faults_out_path,
             args.timeout,
             workload=args.workload,
             scale=args.scale,
@@ -380,6 +395,16 @@ def main(argv: list[str] | None = None) -> int:
             f"  generator {rates}  "
             f"calibration mae {metrics['calibration_mae']:.3f}  "
             f"rank concordance {metrics['rank_concordance']:.2f}"
+        )
+    if faults_out_path.exists():
+        metrics = json.loads(faults_out_path.read_text())
+        print(f"\nfault-injection metrics -> {faults_out_path}")
+        print(
+            f"  gateway {metrics['cleared_rps']:.0f} req/s cleared "
+            f"vs {metrics['armed_rps']:.0f} req/s armed-idle "
+            f"(overhead {metrics['overhead_frac'] * 100:.1f}%)  "
+            f"disarmed hit {metrics['disarmed_hit_ns']:.0f}ns/op  "
+            f"armed-idle hit {metrics['armed_idle_hit_ns']:.0f}ns/op"
         )
     if args.check:
         regressed = 0
