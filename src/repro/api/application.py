@@ -595,6 +595,35 @@ class Application:
         """
         return store.push(name or self.name, self.build_artifact(trained, metrics))
 
+    def serve_pool(
+        self,
+        store,
+        name: str | None = None,
+        tiers: Sequence[str] | None = None,
+        dtype: str | None = None,
+        workers: int = 0,
+        **kwargs,
+    ):
+        """A replica pool serving this application's stored model.
+
+        The serving-side mirror of ``report(workers=N)``: ``workers=0``
+        builds the in-process :class:`~repro.serve.ReplicaPool`;
+        ``workers > 0`` builds the process-parallel
+        :class:`~repro.serve.WorkerReplicaPool` — identical predictions,
+        N resident forward processes (``docs/serving.md``).  ``name``
+        defaults to the application's own name; extra keyword arguments
+        flow to the pool constructor.
+        """
+        if workers > 0:
+            from repro.serve import WorkerReplicaPool as pool_cls
+
+            kwargs["workers"] = workers
+        else:
+            from repro.serve import ReplicaPool as pool_cls
+        return pool_cls.from_store(
+            store, name or self.name, tiers=tiers, dtype=dtype, **kwargs
+        )
+
     # ------------------------------------------------------------------
     # Resuming from a stored artifact
     # ------------------------------------------------------------------

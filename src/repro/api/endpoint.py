@@ -268,28 +268,56 @@ class Endpoint:
                 batch = encode_inputs(records, self._schema, self.artifact.vocabs)
         return records, batch
 
-    def forward_encoded(
-        self, records: list[Record], batch: dict
-    ) -> list[dict[str, Any]]:
-        """One model forward over an encoded batch, formatted per record.
+    def forward_raw(self, batch: dict) -> dict[str, Any]:
+        """The bare model forward over an encoded batch: task outputs only.
 
         Serving never takes gradients, so the forward runs tape-free: the
         ``no_grad`` guard here is belt-and-braces on top of
         ``MultitaskModel.predict`` (and keeps the fast path even if a
         custom model's ``predict`` forgets it).
+
+        This is the only piece of serving that needs the model, which is
+        why it is the slice :mod:`repro.serve.pool_worker` runs inside a
+        worker process: encode and :meth:`finalize_outputs` stay in the
+        gateway, only ``{task: outputs-with-probs-and-predictions}``
+        crosses the process boundary.
         """
-        with get_tracer().span("endpoint.forward", child_only=True, n=len(records)):
+        size = batch.size if hasattr(batch, "size") else None
+        with get_tracer().span("endpoint.forward", child_only=True, n=size):
             with no_grad():
                 outputs = self._model.predict(batch)
+        self.batches_run += 1
+        return outputs
+
+    def finalize_outputs(
+        self, outputs: dict[str, Any], records: list[Record]
+    ) -> list[dict[str, Any]]:
+        """Constrain and format raw task outputs into per-record responses.
+
+        ``outputs`` only needs per-task ``.probs`` / ``.predictions``
+        arrays (a full :class:`~repro.model.task_heads.TaskOutput` or the
+        slim cross-process stand-in both work), so the gateway can decode
+        worker results without re-running the forward.
+        """
         if self._constraints is not None and len(self._constraints):
             self._apply_constraints(outputs, records)
-        self.batches_run += 1
         responses: list[dict[str, Any]] = [{} for _ in records]
         for out_sig in self.signature.outputs:
             task_out = outputs[out_sig.name]
             for i, record in enumerate(records):
                 responses[i][out_sig.name] = self._format(out_sig, task_out, i, record)
         return responses
+
+    def forward_encoded(
+        self, records: list[Record], batch: dict
+    ) -> list[dict[str, Any]]:
+        """One model forward over an encoded batch, formatted per record.
+
+        Composition of :meth:`forward_raw` and :meth:`finalize_outputs` —
+        the in-process serving path, and the parity reference for the
+        process-parallel one.
+        """
+        return self.finalize_outputs(self.forward_raw(batch), records)
 
     # ------------------------------------------------------------------
     # Internals

@@ -178,10 +178,14 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
-def _install_fault_plan(args: argparse.Namespace) -> None:
-    """Arm ``--fault-plan plan.json`` (chaos drills against a live server)."""
+def _install_fault_plan(args: argparse.Namespace):
+    """Arm ``--fault-plan plan.json`` (chaos drills against a live server).
+
+    Returns the installed plan (or ``None``) so worker-pool callers can
+    broadcast it to already-running worker processes.
+    """
     if not getattr(args, "fault_plan", None):
-        return
+        return None
     from repro.faults import FaultPlan, install
 
     plan = FaultPlan.from_file(args.fault_plan)
@@ -190,26 +194,38 @@ def _install_fault_plan(args: argparse.Namespace) -> None:
         f"fault plan {plan.name!r} armed (seed={plan.seed}, "
         f"points: {', '.join(plan.points())})"
     )
+    return plan
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
     import time
 
     from repro.api import Endpoint as _Endpoint
     from repro.serve import (
+        AsyncGatewayServer,
         GatewayConfig,
         GatewayHTTPServer,
         ReplicaPool,
         ServingGateway,
+        WorkerReplicaPool,
     )
 
     dtype = args.dtype or None
+    # --workers 0 keeps the exact in-process path; N > 0 forwards every
+    # batch to one of N resident worker processes (docs/serving.md).
+    if args.workers > 0:
+        pool_cls, pool_kwargs = WorkerReplicaPool, {"workers": args.workers}
+    else:
+        pool_cls, pool_kwargs = ReplicaPool, {}
     if args.artifact:
-        pool = ReplicaPool.from_endpoint(
-            _Endpoint.from_directory(args.artifact, dtype=dtype)
+        pool = pool_cls.from_endpoint(
+            _Endpoint.from_directory(args.artifact, dtype=dtype), **pool_kwargs
         )
     elif args.store and args.model:
-        pool = ReplicaPool.from_store(ModelStore(args.store), args.model, dtype=dtype)
+        pool = pool_cls.from_store(
+            ModelStore(args.store), args.model, dtype=dtype, **pool_kwargs
+        )
     else:
         raise ReproError("provide --artifact DIR, or --store DIR with --model NAME")
 
@@ -225,38 +241,69 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ),
     )
     gateway = ServingGateway(pool, config)
-    _install_fault_plan(args)
+    plan = _install_fault_plan(args)
+    if plan is not None and hasattr(pool, "set_fault_plan"):
+        # Worker processes forked before the plan was armed: ship it.
+        pool.set_fault_plan(plan)
+    if args.warmup:
+        request = json.loads(Path(args.warmup).read_text())
+        payloads = request if isinstance(request, list) else [request]
+        estimates = pool.warmup(payloads)
+        print(
+            "warmup: "
+            + "  ".join(f"{t}={s * 1000:.1f}ms" for t, s in estimates.items())
+        )
     if args.canary:
         gateway.set_canary(args.canary, args.canary_fraction, shadow=args.shadow_canary)
     elif args.shadow:
         gateway.set_shadow(args.shadow)
 
-    with gateway, GatewayHTTPServer(gateway, host=args.host, port=args.port) as server:
-        versions = ", ".join(
-            f"{tier}@{roles.get('stable')}"
-            for tier, roles in pool.versions().items()
-        )
-        print(f"serving {versions} on {server.url}")
-        print(
-            "routes: POST /predict   "
-            "GET /healthz /telemetry /dashboard /metrics /trace/<id>"
-        )
-        deadline = (
-            time.monotonic() + args.max_seconds if args.max_seconds else None
-        )
-        next_poll = time.monotonic() + args.poll_seconds
-        try:
-            while deadline is None or time.monotonic() < deadline:
-                time.sleep(0.2)
-                if args.poll_seconds and time.monotonic() >= next_poll:
-                    next_poll = time.monotonic() + args.poll_seconds
-                    for tier, changed in gateway.poll_store().items():
-                        if changed:
-                            version = pool.versions()[tier].get("stable")
-                            print(f"tier {tier} refreshed -> {version}")
-        except KeyboardInterrupt:
-            pass
-        print(gateway.dashboard())
+    server_cls = GatewayHTTPServer if args.http == "threaded" else AsyncGatewayServer
+    # SIGTERM lands as KeyboardInterrupt so the context managers unwind in
+    # order: stop intake (server), drain lanes (gateway), join workers
+    # (pool) — a rolling restart loses no accepted request.
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # not the main thread (embedded use)
+        pass
+    try:
+        with pool, gateway, server_cls(
+            gateway, host=args.host, port=args.port
+        ) as server:
+            versions = ", ".join(
+                f"{tier}@{roles.get('stable')}"
+                for tier, roles in pool.versions().items()
+            )
+            print(f"serving {versions} on {server.url}")
+            if args.workers > 0:
+                print(f"workers: {args.workers} processes ({args.http} front-end)")
+            print(
+                "routes: POST /predict   "
+                "GET /healthz /telemetry /dashboard /metrics /trace/<id>"
+            )
+            deadline = (
+                time.monotonic() + args.max_seconds if args.max_seconds else None
+            )
+            next_poll = time.monotonic() + args.poll_seconds
+            try:
+                while deadline is None or time.monotonic() < deadline:
+                    time.sleep(0.2)
+                    if args.poll_seconds and time.monotonic() >= next_poll:
+                        next_poll = time.monotonic() + args.poll_seconds
+                        for tier, changed in gateway.poll_store().items():
+                            if changed:
+                                version = pool.versions()[tier].get("stable")
+                                print(f"tier {tier} refreshed -> {version}")
+            except KeyboardInterrupt:
+                pass
+            print(gateway.dashboard())
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
     return 0
 
 
@@ -549,6 +596,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the forward pass (0 = in-process serving)",
+    )
+    p.add_argument(
+        "--http",
+        default="async",
+        choices=["async", "threaded"],
+        help="HTTP front-end: asyncio event loop or thread-per-connection",
+    )
+    p.add_argument(
+        "--warmup",
+        default="",
+        help="payload JSON file served to every tier (and worker) at startup",
+    )
     p.add_argument(
         "--batch", type=int, default=32, help="max dynamic batch size"
     )

@@ -86,6 +86,17 @@ class ServeTimeout(ServeError):
     """
 
 
+class WorkerCrashError(ServeError):
+    """A long-lived worker process died (or stopped answering) mid-request.
+
+    Raised by :mod:`repro.exec.workers` when the duplex channel to a
+    worker breaks.  It is a :class:`ServeError` so the serving gateway's
+    failure domains apply unchanged: the batch fails, the tier's circuit
+    breaker records the failure, and the HTTP front answers 503 while the
+    supervisor respawns the worker.
+    """
+
+
 class FaultError(ReproError):
     """A fault-injection plan is malformed or internally inconsistent."""
 

@@ -14,6 +14,10 @@ package runs them across a process pool instead of one at a time:
   and the best score per block.
 - :func:`parallel_quality_report` — the per-tag quality report with tag
   evaluations fanned out across workers.
+- :class:`WorkerProcess` / :class:`WorkerTeam` — *resident* duplex
+  worker processes with lease/release dispatch and restart-on-crash,
+  the plumbing under process-parallel serving
+  (:class:`repro.serve.WorkerReplicaPool`).
 
 The search strategies in :mod:`repro.tuning` accept an executor in place
 of a trial function; ``Application.tune(..., workers=N)`` and the
@@ -31,6 +35,12 @@ from repro.exec.executor import (
 )
 from repro.exec.report import parallel_quality_report
 from repro.exec.trial import TuneContext, run_tuning_trial
+from repro.exec.workers import (
+    WorkerProcess,
+    WorkerTeam,
+    default_mp_context,
+    serve_connection,
+)
 
 __all__ = [
     "CacheEntry",
@@ -42,6 +52,10 @@ __all__ = [
     "TrialOutcome",
     "TrialTask",
     "TuneContext",
+    "WorkerProcess",
+    "WorkerTeam",
+    "default_mp_context",
+    "serve_connection",
     "coverage_report",
     "parallel_quality_report",
     "run_tuning_trial",

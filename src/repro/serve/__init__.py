@@ -14,14 +14,20 @@ models evolve (§1), operationalized:
   sampled payloads that feed ``repro.monitoring``;
 * :class:`CircuitBreaker` — per-tier failure domains: load shedding,
   healthy-tier degradation, half-open recovery (``docs/robustness.md``);
-* :class:`GatewayHTTPServer` — a stdlib HTTP front (``repro serve``).
+* :class:`WorkerReplicaPool` — process-parallel serving: N resident
+  worker processes fed over shared-memory batch transport
+  (``repro serve --workers N``, ``docs/serving.md``);
+* :class:`GatewayHTTPServer` / :class:`AsyncGatewayServer` — stdlib HTTP
+  fronts, threaded and asyncio (``repro serve``).
 """
 
 from repro.serve.batcher import PendingResponse, QueuedRequest, RequestQueue
 from repro.serve.breaker import BreakerPolicy, CircuitBreaker
 from repro.serve.gateway import GatewayConfig, ServingGateway
-from repro.serve.http import GatewayHTTPServer
+from repro.serve.http import AsyncGatewayServer, GatewayHTTPServer
+from repro.serve.pool_worker import WorkerReplica, WorkerReplicaPool
 from repro.serve.replica import Replica, ReplicaPool
+from repro.serve.shm import SegmentCache, ShmArena
 from repro.serve.rollout import (
     Disagreement,
     RolloutController,
@@ -40,6 +46,11 @@ __all__ = [
     "ServingGateway",
     "GatewayConfig",
     "GatewayHTTPServer",
+    "AsyncGatewayServer",
+    "WorkerReplicaPool",
+    "WorkerReplica",
+    "ShmArena",
+    "SegmentCache",
     "BreakerPolicy",
     "CircuitBreaker",
     "ReplicaPool",

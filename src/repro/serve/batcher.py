@@ -32,21 +32,46 @@ class PendingResponse:
     (``GET /trace/<id>``) after — or while — it is served.
     """
 
-    __slots__ = ("_event", "_result", "_exception", "trace_id")
+    __slots__ = ("_event", "_result", "_exception", "trace_id", "_callbacks", "_lock")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._result: Any = None
         self._exception: BaseException | None = None
         self.trace_id: str | None = None
+        self._callbacks: list = []
+        self._lock = threading.Lock()
 
     def set_result(self, result: Any) -> None:
         self._result = result
-        self._event.set()
+        self._finish()
 
     def set_exception(self, exc: BaseException) -> None:
         self._exception = exc
-        self._event.set()
+        self._finish()
+
+    def _finish(self) -> None:
+        with self._lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:  # noqa: BLE001 - a callback must not kill a lane
+                pass
+
+    def on_done(self, callback) -> None:
+        """Run ``callback(self)`` once settled (immediately if already done).
+
+        Callbacks fire on the settling thread (a lane worker) — they must
+        be cheap and non-blocking.  The asyncio front-end uses this to
+        bridge a future into an event loop via ``call_soon_threadsafe``.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -144,15 +169,20 @@ class RequestQueue:
         if max_size <= 0:
             raise ServeError("max_size must be positive")
         with self._cond:
-            while not self._items and not self._closed:
-                self._cond.wait()
-            if not self._items:
-                return None  # closed and drained
-            deadline = self._items[0].enqueued_at + max_wait_s
-            while len(self._items) < max_size and not self._closed:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break
-                self._cond.wait(remaining)
-            n = min(max_size, len(self._items))
-            return [self._items.popleft() for _ in range(n)]
+            while True:
+                while not self._items and not self._closed:
+                    self._cond.wait()
+                if not self._items:
+                    return None  # closed and drained
+                deadline = self._items[0].enqueued_at + max_wait_s
+                while len(self._items) < max_size and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                n = min(max_size, len(self._items))
+                if n == 0:
+                    # A concurrent consumer drained the items this thread
+                    # was woken for (multi-threaded lanes); wait again.
+                    continue
+                return [self._items.popleft() for _ in range(n)]

@@ -74,14 +74,24 @@ class GatewayConfig:
 
 
 class _Lane:
-    """One (tier, role) serving lane: queue, worker, replica."""
+    """One (tier, role) serving lane: queue, worker threads, replica.
+
+    An in-process replica serializes batches behind its own lock, so one
+    worker thread is all that can make progress; a process-parallel pool
+    reports ``concurrency > 1`` and the lane runs that many threads, each
+    popping the shared queue and keeping one worker process busy.
+    """
 
     def __init__(self, tier: str, role: str, replica, max_depth: int | None = None):
         self.tier = tier
         self.role = role  # "stable" | "canary" | "shadow"
         self.replica = replica
         self.queue = RequestQueue(max_depth=max_depth)
-        self.worker: threading.Thread | None = None
+        self.workers: list[threading.Thread] = []
+
+    def join(self, timeout: float | None = None) -> None:
+        for thread in self.workers:
+            thread.join(timeout=timeout)
 
 
 class ServingGateway:
@@ -184,7 +194,7 @@ class ServingGateway:
         for lane in lanes:
             lane.queue.close()
         for lane in lanes:
-            lane.worker.join(timeout=30)
+            lane.join(timeout=30)
 
     def drain(self, timeout: float = 30.0) -> None:
         """Block until every accepted request (and mirror) is answered."""
@@ -384,7 +394,7 @@ class ServingGateway:
         snapshot = self.telemetry.snapshot(
             max_batch_size=self.config.max_batch_size
         )
-        return {
+        stats = {
             "uptime_s": time.monotonic() - self.started_at,
             "telemetry": snapshot.to_dict(),
             "rollout": self.rollout.status().to_dict(),
@@ -405,6 +415,10 @@ class ServingGateway:
             },
             "breaker_history": self.telemetry.breaker_events(),
         }
+        worker_stats = getattr(self.pool, "worker_stats", None)
+        if worker_stats is not None:
+            stats["workers"] = worker_stats()
+        return stats
 
     def dashboard(self) -> str:
         """The live text dashboard (telemetry + rollout summary)."""
@@ -418,6 +432,18 @@ class ServingGateway:
                 f"disagreement_rate="
                 + (f"{rate:.3f}" if rate is not None else "n/a")
             )
+        worker_stats = getattr(self.pool, "worker_stats", None)
+        if worker_stats is not None:
+            parts = []
+            for entry in worker_stats():
+                state = "up" if entry["alive"] else "down"
+                parts.append(
+                    f"w{entry['worker']}:{state} "
+                    f"batches={entry['batches']} "
+                    f"inflight={entry['inflight']} "
+                    f"restarts={entry['restarts']}"
+                )
+            lines.append("workers: " + " | ".join(parts))
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -435,14 +461,17 @@ class ServingGateway:
                 lane = _Lane(
                     tier, role, replica, max_depth=self.config.max_queue_depth
                 )
-                lane.worker = threading.Thread(
-                    target=self._worker,
-                    args=(lane,),
-                    name=f"serve-{tier}-{role}",
-                    daemon=True,
-                )
+                for i in range(max(1, self.pool.concurrency)):
+                    thread = threading.Thread(
+                        target=self._worker,
+                        args=(lane,),
+                        name=f"serve-{tier}-{role}-{i}",
+                        daemon=True,
+                    )
+                    lane.workers.append(thread)
                 self._lanes[key] = lane
-                lane.worker.start()
+                for thread in lane.workers:
+                    thread.start()
             return lane
 
     def _close_candidate_lanes(self) -> None:
@@ -455,7 +484,7 @@ class ServingGateway:
         for lane in lanes:
             lane.queue.close()
         for lane in lanes:
-            lane.worker.join(timeout=30)
+            lane.join(timeout=30)
 
     def _track(self, delta: int) -> None:
         with self._inflight_cond:
@@ -530,6 +559,7 @@ class ServingGateway:
     ) -> None:
         """Answer served requests: mirror, telemetry, futures, metrics."""
         now = time.monotonic()
+        served_by = lane.replica.served_by()
         if lane.role == "stable":
             self._mirror_to_shadow(lane.tier, items, responses)
         for item, response in zip(items, responses):
@@ -542,6 +572,7 @@ class ServingGateway:
                     batch_size=batch_size,
                     dtype=lane.replica.endpoint.dtype_name,
                     trace_id=item.future.trace_id,
+                    worker=served_by,
                 ),
                 payload=item.payload if lane.role != "shadow" else None,
             )

@@ -1,8 +1,18 @@
-"""A stdlib-only HTTP front for the serving gateway.
+"""Stdlib-only HTTP fronts for the serving gateway.
 
 Production Overton sits behind the product's RPC fabric; the library
-equivalent is ``http.server`` — threaded, dependency-free, good enough to
-demonstrate and load-test the gateway over real sockets.
+equivalents are dependency-free and share one routing table:
+
+* :class:`GatewayHTTPServer` — ``http.server`` threaded front: one OS
+  thread per in-flight connection.  Simple, fine for demos and tests.
+* :class:`AsyncGatewayServer` — an ``asyncio`` front on a single event
+  loop: non-blocking intake, keep-alive connections, thousands of idle
+  clients without thousands of threads.  ``POST /predict`` bridges the
+  gateway's :class:`~repro.serve.batcher.PendingResponse` futures into
+  the loop (``on_done`` → ``call_soon_threadsafe``), so slow forwards
+  never block the accept path, and :meth:`AsyncGatewayServer.stop` drains
+  gracefully: stop intake first, wait for in-flight requests, then stop
+  the loop.
 
 Routes::
 
@@ -29,9 +39,11 @@ bare traceback.  Single-payload ``/predict`` responses carry an
 
 from __future__ import annotations
 
+import asyncio
 import json
 import threading
 import time
+from http.client import responses as _HTTP_REASONS
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ReproError, ServeError, ServeOverloadError, ServeTimeout
@@ -41,9 +53,116 @@ from repro.serve.gateway import ServingGateway
 
 _ENVELOPE_KEYS = {"payload", "latency_budget", "request_id"}
 
+_JSON = "application/json"
+
 
 class _BadRequest(Exception):
     """A malformed request body/envelope — always the client's fault."""
+
+
+# ----------------------------------------------------------------------
+# Routing shared by both fronts
+# ----------------------------------------------------------------------
+def _json_bytes(obj) -> bytes:
+    return json.dumps(obj).encode("utf-8")
+
+
+def _error_reply(exc: BaseException) -> tuple[int, dict, dict]:
+    """The one error→status mapping: ``(code, body, extra_headers)``."""
+    if isinstance(exc, _BadRequest):
+        return 400, {"error": str(exc)}, {}
+    if isinstance(exc, ServeOverloadError):
+        # Shed before any work: retryable, tell the client when.
+        return 503, {"error": str(exc)}, {"Retry-After": "1"}
+    if isinstance(exc, ServeTimeout):
+        # Accepted but not answered in time: a gateway timeout.
+        return 504, {"error": str(exc)}, {}
+    if isinstance(exc, ServeError):
+        # The gateway, not the request: stopped or unavailable.
+        return 503, {"error": str(exc)}, {}
+    if isinstance(exc, ReproError):  # payload validation and friends
+        return 400, {"error": str(exc)}, {}
+    return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+
+
+def _get_route(gateway: ServingGateway, autopilot, path: str) -> tuple[int, str, bytes]:
+    """Answer one GET: ``(status, content_type, body)``; never raises HTTP."""
+    if path == "/healthz":
+        # The highest-frequency route: answer from cheap state only,
+        # never the full telemetry aggregation.
+        return (
+            200,
+            _JSON,
+            _json_bytes(
+                {
+                    "status": "ok",
+                    "uptime_s": time.monotonic() - gateway.started_at,
+                    "versions": gateway.pool.versions(),
+                    "dtypes": gateway.pool.dtypes(),
+                    "tier_order": gateway.pool.tier_order,
+                }
+            ),
+        )
+    if path == "/telemetry":
+        return 200, _JSON, _json_bytes(gateway.stats())
+    if path == "/dashboard":
+        text = gateway.dashboard()
+        if autopilot is not None:
+            text += "\n" + autopilot.render()
+        return 200, "text/plain; charset=utf-8", (text + "\n").encode("utf-8")
+    if path == "/metrics":
+        return 200, _METRICS_CONTENT_TYPE, render_prometheus().encode("utf-8")
+    if path.startswith("/trace/"):
+        trace_id = path[len("/trace/"):]
+        spans = get_tracer().ring.trace(trace_id)
+        if not spans:
+            return 404, _JSON, _json_bytes({"error": f"unknown trace {trace_id!r}"})
+        return (
+            200,
+            _JSON,
+            _json_bytes(
+                {"trace_id": trace_id, "spans": [s.to_dict() for s in spans]}
+            ),
+        )
+    if path == "/autopilot":
+        if autopilot is None:
+            return 404, _JSON, _json_bytes({"error": "no autopilot attached"})
+        return (
+            200,
+            _JSON,
+            _json_bytes(
+                {
+                    "status": autopilot.status(),
+                    "policy": autopilot.policy.to_dict(),
+                    "journal": autopilot.journal.tail(50),
+                }
+            ),
+        )
+    return 404, _JSON, _json_bytes({"error": f"unknown path {path!r}"})
+
+
+def _parse_predict(body) -> tuple[list, dict, bool]:
+    """Validate a ``/predict`` body: ``(payloads, submit_kwargs, single)``."""
+    if isinstance(body, list):
+        return body, {}, False
+    if not isinstance(body, dict):
+        raise _BadRequest(
+            "request body must be a payload object, an envelope, "
+            "or a list of payload objects"
+        )
+    if "payload" in body:
+        unknown = set(body) - _ENVELOPE_KEYS
+        if unknown:
+            raise _BadRequest(
+                f"unknown envelope keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(_ENVELOPE_KEYS)}"
+            )
+        kwargs = {
+            "latency_budget": body.get("latency_budget"),
+            "request_id": body.get("request_id"),
+        }
+        return [body["payload"]], kwargs, True
+    return [body], {}, True
 
 
 class GatewayHTTPServer:
@@ -114,64 +233,11 @@ def _make_handler(
 
         def do_GET(self) -> None:  # noqa: N802 - http.server API
             try:
-                self._route_get()
+                code, ctype, data = _get_route(gateway, autopilot, self.path)
             except Exception as exc:  # noqa: BLE001 - a 500, not a traceback
                 self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
-
-        def _route_get(self) -> None:
-            if self.path == "/healthz":
-                # The highest-frequency route: answer from cheap state only,
-                # never the full telemetry aggregation.
-                self._json(
-                    200,
-                    {
-                        "status": "ok",
-                        "uptime_s": time.monotonic() - gateway.started_at,
-                        "versions": gateway.pool.versions(),
-                        "dtypes": gateway.pool.dtypes(),
-                        "tier_order": gateway.pool.tier_order,
-                    },
-                )
-            elif self.path == "/telemetry":
-                self._json(200, gateway.stats())
-            elif self.path == "/dashboard":
-                text = gateway.dashboard()
-                if autopilot is not None:
-                    text += "\n" + autopilot.render()
-                self._text(200, text + "\n")
-            elif self.path == "/metrics":
-                self._respond(
-                    200,
-                    _METRICS_CONTENT_TYPE,
-                    render_prometheus().encode("utf-8"),
-                )
-            elif self.path.startswith("/trace/"):
-                trace_id = self.path[len("/trace/"):]
-                spans = get_tracer().ring.trace(trace_id)
-                if not spans:
-                    self._json(404, {"error": f"unknown trace {trace_id!r}"})
-                else:
-                    self._json(
-                        200,
-                        {
-                            "trace_id": trace_id,
-                            "spans": [s.to_dict() for s in spans],
-                        },
-                    )
-            elif self.path == "/autopilot":
-                if autopilot is None:
-                    self._json(404, {"error": "no autopilot attached"})
-                else:
-                    self._json(
-                        200,
-                        {
-                            "status": autopilot.status(),
-                            "policy": autopilot.policy.to_dict(),
-                            "journal": autopilot.journal.tail(50),
-                        },
-                    )
             else:
-                self._json(404, {"error": f"unknown path {self.path!r}"})
+                self._respond(code, ctype, data)
 
         def do_POST(self) -> None:  # noqa: N802 - http.server API
             if self.path != "/predict":
@@ -185,43 +251,15 @@ def _make_handler(
                 return
             try:
                 self._json(200, self._serve(body))
-            except _BadRequest as exc:
-                self._json(400, {"error": str(exc)})
-            except ServeOverloadError as exc:
-                # Shed before any work: retryable, tell the client when.
-                self._json(503, {"error": str(exc)}, headers={"Retry-After": "1"})
-            except ServeTimeout as exc:
-                # Accepted but not answered in time: a gateway timeout.
-                self._json(504, {"error": str(exc)})
-            except ServeError as exc:
-                # The gateway, not the request: stopped or unavailable.
-                self._json(503, {"error": str(exc)})
-            except ReproError as exc:  # payload validation and friends
-                self._json(400, {"error": str(exc)})
-            except Exception as exc:  # noqa: BLE001 - a 500, not a crash
-                self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            except Exception as exc:  # noqa: BLE001 - mapped, never a crash
+                code, obj, headers = _error_reply(exc)
+                self._json(code, obj, headers=headers or None)
 
         def _serve(self, body):
-            if isinstance(body, list):
-                return gateway.submit_many(body)
-            if not isinstance(body, dict):
-                raise _BadRequest(
-                    "request body must be a payload object, an envelope, "
-                    "or a list of payload objects"
-                )
-            if "payload" in body:
-                unknown = set(body) - _ENVELOPE_KEYS
-                if unknown:
-                    raise _BadRequest(
-                        f"unknown envelope keys {sorted(unknown)}; "
-                        f"expected a subset of {sorted(_ENVELOPE_KEYS)}"
-                    )
-                return self._submit_one(
-                    body["payload"],
-                    latency_budget=body.get("latency_budget"),
-                    request_id=body.get("request_id"),
-                )
-            return self._submit_one(body)
+            payloads, kwargs, single = _parse_predict(body)
+            if single:
+                return self._submit_one(payloads[0], **kwargs)
+            return gateway.submit_many(payloads)
 
         def _submit_one(self, payload, **kwargs):
             """Submit a single payload, remembering its trace id (if any)
@@ -256,3 +294,289 @@ def _make_handler(
             self.wfile.write(data)
 
     return Handler
+
+
+# ----------------------------------------------------------------------
+# The asyncio front-end
+# ----------------------------------------------------------------------
+def _render_http(
+    code: int,
+    content_type: str,
+    data: bytes,
+    headers: dict | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one HTTP/1.1 response (status line, headers, body)."""
+    lines = [
+        f"HTTP/1.1 {code} {_HTTP_REASONS.get(code, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(data)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + data
+
+
+class AsyncGatewayServer:
+    """An asyncio HTTP front: non-blocking intake on a single event loop.
+
+    The threaded front burns one OS thread per in-flight connection; this
+    one multiplexes every connection on one loop (running on a background
+    thread, so the caller's API matches :class:`GatewayHTTPServer`).
+    ``POST /predict`` submits through the gateway's existing micro-batcher
+    and *suspends* the coroutine until the lane worker settles the future
+    — ``PendingResponse.on_done`` hops the result back into the loop with
+    ``call_soon_threadsafe`` — so a slow forward pass never blocks accept
+    or other connections.  Connections are keep-alive by default
+    (HTTP/1.1 semantics; ``Connection: close`` honored).
+
+    :meth:`stop` is a graceful drain: close the listener (stop intake),
+    wait for accepted requests to be answered (``gateway.drain``), then
+    stop the loop and join the thread.  Wire it to SIGTERM for clean
+    rolling restarts (the CLI does).
+    """
+
+    def __init__(
+        self,
+        gateway: ServingGateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        autopilot=None,
+        drain_timeout_s: float = 30.0,
+    ) -> None:
+        self.gateway = gateway
+        self.autopilot = autopilot
+        self.drain_timeout_s = drain_timeout_s
+        self._requested = (host, port)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._conn_tasks: set = set()
+        self._addr: tuple[str, int] | None = None
+
+    @property
+    def host(self) -> str:
+        if self._addr is None:
+            raise ServeError("asyncio server is not running")
+        return self._addr[0]
+
+    @property
+    def port(self) -> int:
+        if self._addr is None:
+            raise ServeError("asyncio server is not running")
+        return self._addr[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "AsyncGatewayServer":
+        if self._thread is not None:
+            raise ServeError("asyncio server already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="serve-asyncio", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise ServeError("asyncio server did not start within 10s")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+            raise ServeError(
+                f"asyncio server failed to bind: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Graceful drain: stop intake → answer in-flight → stop the loop."""
+        if self._thread is None:
+            return
+        loop = self._loop
+        if loop is not None and self._server is not None:
+            loop.call_soon_threadsafe(self._server.close)
+        try:
+            self.gateway.drain(self.drain_timeout_s)
+        except ServeError:
+            pass  # bounded best effort: stopping beats waiting forever
+        if loop is not None and self._stop_event is not None:
+            loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=self.drain_timeout_s + 10)
+        self._thread = None
+
+    def __enter__(self) -> "AsyncGatewayServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- the loop -------------------------------------------------------
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    async def _main(self) -> None:
+        self._stop_event = asyncio.Event()
+        host, port = self._requested
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_client, host, port
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._addr = self._server.sockets[0].getsockname()[:2]
+        self._ready.set()
+        await self._stop_event.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        if self._conn_tasks:
+            # In-flight requests were drained by stop(); what remains is
+            # idle keep-alive connections parked on read.  Bounded wait,
+            # then cancel.
+            _, pending = await asyncio.wait(self._conn_tasks, timeout=2.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    async def _handle_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body, keep_alive = request
+                code, ctype, data, extra = await self._dispatch(
+                    method, path, body
+                )
+                writer.write(_render_http(code, ctype, data, extra, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+            ConnectionError,
+            OSError,
+        ):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader):
+        """Parse one request; ``None`` on EOF or a malformed start line."""
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return None
+        method, path, version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        body = await reader.readexactly(length) if length else b""
+        if version == "HTTP/1.0":
+            keep_alive = headers.get("connection", "").lower() == "keep-alive"
+        else:
+            keep_alive = headers.get("connection", "").lower() != "close"
+        return method, path, body, keep_alive
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, str, bytes, dict]:
+        try:
+            if method == "GET":
+                code, ctype, data = _get_route(self.gateway, self.autopilot, path)
+                return code, ctype, data, {}
+            if method == "POST" and path == "/predict":
+                return await self._predict(body)
+            return (
+                404,
+                _JSON,
+                _json_bytes({"error": f"unknown path {path!r}"}),
+                {},
+            )
+        except Exception as exc:  # noqa: BLE001 - mapped, never a crash
+            code, obj, headers = _error_reply(exc)
+            return code, _JSON, _json_bytes(obj), headers
+
+    async def _predict(self, body: bytes) -> tuple[int, str, bytes, dict]:
+        try:
+            parsed = json.loads(body or b"null")
+        except (ValueError, json.JSONDecodeError) as exc:
+            return (
+                400,
+                _JSON,
+                _json_bytes({"error": f"bad request body: {exc}"}),
+                {},
+            )
+        payloads, kwargs, single = _parse_predict(parsed)
+        loop = asyncio.get_running_loop()
+        futures = [
+            self.gateway.submit_async(p, **kwargs) for p in payloads
+        ]  # validation raises here, before anything queues
+        waiters = [self._bridge(loop, f) for f in futures]
+        try:
+            results = await asyncio.wait_for(
+                asyncio.gather(*waiters),
+                timeout=self.gateway.config.request_timeout_s,
+            )
+        except asyncio.TimeoutError:
+            raise ServeTimeout(
+                "request not answered within "
+                f"{self.gateway.config.request_timeout_s}s"
+            ) from None
+        headers = {}
+        if single and futures[0].trace_id is not None:
+            headers["X-Trace-Id"] = futures[0].trace_id
+        payload = results[0] if single else results
+        return 200, _JSON, _json_bytes(payload), headers
+
+    @staticmethod
+    def _bridge(loop, pending) -> "asyncio.Future":
+        """An asyncio future settled when the gateway future settles."""
+        afut = loop.create_future()
+
+        def _settle(p=pending, afut=afut) -> None:
+            if afut.cancelled():
+                return
+            try:
+                afut.set_result(p.result(timeout=0))
+            except BaseException as exc:  # noqa: BLE001 - relayed, not lost
+                afut.set_exception(exc)
+
+        def _hop(p) -> None:
+            # on_done fires on a lane worker thread: hop into the loop.
+            try:
+                loop.call_soon_threadsafe(_settle)
+            except RuntimeError:
+                pass  # loop already closed (shutdown race); waiter is gone
+
+        pending.on_done(_hop)
+        return afut

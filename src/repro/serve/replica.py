@@ -69,15 +69,28 @@ class Replica:
             ):
                 responses = self.endpoint.serve_batch(payloads)
             elapsed = time.perf_counter() - start
-            self.requests_served += len(payloads)
-            self.batches_served += 1
-            if self.ewma_latency_s is None:
-                self.ewma_latency_s = elapsed
-            else:
-                self.ewma_latency_s = (
-                    _EWMA_ALPHA * elapsed + (1 - _EWMA_ALPHA) * self.ewma_latency_s
-                )
+            self._note_served(len(payloads), elapsed)
         return responses, elapsed
+
+    def served_by(self) -> int | None:
+        """Which worker slot answered this thread's last batch, if any.
+
+        ``None`` for in-process replicas; :class:`~repro.serve.pool_worker.
+        WorkerReplica` overrides this so the gateway can stamp per-worker
+        telemetry labels without widening the ``serve()`` contract.
+        """
+        return None
+
+    def _note_served(self, n_requests: int, elapsed: float) -> None:
+        """Update the serving counters and latency EWMA (caller holds lock)."""
+        self.requests_served += n_requests
+        self.batches_served += 1
+        if self.ewma_latency_s is None:
+            self.ewma_latency_s = elapsed
+        else:
+            self.ewma_latency_s = (
+                _EWMA_ALPHA * elapsed + (1 - _EWMA_ALPHA) * self.ewma_latency_s
+            )
 
 
 class ReplicaPool:
@@ -108,7 +121,7 @@ class ReplicaPool:
                 dtype = overrides.pop()
         self._dtype = dtype
         self._replicas: dict[tuple[str, str], Replica] = {
-            (tier, STABLE): Replica(tier, STABLE, endpoint)
+            (tier, STABLE): self._make_replica(tier, STABLE, endpoint)
             for tier, endpoint in tiers.items()
         }
         if tier_order is None:
@@ -128,22 +141,64 @@ class ReplicaPool:
         self._latency_hints: dict[str, float] = {}
         self._lock = threading.Lock()
 
+    def _make_replica(self, tier: str, role: str, endpoint: Endpoint) -> Replica:
+        """The replica factory every creation path funnels through.
+
+        Subclasses (the process-parallel
+        :class:`~repro.serve.pool_worker.WorkerReplicaPool`) override this
+        so stable *and* candidate replicas alike dispatch to their worker
+        processes, without re-implementing candidate management.
+        """
+        return Replica(tier, role, endpoint)
+
+    @property
+    def concurrency(self) -> int:
+        """How many batches per lane the gateway may run concurrently.
+
+        The in-process pool serializes batches per replica (the compiled
+        model is not reentrant), so one lane worker thread is all that
+        can make progress; process-parallel pools report their worker
+        count and the gateway starts that many threads per lane.
+        """
+        return 1
+
+    def stop(self) -> None:
+        """Release pool resources (worker processes, shared segments).
+
+        A no-op for the in-process pool; defined here so callers can
+        treat every pool uniformly (``with pool: ...``).
+        """
+
+    def __enter__(self) -> "ReplicaPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_endpoint(cls, endpoint: Endpoint, tier: str = "default") -> "ReplicaPool":
+    def from_endpoint(
+        cls, endpoint: Endpoint, tier: str = "default", **kwargs
+    ) -> "ReplicaPool":
         """A single-tier pool over one endpoint (store-backed or not).
 
         The endpoint's dtype override (if any) carries over to the pool
         (derived in ``__init__``) so candidate replicas created later
         serve in the same precision as the stable tier they are compared
-        against.
+        against.  Extra keyword arguments flow to the constructor (pool
+        subclasses add their own knobs, e.g. ``workers``).
         """
         store_names = {}
         if endpoint.model_name is not None:
             store_names[tier] = endpoint.model_name
-        return cls({tier: endpoint}, store=endpoint.store, store_names=store_names)
+        return cls(
+            {tier: endpoint},
+            store=endpoint.store,
+            store_names=store_names,
+            **kwargs,
+        )
 
     @classmethod
     def from_store(
@@ -152,6 +207,7 @@ class ReplicaPool:
         name: str,
         tiers: Sequence[str] | None = None,
         dtype: str | None = None,
+        **kwargs,
     ) -> "ReplicaPool":
         """Serve a stored model, resolving large/small synchronized pairs.
 
@@ -161,6 +217,7 @@ class ReplicaPool:
         model is served as a single ``default`` tier under ``name``.
         ``dtype`` sets every tier's serving precision (e.g. ``"float32"``
         inference mode); ``None`` keeps each artifact's compiled dtype.
+        Extra keyword arguments flow to the constructor.
         """
         if tiers is None:
             found = []
@@ -179,7 +236,9 @@ class ReplicaPool:
             tier: Endpoint.from_store(store, store_name, dtype=dtype)
             for tier, store_name in store_names.items()
         }
-        return cls(endpoints, store=store, store_names=store_names, dtype=dtype)
+        return cls(
+            endpoints, store=store, store_names=store_names, dtype=dtype, **kwargs
+        )
 
     # ------------------------------------------------------------------
     # Tier routing
@@ -279,7 +338,7 @@ class ReplicaPool:
                     version=version,
                     dtype=self._dtype,
                 )
-                self._replicas[(tier, CANDIDATE)] = Replica(
+                self._replicas[(tier, CANDIDATE)] = self._make_replica(
                     tier, CANDIDATE, endpoint
                 )
 

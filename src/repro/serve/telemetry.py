@@ -39,6 +39,7 @@ class RequestEvent:
     ok: bool = True
     dtype: str = "float64"  # the precision the answering replica served in
     trace_id: str | None = None  # links back to the full span tree, if traced
+    worker: int | None = None  # answering worker slot (process-parallel pools)
 
 
 @dataclass(frozen=True)

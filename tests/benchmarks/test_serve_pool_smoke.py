@@ -1,0 +1,23 @@
+"""Tier-1 smoke for the process-parallel serving benchmark.
+
+Runs ``benchmarks/bench_serve_gateway.py`` in reduced-size mode (tiny
+workload, a single 2-worker pool row) on every test run, so the
+gateway-vs-pool comparison — including the unconditional bit-identical
+parity gate inside ``run_gateway_throughput`` — stays exercised
+continuously.  Throughput thresholds are *not* asserted here; those
+belong to the full-size run under ``tools/run_benchmarks.py``.
+"""
+
+from benchmarks.bench_serve_gateway import run_gateway_throughput
+
+
+def test_serve_pool_reduced_mode():
+    columns = run_gateway_throughput(reduced=True)
+    # Wiring, not thresholds: all three serving paths answered the log,
+    # and the reduced run carries exactly one worker-pool row.
+    assert columns["mode"] == [
+        "per-request Endpoint.predict",
+        "gateway (batch 32)",
+        "pool (2 workers)",
+    ]
+    assert all(r > 0 for r in columns["requests/s"])

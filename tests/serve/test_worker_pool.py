@@ -1,0 +1,300 @@
+"""Process-parallel serving: parity, crash recovery, ordering, cleanup.
+
+The :class:`~repro.serve.WorkerReplicaPool` contract under test:
+
+* predictions are **bit-identical** to in-process serving (the gateway
+  encodes once and workers run the same ``forward_raw``, so there is no
+  numerical seam to hide behind) — in both dtypes;
+* a crashed worker surfaces as :class:`~repro.errors.WorkerCrashError`,
+  feeds the tier's circuit breaker, and is respawned in its slot;
+* concurrent ``submit_many`` callers get their responses in order;
+* ``drain()`` covers batches in flight inside worker processes;
+* a stopped pool leaves nothing behind in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError, WorkerCrashError
+from repro.faults import FaultPlan, FaultRule, clear, injected
+from repro.serve import (
+    BreakerPolicy,
+    GatewayConfig,
+    ReplicaPool,
+    ServingGateway,
+    WorkerReplicaPool,
+)
+from repro.serve.shm import NAME_PREFIX, SegmentCache, ShmArena
+
+from tests.serve.conftest import request_payloads
+
+
+def _shm_entries() -> set[str]:
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # non-Linux: nothing to leak-check
+        return set()
+    return {p.name for p in shm.glob(f"{NAME_PREFIX}-*")}
+
+
+@pytest.fixture()
+def worker_pool(pair_store):
+    store, _ = pair_store
+    with WorkerReplicaPool.from_store(store, "factoid-qa", workers=2) as pool:
+        yield pool
+
+
+class TestParity:
+    """Cross-process serving must be bit-identical to in-process."""
+
+    def test_predictions_match_in_process(self, pair_store, served, worker_pool):
+        store, _ = pair_store
+        _, _, _, payloads = served
+        inproc = ReplicaPool.from_store(store, "factoid-qa")
+        for tier in inproc.tiers:
+            expected, _ = inproc.replica(tier).serve(list(payloads))
+            got, _ = worker_pool.replica(tier).serve(list(payloads))
+            assert got == expected, f"tier {tier} diverged across processes"
+
+    def test_parity_holds_in_float32(self, pair_store, served):
+        store, _ = pair_store
+        _, _, _, payloads = served
+        inproc = ReplicaPool.from_store(store, "factoid-qa", dtype="float32")
+        with WorkerReplicaPool.from_store(
+            store, "factoid-qa", dtype="float32", workers=2
+        ) as pool:
+            for tier in inproc.tiers:
+                expected, _ = inproc.replica(tier).serve(list(payloads))
+                got, _ = pool.replica(tier).serve(list(payloads))
+                assert got == expected
+                assert pool.replica(tier).endpoint.dtype_name == "float32"
+
+    def test_single_request_batches(self, pair_store, served, worker_pool):
+        store, _ = pair_store
+        _, _, _, payloads = served
+        inproc = ReplicaPool.from_store(store, "factoid-qa")
+        tier = inproc.tiers[0]
+        expected, _ = inproc.replica(tier).serve([payloads[0]])
+        got, _ = worker_pool.replica(tier).serve([payloads[0]])
+        assert got == expected
+
+
+class TestGatewayIntegration:
+    def test_submit_many_is_ordered_under_concurrency(
+        self, pair_store, served, worker_pool
+    ):
+        store, _ = pair_store
+        _, _, _, payloads = served
+        inproc = ReplicaPool.from_store(store, "factoid-qa")
+        expected, _ = inproc.replica(inproc.tiers[0]).serve(list(payloads))
+        by_payload = {i: expected[i] for i in range(len(payloads))}
+
+        config = GatewayConfig(max_batch_size=4, max_wait_s=0.002)
+        failures: list[str] = []
+        with ServingGateway(worker_pool, config) as gateway:
+            def _client(offset: int) -> None:
+                order = [
+                    (offset + i) % len(payloads) for i in range(len(payloads))
+                ]
+                responses = gateway.submit_many([payloads[i] for i in order])
+                for got_index, payload_index in enumerate(order):
+                    if responses[got_index] != by_payload[payload_index]:
+                        failures.append(
+                            f"client {offset}: response {got_index} is not "
+                            f"the answer for payload {payload_index}"
+                        )
+
+            threads = [
+                threading.Thread(target=_client, args=(offset,))
+                for offset in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert failures == []
+
+    def test_drain_waits_for_worker_batches(self, served, worker_pool):
+        _, _, _, payloads = served
+        config = GatewayConfig(max_batch_size=8, max_wait_s=0.002)
+        with ServingGateway(worker_pool, config) as gateway:
+            futures = [gateway.submit_async(p) for p in payloads * 2]
+            gateway.drain(timeout=60.0)
+            assert all(f.done() for f in futures)
+            for f in futures:
+                assert f.result(timeout=0)
+
+    def test_telemetry_carries_worker_slot(self, served, worker_pool):
+        _, _, _, payloads = served
+        config = GatewayConfig(max_batch_size=8, max_wait_s=0.002)
+        with ServingGateway(worker_pool, config) as gateway:
+            gateway.submit_many(payloads[:6])
+            events = gateway.telemetry.events()
+            assert events and all(e.worker in (0, 1) for e in events)
+            stats = gateway.stats()
+            assert [w["worker"] for w in stats["workers"]] == [0, 1]
+            assert "workers:" in gateway.dashboard()
+
+
+class TestCrashRecovery:
+    def test_crash_raises_respawns_and_feeds_breaker(self, pair_store, served):
+        store, _ = pair_store
+        _, _, _, payloads = served
+        plan = FaultPlan(
+            name="worker-crash",
+            rules=[
+                FaultRule(
+                    point="replica.serve", kind="crash", rate=1.0, max_fires=1
+                )
+            ],
+            seed=7,
+        )
+        config = GatewayConfig(
+            max_batch_size=4,
+            max_wait_s=0.002,
+            breaker=BreakerPolicy(
+                failure_threshold=3, reset_timeout_s=0.2, half_open_successes=1
+            ),
+        )
+        # Armed before the pool forks: workers inherit the live plan, and
+        # every respawn re-inherits it from the still-armed parent.
+        with injected(plan):
+            with WorkerReplicaPool.from_store(
+                store, "factoid-qa", workers=2, reply_timeout_s=30.0
+            ) as pool:
+                with ServingGateway(pool, config) as gateway:
+                    crashes = 0
+                    for payload in payloads[:4]:
+                        try:
+                            gateway.submit(payload)
+                        except ServeError:
+                            crashes += 1
+                    assert crashes > 0, "no injected crash surfaced"
+                    assert pool.restarts_total > 0, "dead worker not respawned"
+                    stats = gateway.stats()
+                    assert any(
+                        b["consecutive_failures"] > 0 or b["state"] != "closed"
+                        for b in stats["breakers"].values()
+                    ), "crashes did not feed the circuit breakers"
+
+                    # Phase B: disarm everywhere — parent (respawn source)
+                    # and the already-running workers — then recover.
+                    clear()
+                    pool.set_fault_plan(None)
+                    time.sleep(0.25)  # let open circuits reach half-open
+                    responses = gateway.submit_many(payloads[:6])
+                    assert len(responses) == 6
+                    assert all(pool.worker_stats()[s]["alive"] for s in (0, 1))
+
+    def test_dead_worker_raises_worker_crash_error(self, pair_store, served):
+        store, _ = pair_store
+        _, _, _, payloads = served
+        plan = FaultPlan(
+            name="always-crash",
+            rules=[FaultRule(point="replica.serve", kind="crash", rate=1.0)],
+            seed=3,
+        )
+        with injected(plan):
+            with WorkerReplicaPool.from_store(
+                store, "factoid-qa", workers=1, reply_timeout_s=30.0
+            ) as pool:
+                with pytest.raises(WorkerCrashError):
+                    pool.replica(pool.tiers[0]).serve(payloads[:2])
+                assert pool.restarts_total >= 1
+
+
+class TestLifecycle:
+    def test_no_leaked_shared_memory(self, pair_store, served):
+        store, _ = pair_store
+        _, _, _, payloads = served
+        before = _shm_entries()
+        with WorkerReplicaPool.from_store(store, "factoid-qa", workers=2) as pool:
+            pool.replica(pool.tiers[0]).serve(list(payloads))
+            assert _shm_entries() - before, "serving created no shm segments?"
+        assert _shm_entries() - before == set(), "segments leaked after stop()"
+
+    def test_stop_is_idempotent_and_kills_workers(self, pair_store, served):
+        store, _ = pair_store
+        _, _, _, payloads = served
+        pool = WorkerReplicaPool.from_store(store, "factoid-qa", workers=2)
+        pool.replica(pool.tiers[0]).serve(payloads[:2])
+        pids = [w["pid"] for w in pool.worker_stats()]
+        assert all(pids)
+        pool.stop()
+        pool.stop()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if not any(Path(f"/proc/{pid}").is_dir() for pid in pids):
+                break
+            time.sleep(0.05)
+        assert not any(
+            Path(f"/proc/{pid}").is_dir() for pid in pids
+        ), "worker processes outlived stop()"
+
+    def test_warmup_probes_every_worker(self, served, worker_pool):
+        _, _, _, payloads = served
+        estimates = worker_pool.warmup(payloads[:4])
+        assert set(estimates) == set(worker_pool.tiers)
+        stats = worker_pool.worker_stats()
+        # Every slot served every tier once during warmup.
+        assert all(s["batches"] >= len(worker_pool.tiers) for s in stats)
+        for tier in worker_pool.tiers:
+            assert worker_pool.replica(tier).ewma_latency_s is not None
+
+
+class TestRolloutBroadcast:
+    def test_candidate_and_promote_reach_workers(self, single_store, served):
+        store, stable, candidate = single_store
+        _, _, _, payloads = served
+        with WorkerReplicaPool.from_store(
+            store, "factoid-qa", workers=2
+        ) as pool:
+            inproc = ReplicaPool.from_store(store, "factoid-qa")
+            inproc.add_candidate(candidate.version)
+            expected, _ = inproc.replica("default", "candidate").serve(
+                list(payloads)
+            )
+
+            pool.add_candidate(candidate.version)
+            got, _ = pool.replica("default", "candidate").serve(list(payloads))
+            assert got == expected, "candidate diverged across processes"
+
+            promoted = pool.promote_candidate(set_latest=False)
+            assert promoted == {"default": candidate.version}
+            got, _ = pool.replica("default").serve(list(payloads))
+            assert got == expected, "promoted stable diverged across processes"
+
+
+class TestShmTransport:
+    def test_arena_roundtrip_and_growth(self):
+        arena = ShmArena("t", min_bytes=1 << 12)
+        cache = SegmentCache()
+        try:
+            small = [("a", np.arange(8, dtype=np.int64))]
+            manifest = arena.pack(small)
+            views = cache.view(manifest)
+            np.testing.assert_array_equal(views["a"], np.arange(8))
+            first_name = manifest["segment"]
+
+            big = [("b", np.random.default_rng(0).normal(size=(64, 64)))]
+            manifest = arena.pack(big)
+            assert manifest["segment"] != first_name, "growth must rename"
+            views = cache.view(manifest)
+            np.testing.assert_array_equal(views["b"], big[0][1])
+            # The cache pruned its stale attachment for the old name.
+            assert len(cache._segments) == 1
+        finally:
+            cache.close()
+            arena.close()
+        assert arena.name is None
+
+    def test_closed_arena_refuses_buf(self):
+        arena = ShmArena("gone")
+        arena.close()
+        with pytest.raises(ServeError):
+            arena.buf

@@ -1,0 +1,42 @@
+"""Tier-1 wiring for the serving pickle lint (tools/check_pickle_hotpath.py).
+
+Process-parallel serving only wins if batches cross the process boundary
+as shared-memory views, never as per-request pickles; this test keeps
+``src/repro/serve`` free of direct pickle/marshal usage and pins the
+lint's own detection logic with known-bad snippets.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_pickle_hotpath import DEFAULT_TARGET, check_tree, violations_in
+
+
+def test_serve_tree_has_no_pickle_usage():
+    assert check_tree(DEFAULT_TARGET) == []
+
+
+def test_lint_catches_pickle_import(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import pickle\n\ndef ship(m):\n    return pickle.dumps(m)\n")
+    found = violations_in(bad)
+    assert len(found) == 2  # the import and the dumps call
+    assert "shared memory" in found[0]
+
+
+def test_lint_catches_from_import(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("from pickle import dumps\n")
+    found = violations_in(bad)
+    assert len(found) == 1 and "import from 'pickle'" in found[0]
+
+
+def test_unrelated_attribute_access_is_clean(tmp_path):
+    ok = tmp_path / "ok.py"
+    ok.write_text(
+        "import json\n\ndef ship(m):\n    return json.dumps(m)\n"
+    )
+    assert violations_in(ok) == []

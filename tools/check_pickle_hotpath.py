@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Serving hot-path lint: no pickle serialization inside ``src/repro/serve``.
+
+Process-parallel serving exists because the forward pass — not transport —
+should be the cost of a request.  The worker protocol was designed so that
+nothing big ever crosses the process boundary serialized: batches travel
+as shared-memory array views (``repro/serve/shm.py``) and only tiny
+control messages ride the pipe.  A ``pickle.dumps``/``loads`` (or a
+``ModelArtifact.save``/``load``) creeping into the serving tree means a
+model or a formed batch is being re-serialized per request, which quietly
+erases the parallelism win long before any profiler is pointed at it.
+
+This lint fails (exit 1) on any direct use of ``pickle``/``cPickle``/
+``marshal`` — imports or attribute calls — inside ``src/repro/serve``.
+Shared-memory transport, manifests over the pipe, or fork inheritance are
+the sanctioned alternatives.  (The pipe's *internal* pickling of small
+control dicts is the multiprocessing layer's business, not visible to
+this tree, and stays out of scope by construction.)
+
+Runs standalone or via the tier-1 suite (``tests/test_pickle_hotpath.py``):
+
+    python tools/check_pickle_hotpath.py              # lint src/repro/serve
+    python tools/check_pickle_hotpath.py --root PATH  # lint another tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_TARGET = ROOT / "src" / "repro" / "serve"
+
+# Modules whose very purpose is (de)serialization; none exist in the
+# serving tree today, and new ones need a deliberate exemption here.
+ALLOWED: set[tuple[str, ...]] = set()
+
+_BANNED_MODULES = {"pickle", "cPickle", "marshal"}
+
+
+def _is_allowed(path: Path, root: Path) -> bool:
+    parts = path.relative_to(root).parts
+    return any(parts[-len(allowed):] == allowed for allowed in ALLOWED)
+
+
+def violations_in(path: Path) -> list[str]:
+    """Pickle/marshal usage in one module, as readable strings."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}: cannot parse: {exc}"]
+    found: list[tuple[int, str]] = []
+
+    def note(lineno: int, what: str) -> None:
+        found.append(
+            (
+                lineno,
+                f"{path}:{lineno}: {what} — serving hot paths must move "
+                "arrays via shared memory (repro/serve/shm.py) or inherit "
+                "objects at fork, never re-serialize per request",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in _BANNED_MODULES:
+                    note(node.lineno, f"import of {alias.name!r}")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] in _BANNED_MODULES:
+                note(node.lineno, f"import from {node.module!r}")
+        elif isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id in _BANNED_MODULES
+            ):
+                note(node.lineno, f"{node.value.id}.{node.attr} call")
+    return [message for _, message in sorted(found)]
+
+
+def check_tree(root: Path) -> list[str]:
+    """All violations under ``root``, in deterministic path order."""
+    problems: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        if _is_allowed(path, root):
+            continue
+        problems.extend(violations_in(path))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=str(DEFAULT_TARGET))
+    args = parser.parse_args(argv)
+    problems = check_tree(Path(args.root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"\n{len(problems)} pickle hot-path problem(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
